@@ -1,0 +1,147 @@
+//! Micro-benchmarks of the core primitives: the per-slot optimizer (the
+//! code that would run online in a power-management controller), the
+//! fuel-flow evaluations, the predictors and the operating-point solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fcdpm_core::optimizer::{FuelOptimizer, Overhead, SlotProfile, StorageContext};
+use fcdpm_device::{presets, PowerMode, SlotTimeline};
+use fcdpm_fuelcell::{FcSystem, LinearEfficiency};
+use fcdpm_predict::{AdaptiveLearningTree, ExponentialAverage, Predictor};
+use fcdpm_storage::{ChargeStorage, KineticBattery};
+use fcdpm_units::{Amps, Charge, Seconds};
+use fcdpm_workload::{aggregate_idles, CamcorderTrace};
+
+fn optimizer_plan_slot(c: &mut Criterion) {
+    let opt = FuelOptimizer::dac07();
+    let profile = SlotProfile::new(
+        Seconds::new(14.0),
+        Amps::new(0.2),
+        Seconds::new(5.0),
+        Amps::new(1.22),
+    )
+    .expect("valid");
+    let storage = StorageContext::new(Charge::new(2.5), Charge::new(3.0), Charge::new(6.0));
+    let overhead = Overhead::new(
+        true,
+        Seconds::new(0.5),
+        Amps::new(0.4),
+        Seconds::new(0.5),
+        Amps::new(0.4),
+    );
+    c.bench_function("optimizer_plan_slot", |b| {
+        b.iter(|| {
+            black_box(
+                opt.plan_slot(&profile, &storage, Some(&overhead))
+                    .expect("feasible"),
+            )
+        });
+    });
+}
+
+fn fuel_rate_linear(c: &mut Criterion) {
+    let eff = LinearEfficiency::dac07();
+    c.bench_function("fuel_rate_linear", |b| {
+        b.iter(|| black_box(eff.stack_current(Amps::new(0.53)).expect("in domain")));
+    });
+}
+
+fn fuel_rate_physical(c: &mut Criterion) {
+    let sys = FcSystem::dac07_variable_fan();
+    c.bench_function("fuel_rate_physical_bisection", |b| {
+        b.iter(|| black_box(sys.operating_point(Amps::new(0.53)).expect("in range")));
+    });
+}
+
+fn predictors(c: &mut Criterion) {
+    c.bench_function("predictor_exponential_observe_predict", |b| {
+        let mut p = ExponentialAverage::new(0.5);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 13;
+            p.observe(Seconds::new(8.0 + k as f64));
+            black_box(p.predict())
+        });
+    });
+    c.bench_function("predictor_learning_tree_observe_predict", |b| {
+        let mut p = AdaptiveLearningTree::with_uniform_bins(8.0, 20.0, 6, 3);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 13;
+            p.observe(Seconds::new(8.0 + k as f64));
+            black_box(p.predict())
+        });
+    });
+}
+
+fn timeline_build(c: &mut Criterion) {
+    let spec = presets::dvd_camcorder();
+    let i_run = spec.mode_current(PowerMode::Run);
+    c.bench_function("timeline_build_sleep_slot", |b| {
+        b.iter(|| {
+            black_box(SlotTimeline::build(
+                &spec,
+                Seconds::new(14.0),
+                true,
+                Seconds::new(3.03),
+                i_run,
+            ))
+        });
+    });
+}
+
+fn kibam_step(c: &mut Criterion) {
+    c.bench_function("kibam_step_closed_form", |b| {
+        let mut batt = KineticBattery::new(Charge::new(100.0), 0.5, 0.3, 0.01);
+        b.iter(|| black_box(batt.step(Amps::new(-0.5), Seconds::new(0.5))));
+    });
+}
+
+fn trace_aggregation(c: &mut Criterion) {
+    let trace = CamcorderTrace::dac07()
+        .idle_range(Seconds::new(0.5), Seconds::new(20.0))
+        .build();
+    c.bench_function("aggregate_idles_28min_trace", |b| {
+        b.iter(|| {
+            black_box(aggregate_idles(
+                &trace,
+                Seconds::new(5.0),
+                Seconds::new(20.0),
+            ))
+        });
+    });
+}
+
+fn profile_merge(c: &mut Criterion) {
+    use fcdpm_workload::LoadProfile;
+    let spec = presets::dvd_camcorder();
+    let i_run = spec.mode_current(PowerMode::Run);
+    let trace = CamcorderTrace::dac07().build();
+    let t_be = spec.break_even_time();
+    let timelines: Vec<_> = trace
+        .slots()
+        .iter()
+        .map(|s| SlotTimeline::build(&spec, s.idle, s.idle >= t_be, s.active, i_run))
+        .collect();
+    let a = LoadProfile::from_timelines("a", &timelines);
+    let b = LoadProfile::from_timelines("b", &timelines);
+    let c3 = LoadProfile::from_timelines("c", &timelines);
+    let profiles = [a, b, c3];
+    c.bench_function("profile_merge_three_28min_devices", |bch| {
+        bch.iter(|| black_box(LoadProfile::merge(&profiles)));
+    });
+}
+
+criterion_group!(
+    micro,
+    optimizer_plan_slot,
+    fuel_rate_linear,
+    fuel_rate_physical,
+    predictors,
+    timeline_build,
+    kibam_step,
+    trace_aggregation,
+    profile_merge
+);
+criterion_main!(micro);

@@ -1,0 +1,43 @@
+//! One bench per table: the full three-policy comparison runs behind
+//! Table 2 (Experiment 1) and Table 3 (Experiment 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fcdpm_bench::{run_policy, PolicyKind};
+use fcdpm_workload::Scenario;
+
+fn table2_experiment1(c: &mut Criterion) {
+    let scenario = Scenario::experiment1();
+    let mut group = c.benchmark_group("table2_experiment1");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("conv", PolicyKind::Conv),
+        ("asap", PolicyKind::Asap),
+        ("fcdpm", PolicyKind::FcDpm),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_policy(&scenario, kind)));
+        });
+    }
+    group.finish();
+}
+
+fn table3_experiment2(c: &mut Criterion) {
+    let scenario = Scenario::experiment2();
+    let mut group = c.benchmark_group("table3_experiment2");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("conv", PolicyKind::Conv),
+        ("asap", PolicyKind::Asap),
+        ("fcdpm", PolicyKind::FcDpm),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_policy(&scenario, kind)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(tables, table2_experiment1, table3_experiment2);
+criterion_main!(tables);

@@ -1,0 +1,84 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each bench target regenerates one of the paper's tables or figures
+//! (`benches/figures.rs`, `benches/tables.rs`) or measures a core
+//! primitive (`benches/micro.rs`). The fixtures here keep the policy
+//! wiring identical to the `fcdpm-experiments` binaries so the benches
+//! time exactly the code that produces the published numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fcdpm_core::dpm::PredictiveSleep;
+use fcdpm_core::policy::{AsapDpm, ConvDpm, FcDpm};
+use fcdpm_core::{FcOutputPolicy, FuelOptimizer};
+use fcdpm_sim::{HybridSimulator, SimMetrics};
+use fcdpm_storage::IdealStorage;
+use fcdpm_units::Charge;
+use fcdpm_workload::Scenario;
+
+/// Which FC output policy a fixture run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The Conv-DPM baseline.
+    Conv,
+    /// The ASAP-DPM baseline.
+    Asap,
+    /// The paper's FC-DPM.
+    FcDpm,
+}
+
+/// Runs one policy on a scenario with the paper's storage configuration
+/// and returns the metrics — the unit of work every table/figure bench
+/// times.
+///
+/// # Panics
+///
+/// Panics if the simulation fails (cannot happen for the paper's
+/// configurations).
+#[must_use]
+pub fn run_policy(scenario: &Scenario, kind: PolicyKind) -> SimMetrics {
+    let capacity = Charge::from_milliamp_minutes(100.0);
+    let sim = HybridSimulator::dac07(&scenario.device);
+    let mut storage = IdealStorage::new(capacity, capacity * 0.5);
+    let mut sleep = PredictiveSleep::new(scenario.rho);
+    let mut conv;
+    let mut asap;
+    let mut fc;
+    let policy: &mut dyn FcOutputPolicy = match kind {
+        PolicyKind::Conv => {
+            conv = ConvDpm::dac07();
+            &mut conv
+        }
+        PolicyKind::Asap => {
+            asap = AsapDpm::dac07(capacity);
+            &mut asap
+        }
+        PolicyKind::FcDpm => {
+            fc = FcDpm::new(
+                FuelOptimizer::dac07(),
+                &scenario.device,
+                capacity,
+                scenario.sigma,
+                scenario.active_current_estimate,
+            );
+            &mut fc
+        }
+    };
+    sim.run(&scenario.trace, &mut sleep, policy, &mut storage)
+        .expect("paper configuration simulates cleanly")
+        .metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_runs_all_policies() {
+        let scenario = Scenario::experiment1();
+        let conv = run_policy(&scenario, PolicyKind::Conv);
+        let fc = run_policy(&scenario, PolicyKind::FcDpm);
+        assert!(fc.fuel.total() < conv.fuel.total());
+    }
+}

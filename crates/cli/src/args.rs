@@ -1,0 +1,477 @@
+//! Argument parsing.
+
+use core::fmt;
+
+/// Which of the paper's experiments to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentId {
+    /// Experiment 1: the DVD camcorder.
+    Exp1,
+    /// Experiment 2: the synthetic uniform workload.
+    Exp2,
+}
+
+/// Which FC output policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyChoice {
+    /// Conv-DPM only.
+    Conv,
+    /// ASAP-DPM only.
+    Asap,
+    /// FC-DPM only.
+    FcDpm,
+    /// All three, with the normalized table.
+    All,
+}
+
+/// Which trace generator to invoke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The camcorder MPEG trace.
+    Camcorder,
+    /// The Experiment-2 synthetic trace.
+    Synthetic,
+}
+
+/// Which device preset a simulated trace runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceChoice {
+    /// The DVD camcorder of Experiment 1.
+    Camcorder,
+    /// The synthetic device of Experiment 2.
+    Exp2,
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run an experiment.
+    Experiment {
+        /// Which experiment.
+        id: ExperimentId,
+        /// Storage capacity in mA·min (default 100, the paper's buffer).
+        capacity_mamin: f64,
+        /// Trace seed (default: the paper-reference seed).
+        seed: Option<u64>,
+        /// Which policies to run.
+        policy: PolicyChoice,
+    },
+    /// Generate a trace.
+    Trace {
+        /// Which generator.
+        kind: TraceKind,
+        /// Seed (default: reference seed).
+        seed: Option<u64>,
+        /// Horizon in minutes (default 28).
+        minutes: f64,
+    },
+    /// Print a model curve.
+    Curve {
+        /// `true` for the stack I-V-P curve, `false` for the efficiency
+        /// curves.
+        stack: bool,
+    },
+    /// Run the three policies on a user-provided CSV trace.
+    Simulate {
+        /// Path to the CSV trace (header `idle_s,active_s,active_w`).
+        path: String,
+        /// Device preset the trace runs on.
+        device: DeviceChoice,
+        /// Storage capacity in mA·min (default 100).
+        capacity_mamin: f64,
+    },
+    /// Run Experiment 1 cyclically until a hydrogen tank runs dry.
+    Lifetime {
+        /// Tank size in moles of hydrogen (default 2.0).
+        moles: f64,
+        /// Storage capacity in mA·min (default 100).
+        capacity_mamin: f64,
+    },
+    /// Find the smallest storage capacity for unconstrained FC-DPM.
+    Sizing {
+        /// Bisection tolerance in A·s (default 0.05).
+        tolerance_as: f64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A CLI parse failure, with the message to show the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCliError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseCliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ParseCliError {}
+
+fn err(message: impl Into<String>) -> ParseCliError {
+    ParseCliError {
+        message: message.into(),
+    }
+}
+
+fn take_value<'a, I: Iterator<Item = &'a str>>(
+    flag: &str,
+    iter: &mut I,
+) -> Result<&'a str, ParseCliError> {
+    iter.next()
+        .ok_or_else(|| err(format!("flag `{flag}` needs a value")))
+}
+
+/// Parses an argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseCliError`] describing the first malformed argument.
+pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, ParseCliError> {
+    let mut iter = args.iter().map(AsRef::as_ref);
+    let Some(cmd) = iter.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "experiment" => {
+            let id = match iter.next() {
+                Some("exp1") | Some("1") => ExperimentId::Exp1,
+                Some("exp2") | Some("2") => ExperimentId::Exp2,
+                Some(other) => return Err(err(format!("unknown experiment `{other}`"))),
+                None => return Err(err("experiment needs `exp1` or `exp2`")),
+            };
+            let mut capacity_mamin = 100.0;
+            let mut seed = None;
+            let mut policy = PolicyChoice::All;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--capacity-mamin" => {
+                        let v = take_value(flag, &mut iter)?;
+                        capacity_mamin = v
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|c| *c > 0.0 && c.is_finite())
+                            .ok_or_else(|| err(format!("bad capacity `{v}`")))?;
+                    }
+                    "--seed" => {
+                        let v = take_value(flag, &mut iter)?;
+                        seed = Some(
+                            v.parse::<u64>()
+                                .map_err(|_| err(format!("bad seed `{v}`")))?,
+                        );
+                    }
+                    "--policy" => {
+                        let v = take_value(flag, &mut iter)?;
+                        policy = match v {
+                            "conv" => PolicyChoice::Conv,
+                            "asap" => PolicyChoice::Asap,
+                            "fcdpm" => PolicyChoice::FcDpm,
+                            "all" => PolicyChoice::All,
+                            other => return Err(err(format!("unknown policy `{other}`"))),
+                        };
+                    }
+                    other => return Err(err(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Experiment {
+                id,
+                capacity_mamin,
+                seed,
+                policy,
+            })
+        }
+        "trace" => {
+            let kind = match iter.next() {
+                Some("camcorder") => TraceKind::Camcorder,
+                Some("synthetic") => TraceKind::Synthetic,
+                Some(other) => return Err(err(format!("unknown trace kind `{other}`"))),
+                None => return Err(err("trace needs `camcorder` or `synthetic`")),
+            };
+            let mut seed = None;
+            let mut minutes = 28.0;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--seed" => {
+                        let v = take_value(flag, &mut iter)?;
+                        seed = Some(
+                            v.parse::<u64>()
+                                .map_err(|_| err(format!("bad seed `{v}`")))?,
+                        );
+                    }
+                    "--minutes" => {
+                        let v = take_value(flag, &mut iter)?;
+                        minutes = v
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|m| *m > 0.0 && m.is_finite())
+                            .ok_or_else(|| err(format!("bad minutes `{v}`")))?;
+                    }
+                    other => return Err(err(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Trace {
+                kind,
+                seed,
+                minutes,
+            })
+        }
+        "curve" => match iter.next() {
+            Some("stack") => Ok(Command::Curve { stack: true }),
+            Some("efficiency") => Ok(Command::Curve { stack: false }),
+            Some(other) => Err(err(format!("unknown curve `{other}`"))),
+            None => Err(err("curve needs `stack` or `efficiency`")),
+        },
+        "simulate" => {
+            let Some(path) = iter.next() else {
+                return Err(err("simulate needs a trace file path"));
+            };
+            let mut device = DeviceChoice::Camcorder;
+            let mut capacity_mamin = 100.0;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--device" => {
+                        let v = take_value(flag, &mut iter)?;
+                        device = match v {
+                            "camcorder" => DeviceChoice::Camcorder,
+                            "exp2" => DeviceChoice::Exp2,
+                            other => return Err(err(format!("unknown device `{other}`"))),
+                        };
+                    }
+                    "--capacity-mamin" => {
+                        let v = take_value(flag, &mut iter)?;
+                        capacity_mamin = v
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|c| *c > 0.0 && c.is_finite())
+                            .ok_or_else(|| err(format!("bad capacity `{v}`")))?;
+                    }
+                    other => return Err(err(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Simulate {
+                path: path.to_owned(),
+                device,
+                capacity_mamin,
+            })
+        }
+        "lifetime" => {
+            let mut moles = 2.0;
+            let mut capacity_mamin = 100.0;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--moles" => {
+                        let v = take_value(flag, &mut iter)?;
+                        moles = v
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|m| *m > 0.0 && m.is_finite())
+                            .ok_or_else(|| err(format!("bad moles `{v}`")))?;
+                    }
+                    "--capacity-mamin" => {
+                        let v = take_value(flag, &mut iter)?;
+                        capacity_mamin = v
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|c| *c > 0.0 && c.is_finite())
+                            .ok_or_else(|| err(format!("bad capacity `{v}`")))?;
+                    }
+                    other => return Err(err(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Lifetime {
+                moles,
+                capacity_mamin,
+            })
+        }
+        "sizing" => {
+            let mut tolerance_as = 0.05;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--tolerance-as" => {
+                        let v = take_value(flag, &mut iter)?;
+                        tolerance_as = v
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|t| *t > 0.0 && t.is_finite())
+                            .ok_or_else(|| err(format!("bad tolerance `{v}`")))?;
+                    }
+                    other => return Err(err(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Sizing { tolerance_as })
+        }
+        other => Err(err(format!("unknown command `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse::<&str>(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn experiment_defaults() {
+        let cmd = parse(&["experiment", "exp1"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Experiment {
+                id: ExperimentId::Exp1,
+                capacity_mamin: 100.0,
+                seed: None,
+                policy: PolicyChoice::All,
+            }
+        );
+    }
+
+    #[test]
+    fn experiment_flags() {
+        let cmd = parse(&[
+            "experiment",
+            "2",
+            "--capacity-mamin",
+            "50",
+            "--seed",
+            "7",
+            "--policy",
+            "fcdpm",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Experiment {
+                id: ExperimentId::Exp2,
+                capacity_mamin: 50.0,
+                seed: Some(7),
+                policy: PolicyChoice::FcDpm,
+            }
+        );
+    }
+
+    #[test]
+    fn trace_parsing() {
+        let cmd = parse(&["trace", "synthetic", "--minutes", "5", "--seed", "3"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Trace {
+                kind: TraceKind::Synthetic,
+                seed: Some(3),
+                minutes: 5.0,
+            }
+        );
+    }
+
+    #[test]
+    fn curve_parsing() {
+        assert_eq!(
+            parse(&["curve", "stack"]).unwrap(),
+            Command::Curve { stack: true }
+        );
+        assert_eq!(
+            parse(&["curve", "efficiency"]).unwrap(),
+            Command::Curve { stack: false }
+        );
+    }
+
+    #[test]
+    fn simulate_parse() {
+        assert_eq!(
+            parse(&["simulate", "t.csv"]).unwrap(),
+            Command::Simulate {
+                path: "t.csv".into(),
+                device: DeviceChoice::Camcorder,
+                capacity_mamin: 100.0,
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "simulate",
+                "t.csv",
+                "--device",
+                "exp2",
+                "--capacity-mamin",
+                "60"
+            ])
+            .unwrap(),
+            Command::Simulate {
+                path: "t.csv".into(),
+                device: DeviceChoice::Exp2,
+                capacity_mamin: 60.0,
+            }
+        );
+        assert!(parse(&["simulate"]).is_err());
+        assert!(parse(&["simulate", "t.csv", "--device", "toaster"]).is_err());
+    }
+
+    #[test]
+    fn lifetime_and_sizing_parse() {
+        assert_eq!(
+            parse(&["lifetime"]).unwrap(),
+            Command::Lifetime {
+                moles: 2.0,
+                capacity_mamin: 100.0
+            }
+        );
+        assert_eq!(
+            parse(&["lifetime", "--moles", "0.5", "--capacity-mamin", "50"]).unwrap(),
+            Command::Lifetime {
+                moles: 0.5,
+                capacity_mamin: 50.0
+            }
+        );
+        assert_eq!(
+            parse(&["sizing"]).unwrap(),
+            Command::Sizing { tolerance_as: 0.05 }
+        );
+        assert_eq!(
+            parse(&["sizing", "--tolerance-as", "0.2"]).unwrap(),
+            Command::Sizing { tolerance_as: 0.2 }
+        );
+        assert!(parse(&["lifetime", "--moles", "-1"]).is_err());
+        assert!(parse(&["sizing", "--tolerance-as", "0"]).is_err());
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        assert!(parse(&["experiment"]).unwrap_err().message.contains("exp1"));
+        assert!(parse(&["experiment", "exp3"])
+            .unwrap_err()
+            .message
+            .contains("exp3"));
+        assert!(parse(&["experiment", "exp1", "--seed"])
+            .unwrap_err()
+            .message
+            .contains("needs a value"));
+        assert!(parse(&["experiment", "exp1", "--seed", "x"])
+            .unwrap_err()
+            .message
+            .contains("bad seed"));
+        assert!(parse(&["experiment", "exp1", "--capacity-mamin", "-5"])
+            .unwrap_err()
+            .message
+            .contains("bad capacity"));
+        assert!(parse(&["experiment", "exp1", "--policy", "x"])
+            .unwrap_err()
+            .message
+            .contains("unknown policy"));
+        assert!(parse(&["frobnicate"])
+            .unwrap_err()
+            .message
+            .contains("frobnicate"));
+        assert!(parse(&["trace"]).unwrap_err().message.contains("camcorder"));
+        assert!(parse(&["curve"]).unwrap_err().message.contains("stack"));
+        assert!(parse(&["trace", "camcorder", "--minutes", "0"])
+            .unwrap_err()
+            .message
+            .contains("bad minutes"));
+    }
+}

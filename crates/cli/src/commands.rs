@@ -1,0 +1,447 @@
+//! Command execution (pure: returns the output as a string).
+
+use core::fmt::Write as _;
+
+use fcdpm_core::dpm::PredictiveSleep;
+use fcdpm_core::policy::{AsapDpm, ConvDpm, FcDpm};
+use fcdpm_core::sizing::minimum_storage_capacity;
+use fcdpm_core::{FcOutputPolicy, FuelOptimizer};
+use fcdpm_fuelcell::{FcSystem, GibbsCoefficient, HydrogenTank, PolarizationCurve};
+use fcdpm_sim::{HybridSimulator, SimMetrics};
+use fcdpm_storage::IdealStorage;
+use fcdpm_units::{Amps, Charge, CurrentRange, Seconds};
+use fcdpm_workload::{CamcorderTrace, Scenario, SyntheticTrace};
+
+use crate::{Command, DeviceChoice, ExperimentId, PolicyChoice, TraceKind};
+
+/// Executes a parsed command and returns its stdout payload.
+///
+/// # Errors
+///
+/// Returns a human-readable message if a simulation fails (which the
+/// built-in scenarios never do).
+pub fn execute(command: &Command) -> Result<String, String> {
+    match command {
+        Command::Help => Ok(crate::usage()),
+        Command::Experiment {
+            id,
+            capacity_mamin,
+            seed,
+            policy,
+        } => run_experiment(*id, *capacity_mamin, *seed, *policy),
+        Command::Trace {
+            kind,
+            seed,
+            minutes,
+        } => Ok(generate_trace(*kind, *seed, *minutes)),
+        Command::Curve { stack } => Ok(print_curve(*stack)),
+        Command::Simulate {
+            path,
+            device,
+            capacity_mamin,
+        } => run_simulate(path, *device, *capacity_mamin),
+        Command::Lifetime {
+            moles,
+            capacity_mamin,
+        } => run_lifetime(*moles, *capacity_mamin),
+        Command::Sizing { tolerance_as } => run_sizing(*tolerance_as),
+    }
+}
+
+fn run_simulate(path: &str, device: DeviceChoice, capacity_mamin: f64) -> Result<String, String> {
+    let csv = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let trace = fcdpm_workload::Trace::from_csv(path, &csv)
+        .map_err(|e| format!("cannot parse `{path}`: {e}"))?;
+    if trace.is_empty() {
+        return Err(format!("trace `{path}` contains no slots"));
+    }
+    let spec = match device {
+        DeviceChoice::Camcorder => fcdpm_device::presets::dvd_camcorder(),
+        DeviceChoice::Exp2 => fcdpm_device::presets::experiment2_device(),
+    };
+    let mut scenario = Scenario::experiment1();
+    scenario.name = format!("custom trace `{path}` on {}", spec.name());
+    scenario.device = spec;
+    scenario.trace = trace;
+    scenario.active_current_estimate = None;
+    let capacity = Charge::from_milliamp_minutes(capacity_mamin);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", scenario.name);
+    let conv = run_one(&scenario, capacity, &mut ConvDpm::dac07())?;
+    let asap = run_one(&scenario, capacity, &mut AsapDpm::dac07(capacity))?;
+    let mut fc_policy = FcDpm::new(
+        FuelOptimizer::dac07(),
+        &scenario.device,
+        capacity,
+        scenario.sigma,
+        scenario.active_current_estimate,
+    );
+    let fc = run_one(&scenario, capacity, &mut fc_policy)?;
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>10}",
+        "policy", "fuel [A*s]", "vs Conv"
+    );
+    for (name, m) in [("Conv-DPM", &conv), ("ASAP-DPM", &asap), ("FC-DPM", &fc)] {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12.1} {:>9.1}%",
+            name,
+            m.fuel.total().amp_seconds(),
+            m.normalized_fuel(&conv) * 100.0
+        );
+    }
+    Ok(out)
+}
+
+fn run_lifetime(moles: f64, capacity_mamin: f64) -> Result<String, String> {
+    let scenario = Scenario::experiment1();
+    let capacity = Charge::from_milliamp_minutes(capacity_mamin);
+    let tank = HydrogenTank::from_hydrogen_moles(moles, GibbsCoefficient::dac07());
+    let sim = HybridSimulator::dac07(&scenario.device);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "lifetime on a {moles} mol H2 tank ({:.0} of stack charge), Experiment 1 looped",
+        tank.capacity()
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>12}",
+        "policy", "lifetime [h]", "cycles"
+    );
+    let fc_policy = || {
+        FcDpm::new(
+            FuelOptimizer::dac07(),
+            &scenario.device,
+            capacity,
+            scenario.sigma,
+            scenario.active_current_estimate,
+        )
+    };
+    let mut rows: Vec<(&str, Box<dyn FcOutputPolicy>)> = vec![
+        ("Conv-DPM", Box::new(ConvDpm::dac07())),
+        ("ASAP-DPM", Box::new(AsapDpm::dac07(capacity))),
+        ("FC-DPM", Box::new(fc_policy())),
+    ];
+    for (name, policy) in &mut rows {
+        let mut storage = IdealStorage::new(capacity, capacity * 0.5);
+        let mut sleep = PredictiveSleep::new(scenario.rho);
+        let res = sim
+            .run_until_depleted(
+                &scenario.trace,
+                &mut sleep,
+                policy.as_mut(),
+                &mut storage,
+                &tank,
+                100_000,
+            )
+            .map_err(|e| format!("simulation failed: {e}"))?;
+        let _ = writeln!(
+            out,
+            "{name:<10} {:>12.2} {:>12}",
+            res.lifetime.seconds() / 3600.0,
+            res.full_cycles
+        );
+    }
+    Ok(out)
+}
+
+fn run_sizing(tolerance_as: f64) -> Result<String, String> {
+    let scenario = Scenario::experiment1();
+    let res = minimum_storage_capacity(
+        &FuelOptimizer::dac07(),
+        &scenario.trace,
+        &scenario.device,
+        Charge::new(tolerance_as),
+    )
+    .map_err(|e| format!("sizing failed: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "smallest storage for unconstrained FC-DPM on Experiment 1: {:.2} ({:.0} mA*min)",
+        res.min_capacity,
+        res.min_capacity.amp_seconds() * 1000.0 / 60.0
+    );
+    let _ = writeln!(
+        out,
+        "fuel at that capacity: {:.1} (the per-slot optimum floor)",
+        res.fuel_at_min
+    );
+    Ok(out)
+}
+
+fn scenario_for(id: ExperimentId, seed: Option<u64>) -> Scenario {
+    match (id, seed) {
+        (ExperimentId::Exp1, None) => Scenario::experiment1(),
+        (ExperimentId::Exp1, Some(s)) => Scenario::experiment1_seeded(s),
+        (ExperimentId::Exp2, None) => Scenario::experiment2(),
+        (ExperimentId::Exp2, Some(s)) => Scenario::experiment2_seeded(s),
+    }
+}
+
+fn run_one(
+    scenario: &Scenario,
+    capacity: Charge,
+    policy: &mut dyn FcOutputPolicy,
+) -> Result<SimMetrics, String> {
+    let sim = HybridSimulator::dac07(&scenario.device);
+    let mut storage = IdealStorage::new(capacity, capacity * 0.5);
+    let mut sleep = PredictiveSleep::new(scenario.rho);
+    sim.run(&scenario.trace, &mut sleep, policy, &mut storage)
+        .map(|r| r.metrics)
+        .map_err(|e| format!("simulation failed: {e}"))
+}
+
+fn run_experiment(
+    id: ExperimentId,
+    capacity_mamin: f64,
+    seed: Option<u64>,
+    policy: PolicyChoice,
+) -> Result<String, String> {
+    let scenario = scenario_for(id, seed);
+    let capacity = Charge::from_milliamp_minutes(capacity_mamin);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", scenario.name);
+    let _ = writeln!(
+        out,
+        "trace: {} slots, {:.1} min; buffer {:.1} mA*min",
+        scenario.trace.len(),
+        scenario.trace.total_duration().minutes(),
+        capacity_mamin
+    );
+    let fc_policy = || {
+        FcDpm::new(
+            FuelOptimizer::dac07(),
+            &scenario.device,
+            capacity,
+            scenario.sigma,
+            scenario.active_current_estimate,
+        )
+    };
+    let mut rows: Vec<(&str, SimMetrics)> = Vec::new();
+    match policy {
+        PolicyChoice::Conv => {
+            rows.push((
+                "Conv-DPM",
+                run_one(&scenario, capacity, &mut ConvDpm::dac07())?,
+            ));
+        }
+        PolicyChoice::Asap => {
+            rows.push((
+                "ASAP-DPM",
+                run_one(&scenario, capacity, &mut AsapDpm::dac07(capacity))?,
+            ));
+        }
+        PolicyChoice::FcDpm => {
+            rows.push(("FC-DPM", run_one(&scenario, capacity, &mut fc_policy())?));
+        }
+        PolicyChoice::All => {
+            rows.push((
+                "Conv-DPM",
+                run_one(&scenario, capacity, &mut ConvDpm::dac07())?,
+            ));
+            rows.push((
+                "ASAP-DPM",
+                run_one(&scenario, capacity, &mut AsapDpm::dac07(capacity))?,
+            ));
+            rows.push(("FC-DPM", run_one(&scenario, capacity, &mut fc_policy())?));
+        }
+    }
+    let baseline = rows[0].1.clone();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>14} {:>10}",
+        "policy", "fuel [A*s]", "mean I_fc [A]", "vs first"
+    );
+    for (name, m) in &rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12.1} {:>14.4} {:>9.1}%",
+            name,
+            m.fuel.total().amp_seconds(),
+            m.mean_stack_current().amps(),
+            m.normalized_fuel(&baseline) * 100.0
+        );
+    }
+    Ok(out)
+}
+
+fn generate_trace(kind: TraceKind, seed: Option<u64>, minutes: f64) -> String {
+    let horizon = Seconds::from_minutes(minutes);
+    let trace = match kind {
+        TraceKind::Camcorder => {
+            let mut b = CamcorderTrace::dac07().horizon(horizon);
+            if let Some(s) = seed {
+                b = b.seed(s);
+            }
+            b.build()
+        }
+        TraceKind::Synthetic => {
+            let mut b = SyntheticTrace::dac07().horizon(horizon);
+            if let Some(s) = seed {
+                b = b.seed(s);
+            }
+            b.build()
+        }
+    };
+    trace.to_csv()
+}
+
+fn print_curve(stack: bool) -> String {
+    let mut out = String::new();
+    if stack {
+        let model = PolarizationCurve::bcs_20w();
+        let _ = writeln!(out, "i_fc_ma,v_fc_v,p_fc_w");
+        for pt in model.sample_curve(Amps::new(1.5), 31) {
+            let _ = writeln!(
+                out,
+                "{:.0},{:.3},{:.3}",
+                pt.current.milliamps(),
+                pt.voltage.volts(),
+                pt.power.watts()
+            );
+        }
+    } else {
+        let variable = FcSystem::dac07_variable_fan();
+        let onoff = FcSystem::dac07_on_off_fan();
+        let zeta = GibbsCoefficient::dac07();
+        let _ = writeln!(out, "i_f_ma,stack_eff,system_eff_variable,system_eff_onoff");
+        for i in CurrentRange::dac07().sweep(23) {
+            let v = variable.operating_point(i).expect("in range");
+            let o = onoff.operating_point(i).expect("in range");
+            let _ = writeln!(
+                out,
+                "{:.0},{:.4},{:.4},{:.4}",
+                i.milliamps(),
+                variable.stack().stack_efficiency(v.i_fc, zeta).value(),
+                v.efficiency.value(),
+                o.efficiency.value()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_prints_usage() {
+        let out = execute(&Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("experiment"));
+    }
+
+    #[test]
+    fn experiment_all_has_three_rows() {
+        let out = execute(&Command::Experiment {
+            id: ExperimentId::Exp1,
+            capacity_mamin: 100.0,
+            seed: None,
+            policy: PolicyChoice::All,
+        })
+        .unwrap();
+        assert!(out.contains("Conv-DPM"));
+        assert!(out.contains("ASAP-DPM"));
+        assert!(out.contains("FC-DPM"));
+        assert!(out.contains("100.0%"), "baseline normalizes to itself");
+    }
+
+    #[test]
+    fn experiment_single_policy() {
+        let out = execute(&Command::Experiment {
+            id: ExperimentId::Exp2,
+            capacity_mamin: 100.0,
+            seed: Some(5),
+            policy: PolicyChoice::FcDpm,
+        })
+        .unwrap();
+        assert!(out.contains("FC-DPM"));
+        assert!(!out.contains("ASAP-DPM"));
+    }
+
+    #[test]
+    fn trace_csv_has_header_and_rows() {
+        let out = execute(&Command::Trace {
+            kind: TraceKind::Synthetic,
+            seed: Some(1),
+            minutes: 2.0,
+        })
+        .unwrap();
+        let mut lines = out.lines();
+        assert_eq!(lines.next().unwrap(), "idle_s,active_s,active_w");
+        assert!(lines.count() >= 4);
+    }
+
+    #[test]
+    fn trace_is_seed_deterministic() {
+        let make = |seed| {
+            execute(&Command::Trace {
+                kind: TraceKind::Camcorder,
+                seed: Some(seed),
+                minutes: 2.0,
+            })
+            .unwrap()
+        };
+        assert_eq!(make(9), make(9));
+        assert_ne!(make(9), make(10));
+    }
+
+    #[test]
+    fn simulate_runs_csv_trace() {
+        let dir = std::env::temp_dir().join("fcdpm-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        std::fs::write(&path, "idle_s,active_s,active_w\n15,3,14\n12,2,13\n").unwrap();
+        let out = execute(&Command::Simulate {
+            path: path.to_string_lossy().into_owned(),
+            device: DeviceChoice::Exp2,
+            capacity_mamin: 100.0,
+        })
+        .unwrap();
+        assert!(out.contains("FC-DPM"));
+        assert!(out.contains("100.0%"));
+    }
+
+    #[test]
+    fn simulate_reports_missing_file() {
+        let err = execute(&Command::Simulate {
+            path: "/definitely/not/here.csv".into(),
+            device: DeviceChoice::Camcorder,
+            capacity_mamin: 100.0,
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn lifetime_renders_three_rows() {
+        let out = execute(&Command::Lifetime {
+            moles: 0.5,
+            capacity_mamin: 100.0,
+        })
+        .unwrap();
+        assert!(out.contains("Conv-DPM"));
+        assert!(out.contains("FC-DPM"));
+        assert!(out.contains("lifetime"));
+    }
+
+    #[test]
+    fn sizing_renders() {
+        let out = execute(&Command::Sizing { tolerance_as: 0.1 }).unwrap();
+        assert!(out.contains("smallest storage"));
+        assert!(out.contains("mA*min"));
+    }
+
+    #[test]
+    fn curves_render() {
+        let stack = execute(&Command::Curve { stack: true }).unwrap();
+        assert!(stack.starts_with("i_fc_ma"));
+        assert_eq!(stack.lines().count(), 32);
+        let eff = execute(&Command::Curve { stack: false }).unwrap();
+        assert!(eff.starts_with("i_f_ma"));
+        assert_eq!(eff.lines().count(), 24);
+    }
+}

@@ -1,0 +1,43 @@
+//! Implementation of the `fcdpm` command-line tool.
+//!
+//! The binary is a thin wrapper around [`parse`] + [`execute`], both of
+//! which are pure (no process exit, output returned as a `String`) so the
+//! whole surface is unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{
+    parse, Command, DeviceChoice, ExperimentId, ParseCliError, PolicyChoice, TraceKind,
+};
+pub use commands::execute;
+
+/// The usage text printed by `fcdpm help` and on parse errors.
+#[must_use]
+pub fn usage() -> String {
+    "\
+fcdpm — fuel-efficient dynamic power management toolkit (DAC'07 reproduction)
+
+USAGE:
+    fcdpm experiment <exp1|exp2> [--capacity-mamin <N>] [--seed <N>] [--policy <conv|asap|fcdpm|all>]
+    fcdpm trace <camcorder|synthetic> [--seed <N>] [--minutes <N>]
+    fcdpm curve <stack|efficiency>
+    fcdpm simulate <trace.csv> [--device <camcorder|exp2>] [--capacity-mamin <N>]
+    fcdpm lifetime [--moles <N>] [--capacity-mamin <N>]
+    fcdpm sizing [--tolerance-as <N>]
+    fcdpm help
+
+COMMANDS:
+    experiment   run the paper's Experiment 1 or 2 and print the fuel table
+    trace        generate a workload trace as CSV on stdout
+    curve        print the stack I-V-P curve or the system-efficiency curves
+    simulate     run the three policies on a CSV trace (idle_s,active_s,active_w)
+    lifetime     run Experiment 1 cyclically until a hydrogen tank runs dry
+    sizing       smallest storage capacity for unconstrained FC-DPM (Exp. 1)
+    help         show this message
+"
+    .to_owned()
+}

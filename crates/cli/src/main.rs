@@ -1,0 +1,24 @@
+//! The `fcdpm` command-line tool.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match fcdpm_cli::parse(&args) {
+        Ok(cmd) => match fcdpm_cli::execute(&cmd) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", fcdpm_cli::usage());
+            ExitCode::FAILURE
+        }
+    }
+}

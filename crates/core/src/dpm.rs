@@ -1,0 +1,632 @@
+//! Sleep-decision (DPM) policies for the embedded-system side.
+//!
+//! The paper builds FC-DPM "on top of any conventional DPM policy which
+//! aims at energy minimization of the embedded system" (Section 4.1) and
+//! picks the predictive policy of Hwang & Wu: sleep when the predicted
+//! idle period exceeds the break-even time. This module provides that
+//! policy plus the classic alternatives surveyed by the paper's related
+//! work, behind one trait:
+//!
+//! * [`PredictiveSleep`] — the paper's choice (predict, then commit at
+//!   idle start);
+//! * [`TimeoutSleep`] / [`AdaptiveTimeoutSleep`] — the timeout family
+//!   (idle in STANDBY for a timeout, power down if the idle persists);
+//! * [`AlwaysSleep`] / [`NeverSleep`] — degenerate baselines;
+//! * [`OracleSleep`] — the misprediction-free bound.
+
+use fcdpm_device::SleepDirective;
+use fcdpm_predict::{ExponentialAverage, OraclePredictor, Predictor};
+use fcdpm_units::Seconds;
+
+/// A sleep decision together with the prediction that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SleepDecision {
+    /// What the device should do with the upcoming idle period.
+    pub directive: SleepDirective,
+    /// The predicted idle length, if the policy predicts one.
+    pub predicted_idle: Option<Seconds>,
+}
+
+impl SleepDecision {
+    /// Convenience constructor for the immediate-commitment policies.
+    #[must_use]
+    pub fn immediate(sleep: bool, predicted_idle: Option<Seconds>) -> Self {
+        Self {
+            directive: if sleep {
+                SleepDirective::SleepImmediately
+            } else {
+                SleepDirective::Standby
+            },
+            predicted_idle,
+        }
+    }
+
+    /// Whether the directive can lead to a SLEEP excursion.
+    #[must_use]
+    pub fn may_sleep(&self) -> bool {
+        self.directive.may_sleep()
+    }
+}
+
+/// Decides, at the start of each idle period, what to do with it.
+pub trait SleepPolicy: core::fmt::Debug {
+    /// Decides for the idle period about to begin, given the device's
+    /// break-even time.
+    fn decide(&mut self, t_be: Seconds) -> SleepDecision;
+
+    /// Feeds the actually observed idle length once the period ends.
+    fn observe_idle(&mut self, actual: Seconds);
+}
+
+/// The paper's predictive DPM: sleep iff the predicted idle period is at
+/// least the break-even time (`T'_i ≥ T_be`, Figure 5). While the
+/// predictor is cold the policy stays in STANDBY (no history to justify
+/// the transition cost).
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_core::dpm::{PredictiveSleep, SleepPolicy};
+/// use fcdpm_units::Seconds;
+///
+/// let mut dpm = PredictiveSleep::new(0.5);
+/// let t_be = Seconds::new(1.0);
+/// assert!(!dpm.decide(t_be).may_sleep()); // cold start: stay in standby
+/// dpm.observe_idle(Seconds::new(14.0));
+/// assert!(dpm.decide(t_be).may_sleep());
+/// ```
+#[derive(Debug)]
+pub struct PredictiveSleep {
+    predictor: Box<dyn Predictor + Send>,
+}
+
+impl PredictiveSleep {
+    /// Creates the policy with the paper's exponential-average predictor
+    /// at factor `rho` (Equation 14).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(rho: f64) -> Self {
+        Self {
+            predictor: Box::new(ExponentialAverage::new(rho)),
+        }
+    }
+
+    /// Creates the policy over any predictor.
+    #[must_use]
+    pub fn with_predictor(predictor: Box<dyn Predictor + Send>) -> Self {
+        Self { predictor }
+    }
+
+    /// The current idle-period prediction, if warm.
+    #[must_use]
+    pub fn prediction(&self) -> Option<Seconds> {
+        self.predictor.predict()
+    }
+}
+
+impl SleepPolicy for PredictiveSleep {
+    fn decide(&mut self, t_be: Seconds) -> SleepDecision {
+        let predicted = self.predictor.predict();
+        SleepDecision::immediate(predicted.is_some_and(|t| t >= t_be), predicted)
+    }
+
+    fn observe_idle(&mut self, actual: Seconds) {
+        self.predictor.observe(actual);
+    }
+}
+
+/// Classic fixed-timeout DPM: idle in STANDBY for the timeout, then power
+/// down if the idle period persists. A timeout equal to the break-even
+/// time is the standard 2-competitive choice.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_core::dpm::{SleepPolicy, TimeoutSleep};
+/// use fcdpm_device::SleepDirective;
+/// use fcdpm_units::Seconds;
+///
+/// // Timeout pinned at the device's break-even time.
+/// let mut dpm = TimeoutSleep::break_even();
+/// let d = dpm.decide(Seconds::new(1.0));
+/// assert_eq!(d.directive, SleepDirective::SleepAfter(Seconds::new(1.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeoutSleep {
+    timeout: Option<Seconds>,
+}
+
+impl TimeoutSleep {
+    /// Creates the policy with a fixed timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn new(timeout: Seconds) -> Self {
+        assert!(!timeout.is_negative(), "timeout must be non-negative");
+        Self {
+            timeout: Some(timeout),
+        }
+    }
+
+    /// Creates the policy with the timeout pinned to the device's
+    /// break-even time (resolved at decision time).
+    #[must_use]
+    pub fn break_even() -> Self {
+        Self { timeout: None }
+    }
+
+    /// The configured timeout, or `None` when pinned to the break-even
+    /// time.
+    #[must_use]
+    pub fn timeout(&self) -> Option<Seconds> {
+        self.timeout
+    }
+}
+
+impl SleepPolicy for TimeoutSleep {
+    fn decide(&mut self, t_be: Seconds) -> SleepDecision {
+        SleepDecision {
+            directive: SleepDirective::SleepAfter(self.timeout.unwrap_or(t_be)),
+            predicted_idle: None,
+        }
+    }
+
+    fn observe_idle(&mut self, _actual: Seconds) {}
+}
+
+/// Adaptive-timeout DPM: the timeout shrinks multiplicatively after an
+/// idle period that comfortably repaid the sleep (the policy was too
+/// timid) and grows after one that did not reach `timeout + T_be` (the
+/// sleep was wasted or marginal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveTimeoutSleep {
+    timeout: Seconds,
+    grow: f64,
+    shrink: f64,
+    min: Seconds,
+    max: Seconds,
+    last_t_be: Seconds,
+}
+
+impl AdaptiveTimeoutSleep {
+    /// Creates the policy.
+    ///
+    /// * `initial` — starting timeout;
+    /// * `grow` (> 1) — factor applied after a wasted/marginal sleep;
+    /// * `shrink` (in `(0, 1)`) — factor applied after a clearly repaid
+    ///   sleep;
+    /// * `min`/`max` — clamp bounds for the timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factors are on the wrong side of 1, any duration is
+    /// negative, or `min > max`.
+    #[must_use]
+    #[track_caller]
+    pub fn new(initial: Seconds, grow: f64, shrink: f64, min: Seconds, max: Seconds) -> Self {
+        assert!(grow > 1.0, "grow factor must exceed 1");
+        assert!(
+            (0.0..1.0).contains(&shrink) && shrink > 0.0,
+            "shrink must be in (0, 1)"
+        );
+        assert!(!min.is_negative() && min <= max, "timeout bounds invalid");
+        let timeout = initial.clamp(min, max);
+        Self {
+            timeout,
+            grow,
+            shrink,
+            min,
+            max,
+            last_t_be: Seconds::ZERO,
+        }
+    }
+
+    /// A reasonable default: start at 2·T_be-ish (2 s), double on waste,
+    /// halve on clear wins, clamped to `[0.2 s, 60 s]`.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(
+            Seconds::new(2.0),
+            2.0,
+            0.5,
+            Seconds::new(0.2),
+            Seconds::new(60.0),
+        )
+    }
+
+    /// The current timeout.
+    #[must_use]
+    pub fn timeout(&self) -> Seconds {
+        self.timeout
+    }
+}
+
+impl SleepPolicy for AdaptiveTimeoutSleep {
+    fn decide(&mut self, t_be: Seconds) -> SleepDecision {
+        self.last_t_be = t_be;
+        SleepDecision {
+            directive: SleepDirective::SleepAfter(self.timeout),
+            predicted_idle: None,
+        }
+    }
+
+    fn observe_idle(&mut self, actual: Seconds) {
+        let repaid = actual >= self.timeout + self.last_t_be;
+        let factor = if repaid { self.shrink } else { self.grow };
+        self.timeout = (self.timeout * factor).clamp(self.min, self.max);
+    }
+}
+
+/// Probability-based DPM (the stochastic-control family the paper's
+/// related work surveys, refs \[4\]\[5\]): the policy maintains an
+/// empirical distribution of idle lengths and, at each idle start, picks
+/// the timeout that minimizes the *expected* idle-period energy under
+/// that distribution:
+///
+/// ```text
+/// E[cost(τ)] = Σ_t<τ  P_sdb·t
+///            + Σ_t≥τ  P_sdb·τ + E_tr + P_slp·max(0, t − τ − τ_tr)
+/// ```
+///
+/// For heavy-tailed idle distributions the optimum is an early timeout
+/// (≈ immediate sleep); for distributions concentrated below the
+/// break-even time it is "never" (a timeout past every observation).
+#[derive(Debug)]
+pub struct ProbabilisticSleep {
+    /// Device constants the cost model needs.
+    p_standby: f64,
+    p_sleep: f64,
+    e_transition: f64,
+    t_transition: f64,
+    /// Ring buffer of observed idle lengths (seconds).
+    history: Vec<f64>,
+    next: usize,
+    capacity: usize,
+    min_samples: usize,
+}
+
+impl ProbabilisticSleep {
+    /// Creates the policy for `device`, remembering up to `window`
+    /// observations and staying in STANDBY until `min_samples` have been
+    /// seen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `min_samples` is zero.
+    #[must_use]
+    #[track_caller]
+    pub fn new(device: &fcdpm_device::DeviceSpec, window: usize, min_samples: usize) -> Self {
+        assert!(window >= 1, "window must hold at least one observation");
+        assert!(min_samples >= 1, "need at least one warm-up sample");
+        let e_transition = (device.power_down_time()
+            * device.power_down_current().at_volts(device.bus_voltage())
+            + device.wake_up_time() * device.wake_up_current().at_volts(device.bus_voltage()))
+        .joules();
+        Self {
+            p_standby: device.mode_power(fcdpm_device::PowerMode::Standby).watts(),
+            p_sleep: device.mode_power(fcdpm_device::PowerMode::Sleep).watts(),
+            e_transition,
+            t_transition: device.sleep_transition_time().seconds(),
+            history: Vec::with_capacity(window),
+            next: 0,
+            capacity: window,
+            min_samples,
+        }
+    }
+
+    /// Expected idle-period energy of timeout `tau` under the empirical
+    /// distribution.
+    fn expected_cost(&self, tau: f64) -> f64 {
+        let mut total = 0.0;
+        for &t in &self.history {
+            total += if t <= tau {
+                self.p_standby * t
+            } else {
+                self.p_standby * tau
+                    + self.e_transition
+                    + self.p_sleep * (t - tau - self.t_transition).max(0.0)
+            };
+        }
+        total / self.history.len() as f64
+    }
+
+    /// The currently optimal timeout, or `None` while warming up.
+    #[must_use]
+    pub fn optimal_timeout(&self) -> Option<Seconds> {
+        if self.history.len() < self.min_samples {
+            return None;
+        }
+        // Candidate timeouts: zero (immediate sleep), each observation
+        // (the cost is piecewise-linear with kinks there), and "past the
+        // maximum" (never sleep).
+        let mut candidates: Vec<f64> = vec![0.0];
+        candidates.extend(self.history.iter().copied());
+        let never = self.history.iter().cloned().fold(0.0f64, f64::max) + 1.0;
+        candidates.push(never);
+        let best = candidates
+            .into_iter()
+            .min_by(|a, b| self.expected_cost(*a).total_cmp(&self.expected_cost(*b)))
+            .expect("candidate list is non-empty");
+        Some(Seconds::new(best))
+    }
+}
+
+impl SleepPolicy for ProbabilisticSleep {
+    fn decide(&mut self, t_be: Seconds) -> SleepDecision {
+        match self.optimal_timeout() {
+            Some(tau) => SleepDecision {
+                directive: SleepDirective::SleepAfter(tau),
+                predicted_idle: None,
+            },
+            // Warm-up: fall back to the 2-competitive break-even timeout.
+            None => SleepDecision {
+                directive: SleepDirective::SleepAfter(t_be),
+                predicted_idle: None,
+            },
+        }
+    }
+
+    fn observe_idle(&mut self, actual: Seconds) {
+        assert!(!actual.is_negative(), "observed idle must be non-negative");
+        if self.history.len() < self.capacity {
+            self.history.push(actual.seconds());
+        } else {
+            self.history[self.next] = actual.seconds();
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+}
+
+/// Sleeps on every idle period regardless of length.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AlwaysSleep;
+
+impl SleepPolicy for AlwaysSleep {
+    fn decide(&mut self, _t_be: Seconds) -> SleepDecision {
+        SleepDecision::immediate(true, None)
+    }
+
+    fn observe_idle(&mut self, _actual: Seconds) {}
+}
+
+/// Never sleeps (the no-DPM device baseline).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NeverSleep;
+
+impl SleepPolicy for NeverSleep {
+    fn decide(&mut self, _t_be: Seconds) -> SleepDecision {
+        SleepDecision::immediate(false, None)
+    }
+
+    fn observe_idle(&mut self, _actual: Seconds) {}
+}
+
+/// The clairvoyant DPM: sleeps exactly when the *actual* upcoming idle
+/// period is at least the break-even time. Used as the misprediction-free
+/// upper bound in ablations.
+#[derive(Debug)]
+pub struct OracleSleep {
+    oracle: OraclePredictor,
+}
+
+impl OracleSleep {
+    /// Creates the oracle from the exact future idle sequence.
+    #[must_use]
+    pub fn new<I: IntoIterator<Item = Seconds>>(future_idles: I) -> Self {
+        Self {
+            oracle: OraclePredictor::new(future_idles),
+        }
+    }
+}
+
+impl SleepPolicy for OracleSleep {
+    fn decide(&mut self, t_be: Seconds) -> SleepDecision {
+        let predicted = self.oracle.predict();
+        SleepDecision::immediate(predicted.is_some_and(|t| t >= t_be), predicted)
+    }
+
+    fn observe_idle(&mut self, actual: Seconds) {
+        self.oracle.observe(actual);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictive_follows_equation_14() {
+        let mut dpm = PredictiveSleep::new(0.5);
+        dpm.observe_idle(Seconds::new(10.0));
+        dpm.observe_idle(Seconds::new(20.0));
+        // T' = 15.
+        let d = dpm.decide(Seconds::new(14.0));
+        assert!(d.may_sleep());
+        assert_eq!(d.directive, SleepDirective::SleepImmediately);
+        assert_eq!(d.predicted_idle, Some(Seconds::new(15.0)));
+        let d = dpm.decide(Seconds::new(16.0));
+        assert!(!d.may_sleep());
+    }
+
+    #[test]
+    fn predictive_cold_start_stays_awake() {
+        let mut dpm = PredictiveSleep::new(0.5);
+        let d = dpm.decide(Seconds::new(1.0));
+        assert_eq!(d.directive, SleepDirective::Standby);
+        assert_eq!(d.predicted_idle, None);
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let mut dpm = PredictiveSleep::new(0.0);
+        dpm.observe_idle(Seconds::new(10.0));
+        assert!(dpm.decide(Seconds::new(10.0)).may_sleep());
+    }
+
+    #[test]
+    fn always_and_never() {
+        assert!(AlwaysSleep.decide(Seconds::new(1e9)).may_sleep());
+        assert!(!NeverSleep.decide(Seconds::ZERO).may_sleep());
+    }
+
+    #[test]
+    fn fixed_timeout_directive() {
+        let mut dpm = TimeoutSleep::new(Seconds::new(3.0));
+        let d = dpm.decide(Seconds::new(1.0));
+        assert_eq!(d.directive, SleepDirective::SleepAfter(Seconds::new(3.0)));
+        assert_eq!(dpm.timeout(), Some(Seconds::new(3.0)));
+        // Observation is a no-op for the fixed policy.
+        dpm.observe_idle(Seconds::new(100.0));
+        assert_eq!(
+            dpm.decide(Seconds::new(1.0)).directive,
+            SleepDirective::SleepAfter(Seconds::new(3.0))
+        );
+    }
+
+    #[test]
+    fn break_even_timeout_resolves_at_decision() {
+        let mut dpm = TimeoutSleep::break_even();
+        assert_eq!(dpm.timeout(), None);
+        let d = dpm.decide(Seconds::new(2.5));
+        assert_eq!(d.directive, SleepDirective::SleepAfter(Seconds::new(2.5)));
+    }
+
+    #[test]
+    fn adaptive_timeout_shrinks_on_wins_and_grows_on_waste() {
+        let mut dpm = AdaptiveTimeoutSleep::new(
+            Seconds::new(4.0),
+            2.0,
+            0.5,
+            Seconds::new(1.0),
+            Seconds::new(16.0),
+        );
+        let t_be = Seconds::new(1.0);
+        dpm.decide(t_be);
+        dpm.observe_idle(Seconds::new(20.0)); // comfortably repaid
+        assert_eq!(dpm.timeout(), Seconds::new(2.0));
+        dpm.decide(t_be);
+        dpm.observe_idle(Seconds::new(2.5)); // marginal: 2.5 < 2 + 1
+        assert_eq!(dpm.timeout(), Seconds::new(4.0));
+        // Clamped at the bounds.
+        for _ in 0..10 {
+            dpm.decide(t_be);
+            dpm.observe_idle(Seconds::ZERO);
+        }
+        assert_eq!(dpm.timeout(), Seconds::new(16.0));
+        for _ in 0..10 {
+            dpm.decide(t_be);
+            dpm.observe_idle(Seconds::new(1000.0));
+        }
+        assert_eq!(dpm.timeout(), Seconds::new(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "grow factor")]
+    fn adaptive_rejects_bad_grow() {
+        let _ = AdaptiveTimeoutSleep::new(
+            Seconds::new(1.0),
+            0.9,
+            0.5,
+            Seconds::ZERO,
+            Seconds::new(10.0),
+        );
+    }
+
+    #[test]
+    fn oracle_never_mispredicts() {
+        let idles = [2.0, 0.5, 3.0, 0.2].map(Seconds::new);
+        let mut dpm = OracleSleep::new(idles);
+        let t_be = Seconds::new(1.0);
+        let expected = [true, false, true, false];
+        for (idle, want) in idles.iter().zip(expected) {
+            let d = dpm.decide(t_be);
+            assert_eq!(d.may_sleep(), want);
+            assert_eq!(d.predicted_idle, Some(*idle));
+            dpm.observe_idle(*idle);
+        }
+    }
+
+    #[test]
+    fn probabilistic_warmup_uses_break_even() {
+        let device = fcdpm_device::presets::dvd_camcorder();
+        let mut dpm = ProbabilisticSleep::new(&device, 64, 4);
+        let d = dpm.decide(Seconds::new(1.0));
+        assert_eq!(d.directive, SleepDirective::SleepAfter(Seconds::new(1.0)));
+        assert_eq!(dpm.optimal_timeout(), None);
+    }
+
+    #[test]
+    fn probabilistic_long_idles_choose_immediate_sleep() {
+        // Every idle is far past break-even: the optimal timeout is zero.
+        let device = fcdpm_device::presets::dvd_camcorder();
+        let mut dpm = ProbabilisticSleep::new(&device, 64, 4);
+        for _ in 0..10 {
+            dpm.observe_idle(Seconds::new(15.0));
+        }
+        assert_eq!(dpm.optimal_timeout(), Some(Seconds::ZERO));
+        let d = dpm.decide(Seconds::new(1.0));
+        assert_eq!(d.directive, SleepDirective::SleepAfter(Seconds::ZERO));
+    }
+
+    #[test]
+    fn probabilistic_short_idles_choose_never() {
+        // Every idle is well below break-even (τ_tr = 1 s, T_be ≈ 1 s):
+        // sleeping can never repay, so the optimal timeout exceeds all
+        // observations.
+        let device = fcdpm_device::presets::dvd_camcorder();
+        let mut dpm = ProbabilisticSleep::new(&device, 64, 4);
+        for _ in 0..10 {
+            dpm.observe_idle(Seconds::new(0.4));
+        }
+        let tau = dpm.optimal_timeout().expect("warm");
+        // A timeout at (or past) the largest observation never sleeps:
+        // `SleepAfter` only powers down when the idle *exceeds* it.
+        assert!(tau >= Seconds::new(0.4), "expected 'never', got {tau}");
+    }
+
+    #[test]
+    fn probabilistic_bimodal_threshold_sits_between_modes() {
+        // Short 0.5 s idles dominate; occasional 60 s idles appear. The
+        // optimal timeout waits out the short mode, then sleeps.
+        let device = fcdpm_device::presets::dvd_camcorder();
+        let mut dpm = ProbabilisticSleep::new(&device, 256, 4);
+        for k in 0..60 {
+            dpm.observe_idle(Seconds::new(if k % 4 == 0 { 60.0 } else { 0.5 }));
+        }
+        let tau = dpm.optimal_timeout().expect("warm");
+        assert!(
+            tau >= Seconds::new(0.5) && tau < Seconds::new(60.0),
+            "timeout {tau} should sit between the modes"
+        );
+    }
+
+    #[test]
+    fn probabilistic_ring_buffer_wraps() {
+        let device = fcdpm_device::presets::dvd_camcorder();
+        let mut dpm = ProbabilisticSleep::new(&device, 8, 4);
+        // Fill with short idles, then overwrite with long ones: the
+        // policy must forget the short regime.
+        for _ in 0..8 {
+            dpm.observe_idle(Seconds::new(0.3));
+        }
+        for _ in 0..8 {
+            dpm.observe_idle(Seconds::new(30.0));
+        }
+        assert_eq!(dpm.optimal_timeout(), Some(Seconds::ZERO));
+    }
+
+    #[test]
+    fn custom_predictor_plugs_in() {
+        use fcdpm_predict::LastValue;
+        let mut dpm = PredictiveSleep::with_predictor(Box::new(LastValue::new()));
+        dpm.observe_idle(Seconds::new(30.0));
+        assert!(dpm.decide(Seconds::new(10.0)).may_sleep());
+        assert_eq!(dpm.prediction(), Some(Seconds::new(30.0)));
+    }
+}

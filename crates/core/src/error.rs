@@ -1,0 +1,83 @@
+//! Error type for the core algorithms.
+
+use core::fmt;
+
+use fcdpm_fuelcell::FuelCellError;
+
+/// Errors produced by the optimizer and policies.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A fuel-cell model rejected an operating point.
+    FuelCell(FuelCellError),
+    /// A slot profile or storage context field was invalid.
+    InvalidInput {
+        /// Name of the offending field.
+        name: &'static str,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// The slot has zero total duration — there is nothing to plan.
+    EmptySlot,
+}
+
+impl CoreError {
+    pub(crate) fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        Self::InvalidInput {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::FuelCell(e) => write!(f, "fuel-cell model error: {e}"),
+            Self::InvalidInput { name, message } => {
+                write!(f, "invalid input `{name}`: {message}")
+            }
+            Self::EmptySlot => write!(f, "slot has zero total duration"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::FuelCell(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FuelCellError> for CoreError {
+    fn from(e: FuelCellError) -> Self {
+        Self::FuelCell(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcdpm_units::Amps;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::from(FuelCellError::OutOfDomain {
+            current: Amps::new(-1.0),
+        });
+        assert!(e.to_string().contains("fuel-cell model error"));
+        assert!(e.source().is_some());
+
+        let e = CoreError::invalid("t_idle", "must be non-negative");
+        assert!(e.to_string().contains("`t_idle`"));
+        assert!(e.source().is_none());
+
+        assert_eq!(
+            CoreError::EmptySlot.to_string(),
+            "slot has zero total duration"
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Whole-trace offline planning and bounds.
+//!
+//! The paper's optimizer has a per-slot horizon. This module applies it
+//! slot by slot over a full trace with perfect knowledge (the offline
+//! optimum of the paper's formulation), and computes the *global* convex
+//! lower bound — one constant FC current for the entire trace, which is
+//! optimal when the storage capacity is unlimited (Jensen's inequality on
+//! the convex fuel rate). Together they sandwich every online policy:
+//!
+//! ```text
+//! global bound ≤ per-slot offline optimum ≤ online FC-DPM ≤ ASAP ≤ Conv
+//! ```
+
+use fcdpm_device::{DeviceSpec, SlotTimeline};
+use fcdpm_units::{Amps, Charge, Seconds};
+use fcdpm_workload::Trace;
+
+use crate::optimizer::{FuelOptimizer, SlotPlan, SlotProfile, StorageContext};
+use crate::CoreError;
+
+/// The result of planning a whole trace offline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePlan {
+    /// Per-slot plans in trace order.
+    pub slots: Vec<SlotPlan>,
+    /// Total fuel (stack charge) over the trace.
+    pub total_fuel: Charge,
+    /// Total wall-clock duration of the planned trace.
+    pub duration: Seconds,
+}
+
+/// Plans every slot of `trace` with the per-slot optimizer, perfect
+/// knowledge of the slot lengths, and the oracle sleep rule
+/// (sleep iff `T_i ≥ T_be`). The storage state threads through the slots:
+/// each slot starts from the previous slot's planned end state and targets
+/// the initial level (the paper's `C_end = C_ini(1)` convention).
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if a slot cannot be planned (e.g. a current
+/// outside the efficiency model's domain).
+pub fn plan_trace(
+    optimizer: &FuelOptimizer,
+    trace: &Trace,
+    device: &DeviceSpec,
+    capacity: Charge,
+    initial_soc: Charge,
+) -> Result<TracePlan, CoreError> {
+    let t_be = device.break_even_time();
+    let c_ref = initial_soc.clamp(Charge::ZERO, capacity);
+    let mut soc = c_ref;
+    let mut slots = Vec::with_capacity(trace.len());
+    let mut total_fuel = Charge::ZERO;
+    let mut duration = Seconds::ZERO;
+    for slot in trace.slots() {
+        let sleeps = slot.idle >= t_be;
+        let i_active = slot.active_current(device.bus_voltage());
+        let timeline = SlotTimeline::build(device, slot.idle, sleeps, slot.active, i_active);
+        // Uniform equivalents for the optimizer: idle phase and active
+        // phase with their exact mean currents.
+        let (mut q_i, mut t_i) = (Charge::ZERO, Seconds::ZERO);
+        let (mut q_a, mut t_a) = (Charge::ZERO, Seconds::ZERO);
+        for seg in timeline.segments() {
+            if seg.kind.is_idle_phase() {
+                q_i += seg.charge();
+                t_i += seg.duration;
+            } else {
+                q_a += seg.charge();
+                t_a += seg.duration;
+            }
+        }
+        let i_idle = if t_i.is_zero() { Amps::ZERO } else { q_i / t_i };
+        let i_act = if t_a.is_zero() { Amps::ZERO } else { q_a / t_a };
+        let profile = SlotProfile::new(t_i, i_idle, t_a, i_act)?;
+        let storage = StorageContext::new(soc, c_ref, capacity);
+        let plan = optimizer.plan_slot(&profile, &storage, None)?;
+        soc = plan.c_end;
+        total_fuel += plan.fuel;
+        duration += timeline.total_duration();
+        slots.push(plan);
+    }
+    Ok(TracePlan {
+        slots,
+        total_fuel,
+        duration,
+    })
+}
+
+/// The global convex lower bound: the fuel consumed when the FC delivers
+/// one constant current — the whole-trace average load — for the whole
+/// trace. Optimal for unlimited storage; unreachable otherwise, which is
+/// exactly what makes it a useful floor in tests.
+///
+/// The oracle sleep rule (`T_i ≥ T_be`) decides the idle-phase loads, so
+/// the bound is for the same device schedule the offline plan uses. The
+/// averaged current is clamped into the load-following range (below-range
+/// averages must bleed, above-range averages must brown out, so the clamp
+/// keeps the bound conservative).
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the averaged current falls outside the
+/// efficiency model's domain.
+pub fn global_lower_bound(
+    optimizer: &FuelOptimizer,
+    trace: &Trace,
+    device: &DeviceSpec,
+) -> Result<Charge, CoreError> {
+    let t_be = device.break_even_time();
+    let mut q = Charge::ZERO;
+    let mut t = Seconds::ZERO;
+    for slot in trace.slots() {
+        let sleeps = slot.idle >= t_be;
+        let i_active = slot.active_current(device.bus_voltage());
+        let timeline = SlotTimeline::build(device, slot.idle, sleeps, slot.active, i_active);
+        q += timeline.load_charge();
+        t += timeline.total_duration();
+    }
+    if t.is_zero() {
+        return Ok(Charge::ZERO);
+    }
+    let avg = optimizer.range().clamp(q / t);
+    optimizer.fuel_for(avg, t)
+}
+
+/// Fuel for the conventional setting over a whole trace (FC pinned at the
+/// range maximum for the trace's full wall-clock duration, including the
+/// DPM transitions of the same oracle schedule).
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the range maximum falls outside the
+/// efficiency model's domain.
+pub fn conv_fuel_for_trace(
+    optimizer: &FuelOptimizer,
+    trace: &Trace,
+    device: &DeviceSpec,
+) -> Result<Charge, CoreError> {
+    let t_be = device.break_even_time();
+    let mut t = Seconds::ZERO;
+    for slot in trace.slots() {
+        let sleeps = slot.idle >= t_be;
+        let i_active = slot.active_current(device.bus_voltage());
+        let timeline = SlotTimeline::build(device, slot.idle, sleeps, slot.active, i_active);
+        t += timeline.total_duration();
+    }
+    optimizer.fuel_for(optimizer.range().max(), t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcdpm_device::presets;
+    use fcdpm_workload::CamcorderTrace;
+
+    fn setup() -> (FuelOptimizer, Trace, DeviceSpec) {
+        (
+            FuelOptimizer::dac07(),
+            CamcorderTrace::dac07().seed(11).build(),
+            presets::dvd_camcorder(),
+        )
+    }
+
+    #[test]
+    fn plan_covers_every_slot() {
+        let (opt, trace, device) = setup();
+        let plan = plan_trace(
+            &opt,
+            &trace,
+            &device,
+            Charge::new(200.0),
+            Charge::new(100.0),
+        )
+        .unwrap();
+        assert_eq!(plan.slots.len(), trace.len());
+        assert!(plan.total_fuel > Charge::ZERO);
+        assert!(plan.duration >= trace.total_duration());
+    }
+
+    #[test]
+    fn bound_ordering_holds() {
+        let (opt, trace, device) = setup();
+        let bound = global_lower_bound(&opt, &trace, &device).unwrap();
+        let offline = plan_trace(
+            &opt,
+            &trace,
+            &device,
+            Charge::new(200.0),
+            Charge::new(100.0),
+        )
+        .unwrap()
+        .total_fuel;
+        let conv = conv_fuel_for_trace(&opt, &trace, &device).unwrap();
+        assert!(
+            bound <= offline + Charge::new(1e-6),
+            "bound {bound} > offline {offline}"
+        );
+        assert!(offline < conv, "offline {offline} ≥ conv {conv}");
+    }
+
+    #[test]
+    fn large_storage_approaches_global_bound() {
+        // With storage much larger than any per-slot swing, the per-slot
+        // optimum is the per-slot average; over a statistically uniform
+        // trace this is close to (but above) the global bound.
+        let (opt, trace, device) = setup();
+        let bound = global_lower_bound(&opt, &trace, &device).unwrap();
+        let offline = plan_trace(&opt, &trace, &device, Charge::new(1e6), Charge::new(5e5))
+            .unwrap()
+            .total_fuel;
+        let gap = (offline - bound) / bound;
+        assert!(
+            gap < 0.02,
+            "per-slot optimum {gap:.4} above the global bound"
+        );
+    }
+
+    #[test]
+    fn tighter_storage_costs_fuel() {
+        let (opt, trace, device) = setup();
+        let tight = plan_trace(&opt, &trace, &device, Charge::new(6.0), Charge::new(3.0))
+            .unwrap()
+            .total_fuel;
+        let roomy = plan_trace(
+            &opt,
+            &trace,
+            &device,
+            Charge::new(200.0),
+            Charge::new(100.0),
+        )
+        .unwrap()
+        .total_fuel;
+        assert!(tight >= roomy, "tight {tight} < roomy {roomy}");
+    }
+
+    #[test]
+    fn empty_trace_is_trivial() {
+        let (opt, _, device) = setup();
+        let empty = Trace::new();
+        let plan = plan_trace(&opt, &empty, &device, Charge::new(6.0), Charge::ZERO).unwrap();
+        assert!(plan.slots.is_empty());
+        assert!(plan.total_fuel.is_zero());
+        assert!(global_lower_bound(&opt, &empty, &device).unwrap().is_zero());
+    }
+}

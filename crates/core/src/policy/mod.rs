@@ -1,0 +1,119 @@
+//! FC output-current policies (Section 5's three contenders).
+//!
+//! A policy decides, segment by segment, what current the fuel-cell system
+//! should deliver while the simulator plays a slot's load timeline:
+//!
+//! * [`ConvDpm`] — no fuel-flow control: the FC is pinned at the top of
+//!   its load-following range;
+//! * [`AsapDpm`] — the FC follows the load as closely as the range
+//!   allows, and recharges the storage at full current whenever it drops
+//!   below half capacity;
+//! * [`FcDpm`] — the paper's contribution: the fuel-optimal averaged
+//!   current from the Section-3 optimizer, driven by the Section-4
+//!   predictors.
+//!
+//! The simulator drives the [`FcOutputPolicy`] lifecycle: `begin_slot` at
+//! each idle-period start (with the DPM layer's sleep decision and idle
+//! prediction), `begin_active` when the task arrives and the actual active
+//! demand becomes known, `segment_current` for every constant-current
+//! stretch, and `end_slot` with the observed values.
+
+mod asap;
+mod conv;
+mod fcdpm;
+mod quantized;
+mod windowed;
+
+pub use asap::AsapDpm;
+pub use conv::ConvDpm;
+pub use fcdpm::FcDpm;
+pub use quantized::{OutputLevels, Quantized};
+pub use windowed::WindowedAverage;
+
+use fcdpm_device::SleepDirective;
+use fcdpm_units::{Amps, Charge, Seconds};
+
+/// Which phase of the slot a segment belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyPhase {
+    /// The idle phase (standby, or power-down + sleep).
+    Idle,
+    /// The active phase (wake-up onward).
+    Active,
+}
+
+/// Information available when a slot's idle period begins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotStart {
+    /// Zero-based slot index.
+    pub index: usize,
+    /// The DPM layer's directive for this idle period.
+    pub directive: SleepDirective,
+    /// The DPM layer's idle-length prediction `T'_i` (None while cold).
+    pub predicted_idle: Option<Seconds>,
+    /// Storage state of charge right now.
+    pub soc: Charge,
+}
+
+/// Information available when the task arrives and the active phase
+/// begins. The task's size is known on arrival, so the active phase's
+/// wall-clock length and total load charge are actuals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActiveStart {
+    /// Wall-clock length of the whole active phase (wake-up, start-up,
+    /// run, shut-down).
+    pub duration: Seconds,
+    /// Total load charge of the active phase.
+    pub charge: Charge,
+    /// Storage state of charge right now.
+    pub soc: Charge,
+}
+
+/// Observed values at the end of a slot, for predictor updates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotEnd {
+    /// The actual idle length `T_i` of the slot just finished.
+    pub t_idle: Seconds,
+    /// The actual (nominal) active length `T_a`.
+    pub t_active: Seconds,
+    /// The actual run current `I_ld,a`.
+    pub i_active: Amps,
+    /// Storage state of charge at the slot boundary.
+    pub soc: Charge,
+}
+
+/// An FC output-current policy driven by the hybrid-source simulator.
+pub trait FcOutputPolicy: core::fmt::Debug {
+    /// Short policy name for reports ("Conv-DPM", "ASAP-DPM", "FC-DPM").
+    fn name(&self) -> &str;
+
+    /// Called at each idle-period start.
+    fn begin_slot(&mut self, _start: &SlotStart) {}
+
+    /// Called when the task arrives and the active phase begins.
+    fn begin_active(&mut self, _start: &ActiveStart) {}
+
+    /// The FC system output current for the segment about to play.
+    fn segment_current(&mut self, phase: PolicyPhase, load: Amps, soc: Charge) -> Amps;
+
+    /// Called at each slot end with the observed values.
+    fn end_slot(&mut self, _end: &SlotEnd) {}
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn policies_are_object_safe() {
+        let mut policies: Vec<Box<dyn FcOutputPolicy>> = vec![
+            Box::new(ConvDpm::dac07()),
+            Box::new(AsapDpm::dac07(Charge::new(6.0))),
+        ];
+        for p in &mut policies {
+            let i = p.segment_current(PolicyPhase::Idle, Amps::new(0.2), Charge::new(3.0));
+            assert!(i >= Amps::new(0.1) && i <= Amps::new(1.2));
+            assert!(!p.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Discrete (multi-level) FC output support.
+//!
+//! Real fuel-flow controllers often support only a discrete set of output
+//! set-points rather than a continuum — the configuration studied in the
+//! authors' companion work (*Zhuo et al., ISLPED 2006*: "the FC supports
+//! multiple output levels"). [`Quantized`] adapts any continuous
+//! [`FcOutputPolicy`] to such hardware: each demanded current is snapped
+//! to an adjacent level, with the choice between the lower and upper
+//! neighbor steered by the storage state so the quantization error does
+//! not drift the buffer away from its reference level.
+
+use fcdpm_units::{Amps, Charge, CurrentRange};
+
+use super::{ActiveStart, FcOutputPolicy, PolicyPhase, SlotEnd, SlotStart};
+
+/// A sorted set of supported FC output levels.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_core::policy::OutputLevels;
+/// use fcdpm_units::{Amps, CurrentRange};
+///
+/// let levels = OutputLevels::uniform(CurrentRange::dac07(), 12);
+/// assert_eq!(levels.len(), 12);
+/// let (lo, hi) = levels.bracket(Amps::new(0.53));
+/// assert!(lo <= Amps::new(0.53) && Amps::new(0.53) <= hi);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputLevels {
+    levels: Vec<Amps>,
+}
+
+impl OutputLevels {
+    /// Creates a level set from explicit currents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty, unsorted, or contains a negative
+    /// current.
+    #[must_use]
+    #[track_caller]
+    pub fn new(levels: Vec<Amps>) -> Self {
+        assert!(!levels.is_empty(), "need at least one output level");
+        assert!(
+            levels.windows(2).all(|w| w[0] < w[1]),
+            "levels must be strictly ascending"
+        );
+        assert!(!levels[0].is_negative(), "levels must be non-negative");
+        Self { levels }
+    }
+
+    /// Creates `count` evenly spaced levels spanning `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count < 2`.
+    #[must_use]
+    pub fn uniform(range: CurrentRange, count: usize) -> Self {
+        Self::new(range.sweep(count))
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The supported levels, ascending.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Amps] {
+        &self.levels
+    }
+
+    /// The level closest to `i` (ties resolve to the lower level).
+    #[must_use]
+    pub fn nearest(&self, i: Amps) -> Amps {
+        let (lo, hi) = self.bracket(i);
+        if (i - lo) <= (hi - i) {
+            lo
+        } else {
+            hi
+        }
+    }
+
+    /// The adjacent levels `(floor, ceil)` around `i`. At or beyond the
+    /// extremes both elements are the extreme level.
+    #[must_use]
+    pub fn bracket(&self, i: Amps) -> (Amps, Amps) {
+        let first = self.levels[0];
+        let last = *self.levels.last().expect("non-empty");
+        if i <= first {
+            return (first, first);
+        }
+        if i >= last {
+            return (last, last);
+        }
+        let pos = self.levels.partition_point(|l| *l <= i);
+        (self.levels[pos - 1], self.levels[pos])
+    }
+}
+
+/// Adapts a continuous FC output policy to discrete-level hardware.
+///
+/// For every segment, the inner policy's demanded current is snapped to
+/// one of its two adjacent levels; the side is chosen to steer the storage
+/// state of charge back toward the reference level latched on the first
+/// slot (below reference → round up, above → round down). This keeps the
+/// quantization error from accumulating in the buffer.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_core::policy::{ConvDpm, FcOutputPolicy, OutputLevels, Quantized};
+/// use fcdpm_units::CurrentRange;
+///
+/// let levels = OutputLevels::uniform(CurrentRange::dac07(), 5);
+/// let policy = Quantized::new(ConvDpm::dac07(), levels);
+/// assert!(policy.name().starts_with("quantized"));
+/// ```
+#[derive(Debug)]
+pub struct Quantized<P> {
+    inner: P,
+    levels: OutputLevels,
+    c_ref: Option<Charge>,
+    name: String,
+}
+
+impl<P: FcOutputPolicy> Quantized<P> {
+    /// Wraps `inner` with the given level set.
+    #[must_use]
+    pub fn new(inner: P, levels: OutputLevels) -> Self {
+        let name = format!("quantized[{}]({})", levels.len(), inner.name());
+        Self {
+            inner,
+            levels,
+            c_ref: None,
+            name,
+        }
+    }
+
+    /// The wrapped policy.
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The level set in use.
+    #[must_use]
+    pub fn levels(&self) -> &OutputLevels {
+        &self.levels
+    }
+}
+
+impl<P: FcOutputPolicy> FcOutputPolicy for Quantized<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn begin_slot(&mut self, start: &SlotStart) {
+        self.c_ref.get_or_insert(start.soc);
+        self.inner.begin_slot(start);
+    }
+
+    fn begin_active(&mut self, start: &ActiveStart) {
+        self.inner.begin_active(start);
+    }
+
+    fn segment_current(&mut self, phase: PolicyPhase, load: Amps, soc: Charge) -> Amps {
+        let demanded = self.inner.segment_current(phase, load, soc);
+        let (lo, hi) = self.levels.bracket(demanded);
+        match self.c_ref {
+            Some(c_ref) if soc < c_ref => hi,
+            Some(_) => lo,
+            None => self.levels.nearest(demanded),
+        }
+    }
+
+    fn end_slot(&mut self, end: &SlotEnd) {
+        self.inner.end_slot(end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AsapDpm, ConvDpm};
+
+    fn levels() -> OutputLevels {
+        OutputLevels::new(vec![
+            Amps::new(0.1),
+            Amps::new(0.4),
+            Amps::new(0.8),
+            Amps::new(1.2),
+        ])
+    }
+
+    #[test]
+    fn bracket_and_nearest() {
+        let l = levels();
+        assert_eq!(l.bracket(Amps::new(0.5)), (Amps::new(0.4), Amps::new(0.8)));
+        assert_eq!(l.bracket(Amps::new(0.05)), (Amps::new(0.1), Amps::new(0.1)));
+        assert_eq!(l.bracket(Amps::new(2.0)), (Amps::new(1.2), Amps::new(1.2)));
+        // Exact level brackets to itself on the floor side.
+        assert_eq!(l.bracket(Amps::new(0.4)), (Amps::new(0.4), Amps::new(0.8)));
+        assert_eq!(l.nearest(Amps::new(0.55)), Amps::new(0.4));
+        assert_eq!(l.nearest(Amps::new(0.65)), Amps::new(0.8));
+    }
+
+    #[test]
+    fn uniform_levels_span_range() {
+        let l = OutputLevels::uniform(CurrentRange::dac07(), 12);
+        assert_eq!(l.len(), 12);
+        assert_eq!(l.as_slice()[0], Amps::new(0.1));
+        assert_eq!(l.as_slice()[11], Amps::new(1.2));
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_levels_rejected() {
+        let _ = OutputLevels::new(vec![Amps::new(0.4), Amps::new(0.1)]);
+    }
+
+    #[test]
+    fn soc_steering_picks_side() {
+        // Small ASAP capacity so its recharge trigger (soc < capacity/2)
+        // never fires at the SoCs used below.
+        let mut q = Quantized::new(AsapDpm::dac07(Charge::new(4.0)), levels());
+        q.begin_slot(&SlotStart {
+            index: 0,
+            directive: fcdpm_device::SleepDirective::Standby,
+            predicted_idle: None,
+            soc: Charge::new(5.0), // reference latched at 5
+        });
+        // Inner follows the 0.5 A load → bracket (0.4, 0.8).
+        let below = q.segment_current(PolicyPhase::Idle, Amps::new(0.5), Charge::new(3.0));
+        assert_eq!(below, Amps::new(0.8), "below reference rounds up");
+        let above = q.segment_current(PolicyPhase::Idle, Amps::new(0.5), Charge::new(7.0));
+        assert_eq!(above, Amps::new(0.4), "above reference rounds down");
+    }
+
+    #[test]
+    fn conv_snaps_to_top_level() {
+        let mut q = Quantized::new(ConvDpm::dac07(), levels());
+        let i = q.segment_current(PolicyPhase::Active, Amps::new(1.0), Charge::ZERO);
+        assert_eq!(i, Amps::new(1.2));
+    }
+
+    #[test]
+    fn name_reflects_wrapping() {
+        let q = Quantized::new(ConvDpm::dac07(), levels());
+        assert_eq!(q.name(), "quantized[4](Conv-DPM)");
+        assert_eq!(q.levels().len(), 4);
+        assert_eq!(q.inner().name(), "Conv-DPM");
+    }
+}

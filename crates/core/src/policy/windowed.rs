@@ -1,0 +1,157 @@
+//! Slot-free averaging policy for unstructured load profiles.
+
+use fcdpm_units::{Amps, Charge, CurrentRange};
+
+use super::{FcOutputPolicy, PolicyPhase, SlotStart};
+
+/// FC-DPM's averaging idea without the slot structure: an exponentially
+/// weighted moving average tracks the load, and a proportional feedback
+/// term steers the storage back to its reference level.
+///
+/// ```text
+/// I_F = clamp( EWMA(load) + gain · (C_ref − SoC) )
+/// ```
+///
+/// This is the policy for workloads that have no idle/active slot
+/// decomposition — in particular the *merged multi-device* profiles of
+/// [`fcdpm_workload::LoadProfile`], where per-device slot boundaries
+/// interleave arbitrarily. With a long window it approaches the global
+/// averaged optimum; the feedback keeps the quantization between supply
+/// and demand from walking the buffer into a rail.
+///
+/// The EWMA updates once per control chunk, so `alpha` is a per-chunk
+/// smoothing weight (the simulator's default chunk is 0.5 s).
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_core::policy::{FcOutputPolicy, PolicyPhase, WindowedAverage};
+/// use fcdpm_units::{Amps, Charge, CurrentRange};
+///
+/// let mut p = WindowedAverage::new(CurrentRange::dac07(), 0.02, 0.05);
+/// // First sight latches the reference SoC and seeds the EWMA.
+/// let i = p.segment_current(PolicyPhase::Active, Amps::new(0.5), Charge::new(3.0));
+/// assert_eq!(i, Amps::new(0.5));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedAverage {
+    range: CurrentRange,
+    /// Per-chunk EWMA weight in `(0, 1]`.
+    alpha: f64,
+    /// Feedback gain in amps per ampere-second of SoC error.
+    gain: f64,
+    ewma: Option<f64>,
+    c_ref: Option<Charge>,
+}
+
+impl WindowedAverage {
+    /// Creates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]` or `gain` is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn new(range: CurrentRange, alpha: f64, gain: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(gain >= 0.0 && gain.is_finite(), "gain must be non-negative");
+        Self {
+            range,
+            alpha,
+            gain,
+            ewma: None,
+            c_ref: None,
+        }
+    }
+
+    /// The paper-range configuration with a ~25 s effective window at the
+    /// default 0.5 s control chunk and a gentle SoC feedback.
+    #[must_use]
+    pub fn dac07() -> Self {
+        Self::new(CurrentRange::dac07(), 0.02, 0.05)
+    }
+
+    /// The current EWMA estimate of the load, if warm.
+    #[must_use]
+    pub fn load_estimate(&self) -> Option<Amps> {
+        self.ewma.map(Amps::new)
+    }
+}
+
+impl FcOutputPolicy for WindowedAverage {
+    fn name(&self) -> &str {
+        "Windowed-Average"
+    }
+
+    fn begin_slot(&mut self, start: &SlotStart) {
+        self.c_ref.get_or_insert(start.soc);
+    }
+
+    fn segment_current(&mut self, _phase: PolicyPhase, load: Amps, soc: Charge) -> Amps {
+        let c_ref = *self.c_ref.get_or_insert(soc);
+        let ewma = match self.ewma {
+            Some(prev) => prev + self.alpha * (load.amps() - prev),
+            None => load.amps(),
+        };
+        self.ewma = Some(ewma);
+        let feedback = self.gain * (c_ref - soc).amp_seconds();
+        self.range.clamp(Amps::new((ewma + feedback).max(0.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> WindowedAverage {
+        WindowedAverage::dac07()
+    }
+
+    #[test]
+    fn seeds_from_first_load() {
+        let mut p = policy();
+        let i = p.segment_current(PolicyPhase::Active, Amps::new(0.4), Charge::new(3.0));
+        assert_eq!(i, Amps::new(0.4));
+        assert_eq!(p.load_estimate(), Some(Amps::new(0.4)));
+    }
+
+    #[test]
+    fn smooths_load_steps() {
+        let mut p = policy();
+        p.segment_current(PolicyPhase::Active, Amps::new(0.2), Charge::new(3.0));
+        // A load step barely moves the output at alpha = 0.02.
+        let i = p.segment_current(PolicyPhase::Active, Amps::new(1.2), Charge::new(3.0));
+        assert!(i < Amps::new(0.25), "output jumped: {i}");
+        // After many chunks it converges to the new level.
+        for _ in 0..600 {
+            p.segment_current(PolicyPhase::Active, Amps::new(1.2), Charge::new(3.0));
+        }
+        let i = p.segment_current(PolicyPhase::Active, Amps::new(1.2), Charge::new(3.0));
+        assert!((i.amps() - 1.2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn feedback_steers_soc_back() {
+        let mut p = policy();
+        // Latch reference at 3 A·s.
+        p.segment_current(PolicyPhase::Active, Amps::new(0.5), Charge::new(3.0));
+        let depleted = p.segment_current(PolicyPhase::Active, Amps::new(0.5), Charge::new(1.0));
+        let full = p.segment_current(PolicyPhase::Active, Amps::new(0.5), Charge::new(5.0));
+        assert!(depleted > full, "feedback must push toward the reference");
+    }
+
+    #[test]
+    fn output_always_in_range() {
+        let mut p = policy();
+        for (load, soc) in [(0.0, 0.0), (5.0, 0.0), (0.0, 100.0), (2.0, 50.0)] {
+            let i = p.segment_current(PolicyPhase::Idle, Amps::new(load), Charge::new(soc));
+            assert!(CurrentRange::dac07().contains(i), "{i} out of range");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be")]
+    fn invalid_alpha_rejected() {
+        let _ = WindowedAverage::new(CurrentRange::dac07(), 0.0, 0.1);
+    }
+}

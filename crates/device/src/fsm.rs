@@ -1,0 +1,208 @@
+//! Event-checked power-state machine.
+
+use core::fmt;
+
+use fcdpm_units::Seconds;
+
+use crate::{DeviceSpec, PowerMode};
+
+/// Error returned when an illegal mode transition is requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionError {
+    /// The mode the machine was in.
+    pub from: PowerMode,
+    /// The mode that was requested.
+    pub to: PowerMode,
+}
+
+impl fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal power transition {} → {}", self.from, self.to)
+    }
+}
+
+impl std::error::Error for TransitionError {}
+
+/// An explicit power-state machine over [`PowerMode`].
+///
+/// The simulator derives load profiles from
+/// [`SlotTimeline`](crate::SlotTimeline) for speed; this state machine is
+/// the *checker*: tests replay schedules through it to prove that every
+/// timeline corresponds to a legal mode sequence with the right transition
+/// costs.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_device::{presets, PowerMode, PowerStateMachine};
+/// use fcdpm_units::Seconds;
+///
+/// # fn main() -> Result<(), fcdpm_device::TransitionError> {
+/// let mut fsm = PowerStateMachine::new(presets::dvd_camcorder());
+/// fsm.dwell(Seconds::new(5.0)); // standby
+/// fsm.request(PowerMode::Sleep)?;
+/// fsm.dwell(Seconds::new(10.0));
+/// fsm.request(PowerMode::Standby)?;
+/// fsm.request(PowerMode::Run)?;
+/// assert_eq!(fsm.mode(), PowerMode::Run);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerStateMachine {
+    spec: DeviceSpec,
+    mode: PowerMode,
+    clock: Seconds,
+    transition_time: Seconds,
+    transitions: u64,
+}
+
+impl PowerStateMachine {
+    /// Creates a machine in STANDBY at time zero.
+    #[must_use]
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self {
+            spec,
+            mode: PowerMode::Standby,
+            clock: Seconds::ZERO,
+            transition_time: Seconds::ZERO,
+            transitions: 0,
+        }
+    }
+
+    /// The device specification the machine runs.
+    #[must_use]
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The current mode.
+    #[must_use]
+    pub fn mode(&self) -> PowerMode {
+        self.mode
+    }
+
+    /// Total simulated time, including transition delays.
+    #[must_use]
+    pub fn clock(&self) -> Seconds {
+        self.clock
+    }
+
+    /// Time spent inside transitions so far.
+    #[must_use]
+    pub fn transition_time(&self) -> Seconds {
+        self.transition_time
+    }
+
+    /// Number of mode changes performed.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Stays in the current mode for `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative.
+    #[track_caller]
+    pub fn dwell(&mut self, dt: Seconds) {
+        assert!(!dt.is_negative(), "dwell time must be non-negative");
+        self.clock += dt;
+    }
+
+    /// Requests a transition to `to`, advancing the clock by the
+    /// transition's duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] if the mode lattice has no edge
+    /// `current → to`; the machine state is unchanged in that case.
+    pub fn request(&mut self, to: PowerMode) -> Result<(), TransitionError> {
+        if !self.mode.can_transition_to(to) {
+            return Err(TransitionError {
+                from: self.mode,
+                to,
+            });
+        }
+        if self.mode == to {
+            return Ok(());
+        }
+        let cost = match (self.mode, to) {
+            (PowerMode::Standby, PowerMode::Sleep) => self.spec.power_down_time(),
+            (PowerMode::Sleep, PowerMode::Standby) => self.spec.wake_up_time(),
+            (PowerMode::Standby, PowerMode::Run) => self.spec.start_up_time(),
+            (PowerMode::Run, PowerMode::Standby) => self.spec.shut_down_time(),
+            _ => unreachable!("lattice admits no other edges"),
+        };
+        self.clock += cost;
+        self.transition_time += cost;
+        self.transitions += 1;
+        self.mode = to;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn fsm() -> PowerStateMachine {
+        PowerStateMachine::new(presets::dvd_camcorder())
+    }
+
+    #[test]
+    fn starts_in_standby() {
+        let m = fsm();
+        assert_eq!(m.mode(), PowerMode::Standby);
+        assert_eq!(m.clock(), Seconds::ZERO);
+        assert_eq!(m.transitions(), 0);
+    }
+
+    #[test]
+    fn legal_cycle_accumulates_costs() {
+        let mut m = fsm();
+        m.request(PowerMode::Sleep).unwrap(); // 0.5 s
+        m.dwell(Seconds::new(13.5));
+        m.request(PowerMode::Standby).unwrap(); // 0.5 s
+        m.request(PowerMode::Run).unwrap(); // 1.5 s
+        m.dwell(Seconds::new(3.03));
+        m.request(PowerMode::Standby).unwrap(); // 0.5 s
+        assert_eq!(m.transitions(), 4);
+        assert!((m.transition_time().seconds() - 3.0).abs() < 1e-12);
+        assert!((m.clock().seconds() - 19.53).abs() < 1e-12);
+    }
+
+    #[test]
+    fn illegal_run_to_sleep_rejected() {
+        let mut m = fsm();
+        m.request(PowerMode::Run).unwrap();
+        let err = m.request(PowerMode::Sleep).unwrap_err();
+        assert_eq!(err.from, PowerMode::Run);
+        assert_eq!(err.to, PowerMode::Sleep);
+        assert_eq!(m.mode(), PowerMode::Run, "state unchanged after error");
+        assert!(err.to_string().contains("RUN → SLEEP"));
+    }
+
+    #[test]
+    fn illegal_sleep_to_run_rejected() {
+        let mut m = fsm();
+        m.request(PowerMode::Sleep).unwrap();
+        assert!(m.request(PowerMode::Run).is_err());
+    }
+
+    #[test]
+    fn self_request_is_free() {
+        let mut m = fsm();
+        m.request(PowerMode::Standby).unwrap();
+        assert_eq!(m.transitions(), 0);
+        assert_eq!(m.clock(), Seconds::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_dwell_panics() {
+        fsm().dwell(Seconds::new(-1.0));
+    }
+}

@@ -1,0 +1,113 @@
+//! Power modes.
+
+use core::fmt;
+
+/// The three power modes of a DPM-enabled embedded system (Section 3.1).
+///
+/// Transitions form a chain: `Run ↔ Standby ↔ Sleep`. There is no direct
+/// `Run ↔ Sleep` edge (the DVD camcorder of Figure 6 must pass through
+/// STANDBY), which [`PowerStateMachine`](crate::PowerStateMachine)
+/// enforces.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_device::PowerMode;
+///
+/// assert!(PowerMode::Run.can_transition_to(PowerMode::Standby));
+/// assert!(!PowerMode::Run.can_transition_to(PowerMode::Sleep));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum PowerMode {
+    /// Executing the task (the DVD writer is writing).
+    Run,
+    /// Idle but ready (the encoder fills the buffer; the writer idles).
+    Standby,
+    /// Deep sleep (the writer is powered down).
+    Sleep,
+}
+
+impl PowerMode {
+    /// All modes, ordered from highest to lowest power.
+    pub const ALL: [Self; 3] = [Self::Run, Self::Standby, Self::Sleep];
+
+    /// Returns `true` if a direct transition `self → to` exists.
+    ///
+    /// Self-transitions are vacuously allowed (staying put).
+    #[must_use]
+    pub fn can_transition_to(self, to: Self) -> bool {
+        use PowerMode::{Run, Sleep, Standby};
+        matches!(
+            (self, to),
+            (Run, Run)
+                | (Run, Standby)
+                | (Standby, Standby)
+                | (Standby, Run)
+                | (Standby, Sleep)
+                | (Sleep, Sleep)
+                | (Sleep, Standby)
+        )
+    }
+
+    /// Returns `true` if the device does useful work in this mode.
+    #[must_use]
+    pub fn is_active(self) -> bool {
+        self == Self::Run
+    }
+}
+
+impl fmt::Display for PowerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::Run => "RUN",
+            Self::Standby => "STANDBY",
+            Self::Sleep => "SLEEP",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_topology() {
+        use PowerMode::{Run, Sleep, Standby};
+        assert!(Run.can_transition_to(Standby));
+        assert!(Standby.can_transition_to(Run));
+        assert!(Standby.can_transition_to(Sleep));
+        assert!(Sleep.can_transition_to(Standby));
+        assert!(!Run.can_transition_to(Sleep));
+        assert!(!Sleep.can_transition_to(Run));
+    }
+
+    #[test]
+    fn self_transitions_allowed() {
+        for m in PowerMode::ALL {
+            assert!(m.can_transition_to(m));
+        }
+    }
+
+    #[test]
+    fn only_run_is_active() {
+        assert!(PowerMode::Run.is_active());
+        assert!(!PowerMode::Standby.is_active());
+        assert!(!PowerMode::Sleep.is_active());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PowerMode::Run.to_string(), "RUN");
+        assert_eq!(PowerMode::Standby.to_string(), "STANDBY");
+        assert_eq!(PowerMode::Sleep.to_string(), "SLEEP");
+    }
+
+    #[test]
+    fn ordering_high_to_low_power() {
+        assert!(PowerMode::Run < PowerMode::Standby);
+        assert!(PowerMode::Standby < PowerMode::Sleep);
+    }
+}

@@ -1,0 +1,459 @@
+//! Device power/overhead specifications.
+
+use core::fmt;
+
+use fcdpm_units::{Amps, Seconds, Volts, Watts};
+
+use crate::PowerMode;
+
+/// Error returned when a [`DeviceSpecBuilder`] is asked to build an
+/// inconsistent specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// A power or duration field was negative or non-finite.
+    InvalidField {
+        /// Name of the offending field.
+        name: &'static str,
+    },
+    /// Sleep power must be strictly below standby power, otherwise the
+    /// break-even time is undefined and sleeping never pays.
+    SleepNotBelowStandby,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidField { name } => write!(f, "invalid device spec field `{name}`"),
+            Self::SleepNotBelowStandby => {
+                write!(f, "sleep power must be strictly below standby power")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A DPM-enabled device's power table and transition overheads.
+///
+/// All powers are at the regulated bus (12 V in the paper); currents are
+/// derived by dividing by the bus voltage. The four transition overheads
+/// mirror Figure 6:
+///
+/// * `t_power_down` / `p_power_down` — STANDBY → SLEEP (`τ_PD`, `I_PD`);
+/// * `t_wake_up` / `p_wake_up` — SLEEP → STANDBY (`τ_WU`, `I_WU`);
+/// * `t_start_up` — STANDBY → RUN, at RUN power (the paper absorbs this
+///   into the active period);
+/// * `t_shut_down` — RUN → STANDBY, at RUN power.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_device::{presets, PowerMode};
+///
+/// let spec = presets::dvd_camcorder();
+/// assert_eq!(spec.mode_power(PowerMode::Sleep).watts(), 2.4);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeviceSpec {
+    name: String,
+    bus_voltage: Volts,
+    run_power: Watts,
+    standby_power: Watts,
+    sleep_power: Watts,
+    t_power_down: Seconds,
+    p_power_down: Watts,
+    t_wake_up: Seconds,
+    p_wake_up: Watts,
+    t_start_up: Seconds,
+    t_shut_down: Seconds,
+    break_even_override: Option<Seconds>,
+}
+
+impl DeviceSpec {
+    /// Starts building a spec.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> DeviceSpecBuilder {
+        DeviceSpecBuilder::new(name)
+    }
+
+    /// The device's name (used in reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The regulated bus voltage the device draws from.
+    #[must_use]
+    pub fn bus_voltage(&self) -> Volts {
+        self.bus_voltage
+    }
+
+    /// Steady-state power in `mode`. `Run` returns the *default* run
+    /// power; traces may override the active power per slot.
+    #[must_use]
+    pub fn mode_power(&self, mode: PowerMode) -> Watts {
+        match mode {
+            PowerMode::Run => self.run_power,
+            PowerMode::Standby => self.standby_power,
+            PowerMode::Sleep => self.sleep_power,
+        }
+    }
+
+    /// Steady-state bus current in `mode`.
+    #[must_use]
+    pub fn mode_current(&self, mode: PowerMode) -> Amps {
+        self.mode_power(mode) / self.bus_voltage
+    }
+
+    /// STANDBY → SLEEP transition duration `τ_PD`.
+    #[must_use]
+    pub fn power_down_time(&self) -> Seconds {
+        self.t_power_down
+    }
+
+    /// STANDBY → SLEEP transition current `I_PD`.
+    #[must_use]
+    pub fn power_down_current(&self) -> Amps {
+        self.p_power_down / self.bus_voltage
+    }
+
+    /// SLEEP → STANDBY transition duration `τ_WU`.
+    #[must_use]
+    pub fn wake_up_time(&self) -> Seconds {
+        self.t_wake_up
+    }
+
+    /// SLEEP → STANDBY transition current `I_WU`.
+    #[must_use]
+    pub fn wake_up_current(&self) -> Amps {
+        self.p_wake_up / self.bus_voltage
+    }
+
+    /// STANDBY → RUN transition duration (at RUN power).
+    #[must_use]
+    pub fn start_up_time(&self) -> Seconds {
+        self.t_start_up
+    }
+
+    /// RUN → STANDBY transition duration (at RUN power).
+    #[must_use]
+    pub fn shut_down_time(&self) -> Seconds {
+        self.t_shut_down
+    }
+
+    /// Combined sleep-transition overhead `τ_PD + τ_WU`.
+    #[must_use]
+    pub fn sleep_transition_time(&self) -> Seconds {
+        self.t_power_down + self.t_wake_up
+    }
+
+    /// The DPM break-even time `T_be`: the minimum idle length for which
+    /// entering SLEEP consumes no more energy than staying in STANDBY
+    /// (Benini et al., the paper's reference \[4\]).
+    ///
+    /// Solving `P_sdb·T = E_tr + P_slp·(T − τ_tr)` gives
+    /// `T_be = (E_tr − P_slp·τ_tr) / (P_sdb − P_slp)`, bounded below by the
+    /// transition time itself. An explicit override (used when a paper
+    /// states `T_be` directly) takes precedence.
+    #[must_use]
+    pub fn break_even_time(&self) -> Seconds {
+        if let Some(t) = self.break_even_override {
+            return t;
+        }
+        let e_tr =
+            (self.p_power_down * self.t_power_down + self.p_wake_up * self.t_wake_up).joules();
+        let tau = self.sleep_transition_time().seconds();
+        let p_sdb = self.standby_power.watts();
+        let p_slp = self.sleep_power.watts();
+        let t_be = (e_tr - p_slp * tau) / (p_sdb - p_slp);
+        Seconds::new(t_be.max(tau))
+    }
+
+    /// Energy consumed by a full SLEEP excursion of idle length `t_idle`
+    /// (power-down + sleep + wake-up), assuming `t_idle ≥ τ_PD + τ_WU`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_idle` is negative.
+    #[must_use]
+    pub fn sleep_excursion_energy(&self, t_idle: Seconds) -> fcdpm_units::Energy {
+        assert!(!t_idle.is_negative(), "idle length must be non-negative");
+        let sleep_time = (t_idle - self.sleep_transition_time()).max_zero();
+        self.p_power_down * self.t_power_down
+            + self.p_wake_up * self.t_wake_up
+            + self.sleep_power * sleep_time
+    }
+
+    /// Energy consumed by staying in STANDBY for `t_idle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_idle` is negative.
+    #[must_use]
+    pub fn standby_energy(&self, t_idle: Seconds) -> fcdpm_units::Energy {
+        assert!(!t_idle.is_negative(), "idle length must be non-negative");
+        self.standby_power * t_idle
+    }
+}
+
+/// Builder for [`DeviceSpec`].
+#[derive(Debug, Clone)]
+pub struct DeviceSpecBuilder {
+    name: String,
+    bus_voltage: Volts,
+    run_power: Watts,
+    standby_power: Watts,
+    sleep_power: Watts,
+    t_power_down: Seconds,
+    p_power_down: Watts,
+    t_wake_up: Seconds,
+    p_wake_up: Watts,
+    t_start_up: Seconds,
+    t_shut_down: Seconds,
+    break_even_override: Option<Seconds>,
+}
+
+impl DeviceSpecBuilder {
+    /// Starts a builder with a 12 V bus and all powers/overheads zeroed.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            bus_voltage: Volts::new(12.0),
+            run_power: Watts::ZERO,
+            standby_power: Watts::ZERO,
+            sleep_power: Watts::ZERO,
+            t_power_down: Seconds::ZERO,
+            p_power_down: Watts::ZERO,
+            t_wake_up: Seconds::ZERO,
+            p_wake_up: Watts::ZERO,
+            t_start_up: Seconds::ZERO,
+            t_shut_down: Seconds::ZERO,
+            break_even_override: None,
+        }
+    }
+
+    /// Sets the bus voltage (default 12 V).
+    #[must_use]
+    pub fn bus_voltage(mut self, v: Volts) -> Self {
+        self.bus_voltage = v;
+        self
+    }
+
+    /// Sets the default RUN power.
+    #[must_use]
+    pub fn run_power(mut self, p: Watts) -> Self {
+        self.run_power = p;
+        self
+    }
+
+    /// Sets the STANDBY power.
+    #[must_use]
+    pub fn standby_power(mut self, p: Watts) -> Self {
+        self.standby_power = p;
+        self
+    }
+
+    /// Sets the SLEEP power.
+    #[must_use]
+    pub fn sleep_power(mut self, p: Watts) -> Self {
+        self.sleep_power = p;
+        self
+    }
+
+    /// Sets the STANDBY → SLEEP overhead (`τ_PD` at power `p`).
+    #[must_use]
+    pub fn power_down(mut self, t: Seconds, p: Watts) -> Self {
+        self.t_power_down = t;
+        self.p_power_down = p;
+        self
+    }
+
+    /// Sets the SLEEP → STANDBY overhead (`τ_WU` at power `p`).
+    #[must_use]
+    pub fn wake_up(mut self, t: Seconds, p: Watts) -> Self {
+        self.t_wake_up = t;
+        self.p_wake_up = p;
+        self
+    }
+
+    /// Sets the STANDBY → RUN transition duration (at RUN power).
+    #[must_use]
+    pub fn start_up(mut self, t: Seconds) -> Self {
+        self.t_start_up = t;
+        self
+    }
+
+    /// Sets the RUN → STANDBY transition duration (at RUN power).
+    #[must_use]
+    pub fn shut_down(mut self, t: Seconds) -> Self {
+        self.t_shut_down = t;
+        self
+    }
+
+    /// Overrides the computed break-even time with a stated value.
+    #[must_use]
+    pub fn break_even(mut self, t: Seconds) -> Self {
+        self.break_even_override = Some(t);
+        self
+    }
+
+    /// Validates and builds the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if any field is negative/non-finite, the
+    /// bus voltage is non-positive, or sleep power is not strictly below
+    /// standby power.
+    pub fn build(self) -> Result<DeviceSpec, SpecError> {
+        let check_w = |w: Watts, name| {
+            if w.is_negative() || !w.is_finite() {
+                Err(SpecError::InvalidField { name })
+            } else {
+                Ok(())
+            }
+        };
+        let check_t = |t: Seconds, name| {
+            if t.is_negative() || !t.is_finite() {
+                Err(SpecError::InvalidField { name })
+            } else {
+                Ok(())
+            }
+        };
+        if self.bus_voltage.volts() <= 0.0 || !self.bus_voltage.is_finite() {
+            return Err(SpecError::InvalidField {
+                name: "bus_voltage",
+            });
+        }
+        check_w(self.run_power, "run_power")?;
+        check_w(self.standby_power, "standby_power")?;
+        check_w(self.sleep_power, "sleep_power")?;
+        check_w(self.p_power_down, "p_power_down")?;
+        check_w(self.p_wake_up, "p_wake_up")?;
+        check_t(self.t_power_down, "t_power_down")?;
+        check_t(self.t_wake_up, "t_wake_up")?;
+        check_t(self.t_start_up, "t_start_up")?;
+        check_t(self.t_shut_down, "t_shut_down")?;
+        if let Some(t) = self.break_even_override {
+            check_t(t, "break_even_override")?;
+        }
+        if self.sleep_power >= self.standby_power {
+            return Err(SpecError::SleepNotBelowStandby);
+        }
+        Ok(DeviceSpec {
+            name: self.name,
+            bus_voltage: self.bus_voltage,
+            run_power: self.run_power,
+            standby_power: self.standby_power,
+            sleep_power: self.sleep_power,
+            t_power_down: self.t_power_down,
+            p_power_down: self.p_power_down,
+            t_wake_up: self.t_wake_up,
+            p_wake_up: self.p_wake_up,
+            t_start_up: self.t_start_up,
+            t_shut_down: self.t_shut_down,
+            break_even_override: self.break_even_override,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn camcorder_break_even_is_one_second() {
+        // Section 5.1: "the break-even time is T_be = τ_PD + τ_WU = 1 s".
+        let spec = presets::dvd_camcorder();
+        assert!((spec.break_even_time().seconds() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn experiment2_break_even_near_ten_seconds() {
+        // Section 5.2: "the break-even time is 10 s".
+        let spec = presets::experiment2_device();
+        assert!(
+            (spec.break_even_time().seconds() - 10.0).abs() < 0.25,
+            "computed T_be = {}",
+            spec.break_even_time()
+        );
+    }
+
+    #[test]
+    fn camcorder_currents() {
+        let spec = presets::dvd_camcorder();
+        assert!((spec.mode_current(PowerMode::Run).amps() - 14.65 / 12.0).abs() < 1e-12);
+        assert!((spec.mode_current(PowerMode::Standby).amps() - 4.84 / 12.0).abs() < 1e-12);
+        assert!((spec.mode_current(PowerMode::Sleep).amps() - 0.2).abs() < 1e-12);
+        assert!((spec.wake_up_current().amps() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn break_even_override_wins() {
+        let spec = DeviceSpec::builder("x")
+            .standby_power(Watts::new(4.84))
+            .sleep_power(Watts::new(2.4))
+            .power_down(Seconds::new(1.0), Watts::new(14.4))
+            .wake_up(Seconds::new(1.0), Watts::new(14.4))
+            .break_even(Seconds::new(10.0))
+            .build()
+            .unwrap();
+        assert_eq!(spec.break_even_time(), Seconds::new(10.0));
+    }
+
+    #[test]
+    fn break_even_bounded_below_by_transition_time() {
+        // Nearly free transitions: break-even still can't be below τ_tr.
+        let spec = DeviceSpec::builder("cheap")
+            .standby_power(Watts::new(5.0))
+            .sleep_power(Watts::new(1.0))
+            .power_down(Seconds::new(2.0), Watts::new(0.0))
+            .wake_up(Seconds::new(2.0), Watts::new(0.0))
+            .build()
+            .unwrap();
+        assert_eq!(spec.break_even_time(), Seconds::new(4.0));
+    }
+
+    #[test]
+    fn sleep_beats_standby_exactly_past_break_even() {
+        let spec = presets::dvd_camcorder();
+        let t_be = spec.break_even_time();
+        let eps = Seconds::new(0.5);
+        let long = t_be + eps;
+        assert!(spec.sleep_excursion_energy(long) < spec.standby_energy(long));
+        let short = (t_be - eps).max_zero();
+        assert!(spec.sleep_excursion_energy(short) >= spec.standby_energy(short));
+    }
+
+    #[test]
+    fn sleep_power_must_be_below_standby() {
+        let err = DeviceSpec::builder("bad")
+            .standby_power(Watts::new(2.0))
+            .sleep_power(Watts::new(2.0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpecError::SleepNotBelowStandby);
+    }
+
+    #[test]
+    fn negative_fields_rejected() {
+        let err = DeviceSpec::builder("bad")
+            .run_power(Watts::new(-1.0))
+            .standby_power(Watts::new(2.0))
+            .sleep_power(Watts::new(1.0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpecError::InvalidField { name: "run_power" });
+        assert!(err.to_string().contains("run_power"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = presets::dvd_camcorder();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: DeviceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -1,0 +1,558 @@
+//! Piecewise-constant load timelines for one task slot.
+
+use fcdpm_units::{Amps, Charge, Energy, Seconds};
+
+use crate::{DeviceSpec, PowerMode};
+
+/// What the DPM layer asks the device to do with an idle period.
+///
+/// Prediction-based policies commit at the start of the idle period
+/// ([`SleepImmediately`](Self::SleepImmediately) or
+/// [`Standby`](Self::Standby)); timeout-based policies wait out a timeout
+/// in STANDBY and power down only if the idle persists
+/// ([`SleepAfter`](Self::SleepAfter)).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum SleepDirective {
+    /// Stay in STANDBY for the whole idle period.
+    Standby,
+    /// Power down at the start of the idle period (the predictive
+    /// policies' "sleep" decision).
+    SleepImmediately,
+    /// Stay in STANDBY for the timeout, then power down if the idle
+    /// period is still going (classic timeout DPM). An idle period no
+    /// longer than the timeout never leaves STANDBY.
+    SleepAfter(Seconds),
+}
+
+impl SleepDirective {
+    /// Whether this directive can lead to a SLEEP excursion.
+    #[must_use]
+    pub fn may_sleep(&self) -> bool {
+        !matches!(self, Self::Standby)
+    }
+}
+
+/// What the device is doing during one constant-current stretch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SegmentKind {
+    /// Idling in STANDBY (no sleep decision, or idle too short).
+    IdleStandby,
+    /// STANDBY → SLEEP transition (`τ_PD` at `I_PD`).
+    PowerDown,
+    /// Sleeping.
+    Sleep,
+    /// SLEEP → STANDBY transition (`τ_WU` at `I_WU`).
+    WakeUp,
+    /// STANDBY → RUN transition (at the slot's active current).
+    StartUp,
+    /// Executing the task.
+    Run,
+    /// RUN → STANDBY transition (at the slot's active current).
+    ShutDown,
+}
+
+impl SegmentKind {
+    /// Returns `true` if this segment belongs to the *idle phase* of the
+    /// slot for the paper's per-slot accounting. Wake-up, like start-up,
+    /// is charged to the active phase (Section 3.3.2 extends the active
+    /// period by `δ·τ_WU`).
+    #[must_use]
+    pub fn is_idle_phase(self) -> bool {
+        matches!(self, Self::IdleStandby | Self::PowerDown | Self::Sleep)
+    }
+}
+
+/// One constant-current stretch of a slot timeline.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Segment {
+    /// What the device is doing.
+    pub kind: SegmentKind,
+    /// How long the stretch lasts.
+    pub duration: Seconds,
+    /// The bus current the device draws throughout.
+    pub load: Amps,
+}
+
+impl Segment {
+    /// Charge drawn from the bus over this segment.
+    #[must_use]
+    pub fn charge(&self) -> Charge {
+        self.load * self.duration
+    }
+}
+
+/// The full piecewise-constant load timeline of one task slot: the idle
+/// phase (standby, or power-down + sleep) followed by the active phase
+/// (wake-up if slept, start-up, run, shut-down).
+///
+/// A timeline is *physical*: it plays the transitions where they happen in
+/// time, including the wake-up latency a sleep decision imposes on the
+/// task, and the case of an idle period too short to complete the
+/// power-down before the next task arrives.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_units::{Amps, Seconds};
+/// use fcdpm_device::{presets, SlotTimeline};
+///
+/// let spec = presets::dvd_camcorder();
+/// let run_current = spec.mode_current(fcdpm_device::PowerMode::Run);
+/// let slot = SlotTimeline::build(&spec, Seconds::new(14.0), true,
+///                                Seconds::new(3.03), run_current);
+/// // Sleeping adds the 0.5 s wake-up plus the 1.5 s start-up before work
+/// // begins.
+/// assert_eq!(slot.task_latency(), Seconds::new(2.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SlotTimeline {
+    segments: Vec<Segment>,
+    nominal_idle: Seconds,
+    nominal_active: Seconds,
+    slept: bool,
+    task_latency: Seconds,
+}
+
+impl SlotTimeline {
+    /// Builds the timeline of one slot.
+    ///
+    /// * `t_idle` — the nominal idle length from the trace;
+    /// * `sleep` — the DPM policy's sleep decision for this idle period;
+    /// * `t_active` — the nominal active length from the trace;
+    /// * `i_active` — the bus current while running this slot's task.
+    ///
+    /// If `sleep` is true but `t_idle < τ_PD`, the device is still
+    /// powering down when the task arrives; the power-down completes, the
+    /// wake-up follows, and the excess shows up as task latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_idle`, `t_active` or `i_active` is negative.
+    #[must_use]
+    pub fn build(
+        spec: &DeviceSpec,
+        t_idle: Seconds,
+        sleep: bool,
+        t_active: Seconds,
+        i_active: Amps,
+    ) -> Self {
+        let directive = if sleep {
+            SleepDirective::SleepImmediately
+        } else {
+            SleepDirective::Standby
+        };
+        Self::build_with_directive(spec, t_idle, directive, t_active, i_active)
+    }
+
+    /// Builds the timeline of one slot under an arbitrary
+    /// [`SleepDirective`] — the general form behind
+    /// [`build`](Self::build), needed by timeout-based DPM policies.
+    ///
+    /// For [`SleepDirective::SleepAfter`], the device idles in STANDBY for
+    /// the timeout and powers down only if the idle period outlasts it; an
+    /// idle period no longer than the timeout stays in STANDBY throughout
+    /// and incurs no transition cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_idle`, `t_active`, `i_active` or a `SleepAfter`
+    /// timeout is negative.
+    #[must_use]
+    pub fn build_with_directive(
+        spec: &DeviceSpec,
+        t_idle: Seconds,
+        directive: SleepDirective,
+        t_active: Seconds,
+        i_active: Amps,
+    ) -> Self {
+        assert!(!t_idle.is_negative(), "idle length must be non-negative");
+        assert!(
+            !t_active.is_negative(),
+            "active length must be non-negative"
+        );
+        assert!(
+            !i_active.is_negative(),
+            "active current must be non-negative"
+        );
+
+        let mut segments = Vec::with_capacity(8);
+        let mut push = |kind, duration: Seconds, load| {
+            if duration > Seconds::ZERO {
+                segments.push(Segment {
+                    kind,
+                    duration,
+                    load,
+                });
+            }
+        };
+
+        // Resolve the directive to: time spent in STANDBY before a sleep
+        // attempt, and whether a sleep excursion happens at all.
+        let (standby_prefix, sleeps) = match directive {
+            SleepDirective::Standby => (t_idle, false),
+            SleepDirective::SleepImmediately => (Seconds::ZERO, true),
+            SleepDirective::SleepAfter(timeout) => {
+                assert!(!timeout.is_negative(), "timeout must be non-negative");
+                if t_idle <= timeout {
+                    (t_idle, false)
+                } else {
+                    (timeout, true)
+                }
+            }
+        };
+
+        let mut task_latency = Seconds::ZERO;
+        push(
+            SegmentKind::IdleStandby,
+            standby_prefix,
+            spec.mode_current(PowerMode::Standby),
+        );
+        if sleeps {
+            let pd = spec.power_down_time();
+            let after_prefix = (t_idle - standby_prefix).max_zero();
+            push(SegmentKind::PowerDown, pd, spec.power_down_current());
+            let sleep_time = (after_prefix - pd).max_zero();
+            push(
+                SegmentKind::Sleep,
+                sleep_time,
+                spec.mode_current(PowerMode::Sleep),
+            );
+            // Power-down that spilled past the nominal idle delays the task.
+            task_latency += (pd - after_prefix).max_zero();
+            push(
+                SegmentKind::WakeUp,
+                spec.wake_up_time(),
+                spec.wake_up_current(),
+            );
+            task_latency += spec.wake_up_time();
+        }
+        push(SegmentKind::StartUp, spec.start_up_time(), i_active);
+        task_latency += spec.start_up_time();
+        push(SegmentKind::Run, t_active, i_active);
+        push(SegmentKind::ShutDown, spec.shut_down_time(), i_active);
+
+        Self {
+            segments,
+            nominal_idle: t_idle,
+            nominal_active: t_active,
+            slept: sleeps,
+            task_latency,
+        }
+    }
+
+    /// The constant-current segments in time order.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The nominal (trace) idle length.
+    #[must_use]
+    pub fn nominal_idle(&self) -> Seconds {
+        self.nominal_idle
+    }
+
+    /// The nominal (trace) active length.
+    #[must_use]
+    pub fn nominal_active(&self) -> Seconds {
+        self.nominal_active
+    }
+
+    /// Whether the DPM policy slept this slot.
+    #[must_use]
+    pub fn slept(&self) -> bool {
+        self.slept
+    }
+
+    /// Delay between the task's arrival and the device actually running
+    /// it (wake-up + start-up + any power-down spill).
+    #[must_use]
+    pub fn task_latency(&self) -> Seconds {
+        self.task_latency
+    }
+
+    /// Total wall-clock duration of the slot (≥ nominal idle + active).
+    #[must_use]
+    pub fn total_duration(&self) -> Seconds {
+        self.segments.iter().map(|s| s.duration).sum()
+    }
+
+    /// Wall-clock duration of the idle phase.
+    #[must_use]
+    pub fn idle_phase_duration(&self) -> Seconds {
+        self.segments
+            .iter()
+            .filter(|s| s.kind.is_idle_phase())
+            .map(|s| s.duration)
+            .sum()
+    }
+
+    /// Wall-clock duration of the active phase (wake-up onward).
+    #[must_use]
+    pub fn active_phase_duration(&self) -> Seconds {
+        self.total_duration() - self.idle_phase_duration()
+    }
+
+    /// Total charge the load draws over the slot.
+    #[must_use]
+    pub fn load_charge(&self) -> Charge {
+        self.segments.iter().map(Segment::charge).sum()
+    }
+
+    /// Total energy the load draws over the slot at the device's bus
+    /// voltage.
+    #[must_use]
+    pub fn load_energy(&self, spec: &DeviceSpec) -> Energy {
+        Energy::new(self.load_charge().amp_seconds() * spec.bus_voltage().volts())
+    }
+
+    /// Mean load current over the slot (zero for an empty timeline).
+    #[must_use]
+    pub fn mean_load(&self) -> Amps {
+        let total = self.total_duration();
+        if total.is_zero() {
+            Amps::ZERO
+        } else {
+            self.load_charge() / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn camcorder_slot(t_idle: f64, sleep: bool) -> SlotTimeline {
+        let spec = presets::dvd_camcorder();
+        let i_run = spec.mode_current(PowerMode::Run);
+        SlotTimeline::build(
+            &spec,
+            Seconds::new(t_idle),
+            sleep,
+            Seconds::new(3.03),
+            i_run,
+        )
+    }
+
+    #[test]
+    fn standby_slot_structure() {
+        let slot = camcorder_slot(14.0, false);
+        let kinds: Vec<SegmentKind> = slot.segments().iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SegmentKind::IdleStandby,
+                SegmentKind::StartUp,
+                SegmentKind::Run,
+                SegmentKind::ShutDown
+            ]
+        );
+        assert!(!slot.slept());
+        assert_eq!(slot.task_latency(), Seconds::new(1.5)); // start-up only
+    }
+
+    #[test]
+    fn sleep_slot_structure() {
+        let slot = camcorder_slot(14.0, true);
+        let kinds: Vec<SegmentKind> = slot.segments().iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SegmentKind::PowerDown,
+                SegmentKind::Sleep,
+                SegmentKind::WakeUp,
+                SegmentKind::StartUp,
+                SegmentKind::Run,
+                SegmentKind::ShutDown
+            ]
+        );
+        assert!(slot.slept());
+        // Sleep lasts idle − τ_PD.
+        let sleep_seg = &slot.segments()[1];
+        assert_eq!(sleep_seg.duration, Seconds::new(13.5));
+        // Latency = τ_WU + τ_SU.
+        assert_eq!(slot.task_latency(), Seconds::new(2.0));
+    }
+
+    #[test]
+    fn durations_add_up() {
+        let slot = camcorder_slot(14.0, true);
+        // idle phase: 0.5 + 13.5 = 14.0; active: 0.5 + 1.5 + 3.03 + 0.5.
+        assert!((slot.idle_phase_duration().seconds() - 14.0).abs() < 1e-12);
+        assert!((slot.active_phase_duration().seconds() - 5.53).abs() < 1e-12);
+        assert!((slot.total_duration().seconds() - 19.53).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversleep_short_idle() {
+        // Idle shorter than the power-down: task delayed by the spill.
+        let slot = camcorder_slot(0.2, true);
+        let kinds: Vec<SegmentKind> = slot.segments().iter().map(|s| s.kind).collect();
+        assert!(!kinds.contains(&SegmentKind::Sleep));
+        // Latency = (τ_PD − idle) + τ_WU + τ_SU = 0.3 + 0.5 + 1.5.
+        assert!((slot.task_latency().seconds() - 2.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_segments_omitted() {
+        let spec = presets::experiment2_device(); // no start-up/shut-down
+        let slot = SlotTimeline::build(
+            &spec,
+            Seconds::new(15.0),
+            false,
+            Seconds::new(3.0),
+            Amps::new(1.2),
+        );
+        let kinds: Vec<SegmentKind> = slot.segments().iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec![SegmentKind::IdleStandby, SegmentKind::Run]);
+    }
+
+    #[test]
+    fn load_charge_matches_hand_computation() {
+        let spec = presets::dvd_camcorder();
+        let slot = camcorder_slot(14.0, false);
+        // standby 14 s at 4.84/12 A + (1.5 + 3.03 + 0.5) s at 14.65/12 A.
+        let expect = 14.0 * 4.84 / 12.0 + 5.03 * 14.65 / 12.0;
+        assert!((slot.load_charge().amp_seconds() - expect).abs() < 1e-9);
+        let energy = slot.load_energy(&spec);
+        assert!((energy.joules() - expect * 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sleeping_draws_less_idle_charge_when_long() {
+        let asleep = camcorder_slot(14.0, true);
+        let awake = camcorder_slot(14.0, false);
+        let idle_charge = |slot: &SlotTimeline| -> f64 {
+            slot.segments()
+                .iter()
+                .filter(|s| s.kind.is_idle_phase())
+                .map(|s| s.charge().amp_seconds())
+                .sum()
+        };
+        assert!(idle_charge(&asleep) < idle_charge(&awake));
+    }
+
+    #[test]
+    fn mean_load_between_extremes() {
+        let slot = camcorder_slot(14.0, true);
+        let mean = slot.mean_load().amps();
+        assert!(mean > 0.2 && mean < 14.65 / 12.0);
+    }
+
+    #[test]
+    fn timeout_directive_long_idle_sleeps_after_prefix() {
+        let spec = presets::dvd_camcorder();
+        let i_run = spec.mode_current(PowerMode::Run);
+        let slot = SlotTimeline::build_with_directive(
+            &spec,
+            Seconds::new(14.0),
+            SleepDirective::SleepAfter(Seconds::new(3.0)),
+            Seconds::new(3.03),
+            i_run,
+        );
+        let kinds: Vec<SegmentKind> = slot.segments().iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SegmentKind::IdleStandby,
+                SegmentKind::PowerDown,
+                SegmentKind::Sleep,
+                SegmentKind::WakeUp,
+                SegmentKind::StartUp,
+                SegmentKind::Run,
+                SegmentKind::ShutDown
+            ]
+        );
+        assert!(slot.slept());
+        // Standby prefix 3 s, then PD 0.5 s, sleep 10.5 s.
+        assert_eq!(slot.segments()[0].duration, Seconds::new(3.0));
+        assert_eq!(slot.segments()[2].duration, Seconds::new(10.5));
+        assert!((slot.idle_phase_duration().seconds() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeout_directive_short_idle_stays_in_standby() {
+        let spec = presets::dvd_camcorder();
+        let i_run = spec.mode_current(PowerMode::Run);
+        let slot = SlotTimeline::build_with_directive(
+            &spec,
+            Seconds::new(2.5),
+            SleepDirective::SleepAfter(Seconds::new(3.0)),
+            Seconds::new(3.03),
+            i_run,
+        );
+        assert!(!slot.slept());
+        let kinds: Vec<SegmentKind> = slot.segments().iter().map(|s| s.kind).collect();
+        assert!(!kinds.contains(&SegmentKind::PowerDown));
+        assert_eq!(slot.segments()[0].duration, Seconds::new(2.5));
+        // No wake-up latency: only the start-up transition remains.
+        assert_eq!(slot.task_latency(), spec.start_up_time());
+    }
+
+    #[test]
+    fn timeout_directive_barely_over_timeout_oversleeps() {
+        // Idle outlasts the timeout by less than τ_PD: the power-down
+        // spills into the task, exactly the "wasted sleep" timeout DPM
+        // risks.
+        let spec = presets::dvd_camcorder();
+        let i_run = spec.mode_current(PowerMode::Run);
+        let slot = SlotTimeline::build_with_directive(
+            &spec,
+            Seconds::new(3.2),
+            SleepDirective::SleepAfter(Seconds::new(3.0)),
+            Seconds::new(3.03),
+            i_run,
+        );
+        assert!(slot.slept());
+        // Spill = τ_PD − 0.2 = 0.3 s; latency = spill + τ_WU + τ_SU.
+        assert!((slot.task_latency().seconds() - (0.3 + 0.5 + 1.5)).abs() < 1e-12);
+        let kinds: Vec<SegmentKind> = slot.segments().iter().map(|s| s.kind).collect();
+        assert!(
+            !kinds.contains(&SegmentKind::Sleep),
+            "no time left to sleep"
+        );
+    }
+
+    #[test]
+    fn immediate_directive_matches_bool_api() {
+        let spec = presets::dvd_camcorder();
+        let i_run = spec.mode_current(PowerMode::Run);
+        let a = SlotTimeline::build(&spec, Seconds::new(14.0), true, Seconds::new(3.03), i_run);
+        let b = SlotTimeline::build_with_directive(
+            &spec,
+            Seconds::new(14.0),
+            SleepDirective::SleepImmediately,
+            Seconds::new(3.03),
+            i_run,
+        );
+        assert_eq!(a, b);
+        let c = SlotTimeline::build(&spec, Seconds::new(14.0), false, Seconds::new(3.03), i_run);
+        let d = SlotTimeline::build_with_directive(
+            &spec,
+            Seconds::new(14.0),
+            SleepDirective::Standby,
+            Seconds::new(3.03),
+            i_run,
+        );
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn directive_may_sleep() {
+        assert!(!SleepDirective::Standby.may_sleep());
+        assert!(SleepDirective::SleepImmediately.may_sleep());
+        assert!(SleepDirective::SleepAfter(Seconds::new(1.0)).may_sleep());
+    }
+
+    #[test]
+    fn wake_up_charged_to_active_phase() {
+        assert!(!SegmentKind::WakeUp.is_idle_phase());
+        assert!(SegmentKind::PowerDown.is_idle_phase());
+        assert!(SegmentKind::Sleep.is_idle_phase());
+        assert!(SegmentKind::IdleStandby.is_idle_phase());
+        assert!(!SegmentKind::StartUp.is_idle_phase());
+        assert!(!SegmentKind::Run.is_idle_phase());
+        assert!(!SegmentKind::ShutDown.is_idle_phase());
+    }
+}

@@ -1,0 +1,228 @@
+//! DVS-capable device models.
+
+use fcdpm_units::{Amps, Seconds, Volts, Watts};
+
+use crate::DvsError;
+
+/// One voltage/frequency operating point: a relative speed in `(0, 1]`
+/// and the power drawn while running at it.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpeedLevel {
+    /// Execution speed relative to the fastest level (1.0 = full speed).
+    pub speed: f64,
+    /// Power drawn while executing at this level.
+    pub power: Watts,
+}
+
+impl SpeedLevel {
+    /// Creates a level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DvsError::InvalidInput`] if `speed` is not in `(0, 1]`
+    /// or `power` is negative/non-finite.
+    pub fn new(speed: f64, power: Watts) -> Result<Self, DvsError> {
+        if speed <= 0.0 || speed > 1.0 || !speed.is_finite() {
+            return Err(DvsError::invalid("speed", "must lie in (0, 1]"));
+        }
+        if power.is_negative() || !power.is_finite() {
+            return Err(DvsError::invalid(
+                "power",
+                "must be non-negative and finite",
+            ));
+        }
+        Ok(Self { speed, power })
+    }
+
+    /// Time to execute `work` (seconds of full-speed execution) at this
+    /// level.
+    #[must_use]
+    pub fn exec_time(&self, work: Seconds) -> Seconds {
+        work / self.speed
+    }
+}
+
+/// A DVS-capable device: an ascending table of speed levels, an idle
+/// power, and the bus voltage that converts powers to currents.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_dvs::DvsDevice;
+///
+/// let device = DvsDevice::quadratic_example();
+/// assert!(device.levels().len() >= 4);
+/// assert!(device.levels()[0].power < device.levels().last().unwrap().power);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DvsDevice {
+    levels: Vec<SpeedLevel>,
+    idle_power: Watts,
+    bus_voltage: Volts,
+}
+
+impl DvsDevice {
+    /// Creates a device from its level table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DvsError::InvalidInput`] if the table is empty, speeds
+    /// are not strictly ascending, power is not non-decreasing in speed,
+    /// the idle power is negative, or the bus voltage is non-positive.
+    pub fn new(
+        levels: Vec<SpeedLevel>,
+        idle_power: Watts,
+        bus_voltage: Volts,
+    ) -> Result<Self, DvsError> {
+        if levels.is_empty() {
+            return Err(DvsError::invalid("levels", "need at least one speed level"));
+        }
+        if !levels.windows(2).all(|w| w[0].speed < w[1].speed) {
+            return Err(DvsError::invalid(
+                "levels",
+                "speeds must be strictly ascending",
+            ));
+        }
+        if !levels.windows(2).all(|w| w[0].power <= w[1].power) {
+            return Err(DvsError::invalid(
+                "levels",
+                "power must be non-decreasing in speed",
+            ));
+        }
+        if idle_power.is_negative() || !idle_power.is_finite() {
+            return Err(DvsError::invalid("idle_power", "must be non-negative"));
+        }
+        if bus_voltage.volts() <= 0.0 {
+            return Err(DvsError::invalid("bus_voltage", "must be positive"));
+        }
+        Ok(Self {
+            levels,
+            idle_power,
+            bus_voltage,
+        })
+    }
+
+    /// A five-level device with `P(s) = P_static + k·s³` dynamics
+    /// (`P_static = 2 W`, `k = 10 W`) and a 1.5 W idle mode on a 12 V
+    /// bus — a typical embedded-processor shape that exhibits a critical
+    /// speed (below it, slowing down wastes static power).
+    ///
+    /// # Panics
+    ///
+    /// Never panics — the constants are valid.
+    #[must_use]
+    pub fn quadratic_example() -> Self {
+        let levels = [0.2, 0.4, 0.6, 0.8, 1.0]
+            .into_iter()
+            .map(|s: f64| {
+                SpeedLevel::new(s, Watts::new(2.0 + 10.0 * s.powi(3))).expect("constants valid")
+            })
+            .collect();
+        Self::new(levels, Watts::new(1.5), Volts::new(12.0)).expect("constants valid")
+    }
+
+    /// The level table, ascending in speed.
+    #[must_use]
+    pub fn levels(&self) -> &[SpeedLevel] {
+        &self.levels
+    }
+
+    /// Idle-mode power (drawn during the slack).
+    #[must_use]
+    pub fn idle_power(&self) -> Watts {
+        self.idle_power
+    }
+
+    /// Bus voltage.
+    #[must_use]
+    pub fn bus_voltage(&self) -> Volts {
+        self.bus_voltage
+    }
+
+    /// Bus current while running at `level`.
+    #[must_use]
+    pub fn run_current(&self, level: &SpeedLevel) -> Amps {
+        level.power / self.bus_voltage
+    }
+
+    /// Bus current while idle.
+    #[must_use]
+    pub fn idle_current(&self) -> Amps {
+        self.idle_power / self.bus_voltage
+    }
+
+    /// The slowest level that finishes `work` within `deadline`, if any —
+    /// the classic energy-greedy pick for convex dynamic power.
+    #[must_use]
+    pub fn slowest_feasible(&self, work: Seconds, deadline: Seconds) -> Option<&SpeedLevel> {
+        self.levels.iter().find(|l| l.exec_time(work) <= deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_validation() {
+        assert!(SpeedLevel::new(0.5, Watts::new(5.0)).is_ok());
+        assert!(SpeedLevel::new(0.0, Watts::new(5.0)).is_err());
+        assert!(SpeedLevel::new(1.2, Watts::new(5.0)).is_err());
+        assert!(SpeedLevel::new(0.5, Watts::new(-1.0)).is_err());
+    }
+
+    #[test]
+    fn exec_time_scales_inversely() {
+        let l = SpeedLevel::new(0.5, Watts::new(5.0)).unwrap();
+        assert_eq!(l.exec_time(Seconds::new(2.0)), Seconds::new(4.0));
+    }
+
+    #[test]
+    fn device_validation() {
+        let l = |s, p| SpeedLevel::new(s, Watts::new(p)).unwrap();
+        assert!(DvsDevice::new(vec![], Watts::new(1.0), Volts::new(12.0)).is_err());
+        // Unsorted speeds.
+        assert!(DvsDevice::new(
+            vec![l(0.8, 8.0), l(0.4, 4.0)],
+            Watts::new(1.0),
+            Volts::new(12.0)
+        )
+        .is_err());
+        // Power decreasing in speed.
+        assert!(DvsDevice::new(
+            vec![l(0.4, 8.0), l(0.8, 4.0)],
+            Watts::new(1.0),
+            Volts::new(12.0)
+        )
+        .is_err());
+        assert!(DvsDevice::new(vec![l(0.5, 5.0)], Watts::new(-1.0), Volts::new(12.0)).is_err());
+        assert!(DvsDevice::new(vec![l(0.5, 5.0)], Watts::new(1.0), Volts::new(0.0)).is_err());
+    }
+
+    #[test]
+    fn slowest_feasible_respects_deadline() {
+        let d = DvsDevice::quadratic_example();
+        // Work 2 s, deadline 4 s: need speed ≥ 0.5 → level 0.6.
+        let level = d
+            .slowest_feasible(Seconds::new(2.0), Seconds::new(4.0))
+            .unwrap();
+        assert_eq!(level.speed, 0.6);
+        // Impossible deadline.
+        assert!(d
+            .slowest_feasible(Seconds::new(2.0), Seconds::new(1.0))
+            .is_none());
+        // Relaxed deadline: slowest level wins.
+        let level = d
+            .slowest_feasible(Seconds::new(2.0), Seconds::new(100.0))
+            .unwrap();
+        assert_eq!(level.speed, 0.2);
+    }
+
+    #[test]
+    fn currents_at_bus() {
+        let d = DvsDevice::quadratic_example();
+        let top = d.levels().last().unwrap();
+        assert!((d.run_current(top).amps() - 12.0 / 12.0).abs() < 1e-12);
+        assert!((d.idle_current().amps() - 0.125).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for the DVS models.
+
+use core::fmt;
+
+/// Errors produced by DVS device/task construction and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DvsError {
+    /// A device or task field violated an invariant.
+    InvalidInput {
+        /// Name of the offending field.
+        name: &'static str,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// No speed level can finish the task by its deadline.
+    Infeasible,
+}
+
+impl DvsError {
+    pub(crate) fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        Self::InvalidInput {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DvsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidInput { name, message } => {
+                write!(f, "invalid DVS input `{name}`: {message}")
+            }
+            Self::Infeasible => write!(f, "no speed level meets the task deadline"),
+        }
+    }
+}
+
+impl std::error::Error for DvsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = DvsError::invalid("work", "must be positive");
+        assert!(e.to_string().contains("`work`"));
+        assert!(DvsError::Infeasible.to_string().contains("deadline"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Periodic task model.
+
+use fcdpm_units::Seconds;
+
+use crate::DvsError;
+
+/// A periodic real-time task: `work` seconds of full-speed execution every
+/// `period`, due within `deadline` of each release.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_dvs::DvsTask;
+/// use fcdpm_units::Seconds;
+///
+/// # fn main() -> Result<(), fcdpm_dvs::DvsError> {
+/// let task = DvsTask::new(Seconds::new(2.0), Seconds::new(10.0), Seconds::new(8.0))?;
+/// assert_eq!(task.utilization(), 0.2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DvsTask {
+    work: Seconds,
+    period: Seconds,
+    deadline: Seconds,
+}
+
+impl DvsTask {
+    /// Creates a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DvsError::InvalidInput`] if `work` is non-positive, the
+    /// deadline is shorter than the work (infeasible even at full speed),
+    /// or the deadline exceeds the period.
+    pub fn new(work: Seconds, period: Seconds, deadline: Seconds) -> Result<Self, DvsError> {
+        if work <= Seconds::ZERO || !work.is_finite() {
+            return Err(DvsError::invalid("work", "must be positive"));
+        }
+        if deadline < work {
+            return Err(DvsError::invalid(
+                "deadline",
+                "shorter than the work itself: infeasible at any speed",
+            ));
+        }
+        if deadline > period {
+            return Err(DvsError::invalid("deadline", "must not exceed the period"));
+        }
+        Ok(Self {
+            work,
+            period,
+            deadline,
+        })
+    }
+
+    /// Full-speed execution time per release.
+    #[must_use]
+    pub fn work(&self) -> Seconds {
+        self.work
+    }
+
+    /// Release period.
+    #[must_use]
+    pub fn period(&self) -> Seconds {
+        self.period
+    }
+
+    /// Relative deadline.
+    #[must_use]
+    pub fn deadline(&self) -> Seconds {
+        self.deadline
+    }
+
+    /// Full-speed utilization `work / period`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.work / self.period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(DvsTask::new(Seconds::new(2.0), Seconds::new(10.0), Seconds::new(8.0)).is_ok());
+        assert!(DvsTask::new(Seconds::ZERO, Seconds::new(10.0), Seconds::new(8.0)).is_err());
+        // Deadline below the work.
+        assert!(DvsTask::new(Seconds::new(9.0), Seconds::new(10.0), Seconds::new(8.0)).is_err());
+        // Deadline past the period.
+        assert!(DvsTask::new(Seconds::new(2.0), Seconds::new(10.0), Seconds::new(11.0)).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = DvsTask::new(Seconds::new(3.0), Seconds::new(12.0), Seconds::new(9.0)).unwrap();
+        assert_eq!(t.work(), Seconds::new(3.0));
+        assert_eq!(t.period(), Seconds::new(12.0));
+        assert_eq!(t.deadline(), Seconds::new(9.0));
+        assert_eq!(t.utilization(), 0.25);
+    }
+}

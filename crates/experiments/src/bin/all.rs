@@ -1,0 +1,79 @@
+//! One-shot reproduction runner: executes every table/figure regenerator
+//! and every ablation in sequence, writing each output to
+//! `results/<name>.txt` (or a directory given as the first argument).
+//!
+//! ```sh
+//! cargo run -p fcdpm-experiments --bin all [results-dir]
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig6",
+    "fig7",
+    "table2",
+    "table3",
+    "sweeps",
+    "ablation",
+    "dpm_policies",
+    "aggregation",
+    "dvs",
+    "model_fidelity",
+    "lifetime",
+    "heavy_tail",
+    "multi_device",
+];
+
+fn main() {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results".to_owned())
+        .into();
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("error: cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+    let exe_dir = std::env::current_exe()
+        .expect("current executable path")
+        .parent()
+        .expect("executable lives in a directory")
+        .to_path_buf();
+
+    let mut failures = 0;
+    for name in EXPERIMENTS {
+        let bin = exe_dir.join(name);
+        print!("{name:<16}");
+        let output = Command::new(&bin).output();
+        match output {
+            Ok(out) if out.status.success() => {
+                let path = out_dir.join(format!("{name}.txt"));
+                if let Err(e) = fs::write(&path, &out.stdout) {
+                    println!("FAILED to write {}: {e}", path.display());
+                    failures += 1;
+                } else {
+                    println!("-> {} ({} bytes)", path.display(), out.stdout.len());
+                }
+            }
+            Ok(out) => {
+                println!("FAILED (exit {:?})", out.status.code());
+                failures += 1;
+            }
+            Err(e) => {
+                println!("FAILED to launch {}: {e}", bin.display());
+                eprintln!("hint: build the experiment binaries first:");
+                eprintln!("    cargo build -p fcdpm-experiments");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+    println!("all experiments written to {}", out_dir.display());
+}

@@ -1,0 +1,30 @@
+//! Figure 2: measured FC stack voltage and power versus stack current for
+//! the BCS 20 W, 20-cell hydrogen stack. Prints the I-V-P curve as CSV.
+
+use fcdpm_fuelcell::PolarizationCurve;
+use fcdpm_units::Amps;
+
+fn main() {
+    let stack = PolarizationCurve::bcs_20w();
+    println!("# Figure 2: FC stack I-V-P curve (BCS 20 W class, 20 cells)");
+    println!("i_fc_ma,v_fc_v,p_fc_w");
+    for pt in stack.sample_curve(Amps::new(1.5), 31) {
+        println!(
+            "{:.0},{:.3},{:.3}",
+            pt.current.milliamps(),
+            pt.voltage.volts(),
+            pt.power.watts()
+        );
+    }
+    let mpp = stack.max_power_point();
+    println!(
+        "# open-circuit voltage: {:.1} (paper: 18.2 V)",
+        stack.open_circuit_voltage()
+    );
+    println!(
+        "# maximum power capacity: {:.1} at {:.0} mA (paper: ~20 W)",
+        mpp.power,
+        mpp.current.milliamps()
+    );
+    println!("# load-following range ends at I_F = 1.2 A on the system side");
+}

@@ -1,0 +1,43 @@
+//! Figure 6: the DVD camcorder's power-state abstraction. Prints the mode
+//! table, the transition overheads and the derived break-even time.
+
+use fcdpm_device::{presets, PowerMode};
+
+fn main() {
+    let spec = presets::dvd_camcorder();
+    println!("# Figure 6: power-state abstraction of {}", spec.name());
+    println!("mode,power_w,current_a_at_12v");
+    for mode in PowerMode::ALL {
+        println!(
+            "{},{:.2},{:.4}",
+            mode,
+            spec.mode_power(mode).watts(),
+            spec.mode_current(mode).amps()
+        );
+    }
+    println!("transition,delay_s,current_a");
+    println!(
+        "STANDBY->SLEEP,{:.1},{:.2}",
+        spec.power_down_time().seconds(),
+        spec.power_down_current().amps()
+    );
+    println!(
+        "SLEEP->STANDBY,{:.1},{:.2}",
+        spec.wake_up_time().seconds(),
+        spec.wake_up_current().amps()
+    );
+    println!(
+        "STANDBY->RUN,{:.1},{:.4}",
+        spec.start_up_time().seconds(),
+        spec.mode_current(PowerMode::Run).amps()
+    );
+    println!(
+        "RUN->STANDBY,{:.1},{:.4}",
+        spec.shut_down_time().seconds(),
+        spec.mode_current(PowerMode::Run).amps()
+    );
+    println!(
+        "# derived break-even time: {:.2} (paper: T_be = tau_PD + tau_WU = 1 s)",
+        spec.break_even_time()
+    );
+}

@@ -1,0 +1,173 @@
+//! Shared harness for the table/figure regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper; this library holds the policy-comparison runner they share. See
+//! `DESIGN.md` (experiment index) and `EXPERIMENTS.md` (paper-vs-measured)
+//! at the repository root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fcdpm_core::dpm::PredictiveSleep;
+use fcdpm_core::policy::{AsapDpm, ConvDpm, FcDpm};
+use fcdpm_core::FuelOptimizer;
+use fcdpm_sim::{HybridSimulator, ProfileRecorder, SimError, SimMetrics};
+use fcdpm_storage::IdealStorage;
+use fcdpm_units::{Charge, Seconds};
+use fcdpm_workload::Scenario;
+
+/// Results of running the three Section-5 policies on one scenario.
+#[derive(Debug, Clone)]
+pub struct PolicyComparison {
+    /// Conv-DPM metrics.
+    pub conv: SimMetrics,
+    /// ASAP-DPM metrics.
+    pub asap: SimMetrics,
+    /// FC-DPM metrics.
+    pub fc_dpm: SimMetrics,
+}
+
+impl PolicyComparison {
+    /// Runs all three policies on `scenario` with the paper's 100 mA·min
+    /// super-capacitor-equivalent buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`].
+    pub fn run(scenario: &Scenario) -> Result<Self, SimError> {
+        Self::run_with_capacity(scenario, Charge::from_milliamp_minutes(100.0))
+    }
+
+    /// Runs all three policies with an explicit storage capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`].
+    pub fn run_with_capacity(scenario: &Scenario, capacity: Charge) -> Result<Self, SimError> {
+        let sim = HybridSimulator::dac07(&scenario.device);
+        let run = |policy: &mut dyn fcdpm_core::FcOutputPolicy| -> Result<SimMetrics, SimError> {
+            let mut storage = IdealStorage::new(capacity, capacity * 0.5);
+            let mut sleep = PredictiveSleep::new(scenario.rho);
+            Ok(sim
+                .run(&scenario.trace, &mut sleep, policy, &mut storage)?
+                .metrics)
+        };
+        let conv = run(&mut ConvDpm::dac07())?;
+        let asap = run(&mut AsapDpm::dac07(capacity))?;
+        let mut fc = FcDpm::new(
+            FuelOptimizer::dac07(),
+            &scenario.device,
+            capacity,
+            scenario.sigma,
+            scenario.active_current_estimate,
+        );
+        let fc_dpm = run(&mut fc)?;
+        Ok(Self { conv, asap, fc_dpm })
+    }
+
+    /// ASAP-DPM's fuel normalized to Conv-DPM (a Table 2/3 cell).
+    #[must_use]
+    pub fn asap_normalized(&self) -> f64 {
+        self.asap.normalized_fuel(&self.conv)
+    }
+
+    /// FC-DPM's fuel normalized to Conv-DPM (a Table 2/3 cell).
+    #[must_use]
+    pub fn fc_normalized(&self) -> f64 {
+        self.fc_dpm.normalized_fuel(&self.conv)
+    }
+
+    /// FC-DPM's fuel saving relative to ASAP-DPM (the paper's 24.4 % /
+    /// 15.5 % headline numbers).
+    #[must_use]
+    pub fn fc_saving_vs_asap(&self) -> f64 {
+        1.0 - self.fc_dpm.normalized_fuel(&self.asap)
+    }
+
+    /// FC-DPM's lifetime extension over ASAP-DPM (the paper's 1.32×).
+    #[must_use]
+    pub fn fc_lifetime_extension(&self) -> f64 {
+        self.fc_dpm.lifetime_extension_over(&self.asap)
+    }
+
+    /// Prints the normalized-fuel table in the paper's format.
+    pub fn print_table(&self, title: &str) {
+        println!("{title}");
+        println!("{:<28} {:>12}", "DPM policy", "vs Conv-DPM");
+        println!("{:<28} {:>11.1}%", "Conv-DPM", 100.0);
+        println!(
+            "{:<28} {:>11.1}%",
+            "ASAP-DPM",
+            self.asap_normalized() * 100.0
+        );
+        println!("{:<28} {:>11.1}%", "FC-DPM", self.fc_normalized() * 100.0);
+        println!(
+            "FC-DPM saves {:.1}% fuel vs ASAP-DPM -> {:.2}x lifetime",
+            self.fc_saving_vs_asap() * 100.0,
+            self.fc_lifetime_extension()
+        );
+    }
+}
+
+/// Records the Figure-7-style current profile of one policy run.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn record_profile(
+    scenario: &Scenario,
+    policy: &mut dyn fcdpm_core::FcOutputPolicy,
+    capacity: Charge,
+    horizon: Seconds,
+) -> Result<ProfileRecorder, SimError> {
+    let sim = HybridSimulator::dac07(&scenario.device);
+    let mut storage = IdealStorage::new(capacity, capacity * 0.5);
+    let mut sleep = PredictiveSleep::new(scenario.rho);
+    let mut rec = ProfileRecorder::new(Seconds::new(0.5), horizon);
+    sim.run_recorded(&scenario.trace, &mut sleep, policy, &mut storage, &mut rec)?;
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_runs_and_orders() {
+        let scenario = Scenario::experiment1();
+        let cmp = PolicyComparison::run(&scenario).unwrap();
+        assert!(cmp.fc_normalized() < cmp.asap_normalized());
+        assert!(cmp.asap_normalized() < 1.0);
+        assert!(cmp.fc_saving_vs_asap() > 0.0);
+        assert!(cmp.fc_lifetime_extension() > 1.0);
+    }
+
+    #[test]
+    fn comparison_orders_on_experiment_2_too() {
+        let scenario = Scenario::experiment2();
+        let cmp = PolicyComparison::run(&scenario).unwrap();
+        assert!(cmp.fc_normalized() < cmp.asap_normalized());
+    }
+
+    #[test]
+    fn capacity_parameter_matters() {
+        let scenario = Scenario::experiment1();
+        let tiny = PolicyComparison::run_with_capacity(&scenario, Charge::new(1.0)).unwrap();
+        let roomy = PolicyComparison::run_with_capacity(&scenario, Charge::new(60.0)).unwrap();
+        assert!(roomy.fc_saving_vs_asap() > tiny.fc_saving_vs_asap());
+    }
+
+    #[test]
+    fn profile_recording_helper() {
+        use fcdpm_core::policy::ConvDpm;
+        let scenario = Scenario::experiment1();
+        let rec = record_profile(
+            &scenario,
+            &mut ConvDpm::dac07(),
+            Charge::from_milliamp_minutes(100.0),
+            Seconds::new(30.0),
+        )
+        .unwrap();
+        assert_eq!(rec.samples().len(), 61);
+    }
+}

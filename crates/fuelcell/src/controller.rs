@@ -1,0 +1,219 @@
+//! Balance-of-plant controller load models.
+//!
+//! The FC system's controller — cathode air-blow fan, cooling fan, purge
+//! valve solenoid and microcontroller — draws current `I_ctrl` from the
+//! DC-DC output, so the usable system output is `I_F = I_dc − I_ctrl`
+//! (Section 2.1). The paper studies two configurations (Figure 3):
+//!
+//! * a **variable-speed fan** whose speed is proportional to the load
+//!   current, giving the higher efficiency curve 3(b);
+//! * a **constant-speed air-blow fan plus an on/off cooling fan** that
+//!   switches on above a current threshold, the flatter curve 3(c) used in
+//!   the authors' earlier work.
+
+use fcdpm_units::Amps;
+
+/// The controller's current draw as a function of the FC system output
+/// current `I_F`.
+pub trait ControllerLoad: core::fmt::Debug {
+    /// Controller current `I_ctrl` when the system delivers `i_f` to the
+    /// load side.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `i_f` is negative.
+    fn current(&self, i_f: Amps) -> Amps;
+}
+
+/// Proportional (variable-speed) fan control: `I_ctrl = base + k·I_F`.
+///
+/// The fan speed — and so the fan current — tracks the load, avoiding the
+/// waste of running fans at full speed for light loads.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_units::Amps;
+/// use fcdpm_fuelcell::{ControllerLoad, VariableSpeedFanController};
+///
+/// let ctrl = VariableSpeedFanController::dac07();
+/// assert!(ctrl.current(Amps::new(0.1)) < ctrl.current(Amps::new(1.2)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct VariableSpeedFanController {
+    base: Amps,
+    slope: f64,
+}
+
+impl VariableSpeedFanController {
+    /// Creates a proportional controller with standby draw `base` and fan
+    /// gain `slope` (amps of fan current per amp of output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` or `slope` is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn new(base: Amps, slope: f64) -> Self {
+        assert!(!base.is_negative(), "base draw must be non-negative");
+        assert!(slope >= 0.0, "fan gain must be non-negative");
+        Self { base, slope }
+    }
+
+    /// The configuration calibrated for the paper's Figure 3(b) setup:
+    /// 8 mA of microcontroller draw plus 60 mA of fan per amp of output.
+    #[must_use]
+    pub fn dac07() -> Self {
+        Self::new(Amps::from_milli(8.0), 0.06)
+    }
+}
+
+impl ControllerLoad for VariableSpeedFanController {
+    fn current(&self, i_f: Amps) -> Amps {
+        assert!(!i_f.is_negative(), "output current must be non-negative");
+        self.base + i_f * self.slope
+    }
+}
+
+/// Constant-speed air-blow fan plus an on/off cooling fan that engages
+/// above `cooling_threshold` (Figure 3(c): "cooling fan is on" above
+/// ≈ 600 mA).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OnOffFanController {
+    base: Amps,
+    blow_fan: Amps,
+    cooling_fan: Amps,
+    cooling_threshold: Amps,
+}
+
+impl OnOffFanController {
+    /// Creates an on/off controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any current is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn new(base: Amps, blow_fan: Amps, cooling_fan: Amps, cooling_threshold: Amps) -> Self {
+        for (v, name) in [
+            (base, "base"),
+            (blow_fan, "blow_fan"),
+            (cooling_fan, "cooling_fan"),
+            (cooling_threshold, "cooling_threshold"),
+        ] {
+            assert!(!v.is_negative(), "{name} must be non-negative");
+        }
+        Self {
+            base,
+            blow_fan,
+            cooling_fan,
+            cooling_threshold,
+        }
+    }
+
+    /// The configuration of the authors' earlier work (Figure 3(c)):
+    /// 8 mA microcontroller, 25 mA constant blow fan, 35 mA cooling fan
+    /// engaging above 600 mA of output.
+    #[must_use]
+    pub fn dac07() -> Self {
+        Self::new(
+            Amps::from_milli(8.0),
+            Amps::from_milli(25.0),
+            Amps::from_milli(35.0),
+            Amps::from_milli(600.0),
+        )
+    }
+
+    /// Returns `true` if the cooling fan runs at output current `i_f`.
+    #[must_use]
+    pub fn cooling_on(&self, i_f: Amps) -> bool {
+        i_f > self.cooling_threshold
+    }
+}
+
+impl ControllerLoad for OnOffFanController {
+    fn current(&self, i_f: Amps) -> Amps {
+        assert!(!i_f.is_negative(), "output current must be non-negative");
+        let mut total = self.base + self.blow_fan;
+        if self.cooling_on(i_f) {
+            total += self.cooling_fan;
+        }
+        total
+    }
+}
+
+/// A fixed controller draw, independent of load — useful for ablations.
+#[derive(Debug, Default, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FixedController {
+    draw: Amps,
+}
+
+impl FixedController {
+    /// Creates a controller that always draws `draw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `draw` is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn new(draw: Amps) -> Self {
+        assert!(!draw.is_negative(), "draw must be non-negative");
+        Self { draw }
+    }
+}
+
+impl ControllerLoad for FixedController {
+    fn current(&self, i_f: Amps) -> Amps {
+        assert!(!i_f.is_negative(), "output current must be non-negative");
+        self.draw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variable_fan_scales_with_load() {
+        let c = VariableSpeedFanController::dac07();
+        let lo = c.current(Amps::new(0.1));
+        let hi = c.current(Amps::new(1.2));
+        assert!((lo.amps() - 0.014).abs() < 1e-12);
+        assert!((hi.amps() - 0.080).abs() < 1e-12);
+    }
+
+    #[test]
+    fn on_off_fan_steps_at_threshold() {
+        let c = OnOffFanController::dac07();
+        let below = c.current(Amps::new(0.5));
+        let above = c.current(Amps::new(0.7));
+        assert!(!c.cooling_on(Amps::new(0.5)));
+        assert!(c.cooling_on(Amps::new(0.7)));
+        assert!((above.amps() - below.amps() - 0.035).abs() < 1e-12);
+        // Threshold itself is exclusive.
+        assert!(!c.cooling_on(Amps::new(0.6)));
+    }
+
+    #[test]
+    fn fixed_controller_constant() {
+        let c = FixedController::new(Amps::from_milli(10.0));
+        assert_eq!(c.current(Amps::ZERO), Amps::from_milli(10.0));
+        assert_eq!(c.current(Amps::new(1.2)), Amps::from_milli(10.0));
+        assert_eq!(
+            FixedController::default().current(Amps::new(1.0)),
+            Amps::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_output_rejected() {
+        let _ = VariableSpeedFanController::dac07().current(Amps::new(-0.1));
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let boxed: Box<dyn ControllerLoad> = Box::new(OnOffFanController::dac07());
+        assert!(boxed.current(Amps::new(1.0)).amps() > 0.0);
+    }
+}

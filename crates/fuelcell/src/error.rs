@@ -1,0 +1,83 @@
+//! Error type for fuel-cell system modeling.
+
+use core::fmt;
+
+use fcdpm_units::{Amps, Watts};
+
+/// Errors produced by fuel-cell models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum FuelCellError {
+    /// A demanded output power exceeds the stack's maximum power capacity.
+    ExceedsCapacity {
+        /// The power that was demanded from the stack.
+        demanded: Watts,
+        /// The stack's maximum deliverable power.
+        capacity: Watts,
+    },
+    /// A current was outside the domain of the model evaluating it
+    /// (negative, or beyond the point where the linear efficiency model
+    /// `α − β·I` stays positive).
+    OutOfDomain {
+        /// The offending current.
+        current: Amps,
+    },
+    /// An iterative solver failed to converge.
+    SolverDiverged {
+        /// The residual at the last iterate, in watts.
+        residual: f64,
+    },
+    /// A model was constructed with parameters that violate its invariants
+    /// (e.g. non-positive ζ, non-positive α).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for FuelCellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ExceedsCapacity { demanded, capacity } => write!(
+                f,
+                "demanded stack power {demanded:.2} exceeds capacity {capacity:.2}"
+            ),
+            Self::OutOfDomain { current } => {
+                write!(f, "current {current:.3} outside the model's domain")
+            }
+            Self::SolverDiverged { residual } => {
+                write!(
+                    f,
+                    "operating-point solver diverged (residual {residual:.3e} W)"
+                )
+            }
+            Self::InvalidParameter { name } => {
+                write!(f, "invalid model parameter `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FuelCellError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = FuelCellError::ExceedsCapacity {
+            demanded: Watts::new(25.0),
+            capacity: Watts::new(20.3),
+        };
+        assert!(e.to_string().contains("exceeds capacity"));
+        let e = FuelCellError::OutOfDomain {
+            current: Amps::new(-1.0),
+        };
+        assert!(e.to_string().contains("outside the model's domain"));
+        let e = FuelCellError::SolverDiverged { residual: 1e-3 };
+        assert!(e.to_string().contains("diverged"));
+        let e = FuelCellError::InvalidParameter { name: "zeta" };
+        assert!(e.to_string().contains("`zeta`"));
+    }
+}

@@ -1,0 +1,375 @@
+//! Fuel accounting: Gibbs free energy, hydrogen flow, gauges and tanks.
+//!
+//! The paper measures that the Gibbs free energy released per second is
+//! proportional to the stack current: `ΔE_Gibbs = ζ·I_fc` with ζ ≈ 37.5
+//! (in volt-equivalents, i.e. joules per ampere-second). Fuel consumption
+//! is therefore accounted as `∫ I_fc dt` in ampere-seconds, and converted
+//! to joules of Gibbs energy or moles of hydrogen when needed.
+
+use fcdpm_units::{Amps, Charge, Energy, Seconds, Volts};
+
+use crate::FuelCellError;
+
+/// Faraday constant (C/mol).
+pub const FARADAY: f64 = 96_485.332_12;
+
+/// Molar Gibbs free energy of the hydrogen oxidation reaction at room
+/// temperature (J/mol), per Larminie & Dicks.
+pub const GIBBS_H2_J_PER_MOL: f64 = 237_130.0;
+
+/// The measured proportionality ζ between stack current and Gibbs
+/// free-energy release: `ΔE_Gibbs/s = ζ · I_fc` (Section 2.3).
+///
+/// ζ has units of volts (J per A·s). The paper measures ζ ≈ 37.5 for the
+/// 20-cell BCS stack. The ideal electrochemical value for a perfectly
+/// fuel-utilizing stack would be `cells · ΔG_molar / (2F)`; the measured ζ
+/// is higher because purge losses and crossover waste fuel, captured by the
+/// [`fuel utilization`](GibbsCoefficient::fuel_utilization) factor.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_units::{Amps, Seconds};
+/// use fcdpm_fuelcell::GibbsCoefficient;
+///
+/// let zeta = GibbsCoefficient::dac07();
+/// let e = zeta.gibbs_energy(Amps::new(1.3) * Seconds::new(30.0));
+/// assert!((e.joules() - 1.3 * 30.0 * 37.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GibbsCoefficient {
+    zeta: f64,
+    cells: u32,
+}
+
+impl GibbsCoefficient {
+    /// Creates a coefficient from a measured ζ (volt-equivalents) and the
+    /// stack cell count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuelCellError::InvalidParameter`] if `zeta` is not a
+    /// positive finite number or `cells` is zero.
+    pub fn new(zeta: f64, cells: u32) -> Result<Self, FuelCellError> {
+        if !zeta.is_finite() || zeta <= 0.0 {
+            return Err(FuelCellError::InvalidParameter { name: "zeta" });
+        }
+        if cells == 0 {
+            return Err(FuelCellError::InvalidParameter { name: "cells" });
+        }
+        Ok(Self { zeta, cells })
+    }
+
+    /// The paper's measured value: ζ ≈ 37.5 for the 20-cell BCS stack.
+    #[must_use]
+    pub fn dac07() -> Self {
+        Self::new(37.5, 20).expect("constants are valid")
+    }
+
+    /// ζ expressed in volts (joules of Gibbs energy per ampere-second of
+    /// stack charge).
+    #[must_use]
+    pub fn volts_equivalent(self) -> f64 {
+        self.zeta
+    }
+
+    /// Same as [`volts_equivalent`](Self::volts_equivalent) but typed.
+    #[must_use]
+    pub fn as_volts(self) -> Volts {
+        Volts::new(self.zeta)
+    }
+
+    /// Gibbs free energy released for a given integrated stack charge.
+    #[must_use]
+    pub fn gibbs_energy(self, stack_charge: Charge) -> Energy {
+        Energy::new(self.zeta * stack_charge.amp_seconds())
+    }
+
+    /// Gibbs free-energy release rate at stack current `i_fc` (watts).
+    #[must_use]
+    pub fn gibbs_rate(self, i_fc: Amps) -> f64 {
+        self.zeta * i_fc.amps()
+    }
+
+    /// Hydrogen consumed (mol) for a given integrated stack charge,
+    /// including the fuel-utilization loss implied by the measured ζ.
+    ///
+    /// An ideal stack consumes `cells·Q/(2F)` mol; a real one consumes
+    /// `ζ·Q / ΔG_molar` mol (all the Gibbs energy the fuel carries).
+    #[must_use]
+    pub fn hydrogen_moles(self, stack_charge: Charge) -> f64 {
+        self.gibbs_energy(stack_charge).joules() / GIBBS_H2_J_PER_MOL
+    }
+
+    /// The fraction of fed hydrogen that does electrical work, implied by
+    /// the measured ζ: `u = cells·ΔG_molar / (2F·ζ)`.
+    ///
+    /// For the paper's stack this comes out to ≈ 0.65, a plausible value
+    /// for a purge-valve system.
+    #[must_use]
+    pub fn fuel_utilization(self) -> f64 {
+        f64::from(self.cells) * GIBBS_H2_J_PER_MOL / (2.0 * FARADAY * self.zeta)
+    }
+}
+
+impl Default for GibbsCoefficient {
+    fn default() -> Self {
+        Self::dac07()
+    }
+}
+
+/// Accumulates fuel consumption (`∫ I_fc dt`) over a simulation.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_units::{Amps, Seconds};
+/// use fcdpm_fuelcell::FuelGauge;
+///
+/// let mut gauge = FuelGauge::new();
+/// gauge.consume(Amps::new(0.448), Seconds::new(30.0));
+/// assert!((gauge.total().amp_seconds() - 13.44).abs() < 1e-9);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FuelGauge {
+    total: Charge,
+    elapsed: Seconds,
+}
+
+impl FuelGauge {
+    /// Creates an empty gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `dt` seconds of operation at stack current `i_fc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i_fc` or `dt` is negative.
+    #[track_caller]
+    pub fn consume(&mut self, i_fc: Amps, dt: Seconds) {
+        assert!(!i_fc.is_negative(), "stack current must be non-negative");
+        assert!(!dt.is_negative(), "duration must be non-negative");
+        self.total += i_fc * dt;
+        self.elapsed += dt;
+    }
+
+    /// Total fuel consumed so far, as integrated stack charge.
+    #[must_use]
+    pub fn total(&self) -> Charge {
+        self.total
+    }
+
+    /// Total wall-clock time recorded.
+    #[must_use]
+    pub fn elapsed(&self) -> Seconds {
+        self.elapsed
+    }
+
+    /// Average stack current over the recorded interval.
+    ///
+    /// Returns zero for an empty gauge.
+    #[must_use]
+    pub fn mean_stack_current(&self) -> Amps {
+        if self.elapsed.is_zero() {
+            Amps::ZERO
+        } else {
+            self.total / self.elapsed
+        }
+    }
+
+    /// Merges another gauge's records into this one.
+    pub fn merge(&mut self, other: &Self) {
+        self.total += other.total;
+        self.elapsed += other.elapsed;
+    }
+}
+
+/// A finite hydrogen supply, for operational-lifetime estimation.
+///
+/// Lifetime is inversely proportional to the fuel consumption rate
+/// (Section 5.1), so a tank plus a measured consumption rate yields the
+/// system lifetime the paper reports.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_units::{Amps, Charge};
+/// use fcdpm_fuelcell::{GibbsCoefficient, HydrogenTank};
+///
+/// let tank = HydrogenTank::from_stack_charge(Charge::from_amp_hours(10.0));
+/// let life = tank.lifetime_at(Amps::new(0.448));
+/// assert!((life.seconds() - 10.0 * 3600.0 / 0.448).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HydrogenTank {
+    /// Capacity expressed as the total stack charge the tank can sustain.
+    capacity: Charge,
+}
+
+impl HydrogenTank {
+    /// Creates a tank holding enough fuel for `capacity` of integrated
+    /// stack charge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn from_stack_charge(capacity: Charge) -> Self {
+        assert!(
+            !capacity.is_negative(),
+            "tank capacity must be non-negative"
+        );
+        Self { capacity }
+    }
+
+    /// Creates a tank from an amount of hydrogen (mol) and the stack's ζ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `moles` is negative or NaN.
+    #[must_use]
+    #[track_caller]
+    pub fn from_hydrogen_moles(moles: f64, zeta: GibbsCoefficient) -> Self {
+        assert!(moles >= 0.0, "hydrogen amount must be non-negative");
+        let energy = moles * GIBBS_H2_J_PER_MOL;
+        Self::from_stack_charge(Charge::new(energy / zeta.volts_equivalent()))
+    }
+
+    /// Tank capacity as integrated stack charge.
+    #[must_use]
+    pub fn capacity(&self) -> Charge {
+        self.capacity
+    }
+
+    /// Remaining lifetime when fuel is drawn at constant stack current
+    /// `i_fc`.
+    ///
+    /// Returns `Seconds::new(f64::INFINITY)` for a zero draw.
+    #[must_use]
+    pub fn lifetime_at(&self, i_fc: Amps) -> Seconds {
+        if i_fc.is_zero() {
+            Seconds::new(f64::INFINITY)
+        } else {
+            self.capacity / i_fc
+        }
+    }
+
+    /// Remaining fraction of the tank after `consumed` stack charge.
+    ///
+    /// Saturates at zero when over-drawn.
+    #[must_use]
+    pub fn remaining_fraction(&self, consumed: Charge) -> f64 {
+        if self.capacity.is_zero() {
+            0.0
+        } else {
+            (1.0 - consumed / self.capacity).max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeta_constructors() {
+        assert!(GibbsCoefficient::new(37.5, 20).is_ok());
+        assert!(GibbsCoefficient::new(0.0, 20).is_err());
+        assert!(GibbsCoefficient::new(-1.0, 20).is_err());
+        assert!(GibbsCoefficient::new(f64::NAN, 20).is_err());
+        assert!(GibbsCoefficient::new(37.5, 0).is_err());
+        assert_eq!(GibbsCoefficient::default(), GibbsCoefficient::dac07());
+    }
+
+    #[test]
+    fn gibbs_energy_is_linear_in_charge() {
+        let zeta = GibbsCoefficient::dac07();
+        let e1 = zeta.gibbs_energy(Charge::new(1.0));
+        let e2 = zeta.gibbs_energy(Charge::new(2.0));
+        assert_eq!(e1.joules(), 37.5);
+        assert_eq!(e2.joules(), 75.0);
+        assert_eq!(zeta.as_volts().volts(), 37.5);
+        assert_eq!(zeta.gibbs_rate(Amps::new(2.0)), 75.0);
+    }
+
+    #[test]
+    fn fuel_utilization_plausible() {
+        let u = GibbsCoefficient::dac07().fuel_utilization();
+        assert!((0.5..0.8).contains(&u), "utilization {u} implausible");
+    }
+
+    #[test]
+    fn hydrogen_moles_accounting() {
+        let zeta = GibbsCoefficient::dac07();
+        // 1 A·s → 37.5 J of Gibbs energy → 37.5/237130 mol.
+        let mol = zeta.hydrogen_moles(Charge::new(1.0));
+        assert!((mol - 37.5 / 237_130.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_accumulates() {
+        let mut g = FuelGauge::new();
+        g.consume(Amps::new(0.5), Seconds::new(10.0));
+        g.consume(Amps::new(1.0), Seconds::new(5.0));
+        assert_eq!(g.total().amp_seconds(), 10.0);
+        assert_eq!(g.elapsed().seconds(), 15.0);
+        assert!((g.mean_stack_current().amps() - 10.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_merge() {
+        let mut a = FuelGauge::new();
+        a.consume(Amps::new(0.5), Seconds::new(10.0));
+        let mut b = FuelGauge::new();
+        b.consume(Amps::new(0.5), Seconds::new(10.0));
+        a.merge(&b);
+        assert_eq!(a.total().amp_seconds(), 10.0);
+        assert_eq!(a.elapsed().seconds(), 20.0);
+    }
+
+    #[test]
+    fn empty_gauge_mean_is_zero() {
+        assert_eq!(FuelGauge::new().mean_stack_current(), Amps::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn gauge_rejects_negative_current() {
+        FuelGauge::new().consume(Amps::new(-0.1), Seconds::new(1.0));
+    }
+
+    #[test]
+    fn tank_lifetime_inverse_in_current() {
+        let tank = HydrogenTank::from_stack_charge(Charge::new(100.0));
+        let slow = tank.lifetime_at(Amps::new(0.308));
+        let fast = tank.lifetime_at(Amps::new(0.408));
+        // Lifetime ratio = inverse fuel-rate ratio (the paper's 1.32×).
+        assert!((slow / fast - 0.408 / 0.308).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tank_zero_draw_is_infinite() {
+        let tank = HydrogenTank::from_stack_charge(Charge::new(1.0));
+        assert!(tank.lifetime_at(Amps::ZERO).seconds().is_infinite());
+    }
+
+    #[test]
+    fn tank_from_moles_round_trips() {
+        let zeta = GibbsCoefficient::dac07();
+        let tank = HydrogenTank::from_hydrogen_moles(1.0, zeta);
+        assert!((zeta.hydrogen_moles(tank.capacity()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remaining_fraction_saturates() {
+        let tank = HydrogenTank::from_stack_charge(Charge::new(10.0));
+        assert_eq!(tank.remaining_fraction(Charge::new(5.0)), 0.5);
+        assert_eq!(tank.remaining_fraction(Charge::new(20.0)), 0.0);
+        let empty = HydrogenTank::from_stack_charge(Charge::ZERO);
+        assert_eq!(empty.remaining_fraction(Charge::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,439 @@
+//! Fuel-cell stack polarization model.
+//!
+//! The stack is modeled with the classic Larminie–Dicks static polarization
+//! equation ("Fuel Cell Systems Explained", the paper's reference \[12\]):
+//!
+//! ```text
+//! V(I) = E_oc − a·ln(1 + I/i0) − r·I − m·(e^(n·I) − 1)
+//! ```
+//!
+//! with an activation term (`a`, `i0`), an ohmic term (`r`) and a
+//! concentration/mass-transport term (`m`, `n`). The `ln(1 + I/i0)` form is
+//! a standard smoothing of `ln(I/i0)` that keeps the curve defined at zero
+//! current (where it yields exactly the open-circuit voltage `E_oc`).
+//!
+//! The default parameters are calibrated to the paper's **BCS 20 W,
+//! 20-cell, room-temperature hydrogen stack** (Figure 2): open-circuit
+//! voltage 18.2 V, maximum power ≈ 20 W, and a stack current of ≈ 1.3 A
+//! when the system delivers 1.2 A at the 12 V bus.
+
+use fcdpm_units::{Amps, Efficiency, Volts, Watts};
+
+use crate::fuel::GibbsCoefficient;
+use crate::FuelCellError;
+
+/// A static polarization (I-V) model of a fuel-cell stack.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_units::Amps;
+/// use fcdpm_fuelcell::PolarizationCurve;
+///
+/// let stack = PolarizationCurve::bcs_20w();
+/// let v = stack.voltage(Amps::new(0.0));
+/// assert!((v.volts() - 18.2).abs() < 1e-9); // open-circuit voltage
+/// assert!(stack.voltage(Amps::new(1.0)) < v); // voltage droops under load
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PolarizationCurve {
+    /// Open-circuit stack voltage `E_oc` (V).
+    e_oc: f64,
+    /// Activation (Tafel) slope `a` (V).
+    a: f64,
+    /// Exchange-current scale `i0` (A).
+    i0: f64,
+    /// Ohmic (area-specific) resistance `r` (Ω).
+    r: f64,
+    /// Concentration-loss amplitude `m` (V).
+    m: f64,
+    /// Concentration-loss exponent `n` (1/A).
+    n: f64,
+    /// Number of series cells (used for hydrogen-flow conversion).
+    cells: u32,
+}
+
+/// One operating point on the stack curve.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StackPoint {
+    /// Stack current `I_fc`.
+    pub current: Amps,
+    /// Stack terminal voltage `V_fc`.
+    pub voltage: Volts,
+    /// Stack output power `V_fc · I_fc`.
+    pub power: Watts,
+}
+
+impl PolarizationCurve {
+    /// Creates a polarization curve from raw Larminie–Dicks parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuelCellError::InvalidParameter`] if any parameter is
+    /// non-finite, if `e_oc`, `i0` or `cells` is non-positive, or if any
+    /// loss coefficient is negative.
+    pub fn new(
+        e_oc: f64,
+        a: f64,
+        i0: f64,
+        r: f64,
+        m: f64,
+        n: f64,
+        cells: u32,
+    ) -> Result<Self, FuelCellError> {
+        let invalid = |name| Err(FuelCellError::InvalidParameter { name });
+        if !e_oc.is_finite() || e_oc <= 0.0 {
+            return invalid("e_oc");
+        }
+        if !a.is_finite() || a < 0.0 {
+            return invalid("a");
+        }
+        if !i0.is_finite() || i0 <= 0.0 {
+            return invalid("i0");
+        }
+        if !r.is_finite() || r < 0.0 {
+            return invalid("r");
+        }
+        if !m.is_finite() || m < 0.0 {
+            return invalid("m");
+        }
+        if !n.is_finite() || n < 0.0 {
+            return invalid("n");
+        }
+        if cells == 0 {
+            return invalid("cells");
+        }
+        Ok(Self {
+            e_oc,
+            a,
+            i0,
+            r,
+            m,
+            n,
+            cells,
+        })
+    }
+
+    /// The paper's BCS 20 W, 20-cell hydrogen stack (Figure 2), calibrated
+    /// so that the open-circuit voltage is 18.2 V, the maximum power is
+    /// ≈ 20 W, and the stack current is ≈ 1.3 A when the composed system
+    /// delivers 1.2 A at the 12 V bus.
+    #[must_use]
+    pub fn bcs_20w() -> Self {
+        Self::new(18.2, 0.55, 0.01, 1.1, 0.01, 3.0, 20).expect("calibrated parameters are valid")
+    }
+
+    /// Number of series cells in the stack.
+    #[must_use]
+    pub fn cells(&self) -> u32 {
+        self.cells
+    }
+
+    /// Open-circuit voltage.
+    #[must_use]
+    pub fn open_circuit_voltage(&self) -> Volts {
+        Volts::new(self.e_oc)
+    }
+
+    /// Terminal voltage at stack current `i`.
+    ///
+    /// The model is evaluated for any non-negative current; at high
+    /// currents the concentration term drives the voltage to (and below)
+    /// zero, which is clamped to zero since a stack cannot be driven to
+    /// negative terminal voltage by its own load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn voltage(&self, i: Amps) -> Volts {
+        assert!(!i.is_negative(), "stack current must be non-negative");
+        let i = i.amps();
+        let activation = self.a * (1.0 + i / self.i0).ln();
+        let ohmic = self.r * i;
+        let concentration = self.m * ((self.n * i).exp() - 1.0);
+        Volts::new((self.e_oc - activation - ohmic - concentration).max(0.0))
+    }
+
+    /// Output power at stack current `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is negative.
+    #[must_use]
+    pub fn power(&self, i: Amps) -> Watts {
+        self.voltage(i) * i
+    }
+
+    /// The full operating point at stack current `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is negative.
+    #[must_use]
+    pub fn point(&self, i: Amps) -> StackPoint {
+        StackPoint {
+            current: i,
+            voltage: self.voltage(i),
+            power: self.power(i),
+        }
+    }
+
+    /// Stack conversion efficiency at current `i` for Gibbs coefficient
+    /// `zeta`: `η_stack = V_fc / ζ` (Section 2.3; the `I_fc` in numerator
+    /// and denominator of the power ratio cancels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is negative.
+    #[must_use]
+    pub fn stack_efficiency(&self, i: Amps, zeta: GibbsCoefficient) -> Efficiency {
+        Efficiency::saturating(self.voltage(i).volts() / zeta.volts_equivalent())
+    }
+
+    /// Locates the maximum-power point by golden-section search on the
+    /// unimodal power curve.
+    ///
+    /// The search is seeded with a coarse scan so it works even if the
+    /// model parameters place the peak far from the default bracket.
+    #[must_use]
+    pub fn max_power_point(&self) -> StackPoint {
+        // Coarse scan to bracket the peak.
+        let mut best_i = 0.0f64;
+        let mut best_p = 0.0f64;
+        let mut hi = 1.0f64;
+        // Expand until power has clearly fallen off (or voltage hit zero).
+        loop {
+            let p = self.power(Amps::new(hi)).watts();
+            if p > best_p {
+                best_p = p;
+                best_i = hi;
+            }
+            if self.voltage(Amps::new(hi)).volts() == 0.0 || hi > 1.0e3 {
+                break;
+            }
+            hi *= 1.3;
+        }
+        let mut lo = (best_i / 1.3).max(0.0);
+        let mut hi = best_i * 1.3;
+        // Golden-section refine.
+        const PHI: f64 = 0.618_033_988_749_894_8;
+        for _ in 0..200 {
+            let c = hi - PHI * (hi - lo);
+            let d = lo + PHI * (hi - lo);
+            if self.power(Amps::new(c)).watts() < self.power(Amps::new(d)).watts() {
+                lo = c;
+            } else {
+                hi = d;
+            }
+            if hi - lo < 1e-9 {
+                break;
+            }
+        }
+        self.point(Amps::new(0.5 * (lo + hi)))
+    }
+
+    /// Samples the I-V-P curve at `count` evenly spaced currents in
+    /// `[0, i_max]` — the data behind Figure 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count < 2` or `i_max` is negative.
+    #[must_use]
+    pub fn sample_curve(&self, i_max: Amps, count: usize) -> Vec<StackPoint> {
+        assert!(count >= 2, "need at least two sample points");
+        (0..count)
+            .map(|k| {
+                let i = i_max * (k as f64 / (count - 1) as f64);
+                self.point(i)
+            })
+            .collect()
+    }
+
+    /// Solves for the stack current that delivers `power`, on the stable
+    /// (rising) side of the power curve, by bisection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuelCellError::ExceedsCapacity`] if `power` exceeds the
+    /// maximum power point, or [`FuelCellError::OutOfDomain`] if `power`
+    /// is negative.
+    pub fn current_for_power(&self, power: Watts) -> Result<Amps, FuelCellError> {
+        if power.is_negative() {
+            return Err(FuelCellError::OutOfDomain {
+                current: Amps::ZERO,
+            });
+        }
+        if power.is_zero() {
+            return Ok(Amps::ZERO);
+        }
+        let mpp = self.max_power_point();
+        if power > mpp.power {
+            return Err(FuelCellError::ExceedsCapacity {
+                demanded: power,
+                capacity: mpp.power,
+            });
+        }
+        let (mut lo, mut hi) = (0.0f64, mpp.current.amps());
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.power(Amps::new(mid)) < power {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-12 {
+                break;
+            }
+        }
+        let i = Amps::new(0.5 * (lo + hi));
+        let residual = (self.power(i).watts() - power.watts()).abs();
+        if residual > 1e-6 * power.watts().max(1.0) {
+            return Err(FuelCellError::SolverDiverged { residual });
+        }
+        Ok(i)
+    }
+}
+
+impl Default for PolarizationCurve {
+    fn default() -> Self {
+        Self::bcs_20w()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack() -> PolarizationCurve {
+        PolarizationCurve::bcs_20w()
+    }
+
+    #[test]
+    fn open_circuit_matches_paper() {
+        assert!((stack().voltage(Amps::ZERO).volts() - 18.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_monotonically_decreasing() {
+        let s = stack();
+        let mut prev = s.voltage(Amps::ZERO);
+        for k in 1..=300 {
+            let v = s.voltage(Amps::new(k as f64 * 0.01));
+            assert!(v <= prev, "voltage increased at {} A", k as f64 * 0.01);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn max_power_near_nameplate() {
+        let mpp = stack().max_power_point();
+        // BCS "20 W" stack: peak power should be near the nameplate.
+        assert!(
+            (18.0..23.0).contains(&mpp.power.watts()),
+            "max power {} W off nameplate",
+            mpp.power.watts()
+        );
+        assert!(
+            (1.4..2.4).contains(&mpp.current.amps()),
+            "max power current {} A implausible",
+            mpp.current.amps()
+        );
+    }
+
+    #[test]
+    fn power_unimodal_around_peak() {
+        let s = stack();
+        let mpp = s.max_power_point();
+        let before = s.power(mpp.current * 0.8);
+        let after = s.power(mpp.current * 1.2);
+        assert!(before < mpp.power);
+        assert!(after < mpp.power);
+    }
+
+    #[test]
+    fn stack_current_near_paper_value_at_full_output() {
+        // The paper reports I_fc ≈ 1.3 A when the system delivers
+        // I_F = 1.2 A at 12 V (≈ 17 W of stack output with converter and
+        // controller losses). Check V(1.3 A) is in a range that makes that
+        // power deliverable.
+        let v = stack().voltage(Amps::new(1.3));
+        assert!(
+            (13.0..15.0).contains(&v.volts()),
+            "V(1.3 A) = {} V outside calibration band",
+            v.volts()
+        );
+    }
+
+    #[test]
+    fn stack_efficiency_follows_voltage() {
+        let s = stack();
+        let zeta = GibbsCoefficient::dac07();
+        let lo = s.stack_efficiency(Amps::new(0.1), zeta);
+        let hi = s.stack_efficiency(Amps::new(1.3), zeta);
+        assert!(lo > hi);
+        // η_stack = V/ζ: at open circuit 18.2/37.5 ≈ 48.5 %.
+        let oc = s.stack_efficiency(Amps::ZERO, zeta);
+        assert!((oc.value() - 18.2 / 37.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_for_power_round_trips() {
+        let s = stack();
+        for p in [1.0, 5.0, 10.0, 15.0, 18.0] {
+            let i = s.current_for_power(Watts::new(p)).unwrap();
+            assert!((s.power(i).watts() - p).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn current_for_power_rejects_over_capacity() {
+        let err = stack().current_for_power(Watts::new(100.0)).unwrap_err();
+        assert!(matches!(err, FuelCellError::ExceedsCapacity { .. }));
+    }
+
+    #[test]
+    fn current_for_zero_power_is_zero() {
+        assert_eq!(stack().current_for_power(Watts::ZERO).unwrap(), Amps::ZERO);
+    }
+
+    #[test]
+    fn sample_curve_spans_range() {
+        let pts = stack().sample_curve(Amps::new(1.5), 16);
+        assert_eq!(pts.len(), 16);
+        assert_eq!(pts[0].current, Amps::ZERO);
+        assert_eq!(pts[15].current, Amps::new(1.5));
+        assert!(pts[0].power.is_zero());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(PolarizationCurve::new(0.0, 0.5, 0.01, 1.0, 0.01, 3.0, 20).is_err());
+        assert!(PolarizationCurve::new(18.2, -0.5, 0.01, 1.0, 0.01, 3.0, 20).is_err());
+        assert!(PolarizationCurve::new(18.2, 0.5, 0.0, 1.0, 0.01, 3.0, 20).is_err());
+        assert!(PolarizationCurve::new(18.2, 0.5, 0.01, -1.0, 0.01, 3.0, 20).is_err());
+        assert!(PolarizationCurve::new(18.2, 0.5, 0.01, 1.0, -0.01, 3.0, 20).is_err());
+        assert!(PolarizationCurve::new(18.2, 0.5, 0.01, 1.0, 0.01, f64::NAN, 20).is_err());
+        assert!(PolarizationCurve::new(18.2, 0.5, 0.01, 1.0, 0.01, 3.0, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_current_panics() {
+        let _ = stack().voltage(Amps::new(-0.1));
+    }
+
+    #[test]
+    fn voltage_clamped_to_zero_at_extreme_current() {
+        assert_eq!(stack().voltage(Amps::new(50.0)).volts(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = stack();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: PolarizationCurve = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

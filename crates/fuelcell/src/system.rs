@@ -1,0 +1,389 @@
+//! The composed fuel-cell system (Figure 1).
+//!
+//! An [`FcSystem`] chains the stack, the DC-DC converter and the controller
+//! load: when the system must deliver `I_F` at the bus, the converter must
+//! output `I_dc = I_F + I_ctrl`, the stack must supply
+//! `P_stack = V_dc·I_dc / η_dcdc`, and the stack operating point follows
+//! from the polarization curve. The resulting system efficiency
+//!
+//! ```text
+//! η_s(I_F) = V_F·I_F / (ζ·I_fc) = η_stack · η_dcdc · I_F/(I_F + I_ctrl)
+//! ```
+//!
+//! is what the paper measures in Figure 3 and then approximates with the
+//! linear model `α − β·I_F` used by the optimizer.
+
+use fcdpm_units::{Amps, CurrentRange, Efficiency, Volts};
+
+use crate::controller::{ControllerLoad, VariableSpeedFanController};
+use crate::dcdc::{DcDcConverter, PwmPfmConverter};
+use crate::efficiency::{EfficiencyFit, LinearEfficiency};
+use crate::fuel::GibbsCoefficient;
+use crate::stack::PolarizationCurve;
+use crate::FuelCellError;
+
+/// A fully resolved operating point of the composed system.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SystemPoint {
+    /// Usable system output current `I_F` at the bus.
+    pub i_f: Amps,
+    /// DC-DC output current `I_dc = I_F + I_ctrl`.
+    pub i_dc: Amps,
+    /// Controller draw `I_ctrl`.
+    pub i_ctrl: Amps,
+    /// Stack current `I_fc`.
+    pub i_fc: Amps,
+    /// Stack terminal voltage `V_fc`.
+    pub v_fc: Volts,
+    /// System efficiency `η_s = V_F·I_F / (ζ·I_fc)`.
+    pub efficiency: Efficiency,
+}
+
+/// The composed fuel-cell power system: stack + DC-DC + controller.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_units::Amps;
+/// use fcdpm_fuelcell::FcSystem;
+///
+/// # fn main() -> Result<(), fcdpm_fuelcell::FuelCellError> {
+/// let sys = FcSystem::dac07_variable_fan();
+/// let pt = sys.operating_point(Amps::new(1.2))?;
+/// // The paper reports I_fc ≈ 1.3 A at full output.
+/// assert!((pt.i_fc.amps() - 1.3).abs() < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FcSystem {
+    stack: PolarizationCurve,
+    dcdc: Box<dyn DcDcConverter + Send + Sync>,
+    controller: Box<dyn ControllerLoad + Send + Sync>,
+    zeta: GibbsCoefficient,
+    range: CurrentRange,
+}
+
+impl FcSystem {
+    /// Starts building a system from its components.
+    #[must_use]
+    pub fn builder() -> FcSystemBuilder {
+        FcSystemBuilder::new()
+    }
+
+    /// The paper's main configuration: BCS 20 W stack, PWM-PFM converter,
+    /// variable-speed fan (the Figure 3(b) setup used in all experiments).
+    #[must_use]
+    pub fn dac07_variable_fan() -> Self {
+        Self::builder().build()
+    }
+
+    /// The authors' earlier configuration: PWM converter and on/off fan
+    /// (Figure 3(c)), kept for the efficiency comparison.
+    #[must_use]
+    pub fn dac07_on_off_fan() -> Self {
+        Self::builder()
+            .dcdc(crate::dcdc::PwmConverter::dac07())
+            .controller(crate::controller::OnOffFanController::dac07())
+            .build()
+    }
+
+    /// The stack model.
+    #[must_use]
+    pub fn stack(&self) -> &PolarizationCurve {
+        &self.stack
+    }
+
+    /// The measured Gibbs coefficient ζ.
+    #[must_use]
+    pub fn zeta(&self) -> GibbsCoefficient {
+        self.zeta
+    }
+
+    /// The regulated bus voltage `V_F`.
+    #[must_use]
+    pub fn bus_voltage(&self) -> Volts {
+        self.dcdc.output_voltage()
+    }
+
+    /// The load-following range of output currents.
+    #[must_use]
+    pub fn load_following_range(&self) -> CurrentRange {
+        self.range
+    }
+
+    /// Solves the full operating point for a demanded output current
+    /// `i_f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuelCellError::OutOfDomain`] for negative `i_f`,
+    /// [`FuelCellError::ExceedsCapacity`] if the stack cannot supply the
+    /// implied power, or [`FuelCellError::SolverDiverged`] if the bisection
+    /// fails to converge.
+    pub fn operating_point(&self, i_f: Amps) -> Result<SystemPoint, FuelCellError> {
+        if i_f.is_negative() {
+            return Err(FuelCellError::OutOfDomain { current: i_f });
+        }
+        let i_ctrl = self.controller.current(i_f);
+        let i_dc = i_f + i_ctrl;
+        let eta_dcdc = self.dcdc.efficiency(i_dc);
+        if eta_dcdc.is_zero() {
+            // Converter delivers nothing (e.g. PWM at zero output): the
+            // stack supplies no power and no fuel flows.
+            return Ok(SystemPoint {
+                i_f,
+                i_dc,
+                i_ctrl,
+                i_fc: Amps::ZERO,
+                v_fc: self.stack.open_circuit_voltage(),
+                efficiency: Efficiency::ZERO,
+            });
+        }
+        let p_stack = (self.bus_voltage() * i_dc) / eta_dcdc.value();
+        let i_fc = self.stack.current_for_power(p_stack)?;
+        let v_fc = self.stack.voltage(i_fc);
+        let efficiency = if i_fc.is_zero() {
+            Efficiency::ZERO
+        } else {
+            Efficiency::saturating(
+                (self.bus_voltage() * i_f).watts() / (self.zeta.volts_equivalent() * i_fc.amps()),
+            )
+        };
+        Ok(SystemPoint {
+            i_f,
+            i_dc,
+            i_ctrl,
+            i_fc,
+            v_fc,
+            efficiency,
+        })
+    }
+
+    /// System efficiency `η_s` at output current `i_f`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`operating_point`](Self::operating_point).
+    pub fn system_efficiency(&self, i_f: Amps) -> Result<Efficiency, FuelCellError> {
+        Ok(self.operating_point(i_f)?.efficiency)
+    }
+
+    /// Samples the system-efficiency curve over the load-following range —
+    /// the data behind Figure 3(b)/(c).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`operating_point`](Self::operating_point).
+    pub fn efficiency_curve(&self, count: usize) -> Result<Vec<SystemPoint>, FuelCellError> {
+        self.range
+            .sweep(count)
+            .into_iter()
+            .map(|i| self.operating_point(i))
+            .collect()
+    }
+
+    /// Fits the paper's linear model `η_s ≈ α − β·I_F` to this system's
+    /// efficiency curve over its load-following range (least squares on
+    /// `count` samples).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`operating_point`](Self::operating_point).
+    pub fn fit_linear_efficiency(&self, count: usize) -> Result<EfficiencyFit, FuelCellError> {
+        let pts = self.efficiency_curve(count)?;
+        let samples: Vec<(Amps, Efficiency)> = pts.iter().map(|p| (p.i_f, p.efficiency)).collect();
+        LinearEfficiency::fit(&samples, self.bus_voltage(), self.zeta)
+    }
+}
+
+/// Builder for [`FcSystem`] (the components have several flavors each, so
+/// a builder keeps construction legible).
+pub struct FcSystemBuilder {
+    stack: PolarizationCurve,
+    dcdc: Box<dyn DcDcConverter + Send + Sync>,
+    controller: Box<dyn ControllerLoad + Send + Sync>,
+    zeta: GibbsCoefficient,
+    range: CurrentRange,
+}
+
+impl FcSystemBuilder {
+    /// Starts from the paper's main configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            stack: PolarizationCurve::bcs_20w(),
+            dcdc: Box::new(PwmPfmConverter::dac07()),
+            controller: Box::new(VariableSpeedFanController::dac07()),
+            zeta: GibbsCoefficient::dac07(),
+            range: CurrentRange::dac07(),
+        }
+    }
+
+    /// Replaces the stack model.
+    #[must_use]
+    pub fn stack(mut self, stack: PolarizationCurve) -> Self {
+        self.stack = stack;
+        self
+    }
+
+    /// Replaces the DC-DC converter.
+    #[must_use]
+    pub fn dcdc<C: DcDcConverter + Send + Sync + 'static>(mut self, dcdc: C) -> Self {
+        self.dcdc = Box::new(dcdc);
+        self
+    }
+
+    /// Replaces the controller load model.
+    #[must_use]
+    pub fn controller<C: ControllerLoad + Send + Sync + 'static>(mut self, ctrl: C) -> Self {
+        self.controller = Box::new(ctrl);
+        self
+    }
+
+    /// Replaces the Gibbs coefficient.
+    #[must_use]
+    pub fn zeta(mut self, zeta: GibbsCoefficient) -> Self {
+        self.zeta = zeta;
+        self
+    }
+
+    /// Replaces the load-following range.
+    #[must_use]
+    pub fn load_following_range(mut self, range: CurrentRange) -> Self {
+        self.range = range;
+        self
+    }
+
+    /// Finishes construction.
+    #[must_use]
+    pub fn build(self) -> FcSystem {
+        FcSystem {
+            stack: self.stack,
+            dcdc: self.dcdc,
+            controller: self.controller,
+            zeta: self.zeta,
+            range: self.range,
+        }
+    }
+}
+
+impl Default for FcSystemBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operating_point_balances_power() {
+        let sys = FcSystem::dac07_variable_fan();
+        let pt = sys.operating_point(Amps::new(0.8)).unwrap();
+        // Stack power × converter efficiency = DC-DC output power.
+        let p_stack = (pt.v_fc * pt.i_fc).watts();
+        let eta = PwmPfmConverter::dac07().efficiency(pt.i_dc).value();
+        let p_out = (sys.bus_voltage() * pt.i_dc).watts();
+        assert!((p_stack * eta - p_out).abs() < 1e-5);
+    }
+
+    #[test]
+    fn full_output_stack_current_near_paper() {
+        let sys = FcSystem::dac07_variable_fan();
+        let pt = sys.operating_point(Amps::new(1.2)).unwrap();
+        assert!(
+            (1.2..1.45).contains(&pt.i_fc.amps()),
+            "I_fc at full output = {} A (paper: ≈1.3 A)",
+            pt.i_fc.amps()
+        );
+    }
+
+    #[test]
+    fn efficiency_decreases_with_output_for_variable_fan() {
+        let sys = FcSystem::dac07_variable_fan();
+        let lo = sys.system_efficiency(Amps::new(0.1)).unwrap();
+        let hi = sys.system_efficiency(Amps::new(1.2)).unwrap();
+        assert!(lo > hi, "Figure 3(b) shape: η falls with I_F");
+        // Sanity band: both around 25–40 %.
+        assert!((0.25..0.45).contains(&lo.value()));
+        assert!((0.2..0.35).contains(&hi.value()));
+    }
+
+    #[test]
+    fn on_off_fan_flat_in_mid_range() {
+        // Figure 3(c): "efficiency can be treated as a constant in the
+        // load following range 0.3–1.2 A (variation within ±3 %)".
+        let sys = FcSystem::dac07_on_off_fan();
+        let etas: Vec<f64> = [0.3, 0.5, 0.7, 0.9, 1.1, 1.2]
+            .iter()
+            .map(|&i| sys.system_efficiency(Amps::new(i)).unwrap().value())
+            .collect();
+        let mean = etas.iter().sum::<f64>() / etas.len() as f64;
+        for eta in &etas {
+            assert!(
+                (eta - mean).abs() < 0.04,
+                "on/off-fan efficiency not flat: {etas:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn variable_fan_beats_on_off_fan() {
+        // Figure 3: curve (b) sits above curve (c).
+        let var = FcSystem::dac07_variable_fan();
+        let onoff = FcSystem::dac07_on_off_fan();
+        for i in [0.1, 0.3, 0.6, 0.9, 1.2] {
+            let a = var.system_efficiency(Amps::new(i)).unwrap();
+            let b = onoff.system_efficiency(Amps::new(i)).unwrap();
+            assert!(a >= b, "variable fan should win at {i} A");
+        }
+    }
+
+    #[test]
+    fn negative_current_rejected() {
+        let sys = FcSystem::dac07_variable_fan();
+        assert!(matches!(
+            sys.operating_point(Amps::new(-0.1)),
+            Err(FuelCellError::OutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn excessive_demand_rejected() {
+        let sys = FcSystem::dac07_variable_fan();
+        assert!(matches!(
+            sys.operating_point(Amps::new(10.0)),
+            Err(FuelCellError::ExceedsCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn efficiency_curve_has_requested_len() {
+        let sys = FcSystem::dac07_variable_fan();
+        let curve = sys.efficiency_curve(12).unwrap();
+        assert_eq!(curve.len(), 12);
+        assert_eq!(curve[0].i_f, Amps::new(0.1));
+        assert_eq!(curve[11].i_f, Amps::new(1.2));
+    }
+
+    #[test]
+    fn linear_fit_has_negative_slope() {
+        let sys = FcSystem::dac07_variable_fan();
+        let fit = sys.fit_linear_efficiency(23).unwrap();
+        assert!(fit.model.alpha() > 0.25, "α̂ = {}", fit.model.alpha());
+        assert!(fit.model.beta() > 0.0, "β̂ = {}", fit.model.beta());
+        assert!(fit.max_residual < 0.02, "fit residual {}", fit.max_residual);
+    }
+
+    #[test]
+    fn builder_customization() {
+        let sys = FcSystem::builder()
+            .zeta(GibbsCoefficient::new(40.0, 20).unwrap())
+            .load_following_range(CurrentRange::new(Amps::new(0.2), Amps::new(1.0)))
+            .build();
+        assert_eq!(sys.zeta().volts_equivalent(), 40.0);
+        assert_eq!(sys.load_following_range().min(), Amps::new(0.2));
+    }
+}

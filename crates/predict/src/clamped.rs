@@ -1,0 +1,127 @@
+//! Prediction clamping combinator.
+
+use fcdpm_units::Seconds;
+
+use crate::Predictor;
+
+/// Clamps another predictor's output into `[min, max]`.
+///
+/// Useful when the workload's period range is known a priori (the
+/// camcorder's idle periods are physically confined to 8–20 s by the
+/// buffer size and bitrate bounds): a mispredicting inner predictor can
+/// then never drive the planner outside the feasible band.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_predict::{Clamped, LastValue, Predictor};
+/// use fcdpm_units::Seconds;
+///
+/// let mut p = Clamped::new(LastValue::new(), Seconds::new(8.0), Seconds::new(20.0));
+/// p.observe(Seconds::new(3.0)); // observation below the band
+/// assert_eq!(p.predict(), Some(Seconds::new(8.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clamped<P> {
+    inner: P,
+    min: Seconds,
+    max: Seconds,
+}
+
+impl<P: Predictor> Clamped<P> {
+    /// Wraps `inner` with the clamp band `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or either bound is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn new(inner: P, min: Seconds, max: Seconds) -> Self {
+        assert!(!min.is_negative() && min <= max, "clamp band invalid");
+        Self { inner, min, max }
+    }
+
+    /// The wrapped predictor.
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The clamp band.
+    #[must_use]
+    pub fn band(&self) -> (Seconds, Seconds) {
+        (self.min, self.max)
+    }
+}
+
+impl<P: Predictor> Predictor for Clamped<P> {
+    fn predict(&self) -> Option<Seconds> {
+        self.inner.predict().map(|t| t.clamp(self.min, self.max))
+    }
+
+    fn observe(&mut self, actual: Seconds) {
+        self.inner.observe(actual);
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExponentialAverage, LastValue};
+
+    #[test]
+    fn clamps_both_sides() {
+        let mut p = Clamped::new(LastValue::new(), Seconds::new(8.0), Seconds::new(20.0));
+        p.observe(Seconds::new(100.0));
+        assert_eq!(p.predict(), Some(Seconds::new(20.0)));
+        p.observe(Seconds::new(1.0));
+        assert_eq!(p.predict(), Some(Seconds::new(8.0)));
+        p.observe(Seconds::new(12.0));
+        assert_eq!(p.predict(), Some(Seconds::new(12.0)));
+    }
+
+    #[test]
+    fn cold_stays_cold() {
+        let p = Clamped::new(LastValue::new(), Seconds::new(1.0), Seconds::new(2.0));
+        assert_eq!(p.predict(), None);
+    }
+
+    #[test]
+    fn reset_passes_through() {
+        let mut p = Clamped::new(
+            ExponentialAverage::new(0.5),
+            Seconds::ZERO,
+            Seconds::new(9.0),
+        );
+        p.observe(Seconds::new(4.0));
+        assert!(p.predict().is_some());
+        p.reset();
+        assert_eq!(p.predict(), None);
+        assert_eq!(p.band(), (Seconds::ZERO, Seconds::new(9.0)));
+        assert_eq!(p.inner().predict(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp band invalid")]
+    fn inverted_band_panics() {
+        let _ = Clamped::new(LastValue::new(), Seconds::new(5.0), Seconds::new(1.0));
+    }
+
+    #[test]
+    fn observations_reach_inner_unclamped() {
+        // The clamp is on the *prediction*, not on the learning: the
+        // inner state reflects the true observations.
+        let mut p = Clamped::new(
+            ExponentialAverage::new(0.0),
+            Seconds::new(8.0),
+            Seconds::new(20.0),
+        );
+        p.observe(Seconds::new(2.0));
+        assert_eq!(p.inner().predict(), Some(Seconds::new(2.0)));
+        assert_eq!(p.predict(), Some(Seconds::new(8.0)));
+    }
+}

@@ -1,0 +1,125 @@
+//! Running-average current estimator.
+
+use fcdpm_units::Amps;
+
+/// Running-average estimator for the future active-period current
+/// `I'_ld,a` (Section 4.2: "an estimation value … set to the average load
+/// current of the past active periods"), with an optional a-priori value
+/// used until the first observation.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_predict::MeanEstimator;
+/// use fcdpm_units::Amps;
+///
+/// let mut est = MeanEstimator::with_prior(Amps::new(1.2));
+/// assert_eq!(est.estimate(), Some(Amps::new(1.2))); // prior
+/// est.observe(Amps::new(1.0));
+/// est.observe(Amps::new(1.4));
+/// assert_eq!(est.estimate(), Some(Amps::new(1.2))); // mean of observations
+/// ```
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct MeanEstimator {
+    prior: Option<Amps>,
+    sum: f64,
+    count: u64,
+}
+
+impl MeanEstimator {
+    /// Creates an estimator with no prior (cold until first observation).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an estimator that reports `prior` until the first
+    /// observation arrives.
+    #[must_use]
+    pub fn with_prior(prior: Amps) -> Self {
+        Self {
+            prior: Some(prior),
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records an observed active-period current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative.
+    #[track_caller]
+    pub fn observe(&mut self, value: Amps) {
+        assert!(!value.is_negative(), "current must be non-negative");
+        self.sum += value.amps();
+        self.count += 1;
+    }
+
+    /// The current estimate: mean of observations, the prior before any,
+    /// or `None` if cold with no prior.
+    #[must_use]
+    pub fn estimate(&self) -> Option<Amps> {
+        if self.count > 0 {
+            Some(Amps::new(self.sum / self.count as f64))
+        } else {
+            self.prior
+        }
+    }
+
+    /// Number of observations recorded.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.count
+    }
+
+    /// Forgets all observations (the prior survives).
+    pub fn reset(&mut self) {
+        self.sum = 0.0;
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_without_prior() {
+        let est = MeanEstimator::new();
+        assert_eq!(est.estimate(), None);
+        assert_eq!(est.observations(), 0);
+    }
+
+    #[test]
+    fn prior_until_first_observation() {
+        let mut est = MeanEstimator::with_prior(Amps::new(1.2));
+        assert_eq!(est.estimate(), Some(Amps::new(1.2)));
+        est.observe(Amps::new(0.8));
+        assert_eq!(est.estimate(), Some(Amps::new(0.8)));
+    }
+
+    #[test]
+    fn running_mean() {
+        let mut est = MeanEstimator::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            est.observe(Amps::new(v));
+        }
+        assert_eq!(est.estimate(), Some(Amps::new(2.5)));
+        assert_eq!(est.observations(), 4);
+    }
+
+    #[test]
+    fn reset_restores_prior() {
+        let mut est = MeanEstimator::with_prior(Amps::new(1.2));
+        est.observe(Amps::new(0.5));
+        est.reset();
+        assert_eq!(est.estimate(), Some(Amps::new(1.2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_observation_panics() {
+        MeanEstimator::new().observe(Amps::new(-1.0));
+    }
+}

@@ -1,0 +1,145 @@
+//! Exponential-average predictor (the paper's Equations 14–15).
+
+use fcdpm_units::Seconds;
+
+use crate::Predictor;
+
+/// The exponential-average predictor of Hwang & Wu, used by the paper for
+/// both idle periods (factor ρ, Equation 14) and active periods (factor σ,
+/// Equation 15):
+///
+/// ```text
+/// T'(k) = ρ·T'(k−1) + (1 − ρ)·T(k−1)
+/// ```
+///
+/// A large factor weighs history; a small factor tracks recent behavior.
+/// The first observation seeds the state directly.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_predict::{ExponentialAverage, Predictor};
+/// use fcdpm_units::Seconds;
+///
+/// let mut p = ExponentialAverage::new(0.5);
+/// assert_eq!(p.predict(), None); // cold
+/// p.observe(Seconds::new(12.0));
+/// assert_eq!(p.predict(), Some(Seconds::new(12.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExponentialAverage {
+    factor: f64,
+    state: Option<Seconds>,
+}
+
+impl ExponentialAverage {
+    /// Creates a predictor with smoothing factor `factor` (ρ or σ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `[0, 1]`.
+    #[must_use]
+    #[track_caller]
+    pub fn new(factor: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "smoothing factor must be in [0, 1]"
+        );
+        Self {
+            factor,
+            state: None,
+        }
+    }
+
+    /// The smoothing factor.
+    #[must_use]
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+}
+
+impl Predictor for ExponentialAverage {
+    fn predict(&self) -> Option<Seconds> {
+        self.state
+    }
+
+    fn observe(&mut self, actual: Seconds) {
+        assert!(
+            !actual.is_negative(),
+            "observed period must be non-negative"
+        );
+        self.state = Some(match self.state {
+            None => actual,
+            Some(prev) => prev * self.factor + actual * (1.0 - self.factor),
+        });
+    }
+
+    fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recurrence_matches_closed_form() {
+        let mut p = ExponentialAverage::new(0.5);
+        for v in [10.0, 20.0, 30.0] {
+            p.observe(Seconds::new(v));
+        }
+        // T' = 0.5·(0.5·10 + 0.5·20) + 0.5·30 = 22.5.
+        assert_eq!(p.predict(), Some(Seconds::new(22.5)));
+    }
+
+    #[test]
+    fn converges_on_constant_input() {
+        let mut p = ExponentialAverage::new(0.9);
+        p.observe(Seconds::new(100.0));
+        for _ in 0..200 {
+            p.observe(Seconds::new(10.0));
+        }
+        let err = (p.predict().unwrap().seconds() - 10.0).abs();
+        assert!(err < 1e-6, "residual {err}");
+    }
+
+    #[test]
+    fn factor_zero_is_last_value() {
+        let mut p = ExponentialAverage::new(0.0);
+        p.observe(Seconds::new(5.0));
+        p.observe(Seconds::new(9.0));
+        assert_eq!(p.predict(), Some(Seconds::new(9.0)));
+    }
+
+    #[test]
+    fn factor_one_never_updates_after_seed() {
+        let mut p = ExponentialAverage::new(1.0);
+        p.observe(Seconds::new(5.0));
+        p.observe(Seconds::new(9.0));
+        assert_eq!(p.predict(), Some(Seconds::new(5.0)));
+    }
+
+    #[test]
+    fn reset_goes_cold() {
+        let mut p = ExponentialAverage::new(0.5);
+        p.observe(Seconds::new(5.0));
+        p.reset();
+        assert_eq!(p.predict(), None);
+        // Re-seeding works after reset.
+        p.observe(Seconds::new(7.0));
+        assert_eq!(p.predict(), Some(Seconds::new(7.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factor")]
+    fn invalid_factor_panics() {
+        let _ = ExponentialAverage::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_observation_panics() {
+        ExponentialAverage::new(0.5).observe(Seconds::new(-1.0));
+    }
+}

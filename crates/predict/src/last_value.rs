@@ -1,0 +1,79 @@
+//! Last-value predictor.
+
+use fcdpm_units::Seconds;
+
+use crate::Predictor;
+
+/// Predicts the next period to equal the last observed one — the ρ = 0
+/// degenerate case of [`ExponentialAverage`](crate::ExponentialAverage),
+/// kept as an explicit baseline.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_predict::{LastValue, Predictor};
+/// use fcdpm_units::Seconds;
+///
+/// let mut p = LastValue::new();
+/// p.observe(Seconds::new(8.0));
+/// p.observe(Seconds::new(19.0));
+/// assert_eq!(p.predict(), Some(Seconds::new(19.0)));
+/// ```
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct LastValue {
+    last: Option<Seconds>,
+}
+
+impl LastValue {
+    /// Creates a cold predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Predictor for LastValue {
+    fn predict(&self) -> Option<Seconds> {
+        self.last
+    }
+
+    fn observe(&mut self, actual: Seconds) {
+        assert!(
+            !actual.is_negative(),
+            "observed period must be non-negative"
+        );
+        self.last = Some(actual);
+    }
+
+    fn reset(&mut self) {
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_last_observation() {
+        let mut p = LastValue::new();
+        assert_eq!(p.predict(), None);
+        p.observe(Seconds::new(1.0));
+        p.observe(Seconds::new(2.0));
+        assert_eq!(p.predict(), Some(Seconds::new(2.0)));
+        p.reset();
+        assert_eq!(p.predict(), None);
+    }
+
+    #[test]
+    fn matches_exponential_with_zero_factor() {
+        use crate::ExponentialAverage;
+        let mut a = LastValue::new();
+        let mut b = ExponentialAverage::new(0.0);
+        for v in [3.0, 1.0, 4.0, 1.0, 5.0] {
+            a.observe(Seconds::new(v));
+            b.observe(Seconds::new(v));
+            assert_eq!(a.predict(), b.predict());
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Oracle predictor.
+
+use std::collections::VecDeque;
+
+use fcdpm_units::Seconds;
+
+use crate::Predictor;
+
+/// A predictor with perfect knowledge of the future sequence.
+///
+/// Used as the prediction upper bound in ablation studies: running FC-DPM
+/// with an oracle isolates how much fuel is lost to *misprediction* versus
+/// to the policy itself. The oracle is pre-loaded with the exact sequence
+/// and serves it in order; `observe` pops the value it already predicted.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_predict::{OraclePredictor, Predictor};
+/// use fcdpm_units::Seconds;
+///
+/// let mut p = OraclePredictor::new(vec![Seconds::new(8.0), Seconds::new(19.0)]);
+/// assert_eq!(p.predict(), Some(Seconds::new(8.0)));
+/// p.observe(Seconds::new(8.0));
+/// assert_eq!(p.predict(), Some(Seconds::new(19.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OraclePredictor {
+    future: VecDeque<Seconds>,
+    served: Vec<Seconds>,
+}
+
+impl OraclePredictor {
+    /// Creates an oracle for the exact future sequence.
+    #[must_use]
+    pub fn new<I: IntoIterator<Item = Seconds>>(future: I) -> Self {
+        Self {
+            future: future.into_iter().collect(),
+            served: Vec::new(),
+        }
+    }
+
+    /// How many future values remain.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.future.len()
+    }
+}
+
+impl Predictor for OraclePredictor {
+    fn predict(&self) -> Option<Seconds> {
+        self.future.front().copied()
+    }
+
+    fn observe(&mut self, actual: Seconds) {
+        assert!(
+            !actual.is_negative(),
+            "observed period must be non-negative"
+        );
+        if let Some(next) = self.future.pop_front() {
+            self.served.push(next);
+        }
+    }
+
+    /// Resets by replaying the already-served prefix back onto the front
+    /// of the queue (the oracle's knowledge is immutable).
+    fn reset(&mut self) {
+        for v in self.served.drain(..).rev() {
+            self.future.push_front(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_sequence_in_order() {
+        let seq = vec![Seconds::new(1.0), Seconds::new(2.0), Seconds::new(3.0)];
+        let mut p = OraclePredictor::new(seq.clone());
+        for expected in &seq {
+            assert_eq!(p.predict(), Some(*expected));
+            p.observe(*expected);
+        }
+        assert_eq!(p.predict(), None);
+        assert_eq!(p.remaining(), 0);
+    }
+
+    #[test]
+    fn reset_replays_from_start() {
+        let mut p = OraclePredictor::new(vec![Seconds::new(1.0), Seconds::new(2.0)]);
+        p.observe(Seconds::new(1.0));
+        p.reset();
+        assert_eq!(p.predict(), Some(Seconds::new(1.0)));
+        assert_eq!(p.remaining(), 2);
+    }
+
+    #[test]
+    fn empty_oracle_is_cold() {
+        let p = OraclePredictor::new(Vec::new());
+        assert_eq!(p.predict(), None);
+    }
+
+    #[test]
+    fn observe_past_end_is_harmless() {
+        let mut p = OraclePredictor::new(vec![Seconds::new(1.0)]);
+        p.observe(Seconds::new(1.0));
+        p.observe(Seconds::new(9.0)); // beyond known future
+        assert_eq!(p.predict(), None);
+    }
+}

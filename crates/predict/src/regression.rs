@@ -1,0 +1,171 @@
+//! Sliding-window regression predictor.
+
+use std::collections::VecDeque;
+
+use fcdpm_units::Seconds;
+
+use crate::Predictor;
+
+/// Least-squares trend extrapolation over a sliding window of recent
+/// observations (after the regression-based shutdown prediction of
+/// Srivastava et al., the paper's reference \[2\]).
+///
+/// With observations `y_1..y_n` (at indices `1..n`) in the window, a line
+/// `y = a + b·x` is fitted and the prediction is its value at `x = n + 1`.
+/// Degenerate windows (fewer than two points) fall back to the last value;
+/// predictions are floored at zero since periods cannot be negative.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_predict::{Predictor, SlidingWindowRegression};
+/// use fcdpm_units::Seconds;
+///
+/// let mut p = SlidingWindowRegression::new(4);
+/// for v in [10.0, 12.0, 14.0, 16.0] {
+///     p.observe(Seconds::new(v));
+/// }
+/// // Perfect ramp: next value extrapolates to 18.
+/// assert!((p.predict().unwrap().seconds() - 18.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlidingWindowRegression {
+    window: usize,
+    history: VecDeque<f64>,
+}
+
+impl SlidingWindowRegression {
+    /// Creates a predictor with the given window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    #[track_caller]
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "window must hold at least one observation");
+        Self {
+            window,
+            history: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// The window size.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of observations currently held.
+    #[must_use]
+    pub fn fill(&self) -> usize {
+        self.history.len()
+    }
+}
+
+impl Predictor for SlidingWindowRegression {
+    fn predict(&self) -> Option<Seconds> {
+        let n = self.history.len();
+        match n {
+            0 => None,
+            1 => Some(Seconds::new(self.history[0])),
+            _ => {
+                let nf = n as f64;
+                let sx = nf * (nf + 1.0) / 2.0;
+                let sxx = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 6.0;
+                let sy: f64 = self.history.iter().sum();
+                let sxy: f64 = self
+                    .history
+                    .iter()
+                    .enumerate()
+                    .map(|(i, y)| (i as f64 + 1.0) * y)
+                    .sum();
+                let denom = nf * sxx - sx * sx;
+                let b = (nf * sxy - sx * sy) / denom;
+                let a = (sy - b * sx) / nf;
+                Some(Seconds::new((a + b * (nf + 1.0)).max(0.0)))
+            }
+        }
+    }
+
+    fn observe(&mut self, actual: Seconds) {
+        assert!(
+            !actual.is_negative(),
+            "observed period must be non-negative"
+        );
+        if self.history.len() == self.window {
+            self.history.pop_front();
+        }
+        self.history.push_back(actual.seconds());
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_extrapolates_exactly() {
+        let mut p = SlidingWindowRegression::new(8);
+        for k in 1..=8 {
+            p.observe(Seconds::new(2.0 * k as f64));
+        }
+        assert!((p.predict().unwrap().seconds() - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_input_predicts_constant() {
+        let mut p = SlidingWindowRegression::new(5);
+        for _ in 0..5 {
+            p.observe(Seconds::new(7.0));
+        }
+        assert!((p.predict().unwrap().seconds() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_observation_falls_back_to_last_value() {
+        let mut p = SlidingWindowRegression::new(5);
+        p.observe(Seconds::new(4.0));
+        assert_eq!(p.predict(), Some(Seconds::new(4.0)));
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut p = SlidingWindowRegression::new(3);
+        for v in [100.0, 100.0, 100.0, 2.0, 2.0, 2.0] {
+            p.observe(Seconds::new(v));
+        }
+        assert_eq!(p.fill(), 3);
+        // Window now holds only 2.0s — the old plateau must be gone.
+        assert!((p.predict().unwrap().seconds() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_extrapolation_floored_at_zero() {
+        let mut p = SlidingWindowRegression::new(4);
+        for v in [9.0, 6.0, 3.0, 0.5] {
+            p.observe(Seconds::new(v));
+        }
+        let predicted = p.predict().unwrap();
+        assert!(predicted >= Seconds::ZERO);
+    }
+
+    #[test]
+    fn reset_goes_cold() {
+        let mut p = SlidingWindowRegression::new(3);
+        p.observe(Seconds::new(1.0));
+        p.reset();
+        assert_eq!(p.predict(), None);
+        assert_eq!(p.fill(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn zero_window_panics() {
+        let _ = SlidingWindowRegression::new(0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Adaptive learning-tree predictor.
+
+use std::collections::HashMap;
+
+use fcdpm_units::Seconds;
+
+use crate::Predictor;
+
+/// A quantized context-tree predictor (after Chung, Benini & De Micheli,
+/// the paper's reference \[3\]).
+///
+/// Observed periods are quantized into bins by a set of edges. For every
+/// suffix of the recent bin history (the "context"), saturating counters
+/// track which bin followed that context. At prediction time the deepest
+/// context whose winning counter is sufficiently confident decides the
+/// predicted bin, whose representative value (the running mean of the
+/// observations that fell in it) is returned. Shallow contexts act as
+/// fallback, so the tree adapts quickly to pattern changes while exploiting
+/// long patterns when they exist.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_predict::{AdaptiveLearningTree, Predictor};
+/// use fcdpm_units::Seconds;
+///
+/// // Bins: short (< 10 s) and long (≥ 10 s); alternating input.
+/// let mut p = AdaptiveLearningTree::new(vec![10.0], 3);
+/// for k in 0..20 {
+///     p.observe(Seconds::new(if k % 2 == 0 { 5.0 } else { 15.0 }));
+/// }
+/// // After a long period, the tree expects a short one.
+/// assert!(p.predict().unwrap().seconds() < 10.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveLearningTree {
+    /// Ascending bin edges; `edges.len() + 1` bins.
+    edges: Vec<f64>,
+    /// Maximum context depth.
+    depth: usize,
+    /// Recent bin history, most recent last (at most `depth` entries).
+    context: Vec<u8>,
+    /// Saturating counters: context → per-bin counts.
+    counters: HashMap<Vec<u8>, Vec<u32>>,
+    /// Running mean of observations per bin (the bin's representative).
+    bin_means: Vec<(f64, u64)>,
+    /// Counter saturation limit.
+    saturation: u32,
+}
+
+impl AdaptiveLearningTree {
+    /// Creates a tree with the given ascending bin `edges` and context
+    /// `depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty or not strictly ascending, if any edge
+    /// is not finite and positive, or if `depth` is zero.
+    #[must_use]
+    #[track_caller]
+    pub fn new(edges: Vec<f64>, depth: usize) -> Self {
+        assert!(!edges.is_empty(), "need at least one bin edge");
+        assert!(depth >= 1, "context depth must be at least 1");
+        assert!(
+            edges.iter().all(|e| e.is_finite() && *e > 0.0),
+            "bin edges must be positive and finite"
+        );
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "bin edges must be strictly ascending"
+        );
+        let bins = edges.len() + 1;
+        Self {
+            edges,
+            depth,
+            context: Vec::new(),
+            counters: HashMap::new(),
+            bin_means: vec![(0.0, 0); bins],
+            saturation: 16,
+        }
+    }
+
+    /// Builds evenly spaced edges covering `[lo, hi]` with `bins` bins —
+    /// a convenient constructor when the period range is known (e.g. the
+    /// camcorder's 8–20 s idle range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins < 2`, or `lo`/`hi` do not describe a positive
+    /// ascending range.
+    #[must_use]
+    #[track_caller]
+    pub fn with_uniform_bins(lo: f64, hi: f64, bins: usize, depth: usize) -> Self {
+        assert!(bins >= 2, "need at least two bins");
+        assert!(lo > 0.0 && hi > lo, "range invalid");
+        let step = (hi - lo) / bins as f64;
+        let edges = (1..bins).map(|k| lo + step * k as f64).collect();
+        Self::new(edges, depth)
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.edges.len() + 1
+    }
+
+    fn quantize(&self, value: f64) -> u8 {
+        let mut bin = 0u8;
+        for e in &self.edges {
+            if value >= *e {
+                bin += 1;
+            } else {
+                break;
+            }
+        }
+        bin
+    }
+
+    fn bin_representative(&self, bin: u8) -> Option<f64> {
+        let (sum, n) = self.bin_means[bin as usize];
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+}
+
+impl Predictor for AdaptiveLearningTree {
+    fn predict(&self) -> Option<Seconds> {
+        if self.bin_means.iter().all(|(_, n)| *n == 0) {
+            return None;
+        }
+        // Deepest confident context wins.
+        for len in (1..=self.context.len().min(self.depth)).rev() {
+            let ctx = &self.context[self.context.len() - len..];
+            if let Some(counts) = self.counters.get(ctx) {
+                let total: u32 = counts.iter().sum();
+                if total == 0 {
+                    continue;
+                }
+                let (best_bin, best) = counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, c)| **c)
+                    .expect("bins is non-empty");
+                // Confidence: strict majority of the context's mass.
+                if *best * 2 > total {
+                    if let Some(v) = self.bin_representative(best_bin as u8) {
+                        return Some(Seconds::new(v));
+                    }
+                }
+            }
+        }
+        // Fallback: global most populated bin.
+        let (bin, _) = self
+            .bin_means
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, (_, n))| *n)
+            .expect("bins is non-empty");
+        self.bin_representative(bin as u8).map(Seconds::new)
+    }
+
+    fn observe(&mut self, actual: Seconds) {
+        assert!(
+            !actual.is_negative(),
+            "observed period must be non-negative"
+        );
+        let value = actual.seconds();
+        let bin = self.quantize(value);
+        // Update counters for every suffix context seen before this value.
+        for len in 1..=self.context.len().min(self.depth) {
+            let ctx = self.context[self.context.len() - len..].to_vec();
+            let counts = self
+                .counters
+                .entry(ctx)
+                .or_insert_with(|| vec![0; self.edges.len() + 1]);
+            let c = &mut counts[bin as usize];
+            if *c < self.saturation {
+                *c += 1;
+            } else {
+                // Saturated: decay competitors so the tree can re-learn.
+                for (i, other) in counts.iter_mut().enumerate() {
+                    if i != bin as usize && *other > 0 {
+                        *other -= 1;
+                    }
+                }
+            }
+        }
+        let (sum, n) = &mut self.bin_means[bin as usize];
+        *sum += value;
+        *n += 1;
+        self.context.push(bin);
+        if self.context.len() > self.depth {
+            self.context.remove(0);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.context.clear();
+        self.counters.clear();
+        for m in &mut self.bin_means {
+            *m = (0.0, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_boundaries() {
+        let t = AdaptiveLearningTree::new(vec![10.0, 20.0], 2);
+        assert_eq!(t.bins(), 3);
+        assert_eq!(t.quantize(5.0), 0);
+        assert_eq!(t.quantize(10.0), 1); // edges are inclusive on the right bin
+        assert_eq!(t.quantize(15.0), 1);
+        assert_eq!(t.quantize(25.0), 2);
+    }
+
+    #[test]
+    fn learns_alternating_pattern() {
+        let mut t = AdaptiveLearningTree::new(vec![10.0], 3);
+        for k in 0..40 {
+            t.observe(Seconds::new(if k % 2 == 0 { 5.0 } else { 15.0 }));
+        }
+        // Last observation was long (k = 39 odd → 15) → expect short next.
+        assert!(t.predict().unwrap().seconds() < 10.0);
+        t.observe(Seconds::new(5.0));
+        assert!(t.predict().unwrap().seconds() >= 10.0);
+    }
+
+    #[test]
+    fn learns_period_three_pattern_with_depth_two() {
+        // Pattern: S S L repeating. After (S, S) the next is L; after
+        // (S, L) it is S; after (L, S) it is S. Depth 2 suffices.
+        let mut t = AdaptiveLearningTree::new(vec![10.0], 2);
+        let pattern = [4.0, 6.0, 18.0];
+        for k in 0..60 {
+            t.observe(Seconds::new(pattern[k % 3]));
+        }
+        // k=60 → next is pattern[0] (short); context is (S, L).
+        assert!(t.predict().unwrap().seconds() < 10.0);
+        t.observe(Seconds::new(4.0));
+        // context (L, S) → short again.
+        assert!(t.predict().unwrap().seconds() < 10.0);
+        t.observe(Seconds::new(6.0));
+        // context (S, S) → long.
+        assert!(t.predict().unwrap().seconds() >= 10.0);
+    }
+
+    #[test]
+    fn representative_is_bin_mean() {
+        let mut t = AdaptiveLearningTree::new(vec![10.0], 1);
+        t.observe(Seconds::new(4.0));
+        t.observe(Seconds::new(6.0));
+        // All mass in the short bin; representative is its mean, 5.0.
+        assert!((t.predict().unwrap().seconds() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_predicts_none() {
+        let t = AdaptiveLearningTree::new(vec![10.0], 2);
+        assert_eq!(t.predict(), None);
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut t = AdaptiveLearningTree::new(vec![10.0], 2);
+        t.observe(Seconds::new(5.0));
+        t.reset();
+        assert_eq!(t.predict(), None);
+    }
+
+    #[test]
+    fn adapts_after_pattern_change() {
+        let mut t = AdaptiveLearningTree::new(vec![10.0], 2);
+        for _ in 0..30 {
+            t.observe(Seconds::new(5.0));
+        }
+        assert!(t.predict().unwrap().seconds() < 10.0);
+        for _ in 0..40 {
+            t.observe(Seconds::new(15.0));
+        }
+        assert!(
+            t.predict().unwrap().seconds() >= 10.0,
+            "tree failed to adapt"
+        );
+    }
+
+    #[test]
+    fn uniform_bin_constructor() {
+        let t = AdaptiveLearningTree::with_uniform_bins(8.0, 20.0, 4, 2);
+        assert_eq!(t.bins(), 4);
+        assert_eq!(t.quantize(8.5), 0);
+        assert_eq!(t.quantize(19.5), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_edges_panic() {
+        let _ = AdaptiveLearningTree::new(vec![10.0, 5.0], 2);
+    }
+}

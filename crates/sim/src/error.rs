@@ -1,0 +1,74 @@
+//! Simulator error type.
+
+use core::fmt;
+
+use fcdpm_core::CoreError;
+use fcdpm_fuelcell::FuelCellError;
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A fuel-flow model rejected an operating point the policy demanded.
+    FuelModel(FuelCellError),
+    /// A core algorithm failed.
+    Core(CoreError),
+    /// The simulator configuration was invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::FuelModel(e) => write!(f, "fuel model error: {e}"),
+            Self::Core(e) => write!(f, "core error: {e}"),
+            Self::InvalidConfig { name } => write!(f, "invalid simulator config `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::FuelModel(e) => Some(e),
+            Self::Core(e) => Some(e),
+            Self::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<FuelCellError> for SimError {
+    fn from(e: FuelCellError) -> Self {
+        Self::FuelModel(e)
+    }
+}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcdpm_units::Amps;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = SimError::from(FuelCellError::OutOfDomain {
+            current: Amps::new(5.0),
+        });
+        assert!(e.to_string().contains("fuel model error"));
+        assert!(e.source().is_some());
+        let e = SimError::InvalidConfig {
+            name: "control_step",
+        };
+        assert!(e.to_string().contains("control_step"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,72 @@
+//! Fuel-flow models: output current → stack current.
+
+use fcdpm_fuelcell::{FcSystem, FuelCellError, LinearEfficiency};
+use fcdpm_units::Amps;
+
+/// Maps a demanded FC system output current `I_F` to the stack current
+/// `I_fc` it costs — the fuel-consumption rate the simulator integrates.
+///
+/// Two implementations ship:
+///
+/// * [`LinearEfficiency`] — the paper's closed-form Equation 4, used for
+///   all headline experiments (fast, exactly the model the optimizer
+///   assumes);
+/// * [`FcSystem`] — the physically composed stack + converter +
+///   controller model, used to quantify the linear model's approximation
+///   error.
+pub trait FuelFlowModel: core::fmt::Debug {
+    /// Stack current when the system outputs `i_f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FuelCellError`] if `i_f` is outside the model's
+    /// feasible domain.
+    fn stack_current(&self, i_f: Amps) -> Result<Amps, FuelCellError>;
+}
+
+impl FuelFlowModel for LinearEfficiency {
+    fn stack_current(&self, i_f: Amps) -> Result<Amps, FuelCellError> {
+        LinearEfficiency::stack_current(self, i_f)
+    }
+}
+
+impl FuelFlowModel for FcSystem {
+    fn stack_current(&self, i_f: Amps) -> Result<Amps, FuelCellError> {
+        Ok(self.operating_point(i_f)?.i_fc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_model_implements_trait() {
+        let model: &dyn FuelFlowModel = &LinearEfficiency::dac07();
+        let i = model.stack_current(Amps::new(1.2)).unwrap();
+        assert!((i.amps() - 1.306).abs() < 1e-3);
+    }
+
+    #[test]
+    fn physical_model_implements_trait() {
+        let sys = FcSystem::dac07_variable_fan();
+        let model: &dyn FuelFlowModel = &sys;
+        let i = model.stack_current(Amps::new(1.2)).unwrap();
+        assert!((1.2..1.45).contains(&i.amps()));
+    }
+
+    #[test]
+    fn models_agree_in_order_of_magnitude() {
+        let lin = LinearEfficiency::dac07();
+        let sys = FcSystem::dac07_variable_fan();
+        for i_f in [0.1, 0.5, 1.0, 1.2] {
+            let a = FuelFlowModel::stack_current(&lin, Amps::new(i_f)).unwrap();
+            let b = sys.stack_current(Amps::new(i_f)).unwrap();
+            let ratio = a / b;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "models disagree wildly at {i_f} A: {a} vs {b}"
+            );
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Simulation metrics.
+
+use core::fmt;
+
+use fcdpm_fuelcell::FuelGauge;
+use fcdpm_units::{Amps, Charge, Seconds};
+
+/// Aggregate results of one simulation run.
+#[derive(Debug, Default, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimMetrics {
+    /// Fuel consumption (`∫ I_fc dt`) and elapsed time.
+    pub fuel: FuelGauge,
+    /// Total charge drawn by the load.
+    pub load_charge: Charge,
+    /// Total charge delivered by the FC system (`∫ I_F dt`).
+    pub delivered_charge: Charge,
+    /// Charge dissipated through the bleeder by-pass (storage overflow).
+    pub bled_charge: Charge,
+    /// Unmet load charge (brownouts).
+    pub deficit_charge: Charge,
+    /// Number of integration chunks that saw a deficit.
+    pub deficit_chunks: u64,
+    /// Number of slots in which the DPM layer slept.
+    pub sleeps: usize,
+    /// Number of slots simulated.
+    pub slots: usize,
+    /// Accumulated task latency from wake-up/start-up transitions.
+    pub task_latency: Seconds,
+    /// Storage state of charge at the end of the run.
+    pub final_soc: Charge,
+}
+
+impl SimMetrics {
+    /// Creates zeroed metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total wall-clock duration of the run.
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        self.fuel.elapsed()
+    }
+
+    /// Mean FC system output current over the run.
+    #[must_use]
+    pub fn mean_output_current(&self) -> Amps {
+        if self.duration().is_zero() {
+            Amps::ZERO
+        } else {
+            self.delivered_charge / self.duration()
+        }
+    }
+
+    /// Mean stack current (the fuel-consumption rate).
+    #[must_use]
+    pub fn mean_stack_current(&self) -> Amps {
+        self.fuel.mean_stack_current()
+    }
+
+    /// This run's fuel as a fraction of `baseline`'s (the paper's
+    /// normalized-fuel tables). Durations are normalized out so runs of
+    /// slightly different wall-clock lengths compare fairly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either run has zero duration or the baseline consumed no
+    /// fuel.
+    #[must_use]
+    #[track_caller]
+    pub fn normalized_fuel(&self, baseline: &Self) -> f64 {
+        assert!(
+            !self.duration().is_zero() && !baseline.duration().is_zero(),
+            "cannot normalize zero-duration runs"
+        );
+        let own_rate = self.fuel.total().amp_seconds() / self.duration().seconds();
+        let base_rate = baseline.fuel.total().amp_seconds() / baseline.duration().seconds();
+        assert!(base_rate > 0.0, "baseline consumed no fuel");
+        own_rate / base_rate
+    }
+
+    /// Lifetime extension over `other` for the same fuel tank: lifetime is
+    /// inversely proportional to the fuel rate, so this is
+    /// `other_rate / own_rate` (the paper's 1.32× for FC-DPM vs
+    /// ASAP-DPM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either run has zero duration or this run consumed no
+    /// fuel.
+    #[must_use]
+    #[track_caller]
+    pub fn lifetime_extension_over(&self, other: &Self) -> f64 {
+        1.0 / self.normalized_fuel(other)
+    }
+
+    /// Fraction of load charge that went unserved.
+    #[must_use]
+    pub fn brownout_fraction(&self) -> f64 {
+        if self.load_charge.is_zero() {
+            0.0
+        } else {
+            self.deficit_charge / self.load_charge
+        }
+    }
+
+    /// True when the run completed without bleeding or brownouts.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.bled_charge.is_zero() && self.deficit_charge.is_zero()
+    }
+}
+
+impl fmt::Display for SimMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fuel {:.1} over {:.1} min (mean I_fc {:.4})",
+            self.fuel.total(),
+            self.duration().minutes(),
+            self.mean_stack_current()
+        )?;
+        writeln!(
+            f,
+            "delivered {:.1}, load {:.1}, bled {:.2}, deficit {:.3}",
+            self.delivered_charge, self.load_charge, self.bled_charge, self.deficit_charge
+        )?;
+        write!(
+            f,
+            "slots {}, sleeps {}, task latency {:.1}, final SoC {:.2}",
+            self.slots, self.sleeps, self.task_latency, self.final_soc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics_with(fuel_amps: f64, secs: f64) -> SimMetrics {
+        let mut m = SimMetrics::new();
+        m.fuel.consume(Amps::new(fuel_amps), Seconds::new(secs));
+        m
+    }
+
+    #[test]
+    fn normalization_is_rate_based() {
+        let a = metrics_with(0.4, 100.0);
+        let b = metrics_with(1.3, 200.0); // longer run, higher rate
+        let norm = a.normalized_fuel(&b);
+        assert!((norm - 0.4 / 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lifetime_extension_is_inverse() {
+        let fc = metrics_with(0.308, 100.0);
+        let asap = metrics_with(0.408, 100.0);
+        let ext = fc.lifetime_extension_over(&asap);
+        assert!((ext - 0.408 / 0.308).abs() < 1e-12);
+        assert!((ext - 1.32).abs() < 0.01); // the paper's headline
+    }
+
+    #[test]
+    fn brownout_fraction() {
+        let mut m = metrics_with(1.0, 10.0);
+        m.load_charge = Charge::new(10.0);
+        m.deficit_charge = Charge::new(1.0);
+        assert!((m.brownout_fraction() - 0.1).abs() < 1e-12);
+        assert!(!m.is_clean());
+        assert_eq!(SimMetrics::new().brownout_fraction(), 0.0);
+    }
+
+    #[test]
+    fn mean_currents() {
+        let mut m = metrics_with(0.5, 10.0);
+        m.delivered_charge = Charge::new(6.0);
+        assert!((m.mean_output_current().amps() - 0.6).abs() < 1e-12);
+        assert!((m.mean_stack_current().amps() - 0.5).abs() < 1e-12);
+        assert_eq!(SimMetrics::new().mean_output_current(), Amps::ZERO);
+    }
+
+    #[test]
+    fn display_renders_summary() {
+        let mut m = metrics_with(0.4, 60.0);
+        m.slots = 3;
+        m.sleeps = 2;
+        let text = m.to_string();
+        assert!(text.contains("mean I_fc 0.4000"));
+        assert!(text.contains("slots 3, sleeps 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-duration")]
+    fn zero_duration_normalization_panics() {
+        let a = SimMetrics::new();
+        let b = metrics_with(1.0, 1.0);
+        let _ = a.normalized_fuel(&b);
+    }
+}

@@ -1,0 +1,196 @@
+//! Current-profile recording (the data behind Figure 7).
+
+use fcdpm_units::{Amps, Charge, Seconds};
+
+/// One sample of the simulated current profile.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProfileSample {
+    /// Simulation time.
+    pub time: Seconds,
+    /// Load current `I_ld`.
+    pub i_load: Amps,
+    /// FC system output current `I_F`.
+    pub i_f: Amps,
+    /// Stack current `I_fc`.
+    pub i_fc: Amps,
+    /// Storage state of charge.
+    pub soc: Charge,
+}
+
+/// Records the piecewise-constant current profile of a run at a fixed
+/// sampling interval.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_sim::ProfileRecorder;
+/// use fcdpm_units::Seconds;
+///
+/// let rec = ProfileRecorder::new(Seconds::new(0.5), Seconds::new(300.0));
+/// assert!(rec.samples().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRecorder {
+    interval: Seconds,
+    horizon: Seconds,
+    next_sample: Seconds,
+    samples: Vec<ProfileSample>,
+}
+
+impl ProfileRecorder {
+    /// Creates a recorder sampling every `interval` up to `horizon` of
+    /// simulated time (Figure 7 uses 300 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not positive or `horizon` is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn new(interval: Seconds, horizon: Seconds) -> Self {
+        assert!(
+            interval > Seconds::ZERO,
+            "sampling interval must be positive"
+        );
+        assert!(!horizon.is_negative(), "horizon must be non-negative");
+        Self {
+            interval,
+            horizon,
+            next_sample: Seconds::ZERO,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The samples recorded so far, in time order.
+    #[must_use]
+    pub fn samples(&self) -> &[ProfileSample] {
+        &self.samples
+    }
+
+    /// Consumes the recorder and returns its samples.
+    #[must_use]
+    pub fn into_samples(self) -> Vec<ProfileSample> {
+        self.samples
+    }
+
+    /// Whether the recorder still wants samples.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.next_sample <= self.horizon
+    }
+
+    /// Called by the simulator for every constant-current chunk
+    /// `[start, start + duration)`; emits any sample instants that fall
+    /// inside it.
+    pub(crate) fn record_chunk(
+        &mut self,
+        start: Seconds,
+        duration: Seconds,
+        i_load: Amps,
+        i_f: Amps,
+        i_fc: Amps,
+        soc: Charge,
+    ) {
+        let end = start + duration;
+        while self.active() && self.next_sample < end {
+            if self.next_sample >= start {
+                self.samples.push(ProfileSample {
+                    time: self.next_sample,
+                    i_load,
+                    i_f,
+                    i_fc,
+                    soc,
+                });
+            }
+            self.next_sample += self.interval;
+        }
+    }
+
+    /// Serializes the samples to CSV (`time_s,i_load_a,i_f_a,i_fc_a,soc_as`).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,i_load_a,i_f_a,i_fc_a,soc_as\n");
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:.3},{:.5},{:.5},{:.5},{:.5}\n",
+                s.time.seconds(),
+                s.i_load.amps(),
+                s.i_f.amps(),
+                s.i_fc.amps(),
+                s.soc.amp_seconds()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_at_fixed_interval() {
+        let mut rec = ProfileRecorder::new(Seconds::new(1.0), Seconds::new(10.0));
+        rec.record_chunk(
+            Seconds::ZERO,
+            Seconds::new(2.5),
+            Amps::new(0.2),
+            Amps::new(0.5),
+            Amps::new(0.4),
+            Charge::new(3.0),
+        );
+        // Samples at t = 0, 1, 2.
+        assert_eq!(rec.samples().len(), 3);
+        assert_eq!(rec.samples()[2].time, Seconds::new(2.0));
+        rec.record_chunk(
+            Seconds::new(2.5),
+            Seconds::new(1.0),
+            Amps::new(1.2),
+            Amps::new(0.5),
+            Amps::new(0.4),
+            Charge::new(2.0),
+        );
+        // Sample at t = 3 inside [2.5, 3.5).
+        assert_eq!(rec.samples().len(), 4);
+        assert_eq!(rec.samples()[3].i_load, Amps::new(1.2));
+    }
+
+    #[test]
+    fn stops_at_horizon() {
+        let mut rec = ProfileRecorder::new(Seconds::new(1.0), Seconds::new(2.0));
+        rec.record_chunk(
+            Seconds::ZERO,
+            Seconds::new(100.0),
+            Amps::ZERO,
+            Amps::ZERO,
+            Amps::ZERO,
+            Charge::ZERO,
+        );
+        // t = 0, 1, 2 then inactive.
+        assert_eq!(rec.samples().len(), 3);
+        assert!(!rec.active());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut rec = ProfileRecorder::new(Seconds::new(1.0), Seconds::new(1.0));
+        rec.record_chunk(
+            Seconds::ZERO,
+            Seconds::new(2.0),
+            Amps::new(0.2),
+            Amps::new(0.53),
+            Amps::new(0.448),
+            Charge::new(1.0),
+        );
+        let csv = rec.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,i_load_a,i_f_a,i_fc_a,soc_as");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("0.000,0.20000,0.53000,0.44800"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        let _ = ProfileRecorder::new(Seconds::ZERO, Seconds::new(1.0));
+    }
+}

@@ -1,0 +1,515 @@
+//! The hybrid-source co-simulator.
+
+use fcdpm_core::dpm::SleepPolicy;
+use fcdpm_core::policy::{ActiveStart, FcOutputPolicy, PolicyPhase, SlotEnd, SlotStart};
+use fcdpm_device::{DeviceSpec, SlotTimeline};
+use fcdpm_fuelcell::LinearEfficiency;
+use fcdpm_storage::ChargeStorage;
+use fcdpm_units::{Charge, CurrentRange, Seconds};
+use fcdpm_workload::Trace;
+
+use crate::{FuelFlowModel, ProfileRecorder, SimError, SimMetrics};
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Aggregate metrics of the run.
+    pub metrics: SimMetrics,
+}
+
+/// Co-simulates a device trace against a DPM policy, an FC output policy
+/// and a charge-storage element (see the [crate docs](crate) for the
+/// wiring diagram).
+///
+/// The simulator integrates exactly: every segment of the device timeline
+/// is piecewise-constant, and segments are subdivided into *control
+/// chunks* (default 0.5 s) at whose boundaries the FC policy is
+/// re-consulted — this is what lets ASAP-DPM's recharge trigger fire "as
+/// soon as possible" mid-segment.
+#[derive(Debug)]
+pub struct HybridSimulator<'a> {
+    device: &'a DeviceSpec,
+    fuel_model: Box<dyn FuelFlowModel + Send + Sync>,
+    range: CurrentRange,
+    control_step: Seconds,
+    charger_efficiency: f64,
+    discharger_efficiency: f64,
+}
+
+impl<'a> HybridSimulator<'a> {
+    /// Creates a simulator over an explicit fuel-flow model and
+    /// load-following range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `control_step` is not
+    /// positive.
+    pub fn new(
+        device: &'a DeviceSpec,
+        fuel_model: Box<dyn FuelFlowModel + Send + Sync>,
+        range: CurrentRange,
+        control_step: Seconds,
+    ) -> Result<Self, SimError> {
+        if control_step <= Seconds::ZERO || !control_step.is_finite() {
+            return Err(SimError::InvalidConfig {
+                name: "control_step",
+            });
+        }
+        Ok(Self {
+            device,
+            fuel_model,
+            range,
+            control_step,
+            charger_efficiency: 1.0,
+            discharger_efficiency: 1.0,
+        })
+    }
+
+    /// Models the charger/discharger blocks of the paper's Figure 1 as
+    /// lossy paths between the bus and the storage element: only
+    /// `charger` of each ampere pushed toward storage arrives, and
+    /// `1/discharger` amperes must be drawn per ampere delivered. The
+    /// default (both 1.0) is the paper's lossless assumption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if either efficiency is
+    /// outside `(0, 1]`.
+    pub fn with_buffer_path_efficiency(
+        mut self,
+        charger: f64,
+        discharger: f64,
+    ) -> Result<Self, SimError> {
+        if !(charger > 0.0 && charger <= 1.0) {
+            return Err(SimError::InvalidConfig {
+                name: "charger_efficiency",
+            });
+        }
+        if !(discharger > 0.0 && discharger <= 1.0) {
+            return Err(SimError::InvalidConfig {
+                name: "discharger_efficiency",
+            });
+        }
+        self.charger_efficiency = charger;
+        self.discharger_efficiency = discharger;
+        Ok(self)
+    }
+
+    /// Applies the Figure-1 charger/discharger losses to the bus-side
+    /// imbalance `i_f − load`, returning the storage-side net current.
+    pub(crate) fn buffer_net(&self, imbalance: fcdpm_units::Amps) -> fcdpm_units::Amps {
+        if imbalance.is_negative() {
+            imbalance / self.discharger_efficiency
+        } else {
+            imbalance * self.charger_efficiency
+        }
+    }
+
+    /// The paper's configuration: linear efficiency model
+    /// (α = 0.45, β = 0.13), load-following range `[0.1 A, 1.2 A]`,
+    /// 0.5 s control chunks.
+    #[must_use]
+    pub fn dac07(device: &'a DeviceSpec) -> Self {
+        Self::new(
+            device,
+            Box::new(LinearEfficiency::dac07()),
+            CurrentRange::dac07(),
+            Seconds::new(0.5),
+        )
+        .expect("default control step is valid")
+    }
+
+    /// The device under simulation.
+    #[must_use]
+    pub fn device(&self) -> &DeviceSpec {
+        self.device
+    }
+
+    /// The load-following range enforced on policy outputs.
+    #[must_use]
+    pub fn range(&self) -> CurrentRange {
+        self.range
+    }
+
+    /// The control-chunk duration at which policies are re-consulted.
+    #[must_use]
+    pub fn control_step(&self) -> Seconds {
+        self.control_step
+    }
+
+    /// The fuel-flow model integrating stack current.
+    pub(crate) fn fuel_model(&self) -> &(dyn crate::FuelFlowModel + Send + Sync) {
+        self.fuel_model.as_ref()
+    }
+
+    /// Runs `trace` and returns the aggregate metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the fuel model rejects a demanded current
+    /// (cannot happen with range-respecting models such as the defaults).
+    pub fn run(
+        &self,
+        trace: &Trace,
+        sleep: &mut dyn SleepPolicy,
+        policy: &mut dyn FcOutputPolicy,
+        storage: &mut dyn ChargeStorage,
+    ) -> Result<SimResult, SimError> {
+        self.run_internal(trace, sleep, policy, storage, None)
+    }
+
+    /// Runs `trace` while sampling the current profile into `recorder`
+    /// (the data behind Figure 7).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_recorded(
+        &self,
+        trace: &Trace,
+        sleep: &mut dyn SleepPolicy,
+        policy: &mut dyn FcOutputPolicy,
+        storage: &mut dyn ChargeStorage,
+        recorder: &mut ProfileRecorder,
+    ) -> Result<SimResult, SimError> {
+        self.run_internal(trace, sleep, policy, storage, Some(recorder))
+    }
+
+    fn run_internal(
+        &self,
+        trace: &Trace,
+        sleep: &mut dyn SleepPolicy,
+        policy: &mut dyn FcOutputPolicy,
+        storage: &mut dyn ChargeStorage,
+        mut recorder: Option<&mut ProfileRecorder>,
+    ) -> Result<SimResult, SimError> {
+        let t_be = self.device.break_even_time();
+        let mut metrics = SimMetrics::new();
+        let mut time = Seconds::ZERO;
+
+        for (index, slot) in trace.slots().iter().enumerate() {
+            let decision = sleep.decide(t_be);
+            let i_active = slot.active_current(self.device.bus_voltage());
+            policy.begin_slot(&SlotStart {
+                index,
+                directive: decision.directive,
+                predicted_idle: decision.predicted_idle,
+                soc: storage.soc(),
+            });
+            let timeline = SlotTimeline::build_with_directive(
+                self.device,
+                slot.idle,
+                decision.directive,
+                slot.active,
+                i_active,
+            );
+            if timeline.slept() {
+                metrics.sleeps += 1;
+            }
+            metrics.task_latency += timeline.task_latency();
+
+            // Active-phase totals, known on task arrival.
+            let mut active_duration = Seconds::ZERO;
+            let mut active_charge = Charge::ZERO;
+            for seg in timeline.segments() {
+                if !seg.kind.is_idle_phase() {
+                    active_duration += seg.duration;
+                    active_charge += seg.charge();
+                }
+            }
+
+            let mut active_started = false;
+            for seg in timeline.segments() {
+                let phase = if seg.kind.is_idle_phase() {
+                    PolicyPhase::Idle
+                } else {
+                    PolicyPhase::Active
+                };
+                if phase == PolicyPhase::Active && !active_started {
+                    active_started = true;
+                    policy.begin_active(&ActiveStart {
+                        duration: active_duration,
+                        charge: active_charge,
+                        soc: storage.soc(),
+                    });
+                }
+                let mut remaining = seg.duration;
+                while remaining > Seconds::ZERO {
+                    let dt = remaining.min(self.control_step);
+                    let demanded = policy.segment_current(phase, seg.load, storage.soc());
+                    let i_f = self.range.clamp(demanded);
+                    let i_fc = self.fuel_model.stack_current(i_f)?;
+                    metrics.fuel.consume(i_fc, dt);
+                    metrics.delivered_charge += i_f * dt;
+                    metrics.load_charge += seg.load * dt;
+                    let flow = storage.step(self.buffer_net(i_f - seg.load), dt);
+                    metrics.bled_charge += flow.bled;
+                    metrics.deficit_charge += flow.deficit;
+                    if !flow.deficit.is_zero() {
+                        metrics.deficit_chunks += 1;
+                    }
+                    if let Some(rec) = recorder.as_deref_mut() {
+                        rec.record_chunk(time, dt, seg.load, i_f, i_fc, storage.soc());
+                    }
+                    time += dt;
+                    remaining -= dt;
+                }
+            }
+
+            sleep.observe_idle(slot.idle);
+            policy.end_slot(&SlotEnd {
+                t_idle: slot.idle,
+                t_active: slot.active,
+                i_active,
+                soc: storage.soc(),
+            });
+            metrics.slots += 1;
+        }
+
+        metrics.final_soc = storage.soc();
+        Ok(SimResult { metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcdpm_core::dpm::PredictiveSleep;
+    use fcdpm_core::policy::{AsapDpm, ConvDpm, FcDpm};
+    use fcdpm_core::FuelOptimizer;
+    use fcdpm_storage::IdealStorage;
+    use fcdpm_units::Amps;
+    use fcdpm_workload::Scenario;
+
+    fn run_policy(
+        scenario: &Scenario,
+        policy: &mut dyn FcOutputPolicy,
+        capacity: Charge,
+    ) -> SimMetrics {
+        let sim = HybridSimulator::dac07(&scenario.device);
+        let mut storage = IdealStorage::new(capacity, capacity * 0.5);
+        let mut sleep = PredictiveSleep::new(scenario.rho);
+        sim.run(&scenario.trace, &mut sleep, policy, &mut storage)
+            .unwrap()
+            .metrics
+    }
+
+    fn fcdpm_policy(scenario: &Scenario, capacity: Charge) -> FcDpm {
+        FcDpm::new(
+            FuelOptimizer::dac07(),
+            &scenario.device,
+            capacity,
+            scenario.sigma,
+            scenario.active_current_estimate,
+        )
+    }
+
+    #[test]
+    fn policy_ordering_on_camcorder() {
+        // The paper's Table 2 ordering: FC-DPM < ASAP-DPM < Conv-DPM.
+        let scenario = Scenario::experiment1();
+        let cap = Charge::from_milliamp_minutes(100.0);
+        let conv = run_policy(&scenario, &mut ConvDpm::dac07(), cap);
+        let asap = run_policy(&scenario, &mut AsapDpm::dac07(cap), cap);
+        let mut fc = fcdpm_policy(&scenario, cap);
+        let fcdpm = run_policy(&scenario, &mut fc, cap);
+        let asap_norm = asap.normalized_fuel(&conv);
+        let fc_norm = fcdpm.normalized_fuel(&conv);
+        assert!(
+            fc_norm < asap_norm && asap_norm < 1.0,
+            "ordering violated: fc {fc_norm:.3}, asap {asap_norm:.3}"
+        );
+        // Band check against Table 2 (30.8 % and 40.8 %).
+        assert!((0.25..0.40).contains(&fc_norm), "fc {fc_norm:.3}");
+        assert!((0.30..0.55).contains(&asap_norm), "asap {asap_norm:.3}");
+    }
+
+    #[test]
+    fn conv_fuel_matches_closed_form() {
+        let scenario = Scenario::experiment1();
+        let cap = Charge::new(1e9); // effectively infinite: no bleed concern
+        let conv = run_policy(&scenario, &mut ConvDpm::dac07(), cap);
+        let i_fc = LinearEfficiency::dac07()
+            .stack_current(Amps::new(1.2))
+            .unwrap();
+        let expect = i_fc.amps() * conv.duration().seconds();
+        assert!(
+            (conv.fuel.total().amp_seconds() - expect).abs() < 1e-6,
+            "fuel {} vs closed form {}",
+            conv.fuel.total().amp_seconds(),
+            expect
+        );
+    }
+
+    #[test]
+    fn charge_conservation() {
+        // delivered = load + Δsoc + bled − deficit, exactly.
+        let scenario = Scenario::experiment1();
+        let cap = Charge::from_milliamp_minutes(100.0);
+        {
+            let policy = &mut ConvDpm::dac07() as &mut dyn FcOutputPolicy;
+            let sim = HybridSimulator::dac07(&scenario.device);
+            let mut storage = IdealStorage::new(cap, cap * 0.5);
+            let initial = storage.soc();
+            let mut sleep = PredictiveSleep::new(scenario.rho);
+            let m = sim
+                .run(&scenario.trace, &mut sleep, policy, &mut storage)
+                .unwrap()
+                .metrics;
+            let lhs = m.delivered_charge.amp_seconds();
+            let rhs = m.load_charge.amp_seconds()
+                + (m.final_soc - initial).amp_seconds()
+                + m.bled_charge.amp_seconds()
+                - m.deficit_charge.amp_seconds();
+            assert!(
+                (lhs - rhs).abs() < 1e-6,
+                "conservation violated: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn sleeps_most_slots_on_camcorder() {
+        // Idle 8–20 s always exceeds T_be = 1 s; only the cold first slot
+        // stays awake.
+        let scenario = Scenario::experiment1();
+        let cap = Charge::from_milliamp_minutes(100.0);
+        let m = run_policy(&scenario, &mut ConvDpm::dac07(), cap);
+        assert_eq!(m.sleeps, m.slots - 1);
+    }
+
+    #[test]
+    fn profile_recording() {
+        let scenario = Scenario::experiment1();
+        let sim = HybridSimulator::dac07(&scenario.device);
+        let mut storage = IdealStorage::dac07_supercap();
+        let mut sleep = PredictiveSleep::new(scenario.rho);
+        let mut rec = ProfileRecorder::new(Seconds::new(0.5), Seconds::new(300.0));
+        let mut policy = ConvDpm::dac07();
+        sim.run_recorded(
+            &scenario.trace,
+            &mut sleep,
+            &mut policy,
+            &mut storage,
+            &mut rec,
+        )
+        .unwrap();
+        // 300 s at 0.5 s sampling → 601 samples.
+        assert_eq!(rec.samples().len(), 601);
+        assert!(rec.samples().iter().all(|s| s.i_f == Amps::new(1.2)));
+    }
+
+    #[test]
+    fn no_brownout_with_adequate_storage_fcdpm() {
+        let scenario = Scenario::experiment1();
+        let cap = Charge::from_milliamp_minutes(100.0);
+        let mut fc = fcdpm_policy(&scenario, cap);
+        let m = run_policy(&scenario, &mut fc, cap);
+        assert!(
+            m.brownout_fraction() < 0.01,
+            "brownouts: {}",
+            m.brownout_fraction()
+        );
+    }
+
+    #[test]
+    fn experiment2_ordering() {
+        let scenario = Scenario::experiment2();
+        let cap = Charge::from_milliamp_minutes(100.0);
+        let conv = run_policy(&scenario, &mut ConvDpm::dac07(), cap);
+        let asap = run_policy(&scenario, &mut AsapDpm::dac07(cap), cap);
+        let mut fc = fcdpm_policy(&scenario, cap);
+        let fcdpm = run_policy(&scenario, &mut fc, cap);
+        let asap_norm = asap.normalized_fuel(&conv);
+        let fc_norm = fcdpm.normalized_fuel(&conv);
+        assert!(
+            fc_norm < asap_norm && asap_norm < 1.0,
+            "ordering violated: fc {fc_norm:.3}, asap {asap_norm:.3}"
+        );
+        // Table 3 reports 41.5 % and 49.1 %; our reconstruction lands
+        // lower in absolute terms (see EXPERIMENTS.md) but preserves the
+        // ordering and the FC-vs-ASAP gap, which these bands pin down.
+        assert!((0.22..0.55).contains(&fc_norm), "fc {fc_norm:.3}");
+        assert!((0.28..0.65).contains(&asap_norm), "asap {asap_norm:.3}");
+    }
+
+    #[test]
+    fn lossy_buffer_paths_cost_fuel() {
+        // Figure-1 charger/discharger losses: the same FC-DPM policy must
+        // burn at least as much fuel when the buffer paths are lossy.
+        let scenario = Scenario::experiment1();
+        let cap = Charge::from_milliamp_minutes(100.0);
+        let run_with = |charger: f64, discharger: f64| {
+            let sim = HybridSimulator::dac07(&scenario.device)
+                .with_buffer_path_efficiency(charger, discharger)
+                .unwrap();
+            let mut policy = FcDpm::new(
+                FuelOptimizer::dac07(),
+                &scenario.device,
+                cap,
+                scenario.sigma,
+                scenario.active_current_estimate,
+            );
+            let mut storage = IdealStorage::new(cap, cap * 0.5);
+            let mut sleep = PredictiveSleep::new(scenario.rho);
+            sim.run(&scenario.trace, &mut sleep, &mut policy, &mut storage)
+                .unwrap()
+                .metrics
+        };
+        let lossless = run_with(1.0, 1.0);
+        let lossy = run_with(0.85, 0.85);
+        assert!(
+            lossy.fuel.total() >= lossless.fuel.total(),
+            "lossy {} < lossless {}",
+            lossy.fuel.total(),
+            lossless.fuel.total()
+        );
+    }
+
+    #[test]
+    fn buffer_path_efficiency_validated() {
+        let scenario = Scenario::experiment1();
+        assert!(HybridSimulator::dac07(&scenario.device)
+            .with_buffer_path_efficiency(0.0, 1.0)
+            .is_err());
+        assert!(HybridSimulator::dac07(&scenario.device)
+            .with_buffer_path_efficiency(1.0, 1.5)
+            .is_err());
+        assert!(HybridSimulator::dac07(&scenario.device)
+            .with_buffer_path_efficiency(0.9, 0.9)
+            .is_ok());
+    }
+
+    #[test]
+    fn invalid_control_step_rejected() {
+        let scenario = Scenario::experiment1();
+        let err = HybridSimulator::new(
+            &scenario.device,
+            Box::new(LinearEfficiency::dac07()),
+            CurrentRange::dac07(),
+            Seconds::ZERO,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InvalidConfig {
+                name: "control_step"
+            }
+        );
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_metrics() {
+        let scenario = Scenario::experiment1();
+        let sim = HybridSimulator::dac07(&scenario.device);
+        let mut storage = IdealStorage::dac07_supercap();
+        let mut sleep = PredictiveSleep::new(0.5);
+        let mut policy = ConvDpm::dac07();
+        let m = sim
+            .run(&Trace::new(), &mut sleep, &mut policy, &mut storage)
+            .unwrap()
+            .metrics;
+        assert_eq!(m.slots, 0);
+        assert!(m.fuel.total().is_zero());
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-step flow accounting.
+
+use fcdpm_units::Charge;
+
+/// The charge bookkeeping of one storage integration step.
+///
+/// Exactly one of `charged`/`discharged` is non-zero per step (a step
+/// applies a single net current). `bled` and `deficit` record what the
+/// physical element could *not* do:
+///
+/// * `bled` — surplus charge that had nowhere to go once the element was
+///   full and was dissipated through the bleeder by-pass (fuel wasted);
+/// * `deficit` — demand the element could not cover once empty (the load
+///   browned out for `deficit / |net current|` seconds).
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_units::{Amps, Charge, Seconds};
+/// use fcdpm_storage::{ChargeStorage, IdealStorage, StorageFlow};
+///
+/// let mut buf = IdealStorage::new(Charge::new(1.0), Charge::ZERO);
+/// let flow: StorageFlow = buf.step(Amps::new(1.0), Seconds::new(2.0));
+/// assert_eq!(flow.charged.amp_seconds(), 1.0); // capacity-limited
+/// assert_eq!(flow.bled.amp_seconds(), 1.0);    // surplus bled off
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StorageFlow {
+    /// Charge actually stored this step.
+    pub charged: Charge,
+    /// Charge actually supplied to the bus this step.
+    pub discharged: Charge,
+    /// Surplus dissipated through the bleeder by-pass.
+    pub bled: Charge,
+    /// Unmet demand (brownout charge).
+    pub deficit: Charge,
+}
+
+impl StorageFlow {
+    /// A step in which nothing flowed.
+    pub const NONE: Self = Self {
+        charged: Charge::ZERO,
+        discharged: Charge::ZERO,
+        bled: Charge::ZERO,
+        deficit: Charge::ZERO,
+    };
+
+    /// Returns `true` if the step completed without bleeding or deficit.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.bled.is_zero() && self.deficit.is_zero()
+    }
+
+    /// Accumulates another step's flows into this one.
+    pub fn absorb(&mut self, other: &Self) {
+        self.charged += other.charged;
+        self.discharged += other.discharged;
+        self.bled += other.bled;
+        self.deficit += other.deficit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_clean() {
+        assert!(StorageFlow::NONE.is_clean());
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = StorageFlow {
+            charged: Charge::new(1.0),
+            discharged: Charge::new(2.0),
+            bled: Charge::new(0.5),
+            deficit: Charge::ZERO,
+        };
+        let b = StorageFlow {
+            charged: Charge::new(3.0),
+            discharged: Charge::ZERO,
+            bled: Charge::ZERO,
+            deficit: Charge::new(0.25),
+        };
+        a.absorb(&b);
+        assert_eq!(a.charged.amp_seconds(), 4.0);
+        assert_eq!(a.discharged.amp_seconds(), 2.0);
+        assert_eq!(a.bled.amp_seconds(), 0.5);
+        assert_eq!(a.deficit.amp_seconds(), 0.25);
+        assert!(!a.is_clean());
+    }
+}

@@ -1,0 +1,166 @@
+//! Lossless charge buffer.
+
+use fcdpm_units::{Amps, Charge, Seconds};
+
+use crate::{ChargeStorage, StorageFlow};
+
+/// A lossless, capacity-limited charge buffer.
+///
+/// This is the storage abstraction the paper's optimizer assumes
+/// (Section 3.3: "there is no charging/discharging loss in the charge
+/// storage element"). Charging beyond `capacity` routes the surplus to the
+/// bleeder by-pass; discharging past empty records a deficit.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_units::{Amps, Charge, Seconds};
+/// use fcdpm_storage::{ChargeStorage, IdealStorage};
+///
+/// let mut buf = IdealStorage::new(Charge::new(200.0), Charge::ZERO);
+/// // Section 3.2 Setting (c): charge 0.33 A for 20 s, discharge 0.667 A for 10 s.
+/// buf.step(Amps::new(0.5333 - 0.2), Seconds::new(20.0));
+/// assert!((buf.soc().amp_seconds() - 6.67).abs() < 0.01);
+/// buf.step(Amps::new(0.5333 - 1.2), Seconds::new(10.0));
+/// assert!(buf.soc().amp_seconds() < 0.01); // drained back to ≈ 0
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IdealStorage {
+    capacity: Charge,
+    soc: Charge,
+}
+
+impl IdealStorage {
+    /// Creates a buffer with the given capacity and initial state of
+    /// charge (clamped into `[0, capacity]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn new(capacity: Charge, initial: Charge) -> Self {
+        assert!(!capacity.is_negative(), "capacity must be non-negative");
+        Self {
+            capacity,
+            soc: initial.clamp(Charge::ZERO, capacity),
+        }
+    }
+
+    /// The paper's experimental buffer: a 1 F super-capacitor equivalent
+    /// to 100 mA·min (6 A·s) at the 12 V bus, starting half-full.
+    #[must_use]
+    pub fn dac07_supercap() -> Self {
+        let cap = Charge::from_milliamp_minutes(100.0);
+        Self::new(cap, cap * 0.5)
+    }
+}
+
+impl ChargeStorage for IdealStorage {
+    fn capacity(&self) -> Charge {
+        self.capacity
+    }
+
+    fn soc(&self) -> Charge {
+        self.soc
+    }
+
+    fn step(&mut self, net: Amps, dt: Seconds) -> StorageFlow {
+        assert!(!dt.is_negative(), "duration must be non-negative");
+        let delta = net * dt;
+        let mut flow = StorageFlow::NONE;
+        if delta.is_negative() {
+            let demand = -delta;
+            let supplied = demand.min(self.soc);
+            // Clamp to absorb one-ULP rounding of soc − (soc.min(x)).
+            self.soc = (self.soc - supplied).max_zero();
+            flow.discharged = supplied;
+            flow.deficit = demand - supplied;
+        } else {
+            let room = self.capacity - self.soc;
+            let stored = delta.min(room);
+            // Clamp to absorb one-ULP rounding of soc + (capacity − soc).
+            self.soc = (self.soc + stored).min(self.capacity);
+            flow.charged = stored;
+            flow.bled = delta - stored;
+        }
+        flow
+    }
+
+    fn set_soc(&mut self, soc: Charge) {
+        self.soc = soc.clamp(Charge::ZERO, self.capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_and_discharges_exactly() {
+        let mut s = IdealStorage::new(Charge::new(10.0), Charge::new(5.0));
+        let up = s.step(Amps::new(0.5), Seconds::new(4.0));
+        assert_eq!(up.charged.amp_seconds(), 2.0);
+        assert!(up.is_clean());
+        assert_eq!(s.soc().amp_seconds(), 7.0);
+        let down = s.step(Amps::new(-1.0), Seconds::new(3.0));
+        assert_eq!(down.discharged.amp_seconds(), 3.0);
+        assert!(down.is_clean());
+        assert_eq!(s.soc().amp_seconds(), 4.0);
+    }
+
+    #[test]
+    fn overflow_goes_to_bleeder() {
+        let mut s = IdealStorage::new(Charge::new(2.0), Charge::new(1.0));
+        let flow = s.step(Amps::new(1.0), Seconds::new(5.0));
+        assert_eq!(flow.charged.amp_seconds(), 1.0);
+        assert_eq!(flow.bled.amp_seconds(), 4.0);
+        assert_eq!(s.soc(), s.capacity());
+    }
+
+    #[test]
+    fn underflow_is_deficit() {
+        let mut s = IdealStorage::new(Charge::new(2.0), Charge::new(1.0));
+        let flow = s.step(Amps::new(-1.0), Seconds::new(5.0));
+        assert_eq!(flow.discharged.amp_seconds(), 1.0);
+        assert_eq!(flow.deficit.amp_seconds(), 4.0);
+        assert!(s.soc().is_zero());
+    }
+
+    #[test]
+    fn zero_net_is_noop() {
+        let mut s = IdealStorage::new(Charge::new(2.0), Charge::new(1.0));
+        let flow = s.step(Amps::ZERO, Seconds::new(100.0));
+        assert_eq!(flow, StorageFlow::NONE);
+        assert_eq!(s.soc().amp_seconds(), 1.0);
+    }
+
+    #[test]
+    fn initial_soc_clamped() {
+        let s = IdealStorage::new(Charge::new(2.0), Charge::new(5.0));
+        assert_eq!(s.soc().amp_seconds(), 2.0);
+        let s = IdealStorage::new(Charge::new(2.0), Charge::new(-1.0));
+        assert!(s.soc().is_zero());
+    }
+
+    #[test]
+    fn dac07_preset() {
+        let s = IdealStorage::dac07_supercap();
+        assert_eq!(s.capacity().amp_seconds(), 6.0);
+        assert_eq!(s.soc().amp_seconds(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        IdealStorage::new(Charge::new(1.0), Charge::ZERO).step(Amps::new(1.0), Seconds::new(-1.0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = IdealStorage::dac07_supercap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: IdealStorage = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

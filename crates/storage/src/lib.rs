@@ -1,0 +1,137 @@
+//! Charge-storage models for fuel-cell hybrid power sources.
+//!
+//! A fuel cell has high *energy* density but low *power* density and a
+//! limited load-following range, so the hybrid system of *Zhuo et al.,
+//! DAC 2007* (Figure 1) buffers it with a charge-storage element — a 1 F
+//! super-capacitor in the paper's experiments, or a Li-ion battery. The
+//! storage element absorbs `I_chg = I_F − I_ld` when the FC over-delivers
+//! and supplies `I_dis = I_ld − I_F` when the load exceeds the FC output.
+//!
+//! This crate provides:
+//!
+//! * the [`ChargeStorage`] trait — exact (piecewise-constant-current)
+//!   integration of the storage state with explicit overflow ("bleeder
+//!   by-pass") and underflow ("brownout deficit") accounting;
+//! * [`IdealStorage`] — the lossless buffer the paper's optimizer assumes;
+//! * [`SuperCapacitor`] — a capacitance-based model with a usable voltage
+//!   window and leakage;
+//! * [`LiIonBattery`] — a coulombic-efficiency + self-discharge model for
+//!   the battery-buffered variant.
+//!
+//! # Example
+//!
+//! ```
+//! use fcdpm_units::{Amps, Charge, Seconds};
+//! use fcdpm_storage::{ChargeStorage, IdealStorage};
+//!
+//! // The paper's buffer: 1 F ≙ 100 mA·min at 12 V, initially empty.
+//! let mut buf = IdealStorage::new(Charge::from_milliamp_minutes(100.0), Charge::ZERO);
+//! // FC over-delivers 0.33 A for 10 s → 3.3 A·s stored.
+//! let flow = buf.step(Amps::new(0.33), Seconds::new(10.0));
+//! assert!((flow.charged.amp_seconds() - 3.3).abs() < 1e-12);
+//! assert!(flow.bled.is_zero());
+//! assert!((buf.soc().amp_seconds() - 3.3).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod battery;
+mod flow;
+mod ideal;
+mod kibam;
+mod supercap;
+
+pub use battery::LiIonBattery;
+pub use flow::StorageFlow;
+pub use ideal::IdealStorage;
+pub use kibam::KineticBattery;
+pub use supercap::SuperCapacitor;
+
+use fcdpm_units::{Amps, Charge, Seconds};
+
+/// A charge-storage element integrated with piecewise-constant currents.
+///
+/// `step` applies a *net* current for a duration: positive charges the
+/// element, negative discharges it. Implementations must:
+///
+/// * never let the state of charge leave `[0, capacity]`;
+/// * report overflow in [`StorageFlow::bled`] (charge routed to the
+///   bleeder by-pass, Section 3.3.1) and unmet demand in
+///   [`StorageFlow::deficit`] (a brownout — the hybrid source failed to
+///   power the load).
+pub trait ChargeStorage: core::fmt::Debug {
+    /// Maximum charge the element can hold (`C_max`).
+    fn capacity(&self) -> Charge;
+
+    /// Current state of charge.
+    fn soc(&self) -> Charge;
+
+    /// Applies net current `net` for `dt` and returns the flow accounting.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `dt` is negative.
+    fn step(&mut self, net: Amps, dt: Seconds) -> StorageFlow;
+
+    /// Forces the state of charge (clamped into `[0, capacity]`).
+    /// Used to set initial conditions between experiments.
+    fn set_soc(&mut self, soc: Charge);
+
+    /// State of charge as a fraction of capacity (`0` for zero-capacity
+    /// elements).
+    fn soc_fraction(&self) -> f64 {
+        if self.capacity().is_zero() {
+            0.0
+        } else {
+            self.soc() / self.capacity()
+        }
+    }
+
+    /// Remaining headroom `capacity − soc`.
+    fn headroom(&self) -> Charge {
+        self.capacity() - self.soc()
+    }
+
+    /// `true` when within `tol` of full.
+    fn is_full(&self, tol: Charge) -> bool {
+        self.headroom() <= tol
+    }
+
+    /// `true` when within `tol` of empty.
+    fn is_empty(&self, tol: Charge) -> bool {
+        self.soc() <= tol
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn default_helpers() {
+        let mut s = IdealStorage::new(Charge::new(10.0), Charge::new(4.0));
+        assert_eq!(s.soc_fraction(), 0.4);
+        assert_eq!(s.headroom().amp_seconds(), 6.0);
+        assert!(!s.is_full(Charge::new(0.01)));
+        assert!(!s.is_empty(Charge::new(0.01)));
+        s.set_soc(Charge::new(10.0));
+        assert!(s.is_full(Charge::ZERO));
+        s.set_soc(Charge::ZERO);
+        assert!(s.is_empty(Charge::ZERO));
+    }
+
+    #[test]
+    fn zero_capacity_fraction_is_zero() {
+        let s = IdealStorage::new(Charge::ZERO, Charge::ZERO);
+        assert_eq!(s.soc_fraction(), 0.0);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut boxed: Box<dyn ChargeStorage> =
+            Box::new(IdealStorage::new(Charge::new(5.0), Charge::ZERO));
+        let flow = boxed.step(Amps::new(1.0), Seconds::new(2.0));
+        assert_eq!(flow.charged.amp_seconds(), 2.0);
+    }
+}

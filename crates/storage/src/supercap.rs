@@ -1,0 +1,227 @@
+//! Super-capacitor model.
+
+use fcdpm_units::{Amps, Charge, Seconds, Volts};
+
+use crate::{ChargeStorage, StorageFlow};
+
+/// A super-capacitor buffer with a usable voltage window and leakage.
+///
+/// The usable charge of a capacitor cycled between `v_min` and `v_max` is
+/// `C·(v_max − v_min)`. The paper's 1 F element "equivalent to 100 mA·min
+/// capacity when voltage is 12 V" corresponds to a 6 V usable window
+/// (1 F × 6 V = 6 A·s = 100 mA·min).
+///
+/// Leakage (self-discharge) is modeled as an exponential decay of the
+/// stored charge with time constant `1/leak_per_second`.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_units::Volts;
+/// use fcdpm_storage::{ChargeStorage, SuperCapacitor};
+///
+/// let cap = SuperCapacitor::dac07();
+/// assert!((cap.capacity().amp_seconds() - 6.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SuperCapacitor {
+    capacitance_farads: f64,
+    v_min: Volts,
+    v_max: Volts,
+    leak_per_second: f64,
+    soc: Charge,
+}
+
+impl SuperCapacitor {
+    /// Creates a super-capacitor from its capacitance and usable voltage
+    /// window, starting at `initial` state of charge (clamped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacitance_farads` is negative, `v_min > v_max`,
+    /// either voltage is negative, or `leak_per_second` is not in `[0, 1)`.
+    #[must_use]
+    #[track_caller]
+    pub fn new(
+        capacitance_farads: f64,
+        v_min: Volts,
+        v_max: Volts,
+        leak_per_second: f64,
+        initial: Charge,
+    ) -> Self {
+        assert!(
+            capacitance_farads >= 0.0 && capacitance_farads.is_finite(),
+            "capacitance must be non-negative"
+        );
+        assert!(
+            !v_min.is_negative() && v_min <= v_max,
+            "voltage window invalid"
+        );
+        assert!(
+            (0.0..1.0).contains(&leak_per_second),
+            "leak rate must be in [0, 1)"
+        );
+        let capacity = Charge::new(capacitance_farads * (v_max - v_min).volts());
+        Self {
+            capacitance_farads,
+            v_min,
+            v_max,
+            leak_per_second,
+            soc: initial.clamp(Charge::ZERO, capacity),
+        }
+    }
+
+    /// The paper's element: 1 F cycled over a 6–12 V window (6 A·s ≙
+    /// 100 mA·min), lossless, starting half-full.
+    #[must_use]
+    pub fn dac07() -> Self {
+        Self::new(
+            1.0,
+            Volts::new(6.0),
+            Volts::new(12.0),
+            0.0,
+            Charge::new(3.0),
+        )
+    }
+
+    /// The capacitance in farads.
+    #[must_use]
+    pub fn capacitance_farads(&self) -> f64 {
+        self.capacitance_farads
+    }
+
+    /// The terminal voltage implied by the current state of charge.
+    #[must_use]
+    pub fn terminal_voltage(&self) -> Volts {
+        if self.capacitance_farads == 0.0 {
+            return self.v_min;
+        }
+        self.v_min + Volts::new(self.soc.amp_seconds() / self.capacitance_farads)
+    }
+}
+
+impl ChargeStorage for SuperCapacitor {
+    fn capacity(&self) -> Charge {
+        Charge::new(self.capacitance_farads * (self.v_max - self.v_min).volts())
+    }
+
+    fn soc(&self) -> Charge {
+        self.soc
+    }
+
+    fn step(&mut self, net: Amps, dt: Seconds) -> StorageFlow {
+        assert!(!dt.is_negative(), "duration must be non-negative");
+        // Leakage first (exponential decay over the step).
+        if self.leak_per_second > 0.0 && !dt.is_zero() {
+            let keep = (1.0 - self.leak_per_second).powf(dt.seconds());
+            self.soc = self.soc * keep;
+        }
+        let capacity = self.capacity();
+        let delta = net * dt;
+        let mut flow = StorageFlow::NONE;
+        if delta.is_negative() {
+            let demand = -delta;
+            let supplied = demand.min(self.soc);
+            // Clamp to absorb one-ULP rounding at the boundaries.
+            self.soc = (self.soc - supplied).max_zero();
+            flow.discharged = supplied;
+            flow.deficit = demand - supplied;
+        } else {
+            let room = capacity - self.soc;
+            let stored = delta.min(room);
+            self.soc = (self.soc + stored).min(capacity);
+            flow.charged = stored;
+            flow.bled = delta - stored;
+        }
+        flow
+    }
+
+    fn set_soc(&mut self, soc: Charge) {
+        self.soc = soc.clamp(Charge::ZERO, self.capacity());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacity() {
+        let cap = SuperCapacitor::dac07();
+        assert!((cap.capacity().amp_seconds() - 6.0).abs() < 1e-12);
+        assert!(
+            (cap.capacity().amp_seconds() - Charge::from_milliamp_minutes(100.0).amp_seconds())
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn terminal_voltage_tracks_soc() {
+        let mut cap = SuperCapacitor::dac07();
+        cap.set_soc(Charge::ZERO);
+        assert_eq!(cap.terminal_voltage().volts(), 6.0);
+        cap.set_soc(Charge::new(6.0));
+        assert_eq!(cap.terminal_voltage().volts(), 12.0);
+        cap.set_soc(Charge::new(3.0));
+        assert_eq!(cap.terminal_voltage().volts(), 9.0);
+    }
+
+    #[test]
+    fn lossless_step_matches_ideal() {
+        let mut cap = SuperCapacitor::dac07();
+        cap.set_soc(Charge::ZERO);
+        let flow = cap.step(Amps::new(0.5), Seconds::new(4.0));
+        assert_eq!(flow.charged.amp_seconds(), 2.0);
+        assert!(flow.is_clean());
+        let flow = cap.step(Amps::new(-1.0), Seconds::new(3.0));
+        assert_eq!(flow.discharged.amp_seconds(), 2.0);
+        assert_eq!(flow.deficit.amp_seconds(), 1.0);
+    }
+
+    #[test]
+    fn leakage_decays_exponentially() {
+        let mut cap = SuperCapacitor::new(
+            1.0,
+            Volts::new(6.0),
+            Volts::new(12.0),
+            0.01,
+            Charge::new(6.0),
+        );
+        cap.step(Amps::ZERO, Seconds::new(1.0));
+        assert!((cap.soc().amp_seconds() - 6.0 * 0.99).abs() < 1e-12);
+        cap.step(Amps::ZERO, Seconds::new(2.0));
+        assert!((cap.soc().amp_seconds() - 6.0 * 0.99f64.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_bleeds() {
+        let mut cap = SuperCapacitor::dac07();
+        cap.set_soc(Charge::new(5.0));
+        let flow = cap.step(Amps::new(1.0), Seconds::new(2.0));
+        assert_eq!(flow.charged.amp_seconds(), 1.0);
+        assert_eq!(flow.bled.amp_seconds(), 1.0);
+    }
+
+    #[test]
+    fn zero_capacitance_is_degenerate_but_safe() {
+        let mut cap =
+            SuperCapacitor::new(0.0, Volts::new(6.0), Volts::new(12.0), 0.0, Charge::ZERO);
+        assert!(cap.capacity().is_zero());
+        assert_eq!(cap.terminal_voltage().volts(), 6.0);
+        let flow = cap.step(Amps::new(1.0), Seconds::new(1.0));
+        assert_eq!(flow.bled.amp_seconds(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage window invalid")]
+    fn inverted_window_panics() {
+        let _ = SuperCapacitor::new(1.0, Volts::new(12.0), Volts::new(6.0), 0.0, Charge::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "leak rate")]
+    fn invalid_leak_panics() {
+        let _ = SuperCapacitor::new(1.0, Volts::new(6.0), Volts::new(12.0), 1.0, Charge::ZERO);
+    }
+}

@@ -1,0 +1,107 @@
+//! Electric charge.
+
+use crate::{Amps, Energy, Seconds, Volts};
+
+quantity! {
+    /// An electric charge in ampere-seconds (coulombs).
+    ///
+    /// The paper accounts both fuel consumption (`∫ I_fc dt`) and the state
+    /// of the charge-storage element in A·s, so `Charge` is the unit of the
+    /// storage state of charge, of fuel totals, and of per-slot charge
+    /// balances.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fcdpm_units::{Charge, Seconds};
+    ///
+    /// // The paper's 1 F super-capacitor holds 100 mA·min at 12 V.
+    /// let cap = Charge::from_milliamp_minutes(100.0);
+    /// assert_eq!(cap.amp_seconds(), 6.0);
+    /// let i = cap / Seconds::new(30.0);
+    /// assert_eq!(i.amps(), 0.2);
+    /// ```
+    Charge, "A·s", amp_seconds
+}
+
+impl Charge {
+    /// Creates a charge from milliampere-minutes (a capacity unit used in
+    /// the paper for the super-capacitor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ma_min` is NaN.
+    #[must_use]
+    pub fn from_milliamp_minutes(ma_min: f64) -> Self {
+        Self::new(ma_min * 60.0 / 1000.0)
+    }
+
+    /// Creates a charge from ampere-hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ah` is NaN.
+    #[must_use]
+    pub fn from_amp_hours(ah: f64) -> Self {
+        Self::new(ah * 3600.0)
+    }
+
+    /// Returns the charge in ampere-hours.
+    #[must_use]
+    pub fn amp_hours(self) -> f64 {
+        self.amp_seconds() / 3600.0
+    }
+
+    /// Returns the energy this charge represents at potential `v`.
+    #[must_use]
+    pub fn at_volts(self, v: Volts) -> Energy {
+        Energy::new(self.amp_seconds() * v.volts())
+    }
+}
+
+/// `Q / t = I`
+impl core::ops::Div<Seconds> for Charge {
+    type Output = Amps;
+    fn div(self, rhs: Seconds) -> Amps {
+        Amps::new(self.amp_seconds() / rhs.seconds())
+    }
+}
+
+/// `Q / I = t`
+impl core::ops::Div<Amps> for Charge {
+    type Output = Seconds;
+    fn div(self, rhs: Amps) -> Seconds {
+        Seconds::new(self.amp_seconds() / rhs.amps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_units() {
+        assert_eq!(Charge::from_milliamp_minutes(100.0).amp_seconds(), 6.0);
+        assert_eq!(Charge::from_amp_hours(1.0).amp_seconds(), 3600.0);
+        assert_eq!(Charge::new(7200.0).amp_hours(), 2.0);
+    }
+
+    #[test]
+    fn quotients() {
+        let q = Charge::new(10.67);
+        assert!((q / Seconds::new(20.0)).amps() - 0.5335 < 1e-12);
+        assert!(((q / Amps::new(0.5335)).seconds() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_at_bus_voltage() {
+        // Section 3.2: the FC delivers 16 A·s at 12 V → 192 J.
+        let q = Charge::new(16.0);
+        assert_eq!(q.at_volts(Volts::new(12.0)).joules(), 192.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Charge::new(13.45).to_string(), "13.45 A·s");
+    }
+}

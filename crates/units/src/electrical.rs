@@ -1,0 +1,202 @@
+//! Electrical quantities: current, voltage and power.
+
+use crate::{Charge, Energy, Seconds};
+
+quantity! {
+    /// An electric current in amperes.
+    ///
+    /// Currents appear on two sides of a fuel-cell system: the regulated
+    /// 12 V bus (`I_F`, `I_ld`, …) and the stack side (`I_fc`). Both use
+    /// `Amps`; which side a value belongs to is carried by field and
+    /// parameter names, mirroring the paper's notation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fcdpm_units::{Amps, Seconds};
+    ///
+    /// let i = Amps::from_milli(530.0);
+    /// let q = i * Seconds::new(30.0);
+    /// assert!((q.amp_seconds() - 15.9).abs() < 1e-12);
+    /// ```
+    Amps, "A", amps
+}
+
+quantity! {
+    /// An electric potential in volts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fcdpm_units::{Amps, Volts};
+    ///
+    /// let p = Volts::new(12.0) * Amps::new(0.5);
+    /// assert_eq!(p.watts(), 6.0);
+    /// ```
+    Volts, "V", volts
+}
+
+quantity! {
+    /// A power in watts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fcdpm_units::{Volts, Watts};
+    ///
+    /// // The DVD camcorder RUN mode draws 14.65 W from the 12 V bus.
+    /// let i = Watts::new(14.65) / Volts::new(12.0);
+    /// assert!((i.amps() - 1.2208).abs() < 1e-3);
+    /// ```
+    Watts, "W", watts
+}
+
+impl Amps {
+    /// Creates a current from milliamperes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `milli` is NaN.
+    #[must_use]
+    pub fn from_milli(milli: f64) -> Self {
+        Self::new(milli / 1000.0)
+    }
+
+    /// Returns the current in milliamperes.
+    #[must_use]
+    pub fn milliamps(self) -> f64 {
+        self.amps() * 1000.0
+    }
+
+    /// Returns the power this current delivers at potential `v`.
+    #[must_use]
+    pub fn at_volts(self, v: Volts) -> Watts {
+        v * self
+    }
+}
+
+impl Watts {
+    /// Returns the current corresponding to this power at potential `v`.
+    ///
+    /// Convenience alias for `self / v`.
+    #[must_use]
+    pub fn current_at(self, v: Volts) -> Amps {
+        self / v
+    }
+}
+
+/// `V × I = P`
+impl core::ops::Mul<Amps> for Volts {
+    type Output = Watts;
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts::new(self.volts() * rhs.amps())
+    }
+}
+
+/// `I × V = P`
+impl core::ops::Mul<Volts> for Amps {
+    type Output = Watts;
+    fn mul(self, rhs: Volts) -> Watts {
+        rhs * self
+    }
+}
+
+/// `P / V = I`
+impl core::ops::Div<Volts> for Watts {
+    type Output = Amps;
+    fn div(self, rhs: Volts) -> Amps {
+        Amps::new(self.watts() / rhs.volts())
+    }
+}
+
+/// `P / I = V`
+impl core::ops::Div<Amps> for Watts {
+    type Output = Volts;
+    fn div(self, rhs: Amps) -> Volts {
+        Volts::new(self.watts() / rhs.amps())
+    }
+}
+
+/// `I × t = Q`
+impl core::ops::Mul<Seconds> for Amps {
+    type Output = Charge;
+    fn mul(self, rhs: Seconds) -> Charge {
+        Charge::new(self.amps() * rhs.seconds())
+    }
+}
+
+/// `t × I = Q`
+impl core::ops::Mul<Amps> for Seconds {
+    type Output = Charge;
+    fn mul(self, rhs: Amps) -> Charge {
+        rhs * self
+    }
+}
+
+/// `P × t = E`
+impl core::ops::Mul<Seconds> for Watts {
+    type Output = Energy;
+    fn mul(self, rhs: Seconds) -> Energy {
+        Energy::new(self.watts() * rhs.seconds())
+    }
+}
+
+/// `t × P = E`
+impl core::ops::Mul<Watts> for Seconds {
+    type Output = Energy;
+    fn mul(self, rhs: Watts) -> Energy {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn milliamp_conversions() {
+        assert_eq!(Amps::from_milli(200.0).amps(), 0.2);
+        assert_eq!(Amps::new(1.2).milliamps(), 1200.0);
+    }
+
+    #[test]
+    fn power_relations() {
+        let v = Volts::new(12.0);
+        let i = Amps::new(1.2);
+        let p = v * i;
+        assert!((p.watts() - 14.4).abs() < 1e-12);
+        assert!(((i * v).watts() - 14.4).abs() < 1e-12);
+        assert!(((p / v).amps() - 1.2).abs() < 1e-12);
+        assert!(((p / i).volts() - 12.0).abs() < 1e-12);
+        assert!((i.at_volts(v).watts() - 14.4).abs() < 1e-12);
+        assert!((p.current_at(v).amps() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_and_energy_integration() {
+        let t = Seconds::new(20.0);
+        assert_eq!((Amps::new(0.2) * t).amp_seconds(), 4.0);
+        assert_eq!((t * Amps::new(0.2)).amp_seconds(), 4.0);
+        assert_eq!((Watts::new(14.65) * t).joules(), 293.0);
+        assert_eq!((t * Watts::new(14.65)).joules(), 293.0);
+    }
+
+    #[test]
+    fn camcorder_run_current() {
+        // Figure 6: RUN mode is 14.65 W at the 12 V bus.
+        let i = Watts::new(14.65) / Volts::new(12.0);
+        assert!((i.amps() - 1.220833).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Amps::new(0.53).to_string(), "0.53 A");
+        assert_eq!(Volts::new(18.2).to_string(), "18.2 V");
+        assert_eq!(format!("{:.1}", Watts::new(14.65)), "14.7 W");
+    }
+
+    #[test]
+    fn ratio_is_dimensionless() {
+        assert_eq!(Amps::new(1.2) / Amps::new(0.6), 2.0);
+    }
+}

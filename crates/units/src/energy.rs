@@ -1,0 +1,106 @@
+//! Energy.
+
+use crate::{Charge, Seconds, Volts, Watts};
+
+quantity! {
+    /// An energy in joules.
+    ///
+    /// Used for delivered bus energy (`V_F · ∫ I_F dt`) and for Gibbs
+    /// free-energy fuel accounting (`ΔE_Gibbs = ζ · ∫ I_fc dt`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fcdpm_units::{Energy, Seconds};
+    ///
+    /// let e = Energy::new(192.0);
+    /// assert_eq!((e / Seconds::new(30.0)).watts(), 6.4);
+    /// ```
+    Energy, "J", joules
+}
+
+impl Energy {
+    /// Creates an energy from watt-hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wh` is NaN.
+    #[must_use]
+    pub fn from_watt_hours(wh: f64) -> Self {
+        Self::new(wh * 3600.0)
+    }
+
+    /// Returns the energy in watt-hours.
+    #[must_use]
+    pub fn watt_hours(self) -> f64 {
+        self.joules() / 3600.0
+    }
+
+    /// Creates an energy from kilojoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kj` is NaN.
+    #[must_use]
+    pub fn from_kilojoules(kj: f64) -> Self {
+        Self::new(kj * 1000.0)
+    }
+}
+
+/// `E / t = P`
+impl core::ops::Div<Seconds> for Energy {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.joules() / rhs.seconds())
+    }
+}
+
+/// `E / P = t`
+impl core::ops::Div<Watts> for Energy {
+    type Output = Seconds;
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds::new(self.joules() / rhs.watts())
+    }
+}
+
+/// `E / Q = V`
+impl core::ops::Div<Charge> for Energy {
+    type Output = Volts;
+    fn div(self, rhs: Charge) -> Volts {
+        Volts::new(self.joules() / rhs.amp_seconds())
+    }
+}
+
+/// `E / V = Q`
+impl core::ops::Div<Volts> for Energy {
+    type Output = Charge;
+    fn div(self, rhs: Volts) -> Charge {
+        Charge::new(self.joules() / rhs.volts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(Energy::from_watt_hours(1.0).joules(), 3600.0);
+        assert_eq!(Energy::new(7200.0).watt_hours(), 2.0);
+        assert_eq!(Energy::from_kilojoules(2.5).joules(), 2500.0);
+    }
+
+    #[test]
+    fn quotients() {
+        let e = Energy::new(192.0);
+        assert_eq!((e / Seconds::new(30.0)).watts(), 6.4);
+        assert_eq!((e / Watts::new(6.4)).seconds(), 30.0);
+        assert_eq!((e / Charge::new(16.0)).volts(), 12.0);
+        assert_eq!((e / Volts::new(12.0)).amp_seconds(), 16.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Energy::new(192.0).to_string(), "192 J");
+    }
+}

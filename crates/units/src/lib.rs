@@ -1,0 +1,53 @@
+//! Typed physical quantities for the `fcdpm` workspace.
+//!
+//! Power-source modeling mixes many `f64` quantities — currents on the 12 V
+//! bus, currents on the fuel-cell stack side, charges, energies, durations —
+//! and confusing them is the classic source of silent modeling bugs. This
+//! crate provides zero-cost newtypes ([`Amps`], [`Volts`], [`Watts`],
+//! [`Seconds`], [`Charge`], [`Energy`], [`Efficiency`]) with only the
+//! physically meaningful arithmetic implemented between them.
+//!
+//! # Examples
+//!
+//! ```
+//! use fcdpm_units::{Amps, Volts, Seconds};
+//!
+//! let bus = Volts::new(12.0);
+//! let load = Amps::new(1.2);
+//! let power = bus * load;                   // Watts
+//! let energy = power * Seconds::new(10.0);  // Energy (J)
+//! assert_eq!(energy.joules(), 144.0);
+//!
+//! let charge = load * Seconds::new(10.0);   // Charge (A·s)
+//! assert_eq!(charge.amp_seconds(), 12.0);
+//! ```
+//!
+//! Cross-dimension products and quotients follow SI relations:
+//!
+//! * [`Volts`] × [`Amps`] → [`Watts`] (and [`Watts`] ÷ [`Volts`] → [`Amps`])
+//! * [`Watts`] × [`Seconds`] → [`Energy`]
+//! * [`Amps`] × [`Seconds`] → [`Charge`] (and [`Charge`] ÷ [`Seconds`] → [`Amps`])
+//! * [`Energy`] ÷ [`Charge`] → [`Volts`]
+//!
+//! The [`CurrentRange`] type models a fuel cell's *load-following range*
+//! (the interval of output currents the stack can track).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod macros;
+
+mod charge;
+mod efficiency;
+mod electrical;
+mod energy;
+mod range;
+mod time;
+
+pub use charge::Charge;
+pub use efficiency::{Efficiency, EfficiencyError};
+pub use electrical::{Amps, Volts, Watts};
+pub use energy::Energy;
+pub use range::CurrentRange;
+pub use time::Seconds;

@@ -1,0 +1,185 @@
+//! Internal macro generating the quantity newtypes.
+
+/// Generates a `f64`-backed quantity newtype with the arithmetic every
+/// quantity shares: same-type add/sub, scaling by `f64`, ratio of two values,
+/// ordering helpers and serde support.
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $unit:literal, $accessor:ident
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
+        #[derive(serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a new value from a raw magnitude in base units.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `value` is NaN. NaN quantities silently poison an
+            /// entire simulation, so they are rejected at construction.
+            #[must_use]
+            #[track_caller]
+            pub fn new(value: f64) -> Self {
+                assert!(!value.is_nan(), concat!(stringify!($name), " must not be NaN"));
+                Self(value)
+            }
+
+            /// Returns the raw magnitude in base units.
+            #[must_use]
+            pub fn $accessor(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the magnitude is finite (neither infinite nor NaN).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns `true` if the magnitude is exactly zero.
+            #[must_use]
+            pub fn is_zero(self) -> bool {
+                self.0 == 0.0
+            }
+
+            /// Returns `true` if the magnitude is strictly negative.
+            #[must_use]
+            pub fn is_negative(self) -> bool {
+                self.0 < 0.0
+            }
+
+            /// Returns the magnitude-wise absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps `self` into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[must_use]
+            #[track_caller]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(lo.0 <= hi.0, "clamp bounds inverted");
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `self` bounded below by zero.
+            #[must_use]
+            pub fn max_zero(self) -> Self {
+                Self(self.0.max(0.0))
+            }
+
+            /// Compares for approximate equality within `tol` base units.
+            #[must_use]
+            pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+                (self.0 - other.0).abs() <= tol
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Ratio of two like quantities (dimensionless).
+        impl core::ops::Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}

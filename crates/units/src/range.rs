@@ -1,0 +1,171 @@
+//! Current intervals (load-following range).
+
+use core::fmt;
+
+use crate::Amps;
+
+/// A closed interval of currents `[min, max]`.
+///
+/// Models a fuel-cell system's *load-following range*: the interval of
+/// output currents the stack can deliver while tracking the load. The paper's
+/// BCS 20 W system follows loads in `[0.1 A, 1.2 A]`; demands outside the
+/// interval must be buffered by the charge-storage element (above) or bled
+/// off (below).
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_units::{Amps, CurrentRange};
+///
+/// let range = CurrentRange::new(Amps::new(0.1), Amps::new(1.2));
+/// assert!(range.contains(Amps::new(0.53)));
+/// assert_eq!(range.clamp(Amps::new(1.5)), Amps::new(1.2));
+/// assert_eq!(range.clamp(Amps::new(0.02)), Amps::new(0.1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CurrentRange {
+    min: Amps,
+    max: Amps,
+}
+
+impl CurrentRange {
+    /// Creates a range from its bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or either bound is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn new(min: Amps, max: Amps) -> Self {
+        assert!(min <= max, "current range bounds inverted: {min} > {max}");
+        assert!(!min.is_negative(), "current range lower bound negative");
+        Self { min, max }
+    }
+
+    /// The load-following range of the paper's BCS 20 W fuel-cell system:
+    /// `[0.1 A, 1.2 A]`.
+    #[must_use]
+    pub fn dac07() -> Self {
+        Self::new(Amps::new(0.1), Amps::new(1.2))
+    }
+
+    /// Lower bound.
+    #[must_use]
+    pub fn min(&self) -> Amps {
+        self.min
+    }
+
+    /// Upper bound.
+    #[must_use]
+    pub fn max(&self) -> Amps {
+        self.max
+    }
+
+    /// Width of the interval.
+    #[must_use]
+    pub fn width(&self) -> Amps {
+        self.max - self.min
+    }
+
+    /// Returns `true` if `i` lies inside the closed interval.
+    #[must_use]
+    pub fn contains(&self, i: Amps) -> bool {
+        self.min <= i && i <= self.max
+    }
+
+    /// Clamps `i` to the closest boundary value (the paper's rule for
+    /// out-of-range optimizer solutions, Section 3.3.1).
+    #[must_use]
+    pub fn clamp(&self, i: Amps) -> Amps {
+        i.clamp(self.min, self.max)
+    }
+
+    /// Linearly interpolates across the range: `t = 0` gives `min`,
+    /// `t = 1` gives `max`. `t` outside `[0, 1]` extrapolates.
+    #[must_use]
+    pub fn lerp(&self, t: f64) -> Amps {
+        self.min + (self.max - self.min) * t
+    }
+
+    /// Returns `count` evenly spaced currents spanning the range
+    /// (inclusive of both endpoints). Used by efficiency-curve sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count < 2`.
+    #[must_use]
+    #[track_caller]
+    pub fn sweep(&self, count: usize) -> Vec<Amps> {
+        assert!(count >= 2, "sweep needs at least the two endpoints");
+        (0..count)
+            .map(|k| self.lerp(k as f64 / (count - 1) as f64))
+            .collect()
+    }
+}
+
+impl fmt::Display for CurrentRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_and_contains() {
+        let r = CurrentRange::dac07();
+        assert_eq!(r.min(), Amps::new(0.1));
+        assert_eq!(r.max(), Amps::new(1.2));
+        assert!(r.contains(Amps::new(0.1)));
+        assert!(r.contains(Amps::new(1.2)));
+        assert!(!r.contains(Amps::new(1.21)));
+        assert!(!r.contains(Amps::new(0.05)));
+        assert!((r.width().amps() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_to_closest_boundary() {
+        let r = CurrentRange::dac07();
+        assert_eq!(r.clamp(Amps::new(2.0)), Amps::new(1.2));
+        assert_eq!(r.clamp(Amps::new(0.0)), Amps::new(0.1));
+        assert_eq!(r.clamp(Amps::new(0.53)), Amps::new(0.53));
+    }
+
+    #[test]
+    fn lerp_and_sweep() {
+        let r = CurrentRange::new(Amps::new(0.0), Amps::new(1.0));
+        assert_eq!(r.lerp(0.5), Amps::new(0.5));
+        let pts = r.sweep(5);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0], Amps::new(0.0));
+        assert_eq!(pts[4], Amps::new(1.0));
+        assert_eq!(pts[2], Amps::new(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn inverted_bounds_rejected() {
+        let _ = CurrentRange::new(Amps::new(1.0), Amps::new(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the two endpoints")]
+    fn sweep_needs_two_points() {
+        let _ = CurrentRange::dac07().sweep(1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CurrentRange::dac07().to_string(), "[0.1 A, 1.2 A]");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = CurrentRange::dac07();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: CurrentRange = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

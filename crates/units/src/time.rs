@@ -1,0 +1,121 @@
+//! Durations.
+
+quantity! {
+    /// A duration in seconds.
+    ///
+    /// All task-slot lengths, transition overheads and simulation steps in
+    /// the workspace are expressed as `Seconds`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fcdpm_units::Seconds;
+    ///
+    /// let slot = Seconds::from_minutes(28.0);
+    /// assert_eq!(slot.seconds(), 1680.0);
+    /// assert_eq!(format!("{:.1}", Seconds::new(3.03)), "3.0 s");
+    /// ```
+    Seconds, "s", seconds
+}
+
+impl Seconds {
+    /// Creates a duration from minutes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `minutes` is NaN.
+    #[must_use]
+    pub fn from_minutes(minutes: f64) -> Self {
+        Self::new(minutes * 60.0)
+    }
+
+    /// Creates a duration from milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `millis` is NaN.
+    #[must_use]
+    pub fn from_millis(millis: f64) -> Self {
+        Self::new(millis / 1000.0)
+    }
+
+    /// Returns the duration in whole minutes (fractional).
+    #[must_use]
+    pub fn minutes(self) -> f64 {
+        self.seconds() / 60.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Seconds::from_minutes(2.0).seconds(), 120.0);
+        assert_eq!(Seconds::from_millis(500.0).seconds(), 0.5);
+        assert_eq!(Seconds::new(90.0).minutes(), 1.5);
+        assert_eq!(Seconds::ZERO.seconds(), 0.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Seconds::new(3.0);
+        let b = Seconds::new(1.5);
+        assert_eq!((a + b).seconds(), 4.5);
+        assert_eq!((a - b).seconds(), 1.5);
+        assert_eq!((a * 2.0).seconds(), 6.0);
+        assert_eq!((a / 2.0).seconds(), 1.5);
+        assert_eq!(a / b, 2.0);
+        assert_eq!((-a).seconds(), -3.0);
+    }
+
+    #[test]
+    fn assign_ops_and_sum() {
+        let mut t = Seconds::new(1.0);
+        t += Seconds::new(2.0);
+        t -= Seconds::new(0.5);
+        assert_eq!(t.seconds(), 2.5);
+        let total: Seconds = [Seconds::new(1.0), Seconds::new(2.0)].iter().sum();
+        assert_eq!(total.seconds(), 3.0);
+    }
+
+    #[test]
+    fn ordering_helpers() {
+        let a = Seconds::new(2.0);
+        let b = Seconds::new(5.0);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(Seconds::new(7.0).clamp(a, b), b);
+        assert_eq!(Seconds::new(-1.0).max_zero(), Seconds::ZERO);
+        assert_eq!(Seconds::new(-1.0).abs().seconds(), 1.0);
+    }
+
+    #[test]
+    fn approx_eq_within_tolerance() {
+        assert!(Seconds::new(1.0).approx_eq(Seconds::new(1.0 + 1e-12), 1e-9));
+        assert!(!Seconds::new(1.0).approx_eq(Seconds::new(1.1), 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_rejected() {
+        let _ = Seconds::new(f64::NAN);
+    }
+
+    #[test]
+    fn display_formats_unit() {
+        assert_eq!(Seconds::new(3.5).to_string(), "3.5 s");
+        assert_eq!(format!("{:.2}", Seconds::new(1.0 / 3.0)), "0.33 s");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Seconds::new(12.25);
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(json, "12.25");
+        let back: Seconds = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

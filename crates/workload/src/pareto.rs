@@ -1,0 +1,221 @@
+//! Heavy-tailed (bounded-Pareto) workload generator.
+//!
+//! Event-driven workloads — the interactive traces the prediction papers
+//! \[1\]\[3\] study — have heavy-tailed idle periods: most idles are
+//! short, a few are very long and carry most of the idle time. Heavy
+//! tails are the adversarial regime for mean-tracking predictors (the
+//! mean sits far above the median), which is exactly what the DPM-policy
+//! ablation needs a generator for.
+//!
+//! Idle lengths are drawn from a bounded Pareto distribution on
+//! `[lo, hi]` with tail index α; active lengths and powers stay uniform.
+
+use fcdpm_units::{Seconds, Watts};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use crate::{TaskSlot, Trace};
+
+/// Builder for heavy-tailed traces.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_workload::ParetoTrace;
+/// use fcdpm_units::Seconds;
+///
+/// let trace = ParetoTrace::interactive().seed(7).build();
+/// let st = trace.stats();
+/// // Heavy tail: the mean idle sits well above the median-ish minimum.
+/// assert!(st.idle.mean > 2.0 * st.idle.min);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParetoTrace {
+    idle_lo: Seconds,
+    idle_hi: Seconds,
+    /// Pareto tail index α (smaller = heavier tail).
+    alpha: f64,
+    active_min: Seconds,
+    active_max: Seconds,
+    power_min: Watts,
+    power_max: Watts,
+    horizon: Seconds,
+    seed: u64,
+}
+
+impl ParetoTrace {
+    /// An interactive-device profile: idle `Pareto(α = 1.1)` bounded to
+    /// `[0.5 s, 300 s]`, active `U[0.5 s, 2 s]` at `U[10 W, 14 W]`,
+    /// 28-minute horizon.
+    #[must_use]
+    pub fn interactive() -> Self {
+        Self {
+            idle_lo: Seconds::new(0.5),
+            idle_hi: Seconds::new(300.0),
+            alpha: 1.1,
+            active_min: Seconds::new(0.5),
+            active_max: Seconds::new(2.0),
+            power_min: Watts::new(10.0),
+            power_max: Watts::new(14.0),
+            horizon: Seconds::from_minutes(28.0),
+            seed: 0xDAC0_2007,
+        }
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn horizon(mut self, horizon: Seconds) -> Self {
+        assert!(!horizon.is_negative(), "horizon must be non-negative");
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the idle bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not `0 < lo < hi`.
+    #[must_use]
+    #[track_caller]
+    pub fn idle_bounds(mut self, lo: Seconds, hi: Seconds) -> Self {
+        assert!(lo > Seconds::ZERO && lo < hi, "idle bounds invalid");
+        self.idle_lo = lo;
+        self.idle_hi = hi;
+        self
+    }
+
+    /// Sets the tail index α (smaller is heavier; typical interactive
+    /// traces fit α ∈ [0.9, 1.5]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive and finite.
+    #[must_use]
+    #[track_caller]
+    pub fn tail_index(mut self, alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "tail index must be positive"
+        );
+        self.alpha = alpha;
+        self
+    }
+
+    /// Draws one bounded-Pareto sample by inverse-CDF.
+    fn sample_idle(&self, u: f64) -> Seconds {
+        let l = self.idle_lo.seconds();
+        let h = self.idle_hi.seconds();
+        let a = self.alpha;
+        // Bounded Pareto inverse CDF.
+        let la = l.powf(a);
+        let ha = h.powf(a);
+        let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / a);
+        Seconds::new(x.clamp(l, h))
+    }
+
+    /// Generates the trace.
+    #[must_use]
+    pub fn build(&self) -> Trace {
+        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let mut slots = Vec::new();
+        let mut elapsed = Seconds::ZERO;
+        while elapsed < self.horizon {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            let idle = self.sample_idle(u);
+            let active =
+                Seconds::new(rng.gen_range(self.active_min.seconds()..=self.active_max.seconds()));
+            let power = Watts::new(rng.gen_range(self.power_min.watts()..=self.power_max.watts()));
+            let slot = TaskSlot::new(idle, active, power);
+            elapsed += slot.duration();
+            slots.push(slot);
+        }
+        Trace::with_name("pareto-interactive", slots)
+    }
+}
+
+impl Default for ParetoTrace {
+    fn default() -> Self {
+        Self::interactive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_within_bounds() {
+        let trace = ParetoTrace::interactive().build();
+        for s in trace.slots() {
+            assert!(s.idle.seconds() >= 0.5 - 1e-9);
+            assert!(s.idle.seconds() <= 300.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn heavy_tail_shape() {
+        // Median far below mean; a long trace must contain some idles
+        // ≥ 10× the median.
+        let trace = ParetoTrace::interactive()
+            .horizon(Seconds::from_minutes(240.0))
+            .build();
+        let mut idles: Vec<f64> = trace.iter().map(|s| s.idle.seconds()).collect();
+        idles.sort_by(f64::total_cmp);
+        let median = idles[idles.len() / 2];
+        let mean = idles.iter().sum::<f64>() / idles.len() as f64;
+        assert!(
+            mean > 2.0 * median,
+            "tail too light: mean {mean:.2}, median {median:.2}"
+        );
+        assert!(idles.last().copied().unwrap() > 10.0 * median);
+    }
+
+    #[test]
+    fn lighter_tail_index_shortens_tail() {
+        let heavy = ParetoTrace::interactive()
+            .tail_index(0.9)
+            .horizon(Seconds::from_minutes(240.0))
+            .build()
+            .stats();
+        let light = ParetoTrace::interactive()
+            .tail_index(3.0)
+            .horizon(Seconds::from_minutes(240.0))
+            .build()
+            .stats();
+        assert!(heavy.idle.mean > light.idle.mean);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ParetoTrace::interactive().seed(5).build();
+        let b = ParetoTrace::interactive().seed(5).build();
+        assert_eq!(a, b);
+        assert_ne!(a, ParetoTrace::interactive().seed(6).build());
+    }
+
+    #[test]
+    fn inverse_cdf_endpoints() {
+        let p = ParetoTrace::interactive();
+        // u → 0 gives the lower bound, u → 1 approaches the upper bound.
+        assert!((p.sample_idle(1e-12).seconds() - 0.5).abs() < 1e-3);
+        assert!(p.sample_idle(0.999999).seconds() > 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle bounds invalid")]
+    fn invalid_bounds_panic() {
+        let _ = ParetoTrace::interactive().idle_bounds(Seconds::new(5.0), Seconds::new(1.0));
+    }
+}

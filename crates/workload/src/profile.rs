@@ -1,0 +1,315 @@
+//! Piecewise-constant load profiles and multi-device composition.
+//!
+//! The paper studies a single device, but its reference \[7\] (Lu et al.)
+//! schedules *multiple* devices sharing one source. A [`LoadProfile`] is
+//! the slot-free representation that makes that composable: any number of
+//! per-device timelines merge into one aggregate bus-current profile by
+//! summing currents over the union of their event boundaries, and the
+//! simulator can drive FC policies over the result directly.
+
+use fcdpm_device::SlotTimeline;
+use fcdpm_units::{Amps, Charge, Seconds};
+
+/// One constant-current stretch of a load profile.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LoadPoint {
+    /// How long the stretch lasts.
+    pub duration: Seconds,
+    /// The bus current drawn throughout.
+    pub current: Amps,
+}
+
+/// A piecewise-constant bus-current profile.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_units::{Amps, Seconds};
+/// use fcdpm_workload::{LoadPoint, LoadProfile};
+///
+/// let a = LoadProfile::new("a", vec![
+///     LoadPoint { duration: Seconds::new(2.0), current: Amps::new(0.25) },
+///     LoadPoint { duration: Seconds::new(2.0), current: Amps::new(1.0) },
+/// ]);
+/// let b = LoadProfile::new("b", vec![
+///     LoadPoint { duration: Seconds::new(4.0), current: Amps::new(0.25) },
+/// ]);
+/// let merged = LoadProfile::merge(&[a, b]);
+/// assert_eq!(merged.len(), 2);
+/// assert_eq!(merged.points()[0].current, Amps::new(0.5));
+/// assert_eq!(merged.points()[1].current, Amps::new(1.25));
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LoadProfile {
+    name: String,
+    points: Vec<LoadPoint>,
+}
+
+impl LoadProfile {
+    /// Creates a profile, dropping zero-length points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration or current is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn new(name: impl Into<String>, points: Vec<LoadPoint>) -> Self {
+        for p in &points {
+            assert!(!p.duration.is_negative(), "durations must be non-negative");
+            assert!(!p.current.is_negative(), "currents must be non-negative");
+        }
+        Self {
+            name: name.into(),
+            points: points
+                .into_iter()
+                .filter(|p| p.duration > Seconds::ZERO)
+                .collect(),
+        }
+    }
+
+    /// Flattens a slot timeline into a profile.
+    #[must_use]
+    pub fn from_timeline(name: impl Into<String>, timeline: &SlotTimeline) -> Self {
+        Self::new(
+            name,
+            timeline
+                .segments()
+                .iter()
+                .map(|s| LoadPoint {
+                    duration: s.duration,
+                    current: s.load,
+                })
+                .collect(),
+        )
+    }
+
+    /// Flattens a sequence of timelines (one per slot) into one profile.
+    #[must_use]
+    pub fn from_timelines<'a, I>(name: impl Into<String>, timelines: I) -> Self
+    where
+        I: IntoIterator<Item = &'a SlotTimeline>,
+    {
+        let points = timelines
+            .into_iter()
+            .flat_map(|t| t.segments().iter())
+            .map(|s| LoadPoint {
+                duration: s.duration,
+                current: s.load,
+            })
+            .collect();
+        Self::new(name, points)
+    }
+
+    /// Merges several profiles into their aggregate: currents add over
+    /// the union of event boundaries. The merged profile ends when the
+    /// *shortest* input ends (every device must still be defined).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty.
+    #[must_use]
+    #[track_caller]
+    pub fn merge(profiles: &[Self]) -> Self {
+        assert!(!profiles.is_empty(), "need at least one profile");
+        let name = profiles
+            .iter()
+            .map(Self::name)
+            .collect::<Vec<_>>()
+            .join("+");
+        // Cursor per profile: (point index, time consumed inside it).
+        let mut cursors = vec![(0usize, 0.0f64); profiles.len()];
+        let mut points: Vec<LoadPoint> = Vec::new();
+        loop {
+            // Current summed level and the nearest boundary.
+            let mut level = 0.0;
+            let mut step = f64::INFINITY;
+            for (profile, (idx, used)) in profiles.iter().zip(&cursors) {
+                let Some(p) = profile.points.get(*idx) else {
+                    step = 0.0;
+                    break;
+                };
+                level += p.current.amps();
+                step = step.min(p.duration.seconds() - used);
+            }
+            if step <= 0.0 || !step.is_finite() {
+                break;
+            }
+            // Coalesce equal consecutive levels.
+            if let Some(last) = points.last_mut() {
+                if (last.current.amps() - level).abs() < 1e-12 {
+                    last.duration += Seconds::new(step);
+                } else {
+                    points.push(LoadPoint {
+                        duration: Seconds::new(step),
+                        current: Amps::new(level),
+                    });
+                }
+            } else {
+                points.push(LoadPoint {
+                    duration: Seconds::new(step),
+                    current: Amps::new(level),
+                });
+            }
+            for (profile, cursor) in profiles.iter().zip(&mut cursors) {
+                cursor.1 += step;
+                if let Some(p) = profile.points.get(cursor.0) {
+                    if cursor.1 >= p.duration.seconds() - 1e-12 {
+                        cursor.0 += 1;
+                        cursor.1 = 0.0;
+                    }
+                }
+            }
+        }
+        Self { name, points }
+    }
+
+    /// The profile's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The constant-current points in time order.
+    #[must_use]
+    pub fn points(&self) -> &[LoadPoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the profile is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total duration.
+    #[must_use]
+    pub fn total_duration(&self) -> Seconds {
+        self.points.iter().map(|p| p.duration).sum()
+    }
+
+    /// Total charge drawn.
+    #[must_use]
+    pub fn total_charge(&self) -> Charge {
+        self.points.iter().map(|p| p.current * p.duration).sum()
+    }
+
+    /// Mean current over the profile (zero for an empty profile).
+    #[must_use]
+    pub fn mean_current(&self) -> Amps {
+        let t = self.total_duration();
+        if t.is_zero() {
+            Amps::ZERO
+        } else {
+            self.total_charge() / t
+        }
+    }
+
+    /// Peak current.
+    #[must_use]
+    pub fn peak_current(&self) -> Amps {
+        self.points
+            .iter()
+            .map(|p| p.current)
+            .fold(Amps::ZERO, Amps::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcdpm_device::presets;
+
+    fn pt(d: f64, i: f64) -> LoadPoint {
+        LoadPoint {
+            duration: Seconds::new(d),
+            current: Amps::new(i),
+        }
+    }
+
+    #[test]
+    fn basics() {
+        let p = LoadProfile::new("x", vec![pt(2.0, 0.5), pt(0.0, 9.0), pt(3.0, 1.0)]);
+        assert_eq!(p.len(), 2, "zero-length points dropped");
+        assert_eq!(p.total_duration(), Seconds::new(5.0));
+        assert!((p.total_charge().amp_seconds() - 4.0).abs() < 1e-12);
+        assert!((p.mean_current().amps() - 0.8).abs() < 1e-12);
+        assert_eq!(p.peak_current(), Amps::new(1.0));
+    }
+
+    #[test]
+    fn merge_sums_currents_at_boundaries() {
+        let a = LoadProfile::new("a", vec![pt(2.0, 0.2), pt(2.0, 1.0)]);
+        let b = LoadProfile::new("b", vec![pt(1.0, 0.1), pt(3.0, 0.3)]);
+        let m = LoadProfile::merge(&[a, b]);
+        // Boundaries at 1, 2, 4 → levels 0.3, 0.5, 1.3.
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.points()[0].duration, Seconds::new(1.0));
+        assert!((m.points()[0].current.amps() - 0.3).abs() < 1e-12);
+        assert!((m.points()[1].current.amps() - 0.5).abs() < 1e-12);
+        assert!((m.points()[2].current.amps() - 1.3).abs() < 1e-12);
+        assert_eq!(m.total_duration(), Seconds::new(4.0));
+        assert_eq!(m.name(), "a+b");
+    }
+
+    #[test]
+    fn merge_truncates_to_shortest() {
+        let a = LoadProfile::new("a", vec![pt(10.0, 0.2)]);
+        let b = LoadProfile::new("b", vec![pt(4.0, 0.1)]);
+        let m = LoadProfile::merge(&[a, b]);
+        assert_eq!(m.total_duration(), Seconds::new(4.0));
+    }
+
+    #[test]
+    fn merge_conserves_charge_over_common_horizon() {
+        let a = LoadProfile::new("a", vec![pt(2.0, 0.4), pt(2.0, 0.6)]);
+        let b = LoadProfile::new("b", vec![pt(1.0, 0.2), pt(3.0, 0.8)]);
+        let m = LoadProfile::merge(&[a.clone(), b.clone()]);
+        let expect = a.total_charge() + b.total_charge();
+        assert!((m.total_charge().amp_seconds() - expect.amp_seconds()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_coalesces_equal_levels() {
+        let a = LoadProfile::new("a", vec![pt(1.0, 0.5), pt(1.0, 0.5)]);
+        let b = LoadProfile::new("b", vec![pt(2.0, 0.2)]);
+        let m = LoadProfile::merge(&[a, b]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.points()[0].duration, Seconds::new(2.0));
+    }
+
+    #[test]
+    fn from_timeline_round_trips_charge() {
+        let spec = presets::dvd_camcorder();
+        let timeline = SlotTimeline::build(
+            &spec,
+            Seconds::new(14.0),
+            true,
+            Seconds::new(3.03),
+            spec.mode_current(fcdpm_device::PowerMode::Run),
+        );
+        let p = LoadProfile::from_timeline("slot", &timeline);
+        assert!(
+            (p.total_charge().amp_seconds() - timeline.load_charge().amp_seconds()).abs() < 1e-12
+        );
+        assert_eq!(p.total_duration(), timeline.total_duration());
+    }
+
+    #[test]
+    fn singleton_merge_is_identity_up_to_coalescing() {
+        let a = LoadProfile::new("a", vec![pt(2.0, 0.4), pt(2.0, 0.6)]);
+        let m = LoadProfile::merge(std::slice::from_ref(&a));
+        assert_eq!(m.points(), a.points());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one profile")]
+    fn empty_merge_panics() {
+        let _ = LoadProfile::merge(&[]);
+    }
+}

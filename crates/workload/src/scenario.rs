@@ -1,0 +1,114 @@
+//! Experiment scenarios: trace + device + policy parameters.
+
+use fcdpm_device::{presets, DeviceSpec};
+use fcdpm_units::Amps;
+
+use crate::{CamcorderTrace, SyntheticTrace, Trace};
+
+/// A complete experimental setup: the workload trace, the device it runs
+/// on, and the paper's prediction parameters for that experiment.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_workload::Scenario;
+///
+/// let exp1 = Scenario::experiment1();
+/// assert_eq!(exp1.rho, 0.5);
+/// assert!(exp1.trace.len() > 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name for reports.
+    pub name: String,
+    /// The workload.
+    pub trace: Trace,
+    /// The device running it.
+    pub device: DeviceSpec,
+    /// Idle-period prediction factor ρ (Equation 14).
+    pub rho: f64,
+    /// Active-period prediction factor σ (Equation 15).
+    pub sigma: f64,
+    /// A-priori estimate of the active current `I'_ld,a` used before any
+    /// active period has been observed (`None` lets the predictor average
+    /// past observations from a cold start).
+    pub active_current_estimate: Option<Amps>,
+}
+
+impl Scenario {
+    /// Experiment 1 (Section 5.1): the DVD camcorder running the 28-minute
+    /// MPEG trace, ρ = 0.5. The active period is fixed, so no active-period
+    /// prediction is needed (σ is irrelevant; kept at 0.5) and the active
+    /// current is known.
+    #[must_use]
+    pub fn experiment1() -> Self {
+        Self::experiment1_seeded(0xDAC0_2007)
+    }
+
+    /// Experiment 1 with a custom trace seed.
+    #[must_use]
+    pub fn experiment1_seeded(seed: u64) -> Self {
+        let device = presets::dvd_camcorder();
+        let run_current = device.mode_current(fcdpm_device::PowerMode::Run);
+        Self {
+            name: "DAC'07 Experiment 1 (DVD camcorder)".to_owned(),
+            trace: CamcorderTrace::dac07().seed(seed).build(),
+            device,
+            rho: 0.5,
+            sigma: 0.5,
+            active_current_estimate: Some(run_current),
+        }
+    }
+
+    /// Experiment 2 (Section 5.2): the synthetic uniform workload,
+    /// ρ = σ = 0.5, future active current estimated as 1.2 A.
+    #[must_use]
+    pub fn experiment2() -> Self {
+        Self::experiment2_seeded(0xDAC0_2007)
+    }
+
+    /// Experiment 2 with a custom trace seed.
+    #[must_use]
+    pub fn experiment2_seeded(seed: u64) -> Self {
+        Self {
+            name: "DAC'07 Experiment 2 (synthetic)".to_owned(),
+            trace: SyntheticTrace::dac07().seed(seed).build(),
+            device: presets::experiment2_device(),
+            rho: 0.5,
+            sigma: 0.5,
+            active_current_estimate: Some(Amps::new(1.2)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcdpm_device::PowerMode;
+
+    #[test]
+    fn experiment1_wiring() {
+        let s = Scenario::experiment1();
+        assert_eq!(s.device.mode_power(PowerMode::Run).watts(), 14.65);
+        assert_eq!(s.rho, 0.5);
+        let i = s.active_current_estimate.unwrap();
+        assert!((i.amps() - 14.65 / 12.0).abs() < 1e-12);
+        assert!(s.trace.total_duration().minutes() >= 28.0);
+    }
+
+    #[test]
+    fn experiment2_wiring() {
+        let s = Scenario::experiment2();
+        assert_eq!(s.device.break_even_time().seconds(), 10.0);
+        assert_eq!(s.active_current_estimate.unwrap(), Amps::new(1.2));
+        let st = s.trace.stats();
+        assert!(st.idle.min >= 5.0 && st.idle.max <= 25.0);
+    }
+
+    #[test]
+    fn seeded_variants_differ() {
+        let a = Scenario::experiment1_seeded(1);
+        let b = Scenario::experiment1_seeded(2);
+        assert_ne!(a.trace, b.trace);
+    }
+}

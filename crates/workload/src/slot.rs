@@ -1,0 +1,367 @@
+//! Task slots and traces.
+
+use core::fmt;
+
+use fcdpm_units::{Amps, Seconds, Volts, Watts};
+
+use crate::TraceStats;
+
+/// One task slot: an idle period followed by an active period
+/// (Section 3.1, Table 1).
+///
+/// The active power is stored as a power (the paper specifies workloads in
+/// watts); the bus current follows from the device's bus voltage.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_units::{Seconds, Volts, Watts};
+/// use fcdpm_workload::TaskSlot;
+///
+/// let slot = TaskSlot::new(Seconds::new(14.0), Seconds::new(3.03), Watts::new(14.65));
+/// assert!((slot.active_current(Volts::new(12.0)).amps() - 1.2208).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TaskSlot {
+    /// Idle period length `T_i`.
+    pub idle: Seconds,
+    /// Active period length `T_a`.
+    pub active: Seconds,
+    /// Load power during the active period.
+    pub active_power: Watts,
+}
+
+impl TaskSlot {
+    /// Creates a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn new(idle: Seconds, active: Seconds, active_power: Watts) -> Self {
+        assert!(!idle.is_negative(), "idle length must be non-negative");
+        assert!(!active.is_negative(), "active length must be non-negative");
+        assert!(
+            !active_power.is_negative(),
+            "active power must be non-negative"
+        );
+        Self {
+            idle,
+            active,
+            active_power,
+        }
+    }
+
+    /// Nominal slot length `T_i + T_a`.
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        self.idle + self.active
+    }
+
+    /// Bus current during the active period at bus voltage `v`.
+    #[must_use]
+    pub fn active_current(&self, v: Volts) -> Amps {
+        self.active_power / v
+    }
+}
+
+/// Error from parsing a CSV trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// An ordered sequence of task slots.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_units::{Seconds, Watts};
+/// use fcdpm_workload::{TaskSlot, Trace};
+///
+/// let trace: Trace = vec![
+///     TaskSlot::new(Seconds::new(20.0), Seconds::new(10.0), Watts::new(14.4)),
+/// ]
+/// .into_iter()
+/// .collect();
+/// assert_eq!(trace.total_duration().seconds(), 30.0);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Trace {
+    name: String,
+    slots: Vec<TaskSlot>,
+}
+
+impl Trace {
+    /// Creates an empty, unnamed trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a named trace from slots.
+    #[must_use]
+    pub fn with_name(name: impl Into<String>, slots: Vec<TaskSlot>) -> Self {
+        Self {
+            name: name.into(),
+            slots,
+        }
+    }
+
+    /// The trace's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The slot sequence.
+    #[must_use]
+    pub fn slots(&self) -> &[TaskSlot] {
+        &self.slots
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the trace has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates over the slots.
+    pub fn iter(&self) -> core::slice::Iter<'_, TaskSlot> {
+        self.slots.iter()
+    }
+
+    /// Appends a slot.
+    pub fn push(&mut self, slot: TaskSlot) {
+        self.slots.push(slot);
+    }
+
+    /// Nominal total duration `Σ (T_i + T_a)`.
+    #[must_use]
+    pub fn total_duration(&self) -> Seconds {
+        self.slots.iter().map(TaskSlot::duration).sum()
+    }
+
+    /// Summary statistics of the slot fields.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::of(self)
+    }
+
+    /// Returns the prefix of the trace whose nominal duration first
+    /// reaches `horizon` (the whole trace if shorter).
+    #[must_use]
+    pub fn truncated_to(&self, horizon: Seconds) -> Self {
+        let mut acc = Seconds::ZERO;
+        let mut out = Vec::new();
+        for slot in &self.slots {
+            if acc >= horizon {
+                break;
+            }
+            out.push(*slot);
+            acc += slot.duration();
+        }
+        Self {
+            name: self.name.clone(),
+            slots: out,
+        }
+    }
+
+    /// Serializes to CSV: one `idle_s,active_s,active_w` record per line
+    /// with a header.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("idle_s,active_s,active_w\n");
+        for s in &self.slots {
+            out.push_str(&format!(
+                "{},{},{}\n",
+                s.idle.seconds(),
+                s.active.seconds(),
+                s.active_power.watts()
+            ));
+        }
+        out
+    }
+
+    /// Parses the CSV format produced by [`to_csv`](Self::to_csv).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseTraceError`] pinpointing the first malformed line
+    /// (wrong field count, unparsable number, or negative value).
+    pub fn from_csv(name: impl Into<String>, csv: &str) -> Result<Self, ParseTraceError> {
+        let mut slots = Vec::new();
+        for (idx, line) in csv.lines().enumerate() {
+            let line_no = idx + 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || (idx == 0 && trimmed.starts_with("idle_s")) {
+                continue;
+            }
+            let fields: Vec<&str> = trimmed.split(',').collect();
+            if fields.len() != 3 {
+                return Err(ParseTraceError {
+                    line: line_no,
+                    message: format!("expected 3 fields, found {}", fields.len()),
+                });
+            }
+            let mut values = [0.0f64; 3];
+            for (v, f) in values.iter_mut().zip(&fields) {
+                *v = f.trim().parse().map_err(|e| ParseTraceError {
+                    line: line_no,
+                    message: format!("bad number `{f}`: {e}"),
+                })?;
+                if !v.is_finite() || *v < 0.0 {
+                    return Err(ParseTraceError {
+                        line: line_no,
+                        message: format!("value `{f}` out of range"),
+                    });
+                }
+            }
+            slots.push(TaskSlot::new(
+                Seconds::new(values[0]),
+                Seconds::new(values[1]),
+                Watts::new(values[2]),
+            ));
+        }
+        Ok(Self {
+            name: name.into(),
+            slots,
+        })
+    }
+}
+
+impl FromIterator<TaskSlot> for Trace {
+    fn from_iter<I: IntoIterator<Item = TaskSlot>>(iter: I) -> Self {
+        Self {
+            name: String::new(),
+            slots: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TaskSlot> for Trace {
+    fn extend<I: IntoIterator<Item = TaskSlot>>(&mut self, iter: I) {
+        self.slots.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TaskSlot;
+    type IntoIter = core::slice::Iter<'a, TaskSlot>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.slots.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = TaskSlot;
+    type IntoIter = std::vec::IntoIter<TaskSlot>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.slots.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(i: f64, a: f64, p: f64) -> TaskSlot {
+        TaskSlot::new(Seconds::new(i), Seconds::new(a), Watts::new(p))
+    }
+
+    #[test]
+    fn slot_basics() {
+        let s = slot(20.0, 10.0, 14.4);
+        assert_eq!(s.duration().seconds(), 30.0);
+        assert!((s.active_current(Volts::new(12.0)).amps() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_slot_field_panics() {
+        let _ = slot(-1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn trace_collect_and_extend() {
+        let mut t: Trace = vec![slot(1.0, 2.0, 3.0)].into_iter().collect();
+        t.extend(vec![slot(4.0, 5.0, 6.0)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_duration().seconds(), 12.0);
+        assert!(!t.is_empty());
+        let lens: Vec<f64> = (&t).into_iter().map(|s| s.idle.seconds()).collect();
+        assert_eq!(lens, vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn truncation_to_horizon() {
+        let t = Trace::with_name(
+            "x",
+            vec![
+                slot(5.0, 5.0, 1.0),
+                slot(5.0, 5.0, 1.0),
+                slot(5.0, 5.0, 1.0),
+            ],
+        );
+        let cut = t.truncated_to(Seconds::new(12.0));
+        assert_eq!(cut.len(), 2); // 10 s after 1 slot < 12 s → take 2nd too
+        assert_eq!(cut.name(), "x");
+        let all = t.truncated_to(Seconds::new(1000.0));
+        assert_eq!(all.len(), 3);
+        let none = t.truncated_to(Seconds::ZERO);
+        assert_eq!(none.len(), 0);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = Trace::with_name("rt", vec![slot(8.5, 3.03, 14.65), slot(20.0, 3.03, 14.65)]);
+        let csv = t.to_csv();
+        let back = Trace::from_csv("rt", &csv).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn csv_rejects_malformed() {
+        let err = Trace::from_csv("x", "idle_s,active_s,active_w\n1.0,2.0\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("expected 3 fields"));
+
+        let err = Trace::from_csv("x", "1.0,abc,3.0\n").unwrap_err();
+        assert!(err.message.contains("bad number"));
+
+        let err = Trace::from_csv("x", "1.0,-2.0,3.0\n").unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn csv_skips_blank_lines() {
+        let t = Trace::from_csv("x", "\n1.0,2.0,3.0\n\n").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Trace::with_name("j", vec![slot(1.0, 2.0, 3.0)]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,145 @@
+//! Summary statistics for traces.
+
+use core::fmt;
+
+use crate::Trace;
+
+/// Minimum / maximum / mean / standard deviation of one series.
+#[derive(Debug, Default, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SeriesStats {
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl SeriesStats {
+    /// Computes the statistics of `values`. Returns all-zero stats for an
+    /// empty slice.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        Self {
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+}
+
+impl fmt::Display for SeriesStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min {:.3}, max {:.3}, mean {:.3}, std {:.3}",
+            self.min, self.max, self.mean, self.std_dev
+        )
+    }
+}
+
+/// Summary statistics of a trace's idle lengths, active lengths and active
+/// powers (used to validate generated workloads against the published
+/// distributions).
+#[derive(Debug, Default, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceStats {
+    /// Number of slots.
+    pub slots: usize,
+    /// Idle-period lengths (seconds).
+    pub idle: SeriesStats,
+    /// Active-period lengths (seconds).
+    pub active: SeriesStats,
+    /// Active powers (watts).
+    pub active_power: SeriesStats,
+}
+
+impl TraceStats {
+    /// Computes the statistics of `trace`.
+    #[must_use]
+    pub fn of(trace: &Trace) -> Self {
+        let idle: Vec<f64> = trace.iter().map(|s| s.idle.seconds()).collect();
+        let active: Vec<f64> = trace.iter().map(|s| s.active.seconds()).collect();
+        let power: Vec<f64> = trace.iter().map(|s| s.active_power.watts()).collect();
+        Self {
+            slots: trace.len(),
+            idle: SeriesStats::of(&idle),
+            active: SeriesStats::of(&active),
+            active_power: SeriesStats::of(&power),
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "slots: {}", self.slots)?;
+        writeln!(f, "idle   [s]: {}", self.idle)?;
+        writeln!(f, "active [s]: {}", self.active)?;
+        write!(f, "power  [W]: {}", self.active_power)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskSlot;
+    use fcdpm_units::{Seconds, Watts};
+
+    #[test]
+    fn series_stats_basics() {
+        let s = SeriesStats::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_is_zero() {
+        assert_eq!(SeriesStats::of(&[]), SeriesStats::default());
+    }
+
+    #[test]
+    fn single_value_has_zero_std() {
+        let s = SeriesStats::of(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn trace_stats() {
+        let trace: Trace = vec![
+            TaskSlot::new(Seconds::new(10.0), Seconds::new(2.0), Watts::new(12.0)),
+            TaskSlot::new(Seconds::new(20.0), Seconds::new(4.0), Watts::new(16.0)),
+        ]
+        .into_iter()
+        .collect();
+        let st = trace.stats();
+        assert_eq!(st.slots, 2);
+        assert_eq!(st.idle.mean, 15.0);
+        assert_eq!(st.active.min, 2.0);
+        assert_eq!(st.active_power.max, 16.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = SeriesStats::of(&[1.0, 2.0]);
+        assert!(s.to_string().contains("mean 1.500"));
+        let trace: Trace = vec![TaskSlot::new(
+            Seconds::new(1.0),
+            Seconds::new(1.0),
+            Watts::new(1.0),
+        )]
+        .into_iter()
+        .collect();
+        assert!(trace.stats().to_string().contains("slots: 1"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Synthetic uniform workload generator (Experiment 2).
+
+use fcdpm_units::{Seconds, Watts};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use crate::{TaskSlot, Trace};
+
+/// Builder for the paper's Experiment-2 synthetic profile: idle lengths
+/// `U[5 s, 25 s]`, active lengths `U[2 s, 4 s]`, active powers
+/// `U[12 W, 16 W]`, all independent.
+///
+/// # Examples
+///
+/// ```
+/// use fcdpm_workload::SyntheticTrace;
+///
+/// let trace = SyntheticTrace::dac07().seed(1).build();
+/// let st = trace.stats();
+/// assert!(st.idle.min >= 5.0 && st.idle.max <= 25.0);
+/// assert!(st.active_power.min >= 12.0 && st.active_power.max <= 16.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticTrace {
+    idle_min: Seconds,
+    idle_max: Seconds,
+    active_min: Seconds,
+    active_max: Seconds,
+    power_min: Watts,
+    power_max: Watts,
+    horizon: Seconds,
+    seed: u64,
+}
+
+impl SyntheticTrace {
+    /// The paper's Experiment-2 distributions with a 28-minute horizon
+    /// (matching Experiment 1's duration for comparability).
+    #[must_use]
+    pub fn dac07() -> Self {
+        Self {
+            idle_min: Seconds::new(5.0),
+            idle_max: Seconds::new(25.0),
+            active_min: Seconds::new(2.0),
+            active_max: Seconds::new(4.0),
+            power_min: Watts::new(12.0),
+            power_max: Watts::new(16.0),
+            horizon: Seconds::from_minutes(28.0),
+            seed: 0xDAC0_2007,
+        }
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the trace horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is negative.
+    #[must_use]
+    #[track_caller]
+    pub fn horizon(mut self, horizon: Seconds) -> Self {
+        assert!(!horizon.is_negative(), "horizon must be non-negative");
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the idle-length distribution `U[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is inverted or negative.
+    #[must_use]
+    #[track_caller]
+    pub fn idle_range(mut self, min: Seconds, max: Seconds) -> Self {
+        assert!(!min.is_negative() && min <= max, "idle range invalid");
+        self.idle_min = min;
+        self.idle_max = max;
+        self
+    }
+
+    /// Sets the active-length distribution `U[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is inverted or negative.
+    #[must_use]
+    #[track_caller]
+    pub fn active_range(mut self, min: Seconds, max: Seconds) -> Self {
+        assert!(!min.is_negative() && min <= max, "active range invalid");
+        self.active_min = min;
+        self.active_max = max;
+        self
+    }
+
+    /// Sets the active-power distribution `U[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is inverted or negative.
+    #[must_use]
+    #[track_caller]
+    pub fn power_range(mut self, min: Watts, max: Watts) -> Self {
+        assert!(!min.is_negative() && min <= max, "power range invalid");
+        self.power_min = min;
+        self.power_max = max;
+        self
+    }
+
+    /// Generates the trace.
+    #[must_use]
+    pub fn build(&self) -> Trace {
+        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let mut uniform = |lo: f64, hi: f64| {
+            if hi > lo {
+                rng.gen_range(lo..=hi)
+            } else {
+                lo
+            }
+        };
+        let mut slots = Vec::new();
+        let mut elapsed = Seconds::ZERO;
+        while elapsed < self.horizon {
+            let idle = Seconds::new(uniform(self.idle_min.seconds(), self.idle_max.seconds()));
+            let active = Seconds::new(uniform(
+                self.active_min.seconds(),
+                self.active_max.seconds(),
+            ));
+            let power = Watts::new(uniform(self.power_min.watts(), self.power_max.watts()));
+            let slot = TaskSlot::new(idle, active, power);
+            elapsed += slot.duration();
+            slots.push(slot);
+        }
+        Trace::with_name("synthetic-uniform", slots)
+    }
+}
+
+impl Default for SyntheticTrace {
+    fn default() -> Self {
+        Self::dac07()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_bounds_respected() {
+        let trace = SyntheticTrace::dac07().build();
+        for s in trace.slots() {
+            assert!((5.0..=25.0).contains(&s.idle.seconds()));
+            assert!((2.0..=4.0).contains(&s.active.seconds()));
+            assert!((12.0..=16.0).contains(&s.active_power.watts()));
+        }
+    }
+
+    #[test]
+    fn means_near_distribution_centers() {
+        let st = SyntheticTrace::dac07()
+            .horizon(Seconds::from_minutes(600.0))
+            .build()
+            .stats();
+        assert!(
+            (st.idle.mean - 15.0).abs() < 1.0,
+            "idle mean {}",
+            st.idle.mean
+        );
+        assert!(
+            (st.active.mean - 3.0).abs() < 0.2,
+            "active mean {}",
+            st.active.mean
+        );
+        assert!(
+            (st.active_power.mean - 14.0).abs() < 0.5,
+            "power mean {}",
+            st.active_power.mean
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticTrace::dac07().seed(3).build();
+        let b = SyntheticTrace::dac07().seed(3).build();
+        assert_eq!(a, b);
+        assert_ne!(a, SyntheticTrace::dac07().seed(4).build());
+    }
+
+    #[test]
+    fn horizon_reached() {
+        let trace = SyntheticTrace::dac07().build();
+        assert!(trace.total_duration().minutes() >= 28.0);
+    }
+
+    #[test]
+    fn degenerate_point_ranges_allowed() {
+        let trace = SyntheticTrace::dac07()
+            .idle_range(Seconds::new(10.0), Seconds::new(10.0))
+            .active_range(Seconds::new(3.0), Seconds::new(3.0))
+            .power_range(Watts::new(14.0), Watts::new(14.0))
+            .horizon(Seconds::new(60.0))
+            .build();
+        for s in trace.slots() {
+            assert_eq!(s.idle.seconds(), 10.0);
+            assert_eq!(s.active.seconds(), 3.0);
+            assert_eq!(s.active_power.watts(), 14.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power range invalid")]
+    fn inverted_power_range_panics() {
+        let _ = SyntheticTrace::dac07().power_range(Watts::new(16.0), Watts::new(12.0));
+    }
+}

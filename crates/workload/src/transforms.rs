@@ -1,0 +1,192 @@
+//! Trace transforms: idle-period aggregation by task procrastination.
+//!
+//! "Techniques based on aggregation of small idle slots are particularly
+//! useful" (the paper's related work, citing the procrastination
+//! scheduling of Jejurikar & Gupta \[6\] and the multi-device scheduling
+//! of Lu et al. \[7\]): deferring task executions within their slack turns
+//! many short idle periods — individually below the break-even time — into
+//! fewer long ones that DPM can exploit.
+//!
+//! [`aggregate_idles`] implements the slot-model version of that
+//! transform: consecutive slots whose idle periods are below a threshold
+//! are merged (their tasks run back to back), bounded by a per-task
+//! deferral budget. The transform preserves the total work and the total
+//! nominal duration; what it trades away is responsiveness, which it
+//! reports as the worst task deferral.
+
+use fcdpm_units::{Seconds, Watts};
+
+use crate::{TaskSlot, Trace};
+
+/// The result of an aggregation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregatedTrace {
+    /// The transformed trace.
+    pub trace: Trace,
+    /// Number of merges performed (slots eliminated).
+    pub merges: usize,
+    /// The largest deferral any task suffered.
+    pub worst_deferral: Seconds,
+}
+
+/// Merges consecutive slots whose idle period is shorter than
+/// `min_idle`, as long as no task is deferred by more than `max_defer`.
+///
+/// Merging slots `(i₁, a₁)` and `(i₂, a₂)` yields `(i₁ + i₂, a₁ + a₂)`:
+/// the first task waits out the second idle period and both tasks run
+/// back to back. The first task's completion is deferred by `i₂` (plus
+/// any deferral it already carried from earlier merges in the same
+/// chain). Tasks with different active powers are merged at the
+/// charge-weighted average power, so the total load charge is preserved
+/// exactly.
+///
+/// # Panics
+///
+/// Panics if `min_idle` or `max_defer` is negative.
+#[must_use]
+#[track_caller]
+pub fn aggregate_idles(trace: &Trace, min_idle: Seconds, max_defer: Seconds) -> AggregatedTrace {
+    assert!(
+        !min_idle.is_negative(),
+        "idle threshold must be non-negative"
+    );
+    assert!(
+        !max_defer.is_negative(),
+        "deferral budget must be non-negative"
+    );
+
+    let mut out: Vec<TaskSlot> = Vec::with_capacity(trace.len());
+    // Deferral already accumulated by the tasks inside `out.last()`.
+    let mut pending_deferral = Seconds::ZERO;
+    let mut merges = 0usize;
+    let mut worst_deferral = Seconds::ZERO;
+
+    for slot in trace.slots() {
+        let mergeable = match out.last() {
+            Some(_) if slot.idle < min_idle => pending_deferral + slot.idle <= max_defer,
+            _ => false,
+        };
+        if mergeable {
+            let prev = out.pop().expect("guarded by match");
+            pending_deferral += slot.idle;
+            worst_deferral = worst_deferral.max(pending_deferral);
+            let active = prev.active + slot.active;
+            let power = if active.is_zero() {
+                Watts::ZERO
+            } else {
+                // Charge-weighted average keeps the total charge exact.
+                (prev.active_power * prev.active.seconds()
+                    + slot.active_power * slot.active.seconds())
+                    / active.seconds()
+            };
+            out.push(TaskSlot::new(prev.idle + slot.idle, active, power));
+            merges += 1;
+        } else {
+            pending_deferral = Seconds::ZERO;
+            out.push(*slot);
+        }
+    }
+
+    AggregatedTrace {
+        trace: Trace::with_name(format!("{}+aggregated", trace.name()), out),
+        merges,
+        worst_deferral,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcdpm_units::Volts;
+
+    fn slot(i: f64, a: f64, p: f64) -> TaskSlot {
+        TaskSlot::new(Seconds::new(i), Seconds::new(a), Watts::new(p))
+    }
+
+    #[test]
+    fn merges_short_idles() {
+        let trace = Trace::with_name(
+            "t",
+            vec![
+                slot(20.0, 2.0, 12.0),
+                slot(1.0, 3.0, 12.0),
+                slot(15.0, 2.0, 12.0),
+            ],
+        );
+        let agg = aggregate_idles(&trace, Seconds::new(5.0), Seconds::new(10.0));
+        assert_eq!(agg.merges, 1);
+        assert_eq!(agg.trace.len(), 2);
+        let merged = agg.trace.slots()[0];
+        assert_eq!(merged.idle, Seconds::new(21.0));
+        assert_eq!(merged.active, Seconds::new(5.0));
+        assert_eq!(agg.worst_deferral, Seconds::new(1.0));
+    }
+
+    #[test]
+    fn preserves_duration_and_charge() {
+        let trace = Trace::with_name(
+            "t",
+            vec![
+                slot(8.0, 2.0, 12.0),
+                slot(0.5, 3.0, 16.0),
+                slot(0.5, 1.0, 14.0),
+                slot(12.0, 2.0, 12.0),
+            ],
+        );
+        let agg = aggregate_idles(&trace, Seconds::new(2.0), Seconds::new(10.0));
+        assert!(agg
+            .trace
+            .total_duration()
+            .approx_eq(trace.total_duration(), 1e-9));
+        let charge = |t: &Trace| -> f64 {
+            t.iter()
+                .map(|s| (s.active_current(Volts::new(12.0)) * s.active).amp_seconds())
+                .sum()
+        };
+        assert!((charge(&agg.trace) - charge(&trace)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deferral_budget_limits_chains() {
+        // Three short idles of 4 s each: with a budget of 6 s only one
+        // merge fits per chain (4 ≤ 6, but 8 > 6).
+        let trace = Trace::with_name(
+            "t",
+            vec![
+                slot(20.0, 1.0, 12.0),
+                slot(4.0, 1.0, 12.0),
+                slot(4.0, 1.0, 12.0),
+                slot(4.0, 1.0, 12.0),
+            ],
+        );
+        let agg = aggregate_idles(&trace, Seconds::new(5.0), Seconds::new(6.0));
+        assert_eq!(agg.merges, 2, "one chain of 2 merges, then budget resets");
+        assert!(agg.worst_deferral <= Seconds::new(6.0));
+    }
+
+    #[test]
+    fn long_idles_untouched() {
+        let trace = Trace::with_name("t", vec![slot(20.0, 2.0, 12.0), slot(15.0, 2.0, 12.0)]);
+        let agg = aggregate_idles(&trace, Seconds::new(5.0), Seconds::new(10.0));
+        assert_eq!(agg.merges, 0);
+        assert_eq!(agg.trace.slots(), trace.slots());
+        assert_eq!(agg.worst_deferral, Seconds::ZERO);
+    }
+
+    #[test]
+    fn first_slot_never_merges() {
+        // A short idle at the very start has no predecessor.
+        let trace = Trace::with_name("t", vec![slot(0.5, 2.0, 12.0), slot(9.0, 2.0, 12.0)]);
+        let agg = aggregate_idles(&trace, Seconds::new(5.0), Seconds::new(10.0));
+        assert_eq!(agg.merges, 0);
+        assert_eq!(agg.trace.len(), 2);
+    }
+
+    #[test]
+    fn mixed_power_merge_uses_weighted_average() {
+        let trace = Trace::with_name("t", vec![slot(10.0, 2.0, 12.0), slot(1.0, 2.0, 16.0)]);
+        let agg = aggregate_idles(&trace, Seconds::new(5.0), Seconds::new(10.0));
+        let merged = agg.trace.slots()[0];
+        assert!((merged.active_power.watts() - 14.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: simulate the paper's three policies on the DVD-camcorder
+//! workload and print the normalized fuel table.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use fcdpm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Experiment 1 of the paper: a DVD camcorder encoding MPEG for
+    // 28 minutes, powered by a BCS 20 W fuel cell plus a 1 F
+    // super-capacitor (100 mA·min at 12 V).
+    let scenario = Scenario::experiment1();
+    let capacity = Charge::from_milliamp_minutes(100.0);
+    let sim = HybridSimulator::dac07(&scenario.device);
+
+    // A tiny helper: run one FC output policy with a fresh storage element
+    // and a fresh predictive DPM layer.
+    let run = |policy: &mut dyn FcOutputPolicy| -> Result<SimMetrics, SimError> {
+        let mut storage = IdealStorage::new(capacity, capacity * 0.5);
+        let mut sleep = PredictiveSleep::new(scenario.rho);
+        Ok(sim
+            .run(&scenario.trace, &mut sleep, policy, &mut storage)?
+            .metrics)
+    };
+
+    let conv = run(&mut ConvDpm::dac07())?;
+    let asap = run(&mut AsapDpm::dac07(capacity))?;
+    let mut fc_dpm = FcDpm::new(
+        FuelOptimizer::dac07(),
+        &scenario.device,
+        capacity,
+        scenario.sigma,
+        scenario.active_current_estimate,
+    );
+    let fc = run(&mut fc_dpm)?;
+
+    println!(
+        "workload: {} ({} slots, {:.1} min)",
+        scenario.trace.name(),
+        scenario.trace.len(),
+        scenario.trace.total_duration().minutes()
+    );
+    println!();
+    println!(
+        "{:<10} {:>12} {:>14} {:>12}",
+        "policy", "fuel [A*s]", "mean I_fc [A]", "vs Conv"
+    );
+    for (name, m) in [("Conv-DPM", &conv), ("ASAP-DPM", &asap), ("FC-DPM", &fc)] {
+        println!(
+            "{:<10} {:>12.1} {:>14.4} {:>11.1}%",
+            name,
+            m.fuel.total().amp_seconds(),
+            m.mean_stack_current().amps(),
+            m.normalized_fuel(&conv) * 100.0
+        );
+    }
+    println!();
+    println!(
+        "FC-DPM extends lifetime {:.2}x over ASAP-DPM",
+        fc.lifetime_extension_over(&asap)
+    );
+
+    // Translate into hours for a concrete tank.
+    let tank = HydrogenTank::from_hydrogen_moles(2.0, GibbsCoefficient::dac07());
+    println!(
+        "on a 2 mol H2 tank: Conv {:.1} h, ASAP {:.1} h, FC-DPM {:.1} h",
+        tank.lifetime_at(conv.mean_stack_current()).seconds() / 3600.0,
+        tank.lifetime_at(asap.mean_stack_current()).seconds() / 3600.0,
+        tank.lifetime_at(fc.mean_stack_current()).seconds() / 3600.0,
+    );
+    Ok(())
+}

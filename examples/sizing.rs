@@ -1,0 +1,109 @@
+//! Hybrid-source sizing study: how big must the charge-storage buffer be
+//! for FC-DPM to realize its advantage, and how long will a given
+//! hydrogen tank last under each policy? This is the design question the
+//! paper's introduction motivates (an FC sized for the *average* load
+//! with a storage element absorbing the peaks).
+//!
+//! ```sh
+//! cargo run --example sizing
+//! ```
+
+use fcdpm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::experiment1();
+    let sim = HybridSimulator::dac07(&scenario.device);
+
+    println!("storage-capacity sweep (Experiment-1 workload):");
+    println!(
+        "{:>14} {:>12} {:>12} {:>10} {:>10}",
+        "capacity[A*s]", "FC/Conv", "bled[A*s]", "deficit", "saving"
+    );
+    for cap in [0.5, 1.0, 2.0, 3.0, 6.0, 12.0, 30.0, 120.0] {
+        let capacity = Charge::new(cap);
+        let run = |policy: &mut dyn FcOutputPolicy| -> Result<SimMetrics, SimError> {
+            let mut storage = IdealStorage::new(capacity, capacity * 0.5);
+            let mut sleep = PredictiveSleep::new(scenario.rho);
+            Ok(sim
+                .run(&scenario.trace, &mut sleep, policy, &mut storage)?
+                .metrics)
+        };
+        let conv = run(&mut ConvDpm::dac07())?;
+        let asap = run(&mut AsapDpm::dac07(capacity))?;
+        let mut policy = FcDpm::new(
+            FuelOptimizer::dac07(),
+            &scenario.device,
+            capacity,
+            scenario.sigma,
+            scenario.active_current_estimate,
+        );
+        let fc = run(&mut policy)?;
+        println!(
+            "{:>14.1} {:>11.1}% {:>12.2} {:>10.3} {:>9.1}%",
+            cap,
+            fc.normalized_fuel(&conv) * 100.0,
+            fc.bled_charge.amp_seconds(),
+            fc.deficit_charge.amp_seconds(),
+            (1.0 - fc.normalized_fuel(&asap)) * 100.0
+        );
+    }
+
+    println!();
+    println!("tank sizing at the paper's buffer (100 mA*min):");
+    let capacity = Charge::from_milliamp_minutes(100.0);
+    let run = |policy: &mut dyn FcOutputPolicy| -> Result<SimMetrics, SimError> {
+        let mut storage = IdealStorage::new(capacity, capacity * 0.5);
+        let mut sleep = PredictiveSleep::new(scenario.rho);
+        Ok(sim
+            .run(&scenario.trace, &mut sleep, policy, &mut storage)?
+            .metrics)
+    };
+    let conv = run(&mut ConvDpm::dac07())?;
+    let mut policy = FcDpm::new(
+        FuelOptimizer::dac07(),
+        &scenario.device,
+        capacity,
+        scenario.sigma,
+        scenario.active_current_estimate,
+    );
+    let fc = run(&mut policy)?;
+    let zeta = GibbsCoefficient::dac07();
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "tank[mol]", "Conv life[h]", "FC-DPM life[h]", "gain"
+    );
+    for moles in [0.5, 1.0, 2.0, 5.0] {
+        let tank = HydrogenTank::from_hydrogen_moles(moles, zeta);
+        let conv_h = tank.lifetime_at(conv.mean_stack_current()).seconds() / 3600.0;
+        let fc_h = tank.lifetime_at(fc.mean_stack_current()).seconds() / 3600.0;
+        println!(
+            "{:>10.1} {:>14.1} {:>14.1} {:>13.2}x",
+            moles,
+            conv_h,
+            fc_h,
+            fc_h / conv_h
+        );
+    }
+    println!(
+        "(fuel utilization implied by the measured zeta: {:.1}%)",
+        zeta.fuel_utilization() * 100.0
+    );
+
+    // The exact sizing answer, from the offline planner: the smallest
+    // buffer for which the fuel-optimal plan never touches a storage
+    // boundary.
+    let sized = fcdpm::core::sizing::minimum_storage_capacity(
+        &FuelOptimizer::dac07(),
+        &scenario.trace,
+        &scenario.device,
+        Charge::new(0.05),
+    )?;
+    println!();
+    println!(
+        "minimum storage for fully unconstrained FC-DPM: {:.2} \
+         ({:.0} mA*min; the paper's 1 F super-capacitor holds 100 mA*min)",
+        sized.min_capacity,
+        sized.min_capacity.amp_seconds() / 60.0 * 1000.0
+    );
+    Ok(())
+}

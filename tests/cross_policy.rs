@@ -1,0 +1,228 @@
+//! Cross-crate integration tests: conservation laws, bound sandwiches and
+//! policy/storage interoperability.
+
+use fcdpm::core::offline::{conv_fuel_for_trace, global_lower_bound, plan_trace};
+use fcdpm::prelude::*;
+
+fn policies(scenario: &Scenario, capacity: Charge) -> Vec<(String, Box<dyn FcOutputPolicy>)> {
+    vec![
+        ("conv".into(), Box::new(ConvDpm::dac07())),
+        ("asap".into(), Box::new(AsapDpm::dac07(capacity))),
+        (
+            "fcdpm".into(),
+            Box::new(FcDpm::new(
+                FuelOptimizer::dac07(),
+                &scenario.device,
+                capacity,
+                scenario.sigma,
+                scenario.active_current_estimate,
+            )),
+        ),
+    ]
+}
+
+#[test]
+fn charge_conservation_every_policy_and_storage() {
+    let scenario = Scenario::experiment1();
+    let cap = Charge::from_milliamp_minutes(100.0);
+    let sim = HybridSimulator::dac07(&scenario.device);
+
+    for (name, mut policy) in policies(&scenario, cap) {
+        // Three storage flavors, all lossless so conservation is exact.
+        let storages: Vec<Box<dyn ChargeStorage>> = vec![
+            Box::new(IdealStorage::new(cap, cap * 0.5)),
+            Box::new(SuperCapacitor::dac07()),
+            Box::new(LiIonBattery::new(cap, 1.0, 0.0, cap * 0.5)),
+        ];
+        for mut storage in storages {
+            let initial = storage.soc();
+            let mut sleep = PredictiveSleep::new(scenario.rho);
+            let m = sim
+                .run(
+                    &scenario.trace,
+                    &mut sleep,
+                    policy.as_mut(),
+                    storage.as_mut(),
+                )
+                .expect("simulation succeeds")
+                .metrics;
+            let lhs = m.delivered_charge.amp_seconds();
+            let rhs = m.load_charge.amp_seconds()
+                + (m.final_soc - initial).amp_seconds()
+                + m.bled_charge.amp_seconds()
+                - m.deficit_charge.amp_seconds();
+            assert!(
+                (lhs - rhs).abs() < 1e-6,
+                "{name}: conservation violated ({lhs} vs {rhs})"
+            );
+        }
+    }
+}
+
+#[test]
+fn bound_sandwich_over_online_policies() {
+    // rate(global bound) ≤ rate(offline per-slot) ≤ rate(online FC-DPM)
+    // ≤ rate(ASAP) ≤ rate(Conv).
+    let scenario = Scenario::experiment1();
+    let cap = Charge::from_milliamp_minutes(100.0);
+    let opt = FuelOptimizer::dac07();
+
+    let rate = |fuel: Charge, dur: Seconds| fuel.amp_seconds() / dur.seconds();
+
+    let bound = global_lower_bound(&opt, &scenario.trace, &scenario.device).expect("bound");
+    let offline =
+        plan_trace(&opt, &scenario.trace, &scenario.device, cap, cap * 0.5).expect("offline plan");
+    let conv_closed = conv_fuel_for_trace(&opt, &scenario.trace, &scenario.device).expect("conv");
+
+    let sim = HybridSimulator::dac07(&scenario.device);
+    let mut results = Vec::new();
+    for (name, mut policy) in policies(&scenario, cap) {
+        let mut storage = IdealStorage::new(cap, cap * 0.5);
+        let mut sleep = PredictiveSleep::new(scenario.rho);
+        let m = sim
+            .run(&scenario.trace, &mut sleep, policy.as_mut(), &mut storage)
+            .expect("simulation succeeds")
+            .metrics;
+        results.push((name, rate(m.fuel.total(), m.duration())));
+    }
+    let find = |n: &str| {
+        results
+            .iter()
+            .find(|(name, _)| name == n)
+            .expect("present")
+            .1
+    };
+    let (conv, asap, fcdpm) = (find("conv"), find("asap"), find("fcdpm"));
+
+    let bound_rate = rate(bound, offline.duration);
+    let offline_rate = rate(offline.total_fuel, offline.duration);
+    assert!(bound_rate <= offline_rate + 1e-9);
+    assert!(
+        offline_rate <= fcdpm + 1e-6,
+        "offline {offline_rate:.4} must not exceed online FC-DPM {fcdpm:.4}"
+    );
+    assert!(fcdpm < asap);
+    assert!(asap < conv);
+    // The simulated Conv-DPM rate equals the closed-form Conv rate.
+    let conv_closed_rate = rate(conv_closed, offline.duration);
+    assert!((conv - conv_closed_rate).abs() < 1e-6);
+}
+
+#[test]
+fn oracle_fcdpm_beats_online_fcdpm() {
+    let scenario = Scenario::experiment1();
+    let cap = Charge::from_milliamp_minutes(100.0);
+    let sim = HybridSimulator::dac07(&scenario.device);
+
+    let mut online_policy = FcDpm::new(
+        FuelOptimizer::dac07(),
+        &scenario.device,
+        cap,
+        scenario.sigma,
+        scenario.active_current_estimate,
+    );
+    let mut storage = IdealStorage::new(cap, cap * 0.5);
+    let mut sleep = PredictiveSleep::new(scenario.rho);
+    let online = sim
+        .run(
+            &scenario.trace,
+            &mut sleep,
+            &mut online_policy,
+            &mut storage,
+        )
+        .expect("simulation succeeds")
+        .metrics;
+
+    let mut oracle_policy = FcDpm::oracle(
+        FuelOptimizer::dac07(),
+        &scenario.device,
+        cap,
+        scenario.trace.iter().map(|s| {
+            (
+                s.idle,
+                s.active,
+                s.active_current(scenario.device.bus_voltage()),
+            )
+        }),
+    );
+    let mut storage = IdealStorage::new(cap, cap * 0.5);
+    let mut oracle_sleep = OracleSleep::new(scenario.trace.iter().map(|s| s.idle));
+    let oracle = sim
+        .run(
+            &scenario.trace,
+            &mut oracle_sleep,
+            &mut oracle_policy,
+            &mut storage,
+        )
+        .expect("simulation succeeds")
+        .metrics;
+
+    // Perfect knowledge can't be worse (allow sub-percent numerical slack:
+    // the oracle may sleep in slots the cold online predictor skipped,
+    // changing the wall clock slightly).
+    assert!(
+        oracle.normalized_fuel(&online) < 1.01,
+        "oracle rate {:.4} vs online {:.4}",
+        oracle.mean_stack_current().amps(),
+        online.mean_stack_current().amps()
+    );
+}
+
+#[test]
+fn lossy_storage_costs_fcdpm_fuel() {
+    // The paper assumes lossless storage; with a coulombic-lossy battery
+    // the same policy must burn at least as much fuel.
+    let scenario = Scenario::experiment1();
+    let cap = Charge::from_milliamp_minutes(100.0);
+    let sim = HybridSimulator::dac07(&scenario.device);
+
+    let run_with = |eff: f64| {
+        let mut policy = FcDpm::new(
+            FuelOptimizer::dac07(),
+            &scenario.device,
+            cap,
+            scenario.sigma,
+            scenario.active_current_estimate,
+        );
+        let mut storage = LiIonBattery::new(cap, eff, 0.0, cap * 0.5);
+        let mut sleep = PredictiveSleep::new(scenario.rho);
+        sim.run(&scenario.trace, &mut sleep, &mut policy, &mut storage)
+            .expect("simulation succeeds")
+            .metrics
+    };
+    let lossless = run_with(1.0);
+    let lossy = run_with(0.85);
+    // The lossy buffer stores less per A·s pushed in, so the FC must
+    // deliver more over time (possibly via deeper refills) or the load
+    // browns out; either way the delivered charge cannot shrink.
+    assert!(
+        lossy.fuel.total() >= lossless.fuel.total(),
+        "lossy {:.1} < lossless {:.1}",
+        lossy.fuel.total().amp_seconds(),
+        lossless.fuel.total().amp_seconds()
+    );
+}
+
+#[test]
+fn experiment2_seed_robustness() {
+    // FC-DPM must win on several independent seeds, not just the default.
+    let cap = Charge::from_milliamp_minutes(100.0);
+    for seed in [3u64, 17, 99] {
+        let scenario = Scenario::experiment2_seeded(seed);
+        let sim = HybridSimulator::dac07(&scenario.device);
+        let mut rates = Vec::new();
+        for (_, mut policy) in policies(&scenario, cap) {
+            let mut storage = IdealStorage::new(cap, cap * 0.5);
+            let mut sleep = PredictiveSleep::new(scenario.rho);
+            let m = sim
+                .run(&scenario.trace, &mut sleep, policy.as_mut(), &mut storage)
+                .expect("simulation succeeds")
+                .metrics;
+            rates.push(m.mean_stack_current().amps());
+        }
+        assert!(
+            rates[2] < rates[1] && rates[1] < rates[0],
+            "seed {seed}: rates {rates:?} not ordered fcdpm < asap < conv"
+        );
+    }
+}

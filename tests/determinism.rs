@@ -1,0 +1,94 @@
+//! Regression pins: the reference-seed experiments are fully
+//! deterministic, so their headline numbers are pinned here (to loose
+//! tolerances) to catch silent behavioral drift. If an intentional change
+//! moves these numbers, update the pins *and* EXPERIMENTS.md together.
+
+use fcdpm::prelude::*;
+
+fn run(scenario: &Scenario, policy: &mut dyn FcOutputPolicy) -> SimMetrics {
+    let capacity = Charge::from_milliamp_minutes(100.0);
+    let sim = HybridSimulator::dac07(&scenario.device);
+    let mut storage = IdealStorage::new(capacity, capacity * 0.5);
+    let mut sleep = PredictiveSleep::new(scenario.rho);
+    sim.run(&scenario.trace, &mut sleep, policy, &mut storage)
+        .expect("simulation succeeds")
+        .metrics
+}
+
+#[test]
+fn experiment1_reference_numbers() {
+    let scenario = Scenario::experiment1();
+    let capacity = Charge::from_milliamp_minutes(100.0);
+    let conv = run(&scenario, &mut ConvDpm::dac07());
+    let asap = run(&scenario, &mut AsapDpm::dac07(capacity));
+    let mut fc_policy = FcDpm::new(
+        FuelOptimizer::dac07(),
+        &scenario.device,
+        capacity,
+        scenario.sigma,
+        scenario.active_current_estimate,
+    );
+    let fc = run(&scenario, &mut fc_policy);
+
+    // Conv is exact (closed form).
+    assert!((conv.mean_stack_current().amps() - 1.3061).abs() < 1e-3);
+    // ASAP and FC-DPM pinned to the EXPERIMENTS.md reference values.
+    assert!(
+        (asap.mean_stack_current().amps() - 0.4699).abs() < 0.01,
+        "asap rate drifted: {}",
+        asap.mean_stack_current()
+    );
+    assert!(
+        (fc.mean_stack_current().amps() - 0.4074).abs() < 0.01,
+        "fc-dpm rate drifted: {}",
+        fc.mean_stack_current()
+    );
+    assert_eq!(fc.slots, 100);
+    assert_eq!(fc.sleeps, 99);
+}
+
+#[test]
+fn runs_are_reproducible() {
+    // Two identical runs produce bit-identical metrics.
+    let scenario = Scenario::experiment1();
+    let capacity = Charge::from_milliamp_minutes(100.0);
+    let make = || {
+        let mut policy = FcDpm::new(
+            FuelOptimizer::dac07(),
+            &scenario.device,
+            capacity,
+            scenario.sigma,
+            scenario.active_current_estimate,
+        );
+        run(&scenario, &mut policy)
+    };
+    assert_eq!(make(), make());
+}
+
+#[test]
+fn scenarios_are_seed_stable() {
+    // The reference traces themselves must not drift across calls.
+    let a = Scenario::experiment1().trace;
+    let b = Scenario::experiment1().trace;
+    assert_eq!(a, b);
+    let a = Scenario::experiment2().trace;
+    let b = Scenario::experiment2().trace;
+    assert_eq!(a, b);
+}
+
+#[test]
+fn motivational_example_is_exact() {
+    // These are closed-form; pin them tightly.
+    let opt = FuelOptimizer::dac07();
+    let profile = SlotProfile::new(
+        Seconds::new(20.0),
+        Amps::new(0.2),
+        Seconds::new(10.0),
+        Amps::new(1.2),
+    )
+    .expect("valid");
+    let storage = StorageContext::balanced(Charge::ZERO, Charge::new(200.0));
+    let plan = opt.plan_slot(&profile, &storage, None).expect("feasible");
+    assert!((plan.i_f_idle.amps() - 16.0 / 30.0).abs() < 1e-12);
+    assert!((plan.fuel.amp_seconds() - 13.4508).abs() < 1e-3);
+}

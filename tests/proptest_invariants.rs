@@ -1,0 +1,232 @@
+//! Property-based tests of the core invariants.
+
+use fcdpm::prelude::*;
+use proptest::prelude::*;
+
+fn optimizer() -> FuelOptimizer {
+    FuelOptimizer::dac07()
+}
+
+proptest! {
+    /// The planned currents always lie inside the load-following range,
+    /// whatever the profile and storage state.
+    #[test]
+    fn plan_currents_within_range(
+        t_i in 0.1f64..200.0,
+        i_i in 0.0f64..2.0,
+        t_a in 0.1f64..60.0,
+        i_a in 0.0f64..2.0,
+        c_max in 0.5f64..500.0,
+        ini_frac in 0.0f64..=1.0,
+        end_frac in 0.0f64..=1.0,
+    ) {
+        let opt = optimizer();
+        let profile = SlotProfile::new(
+            Seconds::new(t_i), Amps::new(i_i), Seconds::new(t_a), Amps::new(i_a),
+        ).unwrap();
+        let storage = StorageContext::new(
+            Charge::new(c_max * ini_frac),
+            Charge::new(c_max * end_frac),
+            Charge::new(c_max),
+        );
+        let plan = opt.plan_slot(&profile, &storage, None).unwrap();
+        prop_assert!(opt.range().contains(plan.i_f_idle));
+        prop_assert!(opt.range().contains(plan.i_f_active));
+        // Storage trajectory stays within bounds.
+        prop_assert!(plan.c_after_idle >= Charge::new(-1e-9));
+        prop_assert!(plan.c_after_idle <= storage.c_max + Charge::new(1e-9));
+        prop_assert!(plan.c_end >= Charge::new(-1e-9));
+        prop_assert!(plan.c_end <= storage.c_max + Charge::new(1e-9));
+        // Fuel is non-negative and finite.
+        prop_assert!(plan.fuel.amp_seconds() >= 0.0);
+        prop_assert!(plan.fuel.is_finite());
+    }
+
+    /// When the interior solution is feasible, it beats ASAP — convexity
+    /// at work (loads inside the range, balanced storage, huge capacity).
+    #[test]
+    fn interior_plan_beats_asap(
+        t_i in 1.0f64..100.0,
+        i_i in 0.1f64..1.2,
+        t_a in 1.0f64..60.0,
+        i_a in 0.1f64..1.2,
+    ) {
+        let opt = optimizer();
+        let profile = SlotProfile::new(
+            Seconds::new(t_i), Amps::new(i_i), Seconds::new(t_a), Amps::new(i_a),
+        ).unwrap();
+        let storage = StorageContext::balanced(Charge::new(5e5), Charge::new(1e6));
+        let plan = opt.plan_slot(&profile, &storage, None).unwrap();
+        if plan.case == ConstraintCase::Interior {
+            let asap = opt.asap_fuel(&profile).unwrap();
+            prop_assert!(
+                plan.fuel.amp_seconds() <= asap.amp_seconds() + 1e-9,
+                "plan {} > asap {}", plan.fuel, asap
+            );
+        }
+    }
+
+    /// The interior solution is the charge-weighted average (Equation 11)
+    /// and both periods share it.
+    #[test]
+    fn interior_solution_is_averaged_current(
+        t_i in 1.0f64..100.0,
+        i_i in 0.1f64..1.2,
+        t_a in 1.0f64..60.0,
+        i_a in 0.1f64..1.2,
+    ) {
+        let opt = optimizer();
+        let profile = SlotProfile::new(
+            Seconds::new(t_i), Amps::new(i_i), Seconds::new(t_a), Amps::new(i_a),
+        ).unwrap();
+        let storage = StorageContext::balanced(Charge::new(5e5), Charge::new(1e6));
+        let plan = opt.plan_slot(&profile, &storage, None).unwrap();
+        if plan.case == ConstraintCase::Interior {
+            prop_assert_eq!(plan.i_f_idle, plan.i_f_active);
+            let avg = (i_i * t_i + i_a * t_a) / (t_i + t_a);
+            prop_assert!((plan.i_f_idle.amps() - avg).abs() < 1e-9);
+        }
+    }
+
+    /// The fuel-rate function is convex: midpoint never above the chord.
+    #[test]
+    fn fuel_rate_convexity(a in 0.0f64..3.0, b in 0.0f64..3.0, lambda in 0.0f64..=1.0) {
+        let eff = LinearEfficiency::dac07();
+        let limit = eff.domain_limit().amps() - 1e-6;
+        let (a, b) = (a.min(limit), b.min(limit));
+        let mid = lambda * a + (1.0 - lambda) * b;
+        let g = |x: f64| eff.stack_current(Amps::new(x)).unwrap().amps();
+        prop_assert!(g(mid) <= lambda * g(a) + (1.0 - lambda) * g(b) + 1e-12);
+    }
+
+    /// Storage elements never leave [0, capacity] and account every
+    /// electron: charged − discharged = Δsoc for the lossless buffer.
+    #[test]
+    fn ideal_storage_invariants(
+        cap in 0.1f64..100.0,
+        ini_frac in 0.0f64..=1.0,
+        nets in prop::collection::vec((-2.0f64..2.0, 0.01f64..20.0), 1..40),
+    ) {
+        let capacity = Charge::new(cap);
+        let mut s = IdealStorage::new(capacity, capacity * ini_frac);
+        let initial = s.soc();
+        let mut charged = Charge::ZERO;
+        let mut discharged = Charge::ZERO;
+        for (net, dt) in nets {
+            let flow = s.step(Amps::new(net), Seconds::new(dt));
+            prop_assert!(s.soc() >= Charge::ZERO);
+            prop_assert!(s.soc() <= capacity);
+            prop_assert!(flow.charged >= Charge::ZERO);
+            prop_assert!(flow.discharged >= Charge::ZERO);
+            prop_assert!(flow.bled >= Charge::ZERO);
+            prop_assert!(flow.deficit >= Charge::ZERO);
+            charged += flow.charged;
+            discharged += flow.discharged;
+        }
+        let delta = (s.soc() - initial).amp_seconds();
+        prop_assert!(
+            (charged.amp_seconds() - discharged.amp_seconds() - delta).abs() < 1e-9
+        );
+    }
+
+    /// The exponential-average prediction always stays inside the convex
+    /// hull of the observations.
+    #[test]
+    fn exponential_average_stays_in_hull(
+        rho in 0.0f64..=1.0,
+        values in prop::collection::vec(0.0f64..1000.0, 1..50),
+    ) {
+        let mut p = ExponentialAverage::new(rho);
+        for v in &values {
+            p.observe(Seconds::new(*v));
+        }
+        let predicted = p.predict().unwrap().seconds();
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(predicted >= lo - 1e-9 && predicted <= hi + 1e-9);
+    }
+
+    /// Slot timelines never lose time or charge: phase durations sum to
+    /// the total, and charge equals the segment integral.
+    #[test]
+    fn timeline_time_and_charge_consistency(
+        t_idle in 0.0f64..100.0,
+        t_active in 0.0f64..30.0,
+        sleep in any::<bool>(),
+        p_active in 1.0f64..30.0,
+    ) {
+        let spec = presets::dvd_camcorder();
+        let i_active = Watts::new(p_active) / spec.bus_voltage();
+        let timeline = SlotTimeline::build(
+            &spec, Seconds::new(t_idle), sleep, Seconds::new(t_active), i_active,
+        );
+        let total = timeline.total_duration();
+        let sum = timeline.idle_phase_duration() + timeline.active_phase_duration();
+        prop_assert!(total.approx_eq(sum, 1e-9));
+        let manual: f64 = timeline
+            .segments()
+            .iter()
+            .map(|s| s.charge().amp_seconds())
+            .sum();
+        prop_assert!((timeline.load_charge().amp_seconds() - manual).abs() < 1e-9);
+        // Wall clock is never shorter than the nominal slot pieces that
+        // must elapse (idle happens in real time; run must complete).
+        prop_assert!(total.seconds() >= t_idle.max(0.0) + t_active - 1e-9);
+    }
+
+    /// End-to-end charge conservation holds on random small traces for
+    /// FC-DPM (the policy with the most internal state).
+    #[test]
+    fn simulation_charge_conservation(
+        seed in 0u64..1000,
+        slots in 1usize..12,
+        cap in 1.0f64..50.0,
+    ) {
+        let device = presets::dvd_camcorder();
+        let trace: Trace = SyntheticTrace::dac07()
+            .seed(seed)
+            .idle_range(Seconds::new(2.0), Seconds::new(30.0))
+            .active_range(Seconds::new(1.0), Seconds::new(5.0))
+            .power_range(Watts::new(10.0), Watts::new(15.0))
+            .horizon(Seconds::new(1.0)) // at least one slot
+            .build()
+            .into_iter()
+            .cycle()
+            .take(slots)
+            .collect();
+        let capacity = Charge::new(cap);
+        let sim = HybridSimulator::dac07(&device);
+        let mut policy = FcDpm::new(
+            FuelOptimizer::dac07(), &device, capacity, 0.5, Some(Amps::new(1.2)),
+        );
+        let mut storage = IdealStorage::new(capacity, capacity * 0.5);
+        let initial = storage.soc();
+        let mut sleep = PredictiveSleep::new(0.5);
+        let m = sim.run(&trace, &mut sleep, &mut policy, &mut storage).unwrap().metrics;
+        let lhs = m.delivered_charge.amp_seconds();
+        let rhs = m.load_charge.amp_seconds()
+            + (m.final_soc - initial).amp_seconds()
+            + m.bled_charge.amp_seconds()
+            - m.deficit_charge.amp_seconds();
+        prop_assert!((lhs - rhs).abs() < 1e-6, "{lhs} vs {rhs}");
+        prop_assert_eq!(m.slots, slots);
+    }
+
+    /// Fuel monotonicity: for the same trace and policy family, pinning
+    /// the FC at a higher constant current never saves fuel.
+    #[test]
+    fn constant_current_fuel_monotone(lo_frac in 0.0f64..1.0, hi_frac in 0.0f64..1.0) {
+        let range = fcdpm::units::CurrentRange::dac07();
+        let (lo_frac, hi_frac) = if lo_frac <= hi_frac {
+            (lo_frac, hi_frac)
+        } else {
+            (hi_frac, lo_frac)
+        };
+        let eff = LinearEfficiency::dac07();
+        let lo = range.lerp(lo_frac);
+        let hi = range.lerp(hi_frac);
+        let f_lo = eff.fuel_for(lo, Seconds::new(100.0)).unwrap();
+        let f_hi = eff.fuel_for(hi, Seconds::new(100.0)).unwrap();
+        prop_assert!(f_lo <= f_hi + Charge::new(1e-12));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the typed-quantity arithmetic: the physical
+//! identities the whole simulation stack silently relies on.
+
+use fcdpm::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// `V·I = P`, `P/V = I`, `P/I = V` form a consistent triangle.
+    #[test]
+    fn power_triangle(v in 0.1f64..100.0, i in 0.1f64..100.0) {
+        let volts = Volts::new(v);
+        let amps = Amps::new(i);
+        let power = volts * amps;
+        prop_assert!((power / volts).approx_eq(amps, 1e-9));
+        prop_assert!(((power / amps).volts() - v).abs() < 1e-9);
+        prop_assert!((amps * volts).approx_eq(power, 1e-12));
+    }
+
+    /// Charge and energy integrate consistently: `(P·t)/(I·t) = V`.
+    #[test]
+    fn integration_consistency(v in 0.1f64..100.0, i in 0.1f64..10.0, t in 0.1f64..1e4) {
+        let volts = Volts::new(v);
+        let amps = Amps::new(i);
+        let time = Seconds::new(t);
+        let energy = (volts * amps) * time;
+        let charge = amps * time;
+        let back: Volts = energy / charge;
+        prop_assert!((back.volts() - v).abs() < 1e-6 * v);
+        prop_assert!(charge.at_volts(volts).approx_eq(energy, 1e-6 * energy.joules().abs()));
+    }
+
+    /// Same-type add/sub round-trips.
+    #[test]
+    fn add_sub_round_trip(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let x = Seconds::new(a);
+        let y = Seconds::new(b);
+        prop_assert!(((x + y) - y).approx_eq(x, 1e-6));
+        let q = Charge::new(a);
+        let r = Charge::new(b);
+        prop_assert!(((q + r) - r).approx_eq(q, 1e-6));
+    }
+
+    /// Scaling is compatible with the dimensionless ratio.
+    #[test]
+    fn scaling_and_ratio(a in 0.1f64..1e3, k in 0.1f64..100.0) {
+        let x = Amps::new(a);
+        let scaled = x * k;
+        prop_assert!((scaled / x - k).abs() < 1e-9 * k);
+        prop_assert!((scaled / k).approx_eq(x, 1e-9));
+    }
+
+    /// Clamp is idempotent and lands inside the range.
+    #[test]
+    fn range_clamp_idempotent(i in -5.0f64..5.0) {
+        let range = fcdpm::units::CurrentRange::dac07();
+        let once = range.clamp(Amps::new(i));
+        prop_assert!(range.contains(once));
+        prop_assert_eq!(range.clamp(once), once);
+    }
+
+    /// Efficiency chaining stays in [0, 1] and is commutative.
+    #[test]
+    fn efficiency_chain(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let x = Efficiency::new(a);
+        let y = Efficiency::new(b);
+        let xy = x * y;
+        prop_assert!(xy.value() >= 0.0 && xy.value() <= 1.0);
+        prop_assert_eq!(xy, y * x);
+        prop_assert!(xy <= x || xy <= y);
+    }
+
+    /// Summation equals fold: the iterator impls agree with plain adds.
+    #[test]
+    fn sum_matches_fold(values in prop::collection::vec(-1e3f64..1e3, 1..40)) {
+        let quantities: Vec<Seconds> = values.iter().map(|v| Seconds::new(*v)).collect();
+        let summed: Seconds = quantities.iter().sum();
+        let folded = quantities
+            .iter()
+            .fold(Seconds::ZERO, |acc, v| acc + *v);
+        prop_assert!(summed.approx_eq(folded, 1e-6));
+    }
+}
+
+/// Compile-time Send/Sync checks for the public quantity types (C-SEND-SYNC).
+mod impl_trait_check {
+    use super::*;
+
+    #[allow(dead_code)]
+    fn check() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Amps>();
+        assert_send_sync::<Volts>();
+        assert_send_sync::<Watts>();
+        assert_send_sync::<Seconds>();
+        assert_send_sync::<Charge>();
+        assert_send_sync::<Energy>();
+        assert_send_sync::<Efficiency>();
+        assert_send_sync::<fcdpm::units::CurrentRange>();
+    }
+}
