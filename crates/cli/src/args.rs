@@ -92,6 +92,15 @@ pub enum Command {
         /// Bisection tolerance in A·s (default 0.05).
         tolerance_as: f64,
     },
+    /// Run a batch job grid from a JSON spec file.
+    Batch {
+        /// Path to the JSON `JobGrid` spec.
+        spec: String,
+        /// Worker threads (default: available parallelism).
+        jobs: Option<usize>,
+        /// Output directory for the run manifest (default `results`).
+        out: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -304,6 +313,39 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, ParseCliError> {
             }
             Ok(Command::Sizing { tolerance_as })
         }
+        "batch" => {
+            let Some(spec) = iter.next() else {
+                return Err(err("batch needs a JSON spec file path"));
+            };
+            if spec.starts_with('-') {
+                return Err(err("batch needs a JSON spec file path"));
+            }
+            let mut jobs = None;
+            let mut out = None;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--jobs" => {
+                        let v = take_value(flag, &mut iter)?;
+                        jobs = Some(
+                            v.parse::<usize>()
+                                .ok()
+                                .filter(|n| *n > 0)
+                                .ok_or_else(|| err(format!("bad worker count `{v}`")))?,
+                        );
+                    }
+                    "--out" => {
+                        let v = take_value(flag, &mut iter)?;
+                        out = Some(v.to_owned());
+                    }
+                    other => return Err(err(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Batch {
+                spec: spec.to_owned(),
+                jobs,
+                out,
+            })
+        }
         other => Err(err(format!("unknown command `{other}`"))),
     }
 }
@@ -438,6 +480,31 @@ mod tests {
         );
         assert!(parse(&["lifetime", "--moles", "-1"]).is_err());
         assert!(parse(&["sizing", "--tolerance-as", "0"]).is_err());
+    }
+
+    #[test]
+    fn batch_parse() {
+        assert_eq!(
+            parse(&["batch", "grid.json"]).unwrap(),
+            Command::Batch {
+                spec: "grid.json".into(),
+                jobs: None,
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&["batch", "grid.json", "--jobs", "4", "--out", "runs"]).unwrap(),
+            Command::Batch {
+                spec: "grid.json".into(),
+                jobs: Some(4),
+                out: Some("runs".into()),
+            }
+        );
+        assert!(parse(&["batch"]).is_err());
+        assert!(parse(&["batch", "--jobs", "4"]).is_err());
+        assert!(parse(&["batch", "g.json", "--jobs", "0"]).is_err());
+        assert!(parse(&["batch", "g.json", "--jobs", "x"]).is_err());
+        assert!(parse(&["batch", "g.json", "--frob"]).is_err());
     }
 
     #[test]

@@ -45,7 +45,63 @@ pub fn execute(command: &Command) -> Result<String, String> {
             capacity_mamin,
         } => run_lifetime(*moles, *capacity_mamin),
         Command::Sizing { tolerance_as } => run_sizing(*tolerance_as),
+        Command::Batch { spec, jobs, out } => run_batch(spec, *jobs, out.as_deref()),
     }
+}
+
+fn run_batch(
+    spec_path: &str,
+    jobs: Option<usize>,
+    out_dir: Option<&str>,
+) -> Result<String, String> {
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read `{spec_path}`: {e}"))?;
+    let grid: fcdpm_runner::JobGrid =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse `{spec_path}`: {e}"))?;
+    let config = match jobs {
+        Some(workers) => fcdpm_runner::RunConfig::with_workers(workers),
+        None => fcdpm_runner::RunConfig::default(),
+    };
+    let manifest = fcdpm_runner::run_grid(&grid, &config);
+
+    let out_dir = std::path::Path::new(out_dir.unwrap_or("results"));
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create `{}`: {e}", out_dir.display()))?;
+    let stem = std::path::Path::new(spec_path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("batch");
+    let manifest_path = out_dir.join(format!("{stem}.manifest.json"));
+    std::fs::write(&manifest_path, manifest.to_json())
+        .map_err(|e| format!("cannot write `{}`: {e}", manifest_path.display()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10} {:>12} {:>12} {:>8}",
+        "job", "outcome", "fuel [A*s]", "I_fc [A]", "ms"
+    );
+    for record in &manifest.records {
+        match &record.outcome {
+            fcdpm_runner::JobOutcome::Completed(m) => {
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>10} {:>12.1} {:>12.4} {:>8}",
+                    record.id, "ok", m.fuel_as, m.mean_stack_current_a, record.wall_ms
+                );
+            }
+            fcdpm_runner::JobOutcome::Failed(msg) => {
+                let reason: String = msg.chars().take(40).collect();
+                let _ = writeln!(out, "{:<28} {:>10}  {reason}", record.id, "FAILED");
+            }
+            fcdpm_runner::JobOutcome::TimedOut => {
+                let _ = writeln!(out, "{:<28} {:>10}", record.id, "TIMEOUT");
+            }
+        }
+    }
+    let _ = writeln!(out, "{}", manifest.summary());
+    let _ = writeln!(out, "manifest: {}", manifest_path.display());
+    Ok(out)
 }
 
 fn run_simulate(path: &str, device: DeviceChoice, capacity_mamin: f64) -> Result<String, String> {

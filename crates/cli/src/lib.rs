@@ -28,6 +28,7 @@ USAGE:
     fcdpm simulate <trace.csv> [--device <camcorder|exp2>] [--capacity-mamin <N>]
     fcdpm lifetime [--moles <N>] [--capacity-mamin <N>]
     fcdpm sizing [--tolerance-as <N>]
+    fcdpm batch <grid.json> [--jobs <N>] [--out <DIR>]
     fcdpm help
 
 COMMANDS:
@@ -37,6 +38,7 @@ COMMANDS:
     simulate     run the three policies on a CSV trace (idle_s,active_s,active_w)
     lifetime     run Experiment 1 cyclically until a hydrogen tank runs dry
     sizing       smallest storage capacity for unconstrained FC-DPM (Exp. 1)
+    batch        run a JSON job grid on the worker pool, write a run manifest
     help         show this message
 "
     .to_owned()

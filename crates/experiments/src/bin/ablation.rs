@@ -3,18 +3,27 @@
 //! learning tree, and the clairvoyant oracle. Also reports the offline
 //! per-slot optimum and the global convex lower bound, sandwiching every
 //! online variant.
+//!
+//! The online predictor table runs as a [`JobGrid`] predictor axis on
+//! the [`fcdpm_runner`] worker pool; the oracle policy (which needs
+//! whole-trace period knowledge, not just a sleep oracle) and the
+//! offline bounds stay direct calls — they are not expressible as a
+//! [`fcdpm_runner::JobSpec`].
 
-use fcdpm_core::dpm::{PredictiveSleep, SleepPolicy};
+use fcdpm_core::dpm::SleepPolicy;
 use fcdpm_core::offline::{global_lower_bound, plan_trace};
 use fcdpm_core::policy::FcDpm;
 use fcdpm_core::FuelOptimizer;
-use fcdpm_predict::{
-    AdaptiveLearningTree, ExponentialAverage, LastValue, Predictor, SlidingWindowRegression,
+use fcdpm_runner::{
+    run_grid, JobGrid, JobMetrics, JobOutcome, PolicySpec, PredictorSpec, RunConfig, WorkloadSpec,
 };
 use fcdpm_sim::{HybridSimulator, SimMetrics};
 use fcdpm_storage::IdealStorage;
 use fcdpm_units::Charge;
 use fcdpm_workload::Scenario;
+
+/// The reference seed reproducing `Scenario::experiment1()`.
+const SEED: u64 = 0xDAC0_2007;
 
 fn run_with_sleep(
     scenario: &Scenario,
@@ -29,16 +38,6 @@ fn run_with_sleep(
         .metrics
 }
 
-fn fc_policy(scenario: &Scenario, capacity: Charge) -> FcDpm {
-    FcDpm::new(
-        FuelOptimizer::dac07(),
-        &scenario.device,
-        capacity,
-        scenario.sigma,
-        scenario.active_current_estimate,
-    )
-}
-
 fn main() {
     let scenario = Scenario::experiment1();
     let capacity = Charge::from_milliamp_minutes(100.0);
@@ -46,27 +45,33 @@ fn main() {
     println!("# predictor ablation, Experiment 1, FC-DPM policy");
     println!("predictor,fuel_as,mean_i_fc_a");
 
-    let predictors: Vec<(&str, Box<dyn Predictor + Send>)> = vec![
-        (
-            "exponential(rho=0.5)",
-            Box::new(ExponentialAverage::new(0.5)),
-        ),
-        ("last-value", Box::new(LastValue::new())),
-        ("regression(w=8)", Box::new(SlidingWindowRegression::new(8))),
-        (
-            "learning-tree(8-20s,6bins,d3)",
-            Box::new(AdaptiveLearningTree::with_uniform_bins(8.0, 20.0, 6, 3)),
-        ),
+    let predictors = [
+        ("exponential(rho=0.5)", PredictorSpec::Exponential(0.5)),
+        ("last-value", PredictorSpec::LastValue),
+        ("regression(w=8)", PredictorSpec::Regression(8)),
+        ("learning-tree(8-20s,6bins,d3)", PredictorSpec::LearningTree),
     ];
-    for (name, predictor) in predictors {
-        let mut sleep = PredictiveSleep::with_predictor(predictor);
-        let mut policy = fc_policy(&scenario, capacity);
-        let m = run_with_sleep(&scenario, capacity, &mut sleep, &mut policy);
-        println!(
-            "{name},{:.1},{:.4}",
-            m.fuel.total().amp_seconds(),
-            m.mean_stack_current().amps()
-        );
+    let mut grid = JobGrid::new(
+        vec![PolicySpec::FcDpm],
+        vec![WorkloadSpec::Experiment1(SEED)],
+    );
+    let mut axis: Vec<PredictorSpec> = predictors.iter().map(|(_, p)| p.clone()).collect();
+    // One extra job with the paper's own ρ — the misprediction baseline.
+    axis.push(PredictorSpec::Exponential(scenario.rho));
+    grid.predictors = Some(axis);
+    let manifest = run_grid(&grid, &RunConfig::default());
+    let metrics = |index: usize| -> &JobMetrics {
+        match &manifest.records[index].outcome {
+            JobOutcome::Completed(m) => m,
+            other => panic!(
+                "job {} did not complete: {other:?}",
+                manifest.records[index].id
+            ),
+        }
+    };
+    for (i, (name, _)) in predictors.iter().enumerate() {
+        let m = metrics(i);
+        println!("{name},{:.1},{:.4}", m.fuel_as, m.mean_stack_current_a);
     }
 
     // Clairvoyant FC-DPM: oracle sleep + oracle period knowledge.
@@ -112,11 +117,9 @@ fn main() {
 
     // How much is lost to misprediction? (paper does not quantify this;
     // the ablation does.)
-    let mut exp_sleep = PredictiveSleep::new(scenario.rho);
-    let mut exp_policy = fc_policy(&scenario, capacity);
-    let online = run_with_sleep(&scenario, capacity, &mut exp_sleep, &mut exp_policy);
+    let online = metrics(predictors.len());
     println!(
         "# misprediction overhead of the paper's predictor vs oracle: {:.2}%",
-        (online.normalized_fuel(&m) - 1.0) * 100.0
+        (online.mean_stack_current_a / m.mean_stack_current().amps() - 1.0) * 100.0
     );
 }

@@ -2,76 +2,18 @@
 //! DPM-enabled devices share one fuel-cell hybrid source. Each device's
 //! slot stream becomes a load timeline (with the oracle sleep rule), the
 //! timelines merge into one aggregate profile, and the slot-free FC
-//! policies compete on it.
+//! policies compete on it — scheduled as a [`JobGrid`] on the
+//! [`fcdpm_runner`] worker pool.
 
-use fcdpm_core::policy::{AsapDpm, ConvDpm, WindowedAverage};
-use fcdpm_device::{presets, DeviceSpec, SlotTimeline};
-use fcdpm_sim::HybridSimulator;
-use fcdpm_storage::IdealStorage;
-use fcdpm_units::{Charge, Seconds, Volts, Watts};
-use fcdpm_workload::{CamcorderTrace, LoadProfile, SyntheticTrace, Trace};
+use fcdpm_runner::exec::{multi_device_profile, multi_device_profiles};
+use fcdpm_runner::{run_grid, JobGrid, JobOutcome, PolicySpec, RunConfig, WorkloadSpec};
 
-fn device_profile(name: &str, spec: &DeviceSpec, trace: &Trace) -> LoadProfile {
-    let t_be = spec.break_even_time();
-    let timelines: Vec<SlotTimeline> = trace
-        .slots()
-        .iter()
-        .map(|s| {
-            SlotTimeline::build(
-                spec,
-                s.idle,
-                s.idle >= t_be,
-                s.active,
-                s.active_current(spec.bus_voltage()),
-            )
-        })
-        .collect();
-    LoadProfile::from_timelines(name, &timelines)
-}
+/// Per-device trace seeds are derived from this (camcorder = 1,
+/// radio = 2, sensor = 3 — the original hand-picked seeds).
+const SEED: u64 = 1;
 
 fn main() {
-    // Device 1: the paper's camcorder.
-    let camcorder = presets::dvd_camcorder();
-    let cam_trace = CamcorderTrace::dac07().seed(1).build();
-    // Device 2: a radio with bursty uplinks.
-    let radio = DeviceSpec::builder("radio")
-        .bus_voltage(Volts::new(12.0))
-        .run_power(Watts::new(6.0))
-        .standby_power(Watts::new(1.2))
-        .sleep_power(Watts::new(0.3))
-        .power_down(Seconds::new(0.2), Watts::new(1.0))
-        .wake_up(Seconds::new(0.2), Watts::new(1.0))
-        .build()
-        .expect("valid spec");
-    let radio_trace = SyntheticTrace::dac07()
-        .seed(2)
-        .idle_range(Seconds::new(3.0), Seconds::new(40.0))
-        .active_range(Seconds::new(0.5), Seconds::new(2.0))
-        .power_range(Watts::new(5.0), Watts::new(7.0))
-        .build();
-    // Device 3: a sensor with rare long captures.
-    let sensor = DeviceSpec::builder("sensor")
-        .bus_voltage(Volts::new(12.0))
-        .run_power(Watts::new(2.5))
-        .standby_power(Watts::new(0.6))
-        .sleep_power(Watts::new(0.1))
-        .power_down(Seconds::new(0.1), Watts::new(0.5))
-        .wake_up(Seconds::new(0.1), Watts::new(0.5))
-        .build()
-        .expect("valid spec");
-    let sensor_trace = SyntheticTrace::dac07()
-        .seed(3)
-        .idle_range(Seconds::new(30.0), Seconds::new(120.0))
-        .active_range(Seconds::new(4.0), Seconds::new(10.0))
-        .power_range(Watts::new(2.0), Watts::new(3.0))
-        .build();
-
-    let profiles = [
-        device_profile("camcorder", &camcorder, &cam_trace),
-        device_profile("radio", &radio, &radio_trace),
-        device_profile("sensor", &sensor, &sensor_trace),
-    ];
-    for p in &profiles {
+    for p in &multi_device_profiles(SEED) {
         println!(
             "# {}: {:.1} min, mean {:.3}, peak {:.3}",
             p.name(),
@@ -80,7 +22,7 @@ fn main() {
             p.peak_current()
         );
     }
-    let merged = LoadProfile::merge(&profiles);
+    let merged = multi_device_profile(SEED);
     println!(
         "# merged: {:.1} min, mean {:.3}, peak {:.3} ({} points)",
         merged.total_duration().minutes(),
@@ -89,29 +31,34 @@ fn main() {
         merged.len()
     );
 
-    let capacity = Charge::new(30.0);
-    let sim = HybridSimulator::dac07(&camcorder); // device spec unused on profiles
+    // 30 A·s shared buffer, as before (expressed in the spec's mA·min).
+    let mut grid = JobGrid::new(
+        vec![
+            PolicySpec::Conv,
+            PolicySpec::Asap,
+            PolicySpec::WindowedAverage,
+        ],
+        vec![WorkloadSpec::MultiDevice(SEED)],
+    );
+    grid.capacities_mamin = Some(vec![500.0]);
+    let manifest = run_grid(&grid, &RunConfig::default());
+
     println!("policy,fuel_as,mean_i_fc_a,vs_conv,bled_as,deficit_as");
+    let names = ["conv", "asap", "windowed-average"];
     let mut base_rate = None;
-    let policies: Vec<(&str, Box<dyn fcdpm_core::FcOutputPolicy>)> = vec![
-        ("conv", Box::new(ConvDpm::dac07())),
-        ("asap", Box::new(AsapDpm::dac07(capacity))),
-        ("windowed-average", Box::new(WindowedAverage::dac07())),
-    ];
-    for (name, mut policy) in policies {
-        let mut storage = IdealStorage::new(capacity, capacity * 0.5);
-        let m = sim
-            .run_profile(&merged, policy.as_mut(), &mut storage)
-            .expect("simulation succeeds")
-            .metrics;
-        let rate = m.mean_stack_current().amps();
+    for (name, record) in names.iter().zip(&manifest.records) {
+        let m = match &record.outcome {
+            JobOutcome::Completed(m) => m,
+            other => panic!("job {} did not complete: {other:?}", record.id),
+        };
+        let rate = m.mean_stack_current_a;
         let base = *base_rate.get_or_insert(rate);
         println!(
             "{name},{:.1},{rate:.4},{:.3},{:.2},{:.3}",
-            m.fuel.total().amp_seconds(),
+            m.fuel_as,
             rate / base,
-            m.bled_charge.amp_seconds(),
-            m.deficit_charge.amp_seconds()
+            m.bled_as,
+            m.deficit_as
         );
     }
     println!("# the averaging idea survives without slot structure: the windowed");

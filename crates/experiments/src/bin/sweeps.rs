@@ -5,164 +5,144 @@
 //! * `--rho` — sensitivity to the idle-prediction factor ρ;
 //! * `--beta` — the efficiency-slope ablation: β → 0 removes the
 //!   convexity that FC-DPM exploits, collapsing its advantage to the
-//!   equal-energy case (Section 3.2's observation).
+//!   equal-energy case (Section 3.2's observation);
+//! * `--levels` — quantized FC output levels vs the continuous planner;
+//! * `--buffer-loss` — charger/discharger path efficiency.
 //!
-//! With no arguments, all three sweeps run.
+//! With no arguments, all sweeps run. Each sweep is a [`JobGrid`] axis
+//! executed on the [`fcdpm_runner`] worker pool; the CSV rows are
+//! computed from the manifest records (policies vary fastest in the
+//! expansion, so each axis value owns one contiguous chunk of records).
 
-use fcdpm_core::dpm::PredictiveSleep;
-use fcdpm_core::policy::{AsapDpm, ConvDpm, FcDpm, OutputLevels, Quantized};
-use fcdpm_core::FuelOptimizer;
-use fcdpm_experiments::PolicyComparison;
-use fcdpm_fuelcell::{GibbsCoefficient, LinearEfficiency};
-use fcdpm_sim::HybridSimulator;
-use fcdpm_storage::IdealStorage;
-use fcdpm_units::{Charge, CurrentRange, Seconds, Volts};
-use fcdpm_workload::Scenario;
+use fcdpm_runner::{
+    run_grid, JobGrid, JobMetrics, JobOutcome, PolicySpec, PredictorSpec, RunConfig, WorkloadSpec,
+};
 
-fn sweep_capacity(scenario: &Scenario) {
+/// The reference seed reproducing `Scenario::experiment1()`.
+const SEED: u64 = 0xDAC0_2007;
+
+/// mA·min per A·s (the sweep axes are specified in A·s).
+fn mamin(amp_seconds: f64) -> f64 {
+    amp_seconds * 1000.0 / 60.0
+}
+
+fn metrics(manifest: &fcdpm_runner::RunManifest, index: usize) -> &JobMetrics {
+    match &manifest.records[index].outcome {
+        JobOutcome::Completed(m) => m,
+        other => panic!(
+            "job {} did not complete: {other:?}",
+            manifest.records[index].id
+        ),
+    }
+}
+
+fn sweep_capacity(config: &RunConfig) {
     println!("# sweep: storage capacity (A*s) vs normalized fuel");
     println!("capacity_as,asap_vs_conv,fcdpm_vs_conv,fc_saving_vs_asap");
-    for cap in [0.5, 1.0, 2.0, 4.0, 6.0, 12.0, 24.0, 60.0, 200.0] {
-        let cmp = PolicyComparison::run_with_capacity(scenario, Charge::new(cap))
-            .expect("simulation succeeds");
+    let caps_as = [0.5, 1.0, 2.0, 4.0, 6.0, 12.0, 24.0, 60.0, 200.0];
+    let mut grid = JobGrid::new(
+        vec![PolicySpec::Conv, PolicySpec::Asap, PolicySpec::FcDpm],
+        vec![WorkloadSpec::Experiment1(SEED)],
+    );
+    grid.capacities_mamin = Some(caps_as.iter().map(|&c| mamin(c)).collect());
+    let manifest = run_grid(&grid, config);
+    for (i, cap) in caps_as.iter().enumerate() {
+        let conv = metrics(&manifest, 3 * i);
+        let asap = metrics(&manifest, 3 * i + 1);
+        let fc = metrics(&manifest, 3 * i + 2);
+        // Ratios of mean stack current, i.e. `SimMetrics::normalized_fuel`:
+        // durations differ slightly across sleep policies, so raw fuel
+        // totals would not compare fairly.
         println!(
             "{:.1},{:.3},{:.3},{:.3}",
             cap,
-            cmp.asap_normalized(),
-            cmp.fc_normalized(),
-            cmp.fc_saving_vs_asap()
+            asap.mean_stack_current_a / conv.mean_stack_current_a,
+            fc.mean_stack_current_a / conv.mean_stack_current_a,
+            1.0 - fc.mean_stack_current_a / asap.mean_stack_current_a
         );
     }
 }
 
-fn sweep_rho(scenario: &Scenario) {
+fn sweep_rho(config: &RunConfig) {
     println!("# sweep: idle-prediction factor rho vs FC-DPM normalized fuel");
     println!("rho,fcdpm_vs_conv,sleeps");
-    let capacity = Charge::from_milliamp_minutes(100.0);
-    let sim = HybridSimulator::dac07(&scenario.device);
-    for rho in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
-        let mut conv_storage = IdealStorage::new(capacity, capacity * 0.5);
-        let mut conv_sleep = PredictiveSleep::new(rho);
-        let conv = sim
-            .run(
-                &scenario.trace,
-                &mut conv_sleep,
-                &mut ConvDpm::dac07(),
-                &mut conv_storage,
-            )
-            .expect("simulation succeeds")
-            .metrics;
-        let mut fc = FcDpm::new(
-            FuelOptimizer::dac07(),
-            &scenario.device,
-            capacity,
-            scenario.sigma,
-            scenario.active_current_estimate,
+    let rhos = [0.0, 0.25, 0.5, 0.75, 0.9, 1.0];
+    let mut grid = JobGrid::new(
+        vec![PolicySpec::Conv, PolicySpec::FcDpm],
+        vec![WorkloadSpec::Experiment1(SEED)],
+    );
+    grid.predictors = Some(
+        rhos.iter()
+            .map(|&r| PredictorSpec::Exponential(r))
+            .collect(),
+    );
+    let manifest = run_grid(&grid, config);
+    for (i, rho) in rhos.iter().enumerate() {
+        let conv = metrics(&manifest, 2 * i);
+        let fc = metrics(&manifest, 2 * i + 1);
+        println!(
+            "{:.2},{:.3},{}",
+            rho,
+            fc.mean_stack_current_a / conv.mean_stack_current_a,
+            fc.sleeps
         );
-        let mut storage = IdealStorage::new(capacity, capacity * 0.5);
-        let mut sleep = PredictiveSleep::new(rho);
-        let m = sim
-            .run(&scenario.trace, &mut sleep, &mut fc, &mut storage)
-            .expect("simulation succeeds")
-            .metrics;
-        println!("{:.2},{:.3},{}", rho, m.normalized_fuel(&conv), m.sleeps);
     }
 }
 
-fn sweep_beta(scenario: &Scenario) {
+fn sweep_beta(config: &RunConfig) {
     println!("# sweep: efficiency slope beta vs FC-DPM saving over ASAP");
     println!("beta,fc_saving_vs_asap");
-    let capacity = Charge::from_milliamp_minutes(100.0);
-    for beta in [0.0, 0.03, 0.07, 0.13, 0.2, 0.26] {
-        let eff = LinearEfficiency::new(0.45, beta, Volts::new(12.0), GibbsCoefficient::dac07())
-            .expect("coefficients valid");
-        let opt = FuelOptimizer::new(eff, CurrentRange::dac07());
-        let sim = HybridSimulator::new(
-            &scenario.device,
-            Box::new(eff),
-            CurrentRange::dac07(),
-            Seconds::new(0.5),
-        )
-        .expect("config valid");
-        let run = |policy: &mut dyn fcdpm_core::FcOutputPolicy| {
-            let mut storage = IdealStorage::new(capacity, capacity * 0.5);
-            let mut sleep = PredictiveSleep::new(scenario.rho);
-            sim.run(&scenario.trace, &mut sleep, policy, &mut storage)
-                .expect("simulation succeeds")
-                .metrics
-        };
-        let asap = run(&mut AsapDpm::dac07(capacity));
-        let mut fc = FcDpm::new(
-            opt,
-            &scenario.device,
-            capacity,
-            scenario.sigma,
-            scenario.active_current_estimate,
+    let betas = [0.0, 0.03, 0.07, 0.13, 0.2, 0.26];
+    let mut grid = JobGrid::new(
+        vec![PolicySpec::Asap, PolicySpec::FcDpm],
+        vec![WorkloadSpec::Experiment1(SEED)],
+    );
+    grid.betas = Some(betas.to_vec());
+    let manifest = run_grid(&grid, config);
+    for (i, beta) in betas.iter().enumerate() {
+        let asap = metrics(&manifest, 2 * i);
+        let fc = metrics(&manifest, 2 * i + 1);
+        println!(
+            "{:.2},{:.3}",
+            beta,
+            1.0 - fc.mean_stack_current_a / asap.mean_stack_current_a
         );
-        let fcdpm = run(&mut fc);
-        println!("{:.2},{:.3}", beta, 1.0 - fcdpm.normalized_fuel(&asap));
     }
     println!("# beta = 0 (constant efficiency) should show ~zero saving:");
     println!("# without convexity, averaging the FC output buys nothing.");
 }
 
-fn sweep_levels(scenario: &Scenario) {
+fn sweep_levels(config: &RunConfig) {
     println!("# sweep: discrete FC output levels vs FC-DPM fuel penalty");
     println!("levels,fcdpm_mean_i_fc_a,penalty_vs_continuous");
-    let capacity = Charge::from_milliamp_minutes(100.0);
-    let sim = HybridSimulator::dac07(&scenario.device);
-    let run = |policy: &mut dyn fcdpm_core::FcOutputPolicy| {
-        let mut storage = IdealStorage::new(capacity, capacity * 0.5);
-        let mut sleep = PredictiveSleep::new(scenario.rho);
-        sim.run(&scenario.trace, &mut sleep, policy, &mut storage)
-            .expect("simulation succeeds")
-            .metrics
-    };
-    let fc = |caps: Charge| {
-        FcDpm::new(
-            FuelOptimizer::dac07(),
-            &scenario.device,
-            caps,
-            scenario.sigma,
-            scenario.active_current_estimate,
-        )
-    };
-    let continuous = run(&mut fc(capacity));
-    let base = continuous.mean_stack_current().amps();
+    let counts = [2usize, 3, 4, 6, 8, 12, 23];
+    let mut policies = vec![PolicySpec::FcDpm];
+    policies.extend(counts.iter().map(|&c| PolicySpec::Quantized(c)));
+    let grid = JobGrid::new(policies, vec![WorkloadSpec::Experiment1(SEED)]);
+    let manifest = run_grid(&grid, config);
+    let base = metrics(&manifest, 0).mean_stack_current_a;
     println!("continuous,{base:.4},0.000");
-    for count in [2usize, 3, 4, 6, 8, 12, 23] {
-        let levels = OutputLevels::uniform(CurrentRange::dac07(), count);
-        let mut policy = Quantized::new(fc(capacity), levels);
-        let m = run(&mut policy);
-        let rate = m.mean_stack_current().amps();
+    for (i, count) in counts.iter().enumerate() {
+        let rate = metrics(&manifest, i + 1).mean_stack_current_a;
         println!("{count},{rate:.4},{:.3}", rate / base - 1.0);
     }
     println!("# multi-level hardware (the ISLPED'06 configuration) needs only");
     println!("# a handful of levels before the quantization penalty vanishes.");
 }
 
-fn sweep_buffer_loss(scenario: &Scenario) {
+fn sweep_buffer_loss(config: &RunConfig) {
     println!("# sweep: charger/discharger path efficiency vs FC-DPM fuel");
     println!("path_efficiency,fcdpm_mean_i_fc_a");
-    let capacity = Charge::from_milliamp_minutes(100.0);
-    for eta in [1.0, 0.95, 0.9, 0.85, 0.8] {
-        let sim = HybridSimulator::dac07(&scenario.device)
-            .with_buffer_path_efficiency(eta, eta)
-            .expect("valid efficiencies");
-        let mut policy = FcDpm::new(
-            FuelOptimizer::dac07(),
-            &scenario.device,
-            capacity,
-            scenario.sigma,
-            scenario.active_current_estimate,
-        );
-        let mut storage = IdealStorage::new(capacity, capacity * 0.5);
-        let mut sleep = PredictiveSleep::new(scenario.rho);
-        let m = sim
-            .run(&scenario.trace, &mut sleep, &mut policy, &mut storage)
-            .expect("simulation succeeds")
-            .metrics;
-        println!("{eta:.2},{:.4}", m.mean_stack_current().amps());
+    let etas = [1.0, 0.95, 0.9, 0.85, 0.8];
+    let mut grid = JobGrid::new(
+        vec![PolicySpec::FcDpm],
+        vec![WorkloadSpec::Experiment1(SEED)],
+    );
+    grid.buffer_path_efficiencies = Some(etas.to_vec());
+    let manifest = run_grid(&grid, config);
+    for (i, eta) in etas.iter().enumerate() {
+        let m = metrics(&manifest, i);
+        println!("{eta:.2},{:.4}", m.mean_stack_current_a);
     }
     println!("# the paper assumes lossless charger/discharger paths (Figure 1);");
     println!("# this quantifies the optimism of that assumption.");
@@ -170,21 +150,21 @@ fn sweep_buffer_loss(scenario: &Scenario) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scenario = Scenario::experiment1();
+    let config = RunConfig::default();
     let all = args.is_empty();
     if all || args.iter().any(|a| a == "--capacity") {
-        sweep_capacity(&scenario);
+        sweep_capacity(&config);
     }
     if all || args.iter().any(|a| a == "--rho") {
-        sweep_rho(&scenario);
+        sweep_rho(&config);
     }
     if all || args.iter().any(|a| a == "--beta") {
-        sweep_beta(&scenario);
+        sweep_beta(&config);
     }
     if all || args.iter().any(|a| a == "--levels") {
-        sweep_levels(&scenario);
+        sweep_levels(&config);
     }
     if all || args.iter().any(|a| a == "--buffer-loss") {
-        sweep_buffer_loss(&scenario);
+        sweep_buffer_loss(&config);
     }
 }

@@ -1,0 +1,416 @@
+//! Turns one [`JobSpec`] into simulation metrics.
+//!
+//! Everything a job needs (trace, device, policy, storage, predictor)
+//! is constructed *inside* the job from its spec, so specs — plain data
+//! — are all that crosses thread boundaries.
+
+use fcdpm_core::dpm::{OracleSleep, PredictiveSleep, SleepPolicy};
+use fcdpm_core::policy::{
+    AsapDpm, ConvDpm, FcDpm, FcOutputPolicy, OutputLevels, Quantized, WindowedAverage,
+};
+use fcdpm_core::FuelOptimizer;
+use fcdpm_fuelcell::{GibbsCoefficient, HydrogenTank, LinearEfficiency};
+use fcdpm_predict::{
+    AdaptiveLearningTree, ExponentialAverage, LastValue, Predictor, SlidingWindowRegression,
+};
+use fcdpm_sim::{HybridSimulator, SimMetrics};
+use fcdpm_storage::{ChargeStorage, IdealStorage, KineticBattery, SuperCapacitor};
+use fcdpm_units::{Charge, CurrentRange, Seconds, Volts, Watts};
+use fcdpm_workload::{CamcorderTrace, LoadProfile, Scenario, SyntheticTrace, Trace};
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{DevicePreset, JobSpec, PolicySpec, PredictorSpec, StorageSpec, WorkloadSpec};
+
+/// The paper-facing numbers extracted from one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Fuel consumed, `∫ I_fc dt`, in A·s.
+    pub fuel_as: f64,
+    /// Mean stack current (the fuel rate) in A.
+    pub mean_stack_current_a: f64,
+    /// Charge-level conversion efficiency: delivered / stack charge.
+    pub conversion_efficiency: f64,
+    /// Projected lifetime on the reference 10 A·h tank, in hours.
+    pub lifetime_h: f64,
+    /// Simulated wall-clock duration in s.
+    pub duration_s: f64,
+    /// Sleeps taken / slots simulated.
+    pub sleeps: usize,
+    /// Slots simulated (0 for profile-driven multi-device runs).
+    pub slots: usize,
+    /// Charge bled through the overflow by-pass, in A·s.
+    pub bled_as: f64,
+    /// Unserved load charge (brownouts), in A·s.
+    pub deficit_as: f64,
+    /// Final storage state of charge, in A·s.
+    pub final_soc_as: f64,
+}
+
+impl JobMetrics {
+    fn from_sim(m: &SimMetrics) -> Self {
+        let rate = m.mean_stack_current();
+        let tank = HydrogenTank::from_stack_charge(Charge::from_amp_hours(10.0));
+        let lifetime_h = if rate.amps() > 0.0 {
+            tank.lifetime_at(rate).seconds() / 3600.0
+        } else {
+            f64::INFINITY
+        };
+        let fuel = m.fuel.total();
+        let conversion_efficiency = if fuel.is_zero() {
+            0.0
+        } else {
+            m.delivered_charge / fuel
+        };
+        Self {
+            fuel_as: fuel.amp_seconds(),
+            mean_stack_current_a: rate.amps(),
+            conversion_efficiency,
+            lifetime_h,
+            duration_s: m.duration().seconds(),
+            sleeps: m.sleeps,
+            slots: m.slots,
+            bled_as: m.bled_charge.amp_seconds(),
+            deficit_as: m.deficit_charge.amp_seconds(),
+            final_soc_as: m.final_soc.amp_seconds(),
+        }
+    }
+}
+
+fn build_scenario(spec: &JobSpec) -> Result<Scenario, String> {
+    let mut scenario = match spec.workload {
+        WorkloadSpec::Experiment1(seed) => Scenario::experiment1_seeded(seed),
+        WorkloadSpec::Experiment2(seed) => Scenario::experiment2_seeded(seed),
+        WorkloadSpec::MultiDevice(_) => {
+            return Err("multi-device workloads have no single scenario".to_owned())
+        }
+    };
+    match spec.device {
+        None | Some(DevicePreset::Default) => {}
+        Some(DevicePreset::DvdCamcorder) => {
+            scenario.device = fcdpm_device::presets::dvd_camcorder();
+        }
+        Some(DevicePreset::Experiment2) => {
+            scenario.device = fcdpm_device::presets::experiment2_device();
+        }
+    }
+    Ok(scenario)
+}
+
+fn build_storage(spec: &JobSpec, capacity: Charge) -> Box<dyn ChargeStorage> {
+    let initial = capacity * 0.5;
+    match spec.storage.as_ref().unwrap_or(&StorageSpec::Ideal) {
+        StorageSpec::Ideal => Box::new(IdealStorage::new(capacity, initial)),
+        StorageSpec::SuperCapacitor => {
+            // 6–12 V window: capacitance sized so C·ΔV equals the
+            // requested capacity, half-charged like the other models.
+            let window = Volts::new(6.0);
+            let farads = capacity.amp_seconds() / window.volts();
+            Box::new(SuperCapacitor::new(
+                farads,
+                Volts::new(6.0),
+                Volts::new(12.0),
+                0.0,
+                initial,
+            ))
+        }
+        StorageSpec::Kibam => Box::new(KineticBattery::new(capacity, 0.5, 0.3, 0.01)),
+    }
+}
+
+fn build_sleep(spec: &JobSpec, scenario: &Scenario) -> Box<dyn SleepPolicy> {
+    let predictor: Box<dyn Predictor + Send> = match spec
+        .predictor
+        .as_ref()
+        .unwrap_or(&PredictorSpec::Exponential(f64::NAN))
+    {
+        PredictorSpec::Exponential(rho) => {
+            let rho = if rho.is_nan() { scenario.rho } else { *rho };
+            Box::new(ExponentialAverage::new(rho))
+        }
+        PredictorSpec::LastValue => Box::new(LastValue::new()),
+        PredictorSpec::Regression(window) => Box::new(SlidingWindowRegression::new(*window)),
+        PredictorSpec::LearningTree => {
+            Box::new(AdaptiveLearningTree::with_uniform_bins(8.0, 20.0, 6, 3))
+        }
+        PredictorSpec::Oracle => {
+            return Box::new(OracleSleep::new(scenario.trace.iter().map(|s| s.idle)));
+        }
+    };
+    Box::new(PredictiveSleep::with_predictor(predictor))
+}
+
+fn build_policy(
+    spec: &JobSpec,
+    scenario: &Scenario,
+    capacity: Charge,
+    optimizer: FuelOptimizer,
+) -> Box<dyn FcOutputPolicy> {
+    let fc = |opt: FuelOptimizer| {
+        FcDpm::new(
+            opt,
+            &scenario.device,
+            capacity,
+            scenario.sigma,
+            scenario.active_current_estimate,
+        )
+    };
+    match spec.policy {
+        PolicySpec::Conv => Box::new(ConvDpm::dac07()),
+        PolicySpec::Asap => Box::new(AsapDpm::dac07(capacity)),
+        PolicySpec::FcDpm => Box::new(fc(optimizer)),
+        PolicySpec::WindowedAverage => Box::new(WindowedAverage::dac07()),
+        PolicySpec::Quantized(count) => {
+            let levels = OutputLevels::uniform(CurrentRange::dac07(), count);
+            Box::new(Quantized::new(fc(optimizer), levels))
+        }
+    }
+}
+
+fn build_sim<'d>(
+    spec: &JobSpec,
+    device: &'d fcdpm_device::DeviceSpec,
+) -> Result<(HybridSimulator<'d>, FuelOptimizer), String> {
+    let (sim, optimizer) = match spec.beta {
+        None => (HybridSimulator::dac07(device), FuelOptimizer::dac07()),
+        Some(beta) => {
+            let eff =
+                LinearEfficiency::new(0.45, beta, Volts::new(12.0), GibbsCoefficient::dac07())
+                    .map_err(|e| format!("invalid beta {beta}: {e}"))?;
+            let sim = HybridSimulator::new(
+                device,
+                Box::new(eff),
+                CurrentRange::dac07(),
+                Seconds::new(0.5),
+            )
+            .map_err(|e| format!("simulator config: {e}"))?;
+            (sim, FuelOptimizer::new(eff, CurrentRange::dac07()))
+        }
+    };
+    let sim = match spec.buffer_path_efficiency {
+        None => sim,
+        Some(eta) => sim
+            .with_buffer_path_efficiency(eta, eta)
+            .map_err(|e| format!("invalid path efficiency {eta}: {e}"))?,
+    };
+    Ok((sim, optimizer))
+}
+
+/// Builds the three multi-device load profiles (camcorder, radio,
+/// sensor), with per-device trace seeds derived from `seed`.
+#[must_use]
+pub fn multi_device_profiles(seed: u64) -> [LoadProfile; 3] {
+    use fcdpm_device::{DeviceSpec, SlotTimeline};
+
+    fn device_profile(name: &str, spec: &DeviceSpec, trace: &Trace) -> LoadProfile {
+        let t_be = spec.break_even_time();
+        let timelines: Vec<SlotTimeline> = trace
+            .slots()
+            .iter()
+            .map(|s| {
+                SlotTimeline::build(
+                    spec,
+                    s.idle,
+                    s.idle >= t_be,
+                    s.active,
+                    s.active_current(spec.bus_voltage()),
+                )
+            })
+            .collect();
+        LoadProfile::from_timelines(name, &timelines)
+    }
+
+    let camcorder = fcdpm_device::presets::dvd_camcorder();
+    let cam_trace = CamcorderTrace::dac07().seed(seed).build();
+    let radio = DeviceSpec::builder("radio")
+        .bus_voltage(Volts::new(12.0))
+        .run_power(Watts::new(6.0))
+        .standby_power(Watts::new(1.2))
+        .sleep_power(Watts::new(0.3))
+        .power_down(Seconds::new(0.2), Watts::new(1.0))
+        .wake_up(Seconds::new(0.2), Watts::new(1.0))
+        .build()
+        .expect("valid radio spec");
+    let radio_trace = SyntheticTrace::dac07()
+        .seed(seed.wrapping_add(1))
+        .idle_range(Seconds::new(3.0), Seconds::new(40.0))
+        .active_range(Seconds::new(0.5), Seconds::new(2.0))
+        .power_range(Watts::new(5.0), Watts::new(7.0))
+        .build();
+    let sensor = DeviceSpec::builder("sensor")
+        .bus_voltage(Volts::new(12.0))
+        .run_power(Watts::new(2.5))
+        .standby_power(Watts::new(0.6))
+        .sleep_power(Watts::new(0.1))
+        .power_down(Seconds::new(0.1), Watts::new(0.5))
+        .wake_up(Seconds::new(0.1), Watts::new(0.5))
+        .build()
+        .expect("valid sensor spec");
+    let sensor_trace = SyntheticTrace::dac07()
+        .seed(seed.wrapping_add(2))
+        .idle_range(Seconds::new(30.0), Seconds::new(120.0))
+        .active_range(Seconds::new(4.0), Seconds::new(10.0))
+        .power_range(Watts::new(2.0), Watts::new(3.0))
+        .build();
+
+    [
+        device_profile("camcorder", &camcorder, &cam_trace),
+        device_profile("radio", &radio, &radio_trace),
+        device_profile("sensor", &sensor, &sensor_trace),
+    ]
+}
+
+/// The merged multi-device aggregate profile (see
+/// [`multi_device_profiles`]).
+#[must_use]
+pub fn multi_device_profile(seed: u64) -> LoadProfile {
+    LoadProfile::merge(&multi_device_profiles(seed))
+}
+
+fn execute_multi_device(spec: &JobSpec, seed: u64) -> Result<JobMetrics, String> {
+    match spec.policy {
+        PolicySpec::Conv | PolicySpec::Asap | PolicySpec::WindowedAverage => {}
+        PolicySpec::FcDpm | PolicySpec::Quantized(_) => {
+            return Err(format!(
+                "policy `{}` needs slot structure; multi-device runs are profile-driven",
+                spec.policy.label()
+            ));
+        }
+    }
+    let capacity = Charge::from_milliamp_minutes(spec.capacity_mamin_or_default());
+    let device = fcdpm_device::presets::dvd_camcorder(); // spec unused on profiles
+    let (sim, _optimizer) = build_sim(spec, &device)?;
+    let profile = multi_device_profile(seed);
+    let mut policy: Box<dyn FcOutputPolicy> = match spec.policy {
+        PolicySpec::Conv => Box::new(ConvDpm::dac07()),
+        PolicySpec::Asap => Box::new(AsapDpm::dac07(capacity)),
+        _ => Box::new(WindowedAverage::dac07()),
+    };
+    let mut storage = build_storage(spec, capacity);
+    let metrics = sim
+        .run_profile(&profile, policy.as_mut(), storage.as_mut())
+        .map_err(|e| format!("profile simulation: {e}"))?
+        .metrics;
+    Ok(JobMetrics::from_sim(&metrics))
+}
+
+/// Executes one job.
+///
+/// # Errors
+///
+/// Returns a message for invalid specs (e.g. a slot policy on a
+/// profile workload) and for simulator errors.
+///
+/// # Panics
+///
+/// Panics when `inject_panic` is set — deliberately, so callers can
+/// exercise the pool's fault isolation.
+pub fn execute(spec: &JobSpec) -> Result<JobMetrics, String> {
+    assert!(
+        spec.inject_panic != Some(true),
+        "injected panic (inject_panic = true)"
+    );
+    if let WorkloadSpec::MultiDevice(seed) = spec.workload {
+        return execute_multi_device(spec, seed);
+    }
+    let scenario = build_scenario(spec)?;
+    let capacity = Charge::from_milliamp_minutes(spec.capacity_mamin_or_default());
+    let (sim, optimizer) = build_sim(spec, &scenario.device)?;
+    let mut sleep = build_sleep(spec, &scenario);
+    let mut policy = build_policy(spec, &scenario, capacity, optimizer);
+    let mut storage = build_storage(spec, capacity);
+    let metrics = sim
+        .run(
+            &scenario.trace,
+            sleep.as_mut(),
+            policy.as_mut(),
+            storage.as_mut(),
+        )
+        .map_err(|e| format!("simulation: {e}"))?
+        .metrics;
+    Ok(JobMetrics::from_sim(&metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JobSpec;
+
+    const SEED: u64 = 0xDAC0_2007;
+
+    #[test]
+    fn reference_policies_reproduce_table_2_ordering() {
+        let conv = execute(&JobSpec::new(
+            PolicySpec::Conv,
+            WorkloadSpec::Experiment1(SEED),
+        ))
+        .expect("conv runs");
+        let asap = execute(&JobSpec::new(
+            PolicySpec::Asap,
+            WorkloadSpec::Experiment1(SEED),
+        ))
+        .expect("asap runs");
+        let fc = execute(&JobSpec::new(
+            PolicySpec::FcDpm,
+            WorkloadSpec::Experiment1(SEED),
+        ))
+        .expect("fcdpm runs");
+        assert!(fc.mean_stack_current_a < asap.mean_stack_current_a);
+        assert!(asap.mean_stack_current_a < conv.mean_stack_current_a);
+        assert!(fc.lifetime_h > asap.lifetime_h);
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let spec = JobSpec::new(PolicySpec::FcDpm, WorkloadSpec::Experiment1(SEED));
+        assert_eq!(execute(&spec).unwrap(), execute(&spec).unwrap());
+    }
+
+    #[test]
+    fn oracle_predictor_beats_the_exponential_average() {
+        let mut online = JobSpec::new(PolicySpec::FcDpm, WorkloadSpec::Experiment1(SEED));
+        online.predictor = Some(PredictorSpec::Exponential(0.5));
+        let mut oracle = online.clone();
+        oracle.predictor = Some(PredictorSpec::Oracle);
+        let online = execute(&online).unwrap();
+        let oracle = execute(&oracle).unwrap();
+        assert!(oracle.mean_stack_current_a <= online.mean_stack_current_a * 1.001);
+    }
+
+    #[test]
+    fn storage_models_all_run() {
+        for storage in [
+            StorageSpec::Ideal,
+            StorageSpec::SuperCapacitor,
+            StorageSpec::Kibam,
+        ] {
+            let mut spec = JobSpec::new(PolicySpec::FcDpm, WorkloadSpec::Experiment1(SEED));
+            spec.storage = Some(storage);
+            let metrics = execute(&spec).expect("runs");
+            assert!(metrics.fuel_as > 0.0);
+        }
+    }
+
+    #[test]
+    fn slot_policy_on_multi_device_is_an_error() {
+        let spec = JobSpec::new(PolicySpec::FcDpm, WorkloadSpec::MultiDevice(1));
+        let err = execute(&spec).unwrap_err();
+        assert!(err.contains("slot structure"));
+    }
+
+    #[test]
+    fn multi_device_runs_slot_free_policies() {
+        let spec = JobSpec::new(PolicySpec::WindowedAverage, WorkloadSpec::MultiDevice(1));
+        let metrics = execute(&spec).expect("runs");
+        assert!(metrics.fuel_as > 0.0);
+        assert_eq!(metrics.slots, 0);
+    }
+
+    #[test]
+    fn injected_panic_panics() {
+        let mut spec = JobSpec::new(PolicySpec::Conv, WorkloadSpec::Experiment1(SEED));
+        spec.inject_panic = Some(true);
+        let result = std::panic::catch_unwind(|| execute(&spec));
+        assert!(result.is_err());
+    }
+}

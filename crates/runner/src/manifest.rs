@@ -1,0 +1,261 @@
+//! Run manifests: the JSON record of one batch run.
+//!
+//! A manifest holds every job's spec, outcome and scheduling metadata
+//! plus run-level aggregates. [`RunManifest::to_json`] is the full
+//! record; [`RunManifest::deterministic_json`] masks wall-time and
+//! worker fields so two runs of the same grid are byte-identical
+//! regardless of worker count (the runner determinism test relies on
+//! this).
+
+use serde::{Deserialize, Serialize};
+
+use crate::exec::JobMetrics;
+use crate::spec::JobSpec;
+
+/// How one job ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// The simulation finished; payload is its metrics.
+    Completed(JobMetrics),
+    /// The job failed — a panic or an executor error; payload is the
+    /// message.
+    Failed(String),
+    /// The job exceeded the per-job wall-clock budget.
+    TimedOut,
+}
+
+impl JobOutcome {
+    /// The metrics, when the job completed.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&JobMetrics> {
+        match self {
+            JobOutcome::Completed(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// One job's full record in the manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Deterministic job ID (index + spec digest).
+    pub id: String,
+    /// Index in the expanded grid.
+    pub index: usize,
+    /// The spec that produced this job.
+    pub spec: JobSpec,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// Wall-clock execution time in ms (scheduling-dependent).
+    pub wall_ms: u64,
+    /// Worker thread that ran the job (scheduling-dependent).
+    pub worker: usize,
+}
+
+/// Run-level aggregates over all job records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunAggregates {
+    /// Total jobs in the run.
+    pub jobs: usize,
+    /// Jobs that completed.
+    pub completed: usize,
+    /// Jobs that failed (panic or executor error).
+    pub failed: usize,
+    /// Jobs that timed out.
+    pub timed_out: usize,
+    /// Sum of fuel over completed jobs, in A·s.
+    pub total_fuel_as: f64,
+    /// Mean stack current over completed jobs, in A.
+    pub mean_stack_current_a: f64,
+    /// ID of the completed job with the lowest fuel rate.
+    pub most_fuel_efficient: Option<String>,
+}
+
+impl RunAggregates {
+    /// Computes aggregates from `records`.
+    #[must_use]
+    pub fn from_records(records: &[JobRecord]) -> Self {
+        let mut aggregates = Self {
+            jobs: records.len(),
+            completed: 0,
+            failed: 0,
+            timed_out: 0,
+            total_fuel_as: 0.0,
+            mean_stack_current_a: 0.0,
+            most_fuel_efficient: None,
+        };
+        let mut rate_sum = 0.0;
+        let mut best: Option<(f64, &str)> = None;
+        for record in records {
+            match &record.outcome {
+                JobOutcome::Completed(m) => {
+                    aggregates.completed += 1;
+                    aggregates.total_fuel_as += m.fuel_as;
+                    rate_sum += m.mean_stack_current_a;
+                    if best.is_none_or(|(rate, _)| m.mean_stack_current_a < rate) {
+                        best = Some((m.mean_stack_current_a, &record.id));
+                    }
+                }
+                JobOutcome::Failed(_) => aggregates.failed += 1,
+                JobOutcome::TimedOut => aggregates.timed_out += 1,
+            }
+        }
+        if aggregates.completed > 0 {
+            aggregates.mean_stack_current_a = rate_sum / aggregates.completed as f64;
+        }
+        aggregates.most_fuel_efficient = best.map(|(_, id)| id.to_owned());
+        aggregates
+    }
+}
+
+/// The JSON record of one batch run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// FNV-1a digest of the expanded grid's canonical JSON.
+    pub grid_digest: String,
+    /// Number of worker threads used (scheduling-dependent).
+    pub workers: usize,
+    /// Per-job records, ordered by grid index.
+    pub records: Vec<JobRecord>,
+    /// Run-level aggregates.
+    pub aggregates: RunAggregates,
+    /// Total run wall-clock time in ms (scheduling-dependent).
+    pub total_wall_ms: u64,
+}
+
+impl RunManifest {
+    /// The full manifest as pretty JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// The manifest with scheduling-dependent fields (`wall_ms`,
+    /// `worker`, `workers`, `total_wall_ms`) zeroed, as pretty JSON.
+    /// Two runs of the same grid produce byte-identical output here no
+    /// matter how they were scheduled.
+    #[must_use]
+    pub fn deterministic_json(&self) -> String {
+        let mut masked = self.clone();
+        masked.workers = 0;
+        masked.total_wall_ms = 0;
+        for record in &mut masked.records {
+            record.wall_ms = 0;
+            record.worker = 0;
+        }
+        serde_json::to_string_pretty(&masked).unwrap_or_default()
+    }
+
+    /// True when every job completed.
+    #[must_use]
+    pub fn all_completed(&self) -> bool {
+        self.aggregates.failed == 0 && self.aggregates.timed_out == 0
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} jobs: {} completed, {} failed, {} timed out ({} ms, {} workers)",
+            self.aggregates.jobs,
+            self.aggregates.completed,
+            self.aggregates.failed,
+            self.aggregates.timed_out,
+            self.total_wall_ms,
+            self.workers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PolicySpec, WorkloadSpec};
+
+    fn record(index: usize, outcome: JobOutcome) -> JobRecord {
+        let spec = JobSpec::new(PolicySpec::Conv, WorkloadSpec::Experiment1(1));
+        JobRecord {
+            id: spec.id(index),
+            index,
+            spec,
+            outcome,
+            wall_ms: 12,
+            worker: 3,
+        }
+    }
+
+    fn metrics(rate: f64) -> JobMetrics {
+        JobMetrics {
+            fuel_as: rate * 100.0,
+            mean_stack_current_a: rate,
+            conversion_efficiency: 0.9,
+            lifetime_h: 10.0,
+            duration_s: 100.0,
+            sleeps: 1,
+            slots: 2,
+            bled_as: 0.0,
+            deficit_as: 0.0,
+            final_soc_as: 3.0,
+        }
+    }
+
+    #[test]
+    fn aggregates_count_outcomes() {
+        let records = vec![
+            record(0, JobOutcome::Completed(metrics(0.5))),
+            record(1, JobOutcome::Completed(metrics(0.4))),
+            record(2, JobOutcome::Failed("boom".to_owned())),
+            record(3, JobOutcome::TimedOut),
+        ];
+        let agg = RunAggregates::from_records(&records);
+        assert_eq!(
+            (agg.jobs, agg.completed, agg.failed, agg.timed_out),
+            (4, 2, 1, 1)
+        );
+        assert!((agg.total_fuel_as - 90.0).abs() < 1e-9);
+        assert!((agg.mean_stack_current_a - 0.45).abs() < 1e-9);
+        assert_eq!(
+            agg.most_fuel_efficient.as_deref(),
+            Some(records[1].id.as_str())
+        );
+    }
+
+    #[test]
+    fn deterministic_json_masks_scheduling_fields() {
+        let records = vec![record(0, JobOutcome::Completed(metrics(0.5)))];
+        let aggregates = RunAggregates::from_records(&records);
+        let mut manifest = RunManifest {
+            grid_digest: "abcd".to_owned(),
+            workers: 4,
+            records,
+            aggregates,
+            total_wall_ms: 99,
+        };
+        let four_workers = manifest.deterministic_json();
+        manifest.workers = 1;
+        manifest.total_wall_ms = 1234;
+        manifest.records[0].wall_ms = 55;
+        manifest.records[0].worker = 0;
+        let one_worker = manifest.deterministic_json();
+        assert_eq!(four_workers, one_worker);
+        assert_ne!(manifest.to_json(), four_workers);
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let records = vec![
+            record(0, JobOutcome::Completed(metrics(0.5))),
+            record(1, JobOutcome::TimedOut),
+        ];
+        let aggregates = RunAggregates::from_records(&records);
+        let manifest = RunManifest {
+            grid_digest: "ff00".to_owned(),
+            workers: 2,
+            records,
+            aggregates,
+            total_wall_ms: 10,
+        };
+        let back: RunManifest = serde_json::from_str(&manifest.to_json()).expect("parses");
+        assert_eq!(manifest, back);
+    }
+}

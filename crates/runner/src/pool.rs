@@ -1,0 +1,250 @@
+//! Dependency-light work-stealing worker pool.
+//!
+//! `std::thread` + `std::sync` only — the build environment cannot
+//! always reach a package registry, so no external executor crates.
+//!
+//! Jobs are dealt round-robin into per-worker deques up front; each
+//! worker drains its own deque from the front and, when empty, steals
+//! from the *back* of the fullest other deque (classic Chase-Lev
+//! discipline, here with plain mutexed deques since jobs are
+//! coarse-grained simulations, not microtasks).
+//!
+//! Every job runs under `catch_unwind`: a panicking job is reported as
+//! [`Execution::Panicked`] and the rest of the run continues. An
+//! optional per-job wall-clock timeout runs the job on a detached
+//! scratch thread and gives up waiting after the deadline
+//! ([`Execution::TimedOut`]); the abandoned thread cannot be killed but
+//! its result is discarded.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How one job's execution ended.
+#[derive(Debug)]
+pub enum Execution<T> {
+    /// The job returned a value.
+    Completed(T),
+    /// The job panicked; the payload is the panic message.
+    Panicked(String),
+    /// The job exceeded its wall-clock budget.
+    TimedOut,
+}
+
+/// One job's execution plus scheduling metadata.
+#[derive(Debug)]
+pub struct PoolResult<T> {
+    /// Index of the job in the submitted vector.
+    pub index: usize,
+    /// How the execution ended.
+    pub execution: Execution<T>,
+    /// Wall-clock time the job (or its timed-out portion) took.
+    pub wall: Duration,
+    /// Index of the worker that ran the job.
+    pub worker: usize,
+}
+
+/// Renders a `catch_unwind` payload as a message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+fn run_guarded<T, F>(job: F, timeout: Option<Duration>) -> Execution<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match timeout {
+        None => match catch_unwind(AssertUnwindSafe(job)) {
+            Ok(value) => Execution::Completed(value),
+            Err(payload) => Execution::Panicked(panic_message(payload)),
+        },
+        Some(limit) => {
+            // A scratch thread per timed job: the only portable way to
+            // abandon a stuck computation without unsafe cancellation.
+            let (tx, rx) = mpsc::channel();
+            let handle = thread::Builder::new()
+                .name("fcdpm-job".to_owned())
+                .spawn(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(job));
+                    let _ = tx.send(outcome);
+                });
+            let Ok(_handle) = handle else {
+                return Execution::Panicked("cannot spawn job thread".to_owned());
+            };
+            match rx.recv_timeout(limit) {
+                Ok(Ok(value)) => Execution::Completed(value),
+                Ok(Err(payload)) => Execution::Panicked(panic_message(payload)),
+                Err(_) => Execution::TimedOut,
+            }
+        }
+    }
+}
+
+/// Runs `jobs` on `workers` threads with work stealing and returns the
+/// results ordered by job index, regardless of scheduling.
+///
+/// `workers` is clamped to `1..=jobs.len()` (a zero-job call returns
+/// immediately). `timeout` bounds each job's wall-clock time.
+///
+/// # Panics
+///
+/// Panics only on poisoned internal locks, which would themselves
+/// indicate a bug in the pool (job panics are caught and reported).
+#[must_use]
+pub fn run_to_completion<T, F>(
+    jobs: Vec<F>,
+    workers: usize,
+    timeout: Option<Duration>,
+) -> Vec<PoolResult<T>>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, jobs.len());
+
+    // Deal jobs round-robin into per-worker deques.
+    let deques: Vec<Mutex<VecDeque<(usize, F)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (index, job) in jobs.into_iter().enumerate() {
+        deques[index % workers]
+            .lock()
+            .expect("fresh deque lock")
+            .push_back((index, job));
+    }
+    let deques = Arc::new(deques);
+
+    let (result_tx, result_rx) = mpsc::channel::<PoolResult<T>>();
+    let mut handles = Vec::with_capacity(workers);
+    for worker in 0..workers {
+        let deques = Arc::clone(&deques);
+        let result_tx = result_tx.clone();
+        let handle = thread::Builder::new()
+            .name(format!("fcdpm-worker-{worker}"))
+            .spawn(move || loop {
+                // Own deque first (front), then steal from the back of
+                // the fullest other deque.
+                let mut next = deques[worker].lock().expect("deque lock").pop_front();
+                if next.is_none() {
+                    let victim = (0..deques.len())
+                        .filter(|&v| v != worker)
+                        .max_by_key(|&v| deques[v].lock().expect("deque lock").len());
+                    if let Some(victim) = victim {
+                        next = deques[victim].lock().expect("deque lock").pop_back();
+                    }
+                }
+                let Some((index, job)) = next else {
+                    return;
+                };
+                let start = Instant::now();
+                let execution = run_guarded(job, timeout);
+                let result = PoolResult {
+                    index,
+                    execution,
+                    wall: start.elapsed(),
+                    worker,
+                };
+                if result_tx.send(result).is_err() {
+                    return;
+                }
+            })
+            .expect("spawn worker thread");
+        handles.push(handle);
+    }
+    drop(result_tx);
+
+    let mut results: Vec<PoolResult<T>> = result_rx.iter().collect();
+    for handle in handles {
+        let _ = handle.join();
+    }
+    results.sort_by_key(|r| r.index);
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_ordered_by_index() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0usize..20)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let results = run_to_completion(jobs, 4, None);
+        assert_eq!(results.len(), 20);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.index, i);
+            match &r.execution {
+                Execution::Completed(v) => assert_eq!(*v, i * i),
+                other => panic!("job {i} did not complete: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_job_is_isolated() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("deliberate")),
+            Box::new(|| 3),
+        ];
+        let results = run_to_completion(jobs, 2, None);
+        assert!(matches!(results[0].execution, Execution::Completed(1)));
+        match &results[1].execution {
+            Execution::Panicked(msg) => assert!(msg.contains("deliberate")),
+            other => panic!("expected panic, got {other:?}"),
+        }
+        assert!(matches!(results[2].execution, Execution::Completed(3)));
+    }
+
+    #[test]
+    fn timeout_abandons_stuck_job() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| {
+                thread::sleep(Duration::from_secs(30));
+                0
+            }),
+            Box::new(|| 7),
+        ];
+        let results = run_to_completion(jobs, 2, Some(Duration::from_millis(50)));
+        assert!(matches!(results[0].execution, Execution::TimedOut));
+        assert!(matches!(results[1].execution, Execution::Completed(7)));
+    }
+
+    #[test]
+    fn single_worker_handles_everything() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0usize..7)
+            .map(|i| Box::new(move || i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let results = run_to_completion(jobs, 1, None);
+        assert!(results.iter().all(|r| r.worker == 0));
+        assert_eq!(results.len(), 7);
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            vec![Box::new(|| 5usize) as Box<dyn FnOnce() -> usize + Send>];
+        let results = run_to_completion(jobs, 64, None);
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let results: Vec<PoolResult<u32>> =
+            run_to_completion(Vec::<Box<dyn FnOnce() -> u32 + Send>>::new(), 4, None);
+        assert!(results.is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! Scheduling must never leak into results: the same grid run on one
+//! worker and on many workers yields byte-identical manifests once the
+//! wall-time and worker-assignment fields are masked.
+
+use fcdpm_runner::{
+    run_grid, JobGrid, JobSpec, PolicySpec, PredictorSpec, RunConfig, WorkloadSpec,
+};
+
+fn paper_grid() -> JobGrid {
+    let mut grid = JobGrid::new(
+        vec![PolicySpec::Conv, PolicySpec::Asap, PolicySpec::FcDpm],
+        vec![
+            WorkloadSpec::Experiment1(0xDAC0_2007),
+            WorkloadSpec::Experiment2(0xDAC0_2007),
+        ],
+    );
+    grid.capacities_mamin = Some(vec![50.0, 100.0]);
+    grid.predictors = Some(vec![PredictorSpec::Exponential(0.5)]);
+    let mut poison = JobSpec::new(PolicySpec::Conv, WorkloadSpec::Experiment1(1));
+    poison.inject_panic = Some(true);
+    grid.extra_jobs = Some(vec![poison]);
+    grid
+}
+
+#[test]
+fn one_worker_and_many_workers_agree_byte_for_byte() {
+    let grid = paper_grid();
+    let serial = run_grid(&grid, &RunConfig::with_workers(1));
+    let parallel = run_grid(&grid, &RunConfig::with_workers(4));
+    assert_eq!(serial.records.len(), 13);
+    assert_eq!(
+        serial.deterministic_json(),
+        parallel.deterministic_json(),
+        "scheduling leaked into the manifest"
+    );
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    let grid = paper_grid();
+    let a = run_grid(&grid, &RunConfig::with_workers(2));
+    let b = run_grid(&grid, &RunConfig::with_workers(2));
+    assert_eq!(a.deterministic_json(), b.deterministic_json());
+    // Job IDs are a pure function of the spec and its index.
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.id, rb.id);
+        assert_eq!(ra.index, rb.index);
+    }
+}
+
+#[test]
+fn failed_jobs_are_deterministic_too() {
+    let grid = paper_grid();
+    let manifest = run_grid(&grid, &RunConfig::with_workers(3));
+    assert_eq!(manifest.aggregates.failed, 1);
+    assert_eq!(manifest.aggregates.completed, 12);
+    // The poisoned job is always the last record, whatever thread ran it.
+    let last = manifest.records.last().expect("non-empty run");
+    assert_eq!(last.index, 12);
+    assert!(matches!(last.outcome, fcdpm_runner::JobOutcome::Failed(_)));
+}

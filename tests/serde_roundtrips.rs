@@ -138,6 +138,75 @@ fn sim_round_trip() {
 }
 
 #[test]
+fn runner_round_trip() {
+    use fcdpm_runner::{
+        run_specs, JobGrid, JobSpec, PolicySpec, PredictorSpec, RunConfig, RunManifest,
+        StorageSpec, WorkloadSpec,
+    };
+
+    let mut spec = JobSpec::new(PolicySpec::Quantized(6), WorkloadSpec::Experiment2(42));
+    spec.storage = Some(StorageSpec::Kibam);
+    spec.predictor = Some(PredictorSpec::Regression(8));
+    spec.capacity_mamin = Some(50.0);
+    spec.beta = Some(0.13);
+    round_trip(&spec);
+
+    let mut grid = JobGrid::new(
+        vec![PolicySpec::Conv, PolicySpec::FcDpm],
+        vec![WorkloadSpec::Experiment1(0xDAC0_2007)],
+    );
+    grid.predictors = Some(vec![PredictorSpec::Oracle, PredictorSpec::LastValue]);
+    grid.buffer_path_efficiencies = Some(vec![1.0, 0.9]);
+    grid.extra_jobs = Some(vec![spec]);
+    round_trip(&grid);
+
+    // A whole manifest, including a Failed record.
+    let mut poison = JobSpec::new(PolicySpec::Conv, WorkloadSpec::Experiment1(1));
+    poison.inject_panic = Some(true);
+    let specs = vec![
+        JobSpec::new(PolicySpec::Conv, WorkloadSpec::Experiment1(1)),
+        poison,
+    ];
+    let manifest = run_specs(&specs, &RunConfig::with_workers(1));
+    let json = serde_json::to_string(&manifest).expect("serializes");
+    let back: RunManifest = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(
+        back.deterministic_json(),
+        manifest.deterministic_json(),
+        "manifest round-trip changed the payload"
+    );
+}
+
+#[test]
+fn runner_spec_ignores_unknown_fields() {
+    // Forward compatibility: a spec written by a newer version with extra
+    // fields must still load (unknown fields are skipped, missing
+    // optional fields default to `None`).
+    use fcdpm_runner::{JobGrid, JobSpec, PolicySpec};
+
+    let spec: JobSpec = serde_json::from_str(
+        r#"{
+            "policy": "FcDpm",
+            "workload": { "Experiment1": 7 },
+            "some_future_axis": { "nested": [1, 2, 3] }
+        }"#,
+    )
+    .expect("parses despite the unknown field");
+    assert_eq!(spec.policy, PolicySpec::FcDpm);
+    assert_eq!(spec.capacity_mamin, None);
+
+    let grid: JobGrid = serde_json::from_str(
+        r#"{
+            "policies": ["Conv"],
+            "workloads": [{ "Experiment2": 9 }],
+            "schema_version": 99
+        }"#,
+    )
+    .expect("parses despite the unknown field");
+    assert_eq!(grid.expand().len(), 1);
+}
+
+#[test]
 fn dvs_round_trip() {
     use fcdpm::dvs::{DvsDevice, DvsTask};
     round_trip(&DvsDevice::quadratic_example());

@@ -1,0 +1,183 @@
+//! Minimal local `criterion` shim.
+//!
+//! Provides the API surface the workspace's benches use — [`Criterion`],
+//! [`Bencher::iter`], [`Criterion::benchmark_group`] with
+//! `sample_size`/`finish`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — backed by a plain wall-clock timing loop.
+//!
+//! Compared to upstream there is no statistical analysis, no warm-up
+//! tuning, no plots and no saved baselines: each benchmark runs a short
+//! calibration pass, then `samples` timed batches, and prints the
+//! per-iteration median. That is enough for `cargo bench` to build, run
+//! and give order-of-magnitude numbers offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching upstream's `criterion::black_box`.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLES: usize = 100;
+/// Target wall-clock time for one sample batch.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records its median per-iteration
+    /// wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in one sample batch?
+        let calibration_start = Instant::now();
+        black_box(routine());
+        let once = calibration_start.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed() / iters_per_sample as u32);
+        }
+        per_iter.sort();
+        self.result = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+fn run_one(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(median) => println!("bench: {id:<45} median {median:>12.2?} / iter"),
+        None => println!("bench: {id:<45} (no iter call)"),
+    }
+}
+
+/// The benchmark driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a group runner, mirroring
+/// upstream's `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary, mirroring upstream's
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_routine() {
+        let mut criterion = Criterion::default();
+        criterion.sample_size(3);
+        let mut calls = 0u64;
+        criterion.bench_function("shim_smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

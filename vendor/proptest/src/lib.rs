@@ -1,0 +1,308 @@
+//! Minimal local `proptest` shim.
+//!
+//! Supports the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro over named `ident in strategy`
+//! arguments, `prop_assert!`/`prop_assert_eq!`, range strategies for
+//! floats and integers, tuple strategies, `any::<bool>()` and
+//! `prop::collection::vec`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its exact inputs; re-run
+//!   with those values in a unit test to debug.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test's source location, so runs are reproducible without a
+//!   `proptest-regressions` directory (existing regression files are
+//!   ignored).
+//! * 256 cases per test (upstream's default).
+
+#![forbid(unsafe_code)]
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// The RNG handed to strategies.
+pub type TestRng = ChaCha12Rng;
+
+/// The number of cases [`run_cases`] executes per test.
+pub const CASES: u32 = 256;
+
+/// Strategy machinery.
+pub mod strategy {
+    use super::TestRng;
+    use core::ops::{Range, RangeInclusive};
+    use rand::Rng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The value type produced.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_int_strategy!(u64, usize, u32, i64, i32);
+
+    /// A strategy producing one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The standard strategy for a type (see [`any`](super::any)).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        /// Creates the marker strategy.
+        pub fn new() -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, wide dynamic range.
+            let magnitude: f64 = rng.gen_range(0.0f64..1e9);
+            if rng.gen() {
+                magnitude
+            } else {
+                -magnitude
+            }
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $t:ident),+))+) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+
+    /// A strategy for `Vec`s with a random length (see
+    /// [`collection::vec`](super::collection::vec)).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) length: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.length.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The standard strategy for `T` (only the types the workspace samples).
+pub fn any<T>() -> strategy::Any<T>
+where
+    strategy::Any<T>: strategy::Strategy,
+{
+    strategy::Any::new()
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::{Strategy, VecStrategy};
+    use core::ops::Range;
+
+    /// A strategy producing vectors of `element` with a length drawn
+    /// from `length`.
+    pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, length }
+    }
+}
+
+/// The `prop` namespace, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use super::collection;
+}
+
+/// Everything the tests import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use super::strategy::{Just, Strategy};
+    pub use super::{any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Drives one property test: runs `body` for [`CASES`] seeded cases and
+/// panics with the case's formatted inputs on the first failure.
+///
+/// The seed is derived from the test's source location so every run (and
+/// every worker count) sees the same cases.
+///
+/// # Panics
+///
+/// Panics if any case returns an error — this is the test-failure path.
+pub fn run_cases(
+    file: &str,
+    line: u32,
+    cases: u32,
+    mut body: impl FnMut(&mut TestRng) -> Result<(), String>,
+) {
+    // FNV-1a over the location, mixed with the line number.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for byte in file.bytes() {
+        seed ^= u64::from(byte);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    seed ^= u64::from(line);
+    for case in 0..cases {
+        let mut rng = TestRng::seed_from_u64(seed.wrapping_add(u64::from(case)));
+        if let Err(message) = body(&mut rng) {
+            panic!("property failed on case {case}/{cases}: {message}");
+        }
+    }
+}
+
+/// Defines property tests. Mirrors upstream's
+/// `proptest! { #[test] fn name(x in strategy, ...) { ... } }` form.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(file!(), line!(), $crate::CASES, |__rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), __rng);)*
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),*),
+                    $(&$arg),*
+                );
+                let __body = || -> ::core::result::Result<(), ::std::string::String> {
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                __body().map_err(|e| format!("{e}\n    inputs: {}", __inputs))
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (with its inputs) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0.5f64..2.0, n in 1usize..10) {
+            prop_assert!((0.5..2.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(
+            v in prop::collection::vec((0.0f64..1.0, 0.0f64..2.0), 1..50),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+            prop_assert!(v.iter().all(|(a, b)| (0.0..1.0).contains(a) && (0.0..2.0).contains(b)));
+        }
+
+        #[test]
+        fn bools_sample_without_panicking(flag in any::<bool>()) {
+            // Not a distribution test — just exercise the strategy.
+            prop_assert_ne!(flag, !flag);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        let result =
+            std::panic::catch_unwind(|| crate::run_cases("f", 1, 4, |_rng| Err("boom".to_owned())));
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("boom"));
+    }
+}

@@ -1,0 +1,413 @@
+//! Minimal local `serde_derive` shim.
+//!
+//! Expands `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the type
+//! shapes this workspace uses — named-field structs, newtype/tuple
+//! structs (including `#[serde(transparent)]`), and enums with unit or
+//! newtype variants — by hand-parsing the item's token stream (no
+//! `syn`/`quote`, which are unreachable in this build environment) and
+//! emitting impls of the value-tree traits from the local `serde` shim.
+//!
+//! Generated code never needs to name field types: deserialization relies
+//! on type inference through struct/variant constructors, so only field
+//! and variant *names* are extracted from the input.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    /// `struct S { a: A, b: B }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(A);` or `struct S(A, B);` — arity recorded.
+    TupleStruct { name: String, arity: usize },
+    /// `enum E { Unit, Newtype(T) }` — `(variant, has_payload)`.
+    Enum {
+        name: String,
+        variants: Vec<(String, bool)>,
+    },
+}
+
+fn error(message: &str) -> TokenStream {
+    format!("::core::compile_error!({message:?});")
+        .parse()
+        .expect("compile_error expansion parses")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(shape) => expand_serialize(&shape)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(e) => error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(shape) => expand_deserialize(&shape)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(e) => error(&e),
+    }
+}
+
+/// Parses the item into a [`Shape`], skipping attributes and visibility.
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    // Scan past attributes/visibility to the `struct`/`enum` keyword.
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the bracketed attribute body
+            }
+            TokenTree::Ident(id) => {
+                let id = id.to_string();
+                if id == "pub" {
+                    // Possible `pub(crate)` restriction group.
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                } else if id == "struct" || id == "enum" {
+                    kind = Some(id);
+                    break;
+                } else {
+                    return Err(format!("serde shim derive: unexpected `{id}`"));
+                }
+            }
+            other => {
+                return Err(format!("serde shim derive: unexpected token `{other}`"));
+            }
+        }
+    }
+    let kind = kind.ok_or("serde shim derive: no struct/enum found")?;
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected type name, got {other:?}"
+            ))
+        }
+    };
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Ok(Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            } else {
+                Ok(Shape::Enum {
+                    name,
+                    variants: parse_variants(g.stream())?,
+                })
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind != "struct" {
+                return Err("serde shim derive: parenthesized enum body".into());
+            }
+            Ok(Shape::TupleStruct {
+                name,
+                arity: count_top_level_fields(g.stream()),
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+            "serde shim derive: generic type `{name}` is not supported"
+        )),
+        other => Err(format!(
+            "serde shim derive: unexpected body for `{name}`: {other:?}"
+        )),
+    }
+}
+
+/// Extracts field names from a named-struct body.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            return Err(format!(
+                "serde shim derive: expected field name, got `{tt}`"
+            ));
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field, got {other:?}"
+                ))
+            }
+        }
+        // Skip the type: consume until a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Extracts `(name, has_payload)` pairs from an enum body; rejects tuple
+/// variants with more than one field and struct variants.
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, bool)>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(variant) = tt else {
+            return Err(format!("serde shim derive: expected variant, got `{tt}`"));
+        };
+        let variant = variant.to_string();
+        let mut has_payload = false;
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if count_top_level_fields(g.stream()) != 1 {
+                    return Err(format!(
+                        "serde shim derive: variant `{variant}` must have exactly one field"
+                    ));
+                }
+                has_payload = true;
+                tokens.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde shim derive: struct variant `{variant}` is not supported"
+                ));
+            }
+            _ => {}
+        }
+        variants.push((variant, has_payload));
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected `,` after variant, got {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+/// Counts comma-separated items at the top level of a token stream,
+/// ignoring commas nested inside angle brackets.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    let mut pending = false;
+    for tt in stream {
+        saw_tokens = true;
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending || (saw_tokens && count == 0) {
+        count += 1;
+    }
+    if !saw_tokens {
+        0
+    } else {
+        count
+    }
+}
+
+fn expand_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_owned()
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{items}])")
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, has_payload)| {
+                    if *has_payload {
+                        format!(
+                            "{name}::{v}(inner) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from({v:?}), \
+                             ::serde::Serialize::to_value(inner))]),"
+                        )
+                    } else {
+                        format!(
+                            "{name}::{v} => \
+                             ::serde::Value::Str(::std::string::String::from({v:?})),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn expand_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(m, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         let m = v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                             ::std::format!(\"expected object for {name}, got {{}}\", v.kind())))?;\n\
+                         ::core::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::core::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_value(v)?))"
+                )
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(s.get({i}).ok_or_else(|| \
+                             ::serde::Error::custom(\"tuple struct too short\"))?)?,"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let s = v.as_seq().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                     ::core::result::Result::Ok({name}({items}))"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, has_payload)| !has_payload)
+                .map(|(v, _)| format!("{v:?} => ::core::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|(_, has_payload)| *has_payload)
+                .map(|(v, _)| {
+                    format!(
+                        "{v:?} => ::core::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(inner)?)),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::core::result::Result::Err(::serde::Error::custom(\
+                                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                                 let (k, inner) = &m[0];\n\
+                                 match k.as_str() {{\n\
+                                     {payload_arms}\n\
+                                     other => ::core::result::Result::Err(::serde::Error::custom(\
+                                         ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::core::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"expected {name} variant, got {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
