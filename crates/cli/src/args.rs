@@ -42,6 +42,15 @@ pub enum DeviceChoice {
     Exp2,
 }
 
+/// Output format of `fcdpm lint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintFormat {
+    /// One `path:line: [rule] message` diagnostic per line.
+    Human,
+    /// The machine-readable JSON report.
+    Json,
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -100,6 +109,19 @@ pub enum Command {
         jobs: Option<usize>,
         /// Output directory for the run manifest (default `results`).
         out: Option<String>,
+    },
+    /// Run the in-repo static-analysis pass over the workspace sources.
+    Lint {
+        /// Diagnostics format (default human).
+        format: LintFormat,
+        /// Baseline file path (default `<root>/lint-baseline.json`;
+        /// missing file means an empty baseline).
+        baseline: Option<String>,
+        /// Workspace root to scan (default: current directory).
+        root: Option<String>,
+        /// Regenerate the baseline file from the current findings
+        /// instead of failing on them.
+        write_baseline: bool,
     },
     /// Print usage.
     Help,
@@ -346,6 +368,38 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, ParseCliError> {
                 out,
             })
         }
+        "lint" => {
+            let mut format = LintFormat::Human;
+            let mut baseline = None;
+            let mut root = None;
+            let mut write_baseline = false;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--format" => {
+                        let v = take_value(flag, &mut iter)?;
+                        format = match v {
+                            "human" => LintFormat::Human,
+                            "json" => LintFormat::Json,
+                            other => return Err(err(format!("unknown format `{other}`"))),
+                        };
+                    }
+                    "--baseline" => {
+                        baseline = Some(take_value(flag, &mut iter)?.to_owned());
+                    }
+                    "--root" => {
+                        root = Some(take_value(flag, &mut iter)?.to_owned());
+                    }
+                    "--write-baseline" => write_baseline = true,
+                    other => return Err(err(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Lint {
+                format,
+                baseline,
+                root,
+                write_baseline,
+            })
+        }
         other => Err(err(format!("unknown command `{other}`"))),
     }
 }
@@ -505,6 +559,41 @@ mod tests {
         assert!(parse(&["batch", "g.json", "--jobs", "0"]).is_err());
         assert!(parse(&["batch", "g.json", "--jobs", "x"]).is_err());
         assert!(parse(&["batch", "g.json", "--frob"]).is_err());
+    }
+
+    #[test]
+    fn lint_parse() {
+        assert_eq!(
+            parse(&["lint"]).unwrap(),
+            Command::Lint {
+                format: LintFormat::Human,
+                baseline: None,
+                root: None,
+                write_baseline: false,
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "lint",
+                "--format",
+                "json",
+                "--baseline",
+                "b.json",
+                "--root",
+                "/tmp/ws",
+                "--write-baseline"
+            ])
+            .unwrap(),
+            Command::Lint {
+                format: LintFormat::Json,
+                baseline: Some("b.json".into()),
+                root: Some("/tmp/ws".into()),
+                write_baseline: true,
+            }
+        );
+        assert!(parse(&["lint", "--format", "xml"]).is_err());
+        assert!(parse(&["lint", "--baseline"]).is_err());
+        assert!(parse(&["lint", "--frob"]).is_err());
     }
 
     #[test]

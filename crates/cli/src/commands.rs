@@ -12,41 +12,119 @@ use fcdpm_storage::IdealStorage;
 use fcdpm_units::{Amps, Charge, CurrentRange, Seconds};
 use fcdpm_workload::{CamcorderTrace, Scenario, SyntheticTrace};
 
-use crate::{Command, DeviceChoice, ExperimentId, PolicyChoice, TraceKind};
+use crate::{Command, DeviceChoice, ExperimentId, LintFormat, PolicyChoice, TraceKind};
 
-/// Executes a parsed command and returns its stdout payload.
+/// The outcome of executing a command: the stdout payload plus whether
+/// the process should exit successfully. `fcdpm lint` is the one command
+/// that can run fine yet demand a nonzero exit (outstanding findings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdOutput {
+    /// The text to print on stdout.
+    pub text: String,
+    /// Whether the process should exit zero.
+    pub ok: bool,
+}
+
+impl CmdOutput {
+    /// An output with a successful exit status.
+    #[must_use]
+    pub fn success(text: String) -> Self {
+        Self { text, ok: true }
+    }
+}
+
+/// Executes a parsed command and returns its stdout payload plus exit
+/// status.
 ///
 /// # Errors
 ///
 /// Returns a human-readable message if a simulation fails (which the
-/// built-in scenarios never do).
-pub fn execute(command: &Command) -> Result<String, String> {
+/// built-in scenarios never do) or a file cannot be read or written.
+pub fn execute(command: &Command) -> Result<CmdOutput, String> {
     match command {
-        Command::Help => Ok(crate::usage()),
+        Command::Help => Ok(CmdOutput::success(crate::usage())),
         Command::Experiment {
             id,
             capacity_mamin,
             seed,
             policy,
-        } => run_experiment(*id, *capacity_mamin, *seed, *policy),
+        } => run_experiment(*id, *capacity_mamin, *seed, *policy).map(CmdOutput::success),
         Command::Trace {
             kind,
             seed,
             minutes,
-        } => Ok(generate_trace(*kind, *seed, *minutes)),
-        Command::Curve { stack } => Ok(print_curve(*stack)),
+        } => Ok(CmdOutput::success(generate_trace(*kind, *seed, *minutes))),
+        Command::Curve { stack } => Ok(CmdOutput::success(print_curve(*stack))),
         Command::Simulate {
             path,
             device,
             capacity_mamin,
-        } => run_simulate(path, *device, *capacity_mamin),
+        } => run_simulate(path, *device, *capacity_mamin).map(CmdOutput::success),
         Command::Lifetime {
             moles,
             capacity_mamin,
-        } => run_lifetime(*moles, *capacity_mamin),
-        Command::Sizing { tolerance_as } => run_sizing(*tolerance_as),
-        Command::Batch { spec, jobs, out } => run_batch(spec, *jobs, out.as_deref()),
+        } => run_lifetime(*moles, *capacity_mamin).map(CmdOutput::success),
+        Command::Sizing { tolerance_as } => run_sizing(*tolerance_as).map(CmdOutput::success),
+        Command::Batch { spec, jobs, out } => {
+            run_batch(spec, *jobs, out.as_deref()).map(CmdOutput::success)
+        }
+        Command::Lint {
+            format,
+            baseline,
+            root,
+            write_baseline,
+        } => run_lint(
+            *format,
+            baseline.as_deref(),
+            root.as_deref(),
+            *write_baseline,
+        ),
     }
+}
+
+fn run_lint(
+    format: LintFormat,
+    baseline: Option<&str>,
+    root: Option<&str>,
+    write_baseline: bool,
+) -> Result<CmdOutput, String> {
+    let root_dir = std::path::PathBuf::from(root.unwrap_or("."));
+    let baseline_path = baseline
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| root_dir.join("lint-baseline.json"));
+    if write_baseline {
+        let snapshot = fcdpm_lint::snapshot_baseline(
+            &root_dir,
+            "pre-existing debt; see DESIGN.md \u{a7} Static analysis",
+        )
+        .map_err(|e| format!("cannot lint `{}`: {e}", root_dir.display()))?;
+        let entries = snapshot.entries.len();
+        std::fs::write(&baseline_path, snapshot.to_json())
+            .map_err(|e| format!("cannot write `{}`: {e}", baseline_path.display()))?;
+        return Ok(CmdOutput::success(format!(
+            "wrote {entries} baseline entr{} to {}\n",
+            if entries == 1 { "y" } else { "ies" },
+            baseline_path.display()
+        )));
+    }
+    let baseline = if baseline_path.is_file() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read `{}`: {e}", baseline_path.display()))?;
+        fcdpm_lint::Baseline::from_json(&text)
+            .map_err(|e| format!("malformed baseline `{}`: {e}", baseline_path.display()))?
+    } else {
+        fcdpm_lint::Baseline::default()
+    };
+    let report = fcdpm_lint::run(&root_dir, &baseline)
+        .map_err(|e| format!("cannot lint `{}`: {e}", root_dir.display()))?;
+    let text = match format {
+        LintFormat::Human => report.to_human(),
+        LintFormat::Json => report.to_json(),
+    };
+    Ok(CmdOutput {
+        text,
+        ok: report.is_clean(),
+    })
 }
 
 fn run_batch(
@@ -364,8 +442,10 @@ fn print_curve(stack: bool) -> String {
         let zeta = GibbsCoefficient::dac07();
         let _ = writeln!(out, "i_f_ma,stack_eff,system_eff_variable,system_eff_onoff");
         for i in CurrentRange::dac07().sweep(23) {
-            let v = variable.operating_point(i).expect("in range");
-            let o = onoff.operating_point(i).expect("in range");
+            // The dac07 sweep stays inside the dac07 load-following
+            // range, so `operating_point` cannot reject it.
+            let v = variable.operating_point(i).expect("in range"); // fcdpm-lint: allow(panic-policy)
+            let o = onoff.operating_point(i).expect("in range"); // fcdpm-lint: allow(panic-policy)
             let _ = writeln!(
                 out,
                 "{:.0},{:.4},{:.4},{:.4}",
@@ -385,7 +465,7 @@ mod tests {
 
     #[test]
     fn help_prints_usage() {
-        let out = execute(&Command::Help).unwrap();
+        let out = execute(&Command::Help).unwrap().text;
         assert!(out.contains("USAGE"));
         assert!(out.contains("experiment"));
     }
@@ -398,7 +478,8 @@ mod tests {
             seed: None,
             policy: PolicyChoice::All,
         })
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(out.contains("Conv-DPM"));
         assert!(out.contains("ASAP-DPM"));
         assert!(out.contains("FC-DPM"));
@@ -413,7 +494,8 @@ mod tests {
             seed: Some(5),
             policy: PolicyChoice::FcDpm,
         })
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(out.contains("FC-DPM"));
         assert!(!out.contains("ASAP-DPM"));
     }
@@ -425,7 +507,8 @@ mod tests {
             seed: Some(1),
             minutes: 2.0,
         })
-        .unwrap();
+        .unwrap()
+        .text;
         let mut lines = out.lines();
         assert_eq!(lines.next().unwrap(), "idle_s,active_s,active_w");
         assert!(lines.count() >= 4);
@@ -440,6 +523,7 @@ mod tests {
                 minutes: 2.0,
             })
             .unwrap()
+            .text
         };
         assert_eq!(make(9), make(9));
         assert_ne!(make(9), make(10));
@@ -456,7 +540,8 @@ mod tests {
             device: DeviceChoice::Exp2,
             capacity_mamin: 100.0,
         })
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(out.contains("FC-DPM"));
         assert!(out.contains("100.0%"));
     }
@@ -478,7 +563,8 @@ mod tests {
             moles: 0.5,
             capacity_mamin: 100.0,
         })
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(out.contains("Conv-DPM"));
         assert!(out.contains("FC-DPM"));
         assert!(out.contains("lifetime"));
@@ -486,17 +572,19 @@ mod tests {
 
     #[test]
     fn sizing_renders() {
-        let out = execute(&Command::Sizing { tolerance_as: 0.1 }).unwrap();
+        let out = execute(&Command::Sizing { tolerance_as: 0.1 })
+            .unwrap()
+            .text;
         assert!(out.contains("smallest storage"));
         assert!(out.contains("mA*min"));
     }
 
     #[test]
     fn curves_render() {
-        let stack = execute(&Command::Curve { stack: true }).unwrap();
+        let stack = execute(&Command::Curve { stack: true }).unwrap().text;
         assert!(stack.starts_with("i_fc_ma"));
         assert_eq!(stack.lines().count(), 32);
-        let eff = execute(&Command::Curve { stack: false }).unwrap();
+        let eff = execute(&Command::Curve { stack: false }).unwrap().text;
         assert!(eff.starts_with("i_f_ma"));
         assert_eq!(eff.lines().count(), 24);
     }

@@ -11,9 +11,9 @@ mod args;
 mod commands;
 
 pub use args::{
-    parse, Command, DeviceChoice, ExperimentId, ParseCliError, PolicyChoice, TraceKind,
+    parse, Command, DeviceChoice, ExperimentId, LintFormat, ParseCliError, PolicyChoice, TraceKind,
 };
-pub use commands::execute;
+pub use commands::{execute, CmdOutput};
 
 /// The usage text printed by `fcdpm help` and on parse errors.
 #[must_use]
@@ -29,6 +29,7 @@ USAGE:
     fcdpm lifetime [--moles <N>] [--capacity-mamin <N>]
     fcdpm sizing [--tolerance-as <N>]
     fcdpm batch <grid.json> [--jobs <N>] [--out <DIR>]
+    fcdpm lint [--format <human|json>] [--baseline <FILE>] [--root <DIR>] [--write-baseline]
     fcdpm help
 
 COMMANDS:
@@ -39,6 +40,8 @@ COMMANDS:
     lifetime     run Experiment 1 cyclically until a hydrogen tank runs dry
     sizing       smallest storage capacity for unconstrained FC-DPM (Exp. 1)
     batch        run a JSON job grid on the worker pool, write a run manifest
+    lint         static-analysis pass: determinism, unit-safety, panic policy,
+                 crate hygiene (exit 1 on any non-baselined finding)
     help         show this message
 "
     .to_owned()

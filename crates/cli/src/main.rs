@@ -7,8 +7,12 @@ fn main() -> ExitCode {
     match fcdpm_cli::parse(&args) {
         Ok(cmd) => match fcdpm_cli::execute(&cmd) {
             Ok(out) => {
-                print!("{out}");
-                ExitCode::SUCCESS
+                print!("{}", out.text);
+                if out.ok {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
             }
             Err(message) => {
                 eprintln!("error: {message}");

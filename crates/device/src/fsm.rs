@@ -128,12 +128,15 @@ impl PowerStateMachine {
         if self.mode == to {
             return Ok(());
         }
+        // The cost table and `can_transition_to` describe the same
+        // lattice; if they ever diverge, reject the edge instead of
+        // panicking inside the simulation hot path.
         let cost = match (self.mode, to) {
             (PowerMode::Standby, PowerMode::Sleep) => self.spec.power_down_time(),
             (PowerMode::Sleep, PowerMode::Standby) => self.spec.wake_up_time(),
             (PowerMode::Standby, PowerMode::Run) => self.spec.start_up_time(),
             (PowerMode::Run, PowerMode::Standby) => self.spec.shut_down_time(),
-            _ => unreachable!("lattice admits no other edges"),
+            (from, to) => return Err(TransitionError { from, to }),
         };
         self.clock += cost;
         self.transition_time += cost;

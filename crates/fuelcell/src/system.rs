@@ -207,6 +207,18 @@ pub struct FcSystemBuilder {
     range: CurrentRange,
 }
 
+// The converter and controller are trait objects without a `Debug`
+// bound, so the derive is unavailable.
+impl core::fmt::Debug for FcSystemBuilder {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FcSystemBuilder")
+            .field("stack", &self.stack)
+            .field("zeta", &self.zeta)
+            .field("range", &self.range)
+            .finish_non_exhaustive()
+    }
+}
+
 impl FcSystemBuilder {
     /// Starts from the paper's main configuration.
     #[must_use]

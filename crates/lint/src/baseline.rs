@@ -1,0 +1,263 @@
+//! The committed-debt baseline.
+//!
+//! `lint-baseline.json` records pre-existing findings so the lint can
+//! gate *new* violations without first requiring the whole workspace to
+//! be cleaned up. Entries are keyed by `(rule, path)` with an allowance
+//! `count`: up to `count` findings of that rule in that file are
+//! tolerated. The allowance shrinks as debt is burned down — when a file
+//! drops below its allowance the run reports the entry as stale so the
+//! baseline can be tightened, and it never grows silently because any
+//! finding beyond the allowance fails the run.
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, Json};
+use crate::Finding;
+
+/// One `(rule, path)` allowance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule identifier (e.g. `panic-policy`).
+    pub rule: String,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Number of findings tolerated.
+    pub count: usize,
+    /// Why the debt exists / where its burn-down is tracked.
+    pub note: String,
+}
+
+/// A set of baseline entries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// The allowances, kept sorted by `(path, rule)`.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Builds a baseline that exactly covers `findings`, grouping them
+    /// by `(rule, path)`.
+    #[must_use]
+    pub fn from_findings(findings: &[Finding], note: &str) -> Self {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry((f.path.clone(), f.rule.id().to_owned()))
+                .or_insert(0) += 1;
+        }
+        let entries = counts
+            .into_iter()
+            .map(|((path, rule), count)| BaselineEntry {
+                rule,
+                path,
+                count,
+                note: note.to_owned(),
+            })
+            .collect();
+        Self { entries }
+    }
+
+    /// Parses the JSON baseline file format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = parse(text)?;
+        let version = doc
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("baseline is missing a numeric `version`")?;
+        if version != 1 {
+            return Err(format!("unsupported baseline version {version}"));
+        }
+        let items = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("baseline is missing an `entries` array")?;
+        let mut entries = Vec::with_capacity(items.len());
+        for item in items {
+            let field = |key: &str| -> Result<String, String> {
+                item.get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("baseline entry is missing string `{key}`"))
+            };
+            let count = item
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or("baseline entry is missing numeric `count`")?;
+            entries.push(BaselineEntry {
+                rule: field("rule")?,
+                path: field("path")?,
+                count: usize::try_from(count).map_err(|e| e.to_string())?,
+                note: field("note")?,
+            });
+        }
+        let mut baseline = Self { entries };
+        baseline.sort();
+        Ok(baseline)
+    }
+
+    /// Serializes to the committed file format (sorted, pretty, stable).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut sorted = self.clone();
+        sorted.sort();
+        let entries = sorted
+            .entries
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("rule".into(), Json::Str(e.rule.clone())),
+                    ("path".into(), Json::Str(e.path.clone())),
+                    ("count".into(), Json::Num(e.count as u64)),
+                    ("note".into(), Json::Str(e.note.clone())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("version".into(), Json::Num(1)),
+            ("entries".into(), Json::Arr(entries)),
+        ])
+        .to_pretty()
+    }
+
+    fn sort(&mut self) {
+        self.entries
+            .sort_by(|a, b| (&a.path, &a.rule).cmp(&(&b.path, &b.rule)));
+    }
+
+    /// Splits `findings` into (non-baselined, baselined-count) and
+    /// reports stale entries whose allowance was not fully used.
+    #[must_use]
+    pub fn apply(&self, findings: Vec<Finding>) -> BaselineOutcome {
+        let mut remaining: BTreeMap<(String, String), usize> = self
+            .entries
+            .iter()
+            .map(|e| ((e.rule.clone(), e.path.clone()), e.count))
+            .collect();
+        let mut outstanding = Vec::new();
+        let mut baselined = 0usize;
+        for finding in findings {
+            let key = (finding.rule.id().to_owned(), finding.path.clone());
+            match remaining.get_mut(&key) {
+                Some(allowance) if *allowance > 0 => {
+                    *allowance -= 1;
+                    baselined += 1;
+                }
+                _ => outstanding.push(finding),
+            }
+        }
+        let stale = remaining
+            .into_iter()
+            .filter(|(_, unused)| *unused > 0)
+            .map(|((rule, path), unused)| StaleEntry { rule, path, unused })
+            .collect();
+        BaselineOutcome {
+            findings: outstanding,
+            baselined,
+            stale,
+        }
+    }
+}
+
+/// A baseline allowance that exceeds the findings actually present —
+/// debt that has been paid down and should be removed from the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleEntry {
+    /// Rule identifier.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Unused allowance.
+    pub unused: usize,
+}
+
+/// The result of matching findings against a baseline.
+#[derive(Debug)]
+pub struct BaselineOutcome {
+    /// Findings not covered by any allowance.
+    pub findings: Vec<Finding>,
+    /// Number of findings absorbed by the baseline.
+    pub baselined: usize,
+    /// Entries with unused allowance, sorted by `(rule, path)`.
+    pub stale: Vec<StaleEntry>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rule;
+
+    fn finding(rule: Rule, path: &str, line: usize) -> Finding {
+        Finding {
+            rule,
+            path: path.to_owned(),
+            line,
+            message: "m".to_owned(),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let findings = vec![
+            finding(Rule::PanicPolicy, "crates/a/src/lib.rs", 3),
+            finding(Rule::PanicPolicy, "crates/a/src/lib.rs", 9),
+            finding(Rule::Determinism, "crates/b/src/x.rs", 1),
+        ];
+        let baseline = Baseline::from_findings(&findings, "tracked debt");
+        let text = baseline.to_json();
+        let back = Baseline::from_json(&text).unwrap();
+        assert_eq!(back, baseline);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn apply_absorbs_up_to_allowance() {
+        let baseline = Baseline {
+            entries: vec![BaselineEntry {
+                rule: "panic-policy".into(),
+                path: "crates/a/src/lib.rs".into(),
+                count: 1,
+                note: String::new(),
+            }],
+        };
+        let outcome = baseline.apply(vec![
+            finding(Rule::PanicPolicy, "crates/a/src/lib.rs", 3),
+            finding(Rule::PanicPolicy, "crates/a/src/lib.rs", 9),
+        ]);
+        assert_eq!(outcome.baselined, 1);
+        assert_eq!(outcome.findings.len(), 1);
+        assert!(outcome.stale.is_empty());
+    }
+
+    #[test]
+    fn unused_allowance_is_stale() {
+        let baseline = Baseline {
+            entries: vec![BaselineEntry {
+                rule: "panic-policy".into(),
+                path: "crates/a/src/lib.rs".into(),
+                count: 5,
+                note: String::new(),
+            }],
+        };
+        let outcome = baseline.apply(vec![finding(Rule::PanicPolicy, "crates/a/src/lib.rs", 3)]);
+        assert_eq!(outcome.baselined, 1);
+        assert_eq!(
+            outcome.stale,
+            vec![StaleEntry {
+                rule: "panic-policy".into(),
+                path: "crates/a/src/lib.rs".into(),
+                unused: 4,
+            }]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_baselines() {
+        assert!(Baseline::from_json("{}").is_err());
+        assert!(Baseline::from_json("{\"version\": 2, \"entries\": []}").is_err());
+        assert!(Baseline::from_json("{\"version\": 1, \"entries\": [{\"rule\": \"x\"}]}").is_err());
+    }
+}

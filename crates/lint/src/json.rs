@@ -1,0 +1,353 @@
+//! A minimal JSON reader/writer.
+//!
+//! `fcdpm-lint` is deliberately dependency-free (the workspace builds
+//! offline), so the baseline file and the `--format json` report are
+//! handled by this ~200-line module instead of `serde_json`. It supports
+//! exactly the JSON the tool needs: objects (insertion-ordered), arrays,
+//! strings, unsigned integers, booleans and null.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys keep insertion order so emitted documents
+/// are deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (the only numbers the tool produces).
+    Num(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    #[must_use]
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let value = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing content at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while chars
+        .get(*pos)
+        .is_some_and(|c| matches!(c, ' ' | '\t' | '\n' | '\r'))
+    {
+        *pos += 1;
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(chars, pos);
+    match chars.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some('{') => parse_obj(chars, pos),
+        Some('[') => parse_arr(chars, pos),
+        Some('"') => Ok(Json::Str(parse_string(chars, pos)?)),
+        Some('t') => parse_lit(chars, pos, "true", Json::Bool(true)),
+        Some('f') => parse_lit(chars, pos, "false", Json::Bool(false)),
+        Some('n') => parse_lit(chars, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() => parse_num(chars, pos),
+        Some(c) => Err(format!("unexpected `{c}` at offset {pos}")),
+    }
+}
+
+fn parse_lit(chars: &[char], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    for expected in lit.chars() {
+        if chars.get(*pos) != Some(&expected) {
+            return Err(format!("malformed literal near offset {pos}"));
+        }
+        *pos += 1;
+    }
+    Ok(value)
+}
+
+fn parse_num(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+        *pos += 1;
+    }
+    let text: String = chars[start..*pos].iter().collect();
+    text.parse::<u64>()
+        .map(Json::Num)
+        .map_err(|e| format!("bad number `{text}`: {e}"))
+}
+
+fn parse_string(chars: &[char], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match chars.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some('"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some('\\') => {
+                *pos += 1;
+                match chars.get(*pos) {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let hex: String = chars
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?
+                            .iter()
+                            .collect();
+                        let code =
+                            u32::from_str_radix(&hex, 16).map_err(|e| format!("bad \\u: {e}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("unsupported escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(c) => {
+                out.push(*c);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_arr(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // [
+    let mut items = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(chars, pos)?);
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => *pos += 1,
+            Some(']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => return Err(format!("expected `,` or `]`, got {other:?}")),
+        }
+    }
+}
+
+fn parse_obj(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // {
+    let mut fields = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(chars, pos);
+        if chars.get(*pos) != Some(&'"') {
+            return Err(format!("expected object key at offset {pos}"));
+        }
+        let key = parse_string(chars, pos)?;
+        skip_ws(chars, pos);
+        if chars.get(*pos) != Some(&':') {
+            return Err(format!("expected `:` at offset {pos}"));
+        }
+        *pos += 1;
+        fields.push((key, parse_value(chars, pos)?));
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => *pos += 1,
+            Some('}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let doc = Json::Obj(vec![
+            ("name".into(), Json::Str("a \"quoted\"\nvalue".into())),
+            ("count".into(), Json::Num(42)),
+            ("ok".into(), Json::Bool(true)),
+            ("none".into(), Json::Null),
+            (
+                "items".into(),
+                Json::Arr(vec![Json::Num(1), Json::Str("x".into())]),
+            ),
+            ("empty".into(), Json::Arr(vec![])),
+        ]);
+        let text = doc.to_pretty();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = parse("{\"a\": 3, \"b\": [\"x\"]}").unwrap();
+        assert_eq!(doc.get("a").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            doc.get("b").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert!(doc.get("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn emit_is_stable() {
+        let doc = parse("{\"z\": 1, \"a\": 2}").unwrap();
+        assert_eq!(doc.to_pretty(), doc.to_pretty());
+        assert!(doc.to_pretty().find("\"z\"").unwrap() < doc.to_pretty().find("\"a\"").unwrap());
+    }
+}

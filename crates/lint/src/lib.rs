@@ -1,0 +1,303 @@
+//! In-repo static analysis for the `fcdpm` workspace.
+//!
+//! The paper's headline number (FC-DPM consuming 30.8 % of Conv-DPM's
+//! fuel) is only reproducible if the simulator is bit-deterministic and
+//! dimensionally sound, so the invariants the workspace relies on are
+//! machine-checked instead of left to convention:
+//!
+//! * [`Rule::Determinism`] — no wall-clock reads and no
+//!   iteration-order-nondeterministic containers in simulation crates;
+//!   timing belongs in `fcdpm-runner`.
+//! * [`Rule::UnitSafety`] — physical quantities in public signatures of
+//!   physics crates use `fcdpm-units` newtypes, and physics code avoids
+//!   narrowing `as` casts.
+//! * [`Rule::PanicPolicy`] — no `unwrap`/`expect`/`panic!` in non-test
+//!   library code.
+//! * [`Rule::CrateHygiene`] — every crate root carries
+//!   `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
+//!
+//! The tool is deliberately dependency-free (the workspace builds
+//! offline, so no `syn`/`clippy-utils`): [`scan`] is a hand-rolled
+//! lexer that blanks comments and literals, [`rules`] does token-level
+//! pattern matching on the cleaned text, and [`json`] reads and writes
+//! the baseline file and the `--format json` report.
+//!
+//! Findings are suppressed either inline
+//! (`// fcdpm-lint: allow(rule-id)` on the offending line or the line
+//! above) or via the committed [`Baseline`] file that records
+//! pre-existing debt. Output is deterministic — findings are sorted by
+//! `(path, line, rule, message)` — so two runs over the same tree
+//! produce byte-identical reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod json;
+pub mod rules;
+pub mod scan;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use baseline::{Baseline, BaselineEntry, BaselineOutcome, StaleEntry};
+pub use json::Json;
+pub use rules::{lint_file, FileLint, Rule};
+pub use scan::Scan;
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// The aggregate result of linting a workspace tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not absorbed by an inline suppression or the baseline,
+    /// sorted by `(path, line, rule, message)`.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by `// fcdpm-lint: allow(...)` directives.
+    pub inline_suppressed: usize,
+    /// Findings absorbed by baseline allowances.
+    pub baselined: usize,
+    /// Baseline allowances that exceed the findings actually present.
+    pub stale: Vec<StaleEntry>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the run should exit zero: no finding escaped both the
+    /// inline suppressions and the baseline.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the human-readable report (deterministic ordering).
+    #[must_use]
+    pub fn to_human(&self) -> String {
+        let mut out = String::new();
+        for finding in &self.findings {
+            out.push_str(&finding.to_string());
+            out.push('\n');
+        }
+        for stale in &self.stale {
+            out.push_str(&format!(
+                "stale baseline entry: {} [{}] allows {} more finding(s) than exist — tighten lint-baseline.json\n",
+                stale.path, stale.rule, stale.unused
+            ));
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned: {} finding(s), {} baselined, {} inline-suppressed, {} stale baseline entr{}\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.baselined,
+            self.inline_suppressed,
+            self.stale.len(),
+            if self.stale.len() == 1 { "y" } else { "ies" },
+        ));
+        out
+    }
+
+    /// Renders the `--format json` report. Byte-identical across runs
+    /// over the same tree: findings and stale entries are sorted and the
+    /// writer emits keys in a fixed order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                Json::Obj(vec![
+                    ("rule".into(), Json::Str(f.rule.id().into())),
+                    ("path".into(), Json::Str(f.path.clone())),
+                    ("line".into(), Json::Num(f.line as u64)),
+                    ("message".into(), Json::Str(f.message.clone())),
+                ])
+            })
+            .collect();
+        let stale = self
+            .stale
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("rule".into(), Json::Str(s.rule.clone())),
+                    ("path".into(), Json::Str(s.path.clone())),
+                    ("unused".into(), Json::Num(s.unused as u64)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("version".into(), Json::Num(1)),
+            ("files_scanned".into(), Json::Num(self.files_scanned as u64)),
+            ("findings".into(), Json::Arr(findings)),
+            (
+                "counts".into(),
+                Json::Obj(vec![
+                    ("findings".into(), Json::Num(self.findings.len() as u64)),
+                    ("baselined".into(), Json::Num(self.baselined as u64)),
+                    (
+                        "inline_suppressed".into(),
+                        Json::Num(self.inline_suppressed as u64),
+                    ),
+                ]),
+            ),
+            ("stale_baseline_entries".into(), Json::Arr(stale)),
+        ])
+        .to_pretty()
+    }
+}
+
+/// Collects the workspace-relative paths of all library/binary sources
+/// the lint covers: `src/**/*.rs` and `crates/*/src/**/*.rs` under
+/// `root`, sorted so traversal order never depends on the OS. `vendor/`
+/// (offline dependency shims), `target/` and test/bench/example trees
+/// are outside the walk by construction.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory traversal.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut files = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        collect_rs(&src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in fs::read_dir(&crates)? {
+            let dir = entry?.path().join("src");
+            if dir.is_dir() {
+                collect_rs(&dir, &mut files)?;
+            }
+        }
+    }
+    let mut rel: Vec<(String, PathBuf)> = files
+        .into_iter()
+        .filter_map(|path| {
+            let rel = path
+                .strip_prefix(root)
+                .ok()?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            Some((rel, path))
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every workspace source under `root` and matches the result
+/// against `baseline`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from traversal or file reads.
+pub fn run(root: &Path, baseline: &Baseline) -> io::Result<Report> {
+    let files = workspace_files(root)?;
+    let mut findings = Vec::new();
+    let mut inline_suppressed = 0usize;
+    for (rel, path) in &files {
+        let source = fs::read_to_string(path)?;
+        let file = lint_file(rel, &source);
+        inline_suppressed += file.inline_suppressed;
+        findings.extend(file.findings);
+    }
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    let outcome = baseline.apply(findings);
+    Ok(Report {
+        findings: outcome.findings,
+        inline_suppressed,
+        baselined: outcome.baselined,
+        stale: outcome.stale,
+        files_scanned: files.len(),
+    })
+}
+
+/// Lints the tree and builds a baseline that exactly covers the current
+/// findings (the `--write-baseline` workflow).
+///
+/// # Errors
+///
+/// Propagates I/O errors from traversal or file reads.
+pub fn snapshot_baseline(root: &Path, note: &str) -> io::Result<Baseline> {
+    let report = run(root, &Baseline::default())?;
+    Ok(Baseline::from_findings(&report.findings, note))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renderings_are_deterministic() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: Rule::PanicPolicy,
+                path: "crates/a/src/lib.rs".into(),
+                line: 4,
+                message: "m".into(),
+            }],
+            inline_suppressed: 2,
+            baselined: 3,
+            stale: vec![StaleEntry {
+                rule: "determinism".into(),
+                path: "crates/b/src/lib.rs".into(),
+                unused: 1,
+            }],
+            files_scanned: 7,
+        };
+        assert_eq!(report.to_human(), report.to_human());
+        assert_eq!(report.to_json(), report.to_json());
+        assert!(report.to_human().contains("crates/a/src/lib.rs:4"));
+        assert!(report.to_json().contains("\"panic-policy\""));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let report = Report::default();
+        assert!(report.is_clean());
+        assert!(report.to_human().contains("0 finding(s)"));
+    }
+}

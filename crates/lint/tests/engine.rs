@@ -1,0 +1,226 @@
+//! End-to-end tests of the lint engine: one positive and one negative
+//! fixture per rule, baseline round-trip through the filesystem, and
+//! byte-for-byte determinism of the JSON report across two runs over
+//! the same tree.
+
+use std::fs;
+use std::path::PathBuf;
+
+use fcdpm_lint::{lint_file, Baseline, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+fn count(findings: &[fcdpm_lint::Finding], rule: Rule) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn determinism_positive() {
+    let lint = lint_file("crates/sim/src/fixture.rs", &fixture("determinism_bad.rs"));
+    assert!(
+        count(&lint.findings, Rule::Determinism) >= 4,
+        "expected Instant::now, SystemTime, HashMap and HashSet findings, got: {:#?}",
+        lint.findings
+    );
+    assert!(lint
+        .findings
+        .iter()
+        .any(|f| f.message.contains("Instant::now")));
+    assert!(lint.findings.iter().any(|f| f.message.contains("BTreeMap")));
+}
+
+#[test]
+fn determinism_negative() {
+    let lint = lint_file("crates/sim/src/fixture.rs", &fixture("determinism_ok.rs"));
+    assert_eq!(
+        count(&lint.findings, Rule::Determinism),
+        0,
+        "clean fixture fired: {:#?}",
+        lint.findings
+    );
+    assert!(
+        lint.inline_suppressed > 0,
+        "the allow(determinism) directive should have absorbed the scratch HashMap"
+    );
+}
+
+#[test]
+fn determinism_is_scoped_to_simulation_crates() {
+    // The same hazards in the runner's timing layer are allowed.
+    let lint = lint_file(
+        "crates/runner/src/fixture.rs",
+        &fixture("determinism_bad.rs"),
+    );
+    assert_eq!(count(&lint.findings, Rule::Determinism), 0);
+}
+
+#[test]
+fn unit_safety_positive() {
+    let lint = lint_file(
+        "crates/fuelcell/src/fixture.rs",
+        &fixture("unit_safety_bad.rs"),
+    );
+    let flagged = count(&lint.findings, Rule::UnitSafety);
+    assert!(
+        flagged >= 5,
+        "expected 2 bare-f64 params + 3 narrowing casts, got {flagged}: {:#?}",
+        lint.findings
+    );
+    assert!(lint
+        .findings
+        .iter()
+        .any(|f| f.message.contains("duration_s")));
+    assert!(lint.findings.iter().any(|f| f.message.contains("as u32")));
+}
+
+#[test]
+fn unit_safety_negative() {
+    let lint = lint_file(
+        "crates/fuelcell/src/fixture.rs",
+        &fixture("unit_safety_ok.rs"),
+    );
+    assert_eq!(
+        count(&lint.findings, Rule::UnitSafety),
+        0,
+        "clean fixture fired: {:#?}",
+        lint.findings
+    );
+}
+
+#[test]
+fn panic_policy_positive() {
+    let lint = lint_file("crates/core/src/fixture.rs", &fixture("panic_bad.rs"));
+    assert_eq!(
+        count(&lint.findings, Rule::PanicPolicy),
+        6,
+        "expected unwrap/expect/panic!/unreachable!/todo!/unimplemented!, got: {:#?}",
+        lint.findings
+    );
+}
+
+#[test]
+fn panic_policy_negative() {
+    let lint = lint_file("crates/core/src/fixture.rs", &fixture("panic_ok.rs"));
+    assert_eq!(
+        count(&lint.findings, Rule::PanicPolicy),
+        0,
+        "clean fixture fired: {:#?}",
+        lint.findings
+    );
+    assert_eq!(
+        lint.inline_suppressed, 1,
+        "the documented expect is suppressed"
+    );
+}
+
+#[test]
+fn panic_policy_skips_binaries() {
+    let lint = lint_file("crates/cli/src/main.rs", &fixture("panic_bad.rs"));
+    assert_eq!(count(&lint.findings, Rule::PanicPolicy), 0);
+    let lint = lint_file(
+        "crates/experiments/src/bin/all.rs",
+        &fixture("panic_bad.rs"),
+    );
+    assert_eq!(count(&lint.findings, Rule::PanicPolicy), 0);
+}
+
+#[test]
+fn crate_hygiene_positive() {
+    let lint = lint_file("crates/x/src/lib.rs", &fixture("hygiene_bad.rs"));
+    assert_eq!(count(&lint.findings, Rule::CrateHygiene), 2);
+}
+
+#[test]
+fn crate_hygiene_negative() {
+    let lint = lint_file("crates/x/src/lib.rs", &fixture("hygiene_ok.rs"));
+    assert_eq!(count(&lint.findings, Rule::CrateHygiene), 0);
+    // Non-root files are out of scope even without the attributes.
+    let lint = lint_file("crates/x/src/util.rs", &fixture("hygiene_bad.rs"));
+    assert_eq!(count(&lint.findings, Rule::CrateHygiene), 0);
+}
+
+/// Builds a miniature workspace on disk for whole-tree runs.
+fn scratch_workspace(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("fcdpm-lint-{tag}-{}", std::process::id()));
+    let src = root.join("crates/sim/src");
+    fs::create_dir_all(&src).unwrap();
+    fs::write(src.join("lib.rs"), fixture("hygiene_ok.rs")).unwrap();
+    fs::write(src.join("hazard.rs"), fixture("determinism_bad.rs")).unwrap();
+    root
+}
+
+#[test]
+fn baseline_round_trip_through_filesystem() {
+    let root = scratch_workspace("baseline");
+    let report = fcdpm_lint::run(&root, &Baseline::default()).unwrap();
+    assert!(!report.is_clean());
+
+    let baseline = Baseline::from_findings(&report.findings, "scratch debt");
+    let path = root.join("lint-baseline.json");
+    fs::write(&path, baseline.to_json()).unwrap();
+    let reloaded = Baseline::from_json(&fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(reloaded, baseline, "write -> reload must be identity");
+    assert_eq!(reloaded.to_json(), baseline.to_json());
+
+    // Against its own baseline the tree is clean, with nothing stale.
+    let gated = fcdpm_lint::run(&root, &reloaded).unwrap();
+    assert!(gated.is_clean());
+    assert_eq!(gated.baselined, report.findings.len());
+    assert!(gated.stale.is_empty());
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn two_runs_produce_byte_identical_json() {
+    let root = scratch_workspace("determinism");
+    let a = fcdpm_lint::run(&root, &Baseline::default())
+        .unwrap()
+        .to_json();
+    let b = fcdpm_lint::run(&root, &Baseline::default())
+        .unwrap()
+        .to_json();
+    assert_eq!(a, b, "JSON report must be byte-identical across runs");
+    assert!(a.contains("\"determinism\""));
+    fs::remove_dir_all(&root).unwrap();
+}
+
+/// The acceptance gate: the committed workspace must lint clean against
+/// the committed `lint-baseline.json`, so `cargo test` fails as soon as
+/// a new violation lands — even if CI's dedicated lint step is skipped.
+#[test]
+fn committed_workspace_is_clean_against_committed_baseline() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let text = fs::read_to_string(root.join("lint-baseline.json")).unwrap();
+    let baseline = Baseline::from_json(&text).unwrap();
+    let report = fcdpm_lint::run(&root, &baseline).unwrap();
+    assert!(
+        report.is_clean(),
+        "new lint findings (fix them or extend lint-baseline.json):\n{}",
+        report.to_human()
+    );
+    assert!(
+        report.stale.is_empty(),
+        "paid-down debt still allowed (tighten lint-baseline.json):\n{}",
+        report.to_human()
+    );
+}
+
+#[test]
+fn stale_baseline_entries_are_reported_not_fatal() {
+    let root = scratch_workspace("stale");
+    let report = fcdpm_lint::run(&root, &Baseline::default()).unwrap();
+    let mut baseline = Baseline::from_findings(&report.findings, "scratch debt");
+    baseline.entries[0].count += 3;
+    let gated = fcdpm_lint::run(&root, &baseline).unwrap();
+    assert!(gated.is_clean(), "over-allowance must not fail the run");
+    assert_eq!(gated.stale.len(), 1);
+    assert_eq!(gated.stale[0].unused, 3);
+    assert!(gated.to_human().contains("stale baseline entry"));
+    fs::remove_dir_all(&root).unwrap();
+}

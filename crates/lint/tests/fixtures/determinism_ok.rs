@@ -1,0 +1,32 @@
+//! Negative fixture: deterministic containers, hazards only in places
+//! the rule must ignore (comments, strings, test code, suppressions).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// `HashMap` in a doc comment must not fire. Neither must
+/// `Instant::now` here.
+pub fn clean() {
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    counts.insert(1, 2);
+    let mut set: BTreeSet<u32> = BTreeSet::new();
+    set.insert(3);
+    let msg = "HashMap and SystemTime inside a string literal";
+    let _ = msg;
+}
+
+pub fn suppressed() {
+    // Reviewed: scratch map, never iterated. fcdpm-lint: allow(determinism)
+    let _scratch: std::collections::HashMap<u8, u8> = Default::default();
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = Instant::now();
+        let _: HashMap<u8, u8> = HashMap::new();
+    }
+}

@@ -1,0 +1,4 @@
+//! Positive fixture: a crate root missing both required attributes.
+//! Linted under a synthetic `crates/x/src/lib.rs` path by `engine.rs`.
+
+pub fn item() {}

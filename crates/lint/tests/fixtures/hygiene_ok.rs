@@ -1,0 +1,6 @@
+//! Negative fixture: a crate root carrying both required attributes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn item() {}

@@ -1,0 +1,15 @@
+//! Positive fixture: every banned panic construct in library code.
+
+pub fn panics(input: Option<u32>) -> u32 {
+    let a = input.unwrap();
+    let b = input.expect("present");
+    if a > b {
+        panic!("impossible");
+    }
+    match a {
+        0 => unreachable!(),
+        1 => todo!(),
+        2 => unimplemented!(),
+        n => n,
+    }
+}

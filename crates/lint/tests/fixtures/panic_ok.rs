@@ -1,0 +1,30 @@
+//! Negative fixture: Result propagation, combinators the rule must not
+//! confuse with `unwrap()`, panics confined to test code, and a
+//! documented inline suppression.
+
+pub fn propagates(input: Option<u32>) -> Result<u32, String> {
+    input.ok_or_else(|| "missing".to_owned())
+}
+
+pub fn combinators(input: Option<u32>) -> u32 {
+    // `unwrap_or` / `unwrap_or_else` / `unwrap_or_default` are fine.
+    input.unwrap_or(0) + input.unwrap_or_else(|| 1) + input.unwrap_or_default()
+}
+
+pub fn documented(input: Option<u32>) -> u32 {
+    // Invariant: callers always pass Some. fcdpm-lint: allow(panic-policy)
+    input.expect("callers always pass Some")
+}
+
+pub fn strings() -> &'static str {
+    "call .unwrap() or panic!(now) — text, not code"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

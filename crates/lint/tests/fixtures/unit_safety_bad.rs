@@ -1,0 +1,15 @@
+//! Positive fixture: bare `f64` physical quantities in public
+//! signatures and narrowing casts in physics code.
+
+/// A public physics API taking a duration and a current as raw `f64` —
+/// both parameter names carry unit suffixes `fcdpm-units` has newtypes
+/// for, so the rule must flag each.
+pub fn integrate(duration_s: f64, current_a: f64) -> f64 {
+    duration_s * current_a
+}
+
+pub fn narrowing(samples: f64) -> u32 {
+    let truncated = samples as u32;
+    let lossy = samples as f32;
+    truncated + lossy as u32
+}

@@ -1,6 +1,6 @@
 //! Adaptive learning-tree predictor.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fcdpm_units::Seconds;
 
@@ -40,8 +40,10 @@ pub struct AdaptiveLearningTree {
     depth: usize,
     /// Recent bin history, most recent last (at most `depth` entries).
     context: Vec<u8>,
-    /// Saturating counters: context → per-bin counts.
-    counters: HashMap<Vec<u8>, Vec<u32>>,
+    /// Saturating counters: context → per-bin counts. A `BTreeMap`
+    /// keeps iteration order independent of the hasher seed, so runs
+    /// are bit-identical.
+    counters: BTreeMap<Vec<u8>, Vec<u32>>,
     /// Running mean of observations per bin (the bin's representative).
     bin_means: Vec<(f64, u64)>,
     /// Counter saturation limit.
@@ -74,7 +76,7 @@ impl AdaptiveLearningTree {
             edges,
             depth,
             context: Vec::new(),
-            counters: HashMap::new(),
+            counters: BTreeMap::new(),
             bin_means: vec![(0.0, 0); bins],
             saturation: 16,
         }
@@ -116,8 +118,8 @@ impl AdaptiveLearningTree {
         bin
     }
 
-    fn bin_representative(&self, bin: u8) -> Option<f64> {
-        let (sum, n) = self.bin_means[bin as usize];
+    fn bin_representative(&self, bin: usize) -> Option<f64> {
+        let (sum, n) = self.bin_means[bin];
         if n == 0 {
             None
         } else {
@@ -139,27 +141,25 @@ impl Predictor for AdaptiveLearningTree {
                 if total == 0 {
                     continue;
                 }
-                let (best_bin, best) = counts
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(_, c)| **c)
-                    .expect("bins is non-empty");
+                let Some((best_bin, best)) = counts.iter().enumerate().max_by_key(|(_, c)| **c)
+                else {
+                    continue;
+                };
                 // Confidence: strict majority of the context's mass.
                 if *best * 2 > total {
-                    if let Some(v) = self.bin_representative(best_bin as u8) {
+                    if let Some(v) = self.bin_representative(best_bin) {
                         return Some(Seconds::new(v));
                     }
                 }
             }
         }
         // Fallback: global most populated bin.
-        let (bin, _) = self
-            .bin_means
+        self.bin_means
             .iter()
             .enumerate()
             .max_by_key(|(_, (_, n))| *n)
-            .expect("bins is non-empty");
-        self.bin_representative(bin as u8).map(Seconds::new)
+            .and_then(|(bin, _)| self.bin_representative(bin))
+            .map(Seconds::new)
     }
 
     fn observe(&mut self, actual: Seconds) {

@@ -116,6 +116,8 @@ impl<'a> HybridSimulator<'a> {
             CurrentRange::dac07(),
             Seconds::new(0.5),
         )
+        // Invariant: 0.5 s is positive and finite, so `new` cannot
+        // reject it. fcdpm-lint: allow(panic-policy)
         .expect("default control step is valid")
     }
 
