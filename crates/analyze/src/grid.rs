@@ -1,0 +1,337 @@
+//! Static feasibility checks for runner job grids.
+//!
+//! The batch runner executes `JobGrid` JSON files (see
+//! `examples/batch_paper_grid.json`). Some spec mistakes only explode
+//! at run time — a `Constant` setpoint outside the stack's
+//! load-following range, a β that makes the Equation 4 denominator
+//! non-positive, a storage buffer too small to ride through one sleep
+//! transition. This pass validates the committed grid files against the
+//! paper manifest so those mistakes fail in CI, before any simulation
+//! runs.
+
+use fcdpm_lint::{Finding, Json};
+
+use crate::AnalyzeRule;
+
+/// Paper parameters the feasibility checks compare against, extracted
+/// from `paper-constants.toml` by the caller. When the manifest is
+/// absent the range-dependent checks are skipped (structural checks
+/// still run).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperParams {
+    /// Load-following minimum, amps.
+    pub i_f_min: f64,
+    /// Load-following maximum, amps.
+    pub i_f_max: f64,
+    /// Efficiency intercept α (Equation 4).
+    pub alpha: f64,
+    /// Worst-case charge drawn from storage across one sleep
+    /// transition, in mA·min, over all device presets in the manifest.
+    pub min_capacity_mamin: f64,
+}
+
+/// Whether a parsed JSON document looks like a `JobGrid` (the discovery
+/// predicate for `examples/*.json`).
+#[must_use]
+pub fn looks_like_grid(doc: &Json) -> bool {
+    doc.get("policies").is_some() && doc.get("workloads").is_some()
+}
+
+/// Validates one grid document. `rel_path` anchors the findings; the
+/// hand-rolled JSON reader does not track lines, so everything reports
+/// at line 1 of the file.
+#[must_use]
+pub fn check(rel_path: &str, doc: &Json, params: Option<&PaperParams>) -> Vec<Finding> {
+    let mut ctx = Ctx {
+        rel_path,
+        params,
+        findings: Vec::new(),
+    };
+    ctx.check_axis_nonempty(doc, "policies");
+    ctx.check_axis_nonempty(doc, "workloads");
+    if let Some(Json::Arr(policies)) = doc.get("policies") {
+        for policy in policies {
+            ctx.check_policy(policy, "policies");
+        }
+    }
+    if let Some(Json::Arr(workloads)) = doc.get("workloads") {
+        for workload in workloads {
+            ctx.check_workload(workload);
+        }
+    }
+    if let Some(Json::Arr(betas)) = doc.get("betas") {
+        for beta in betas {
+            ctx.check_beta(beta.as_f64(), "betas");
+        }
+    }
+    if let Some(Json::Arr(capacities)) = doc.get("capacities_mamin") {
+        for capacity in capacities {
+            ctx.check_capacity(capacity.as_f64(), "capacities_mamin");
+        }
+    }
+    if let Some(Json::Arr(effs)) = doc.get("buffer_path_efficiencies") {
+        for eff in effs {
+            ctx.check_path_efficiency(eff.as_f64(), "buffer_path_efficiencies");
+        }
+    }
+    if let Some(Json::Arr(jobs)) = doc.get("extra_jobs") {
+        for (index, job) in jobs.iter().enumerate() {
+            ctx.check_extra_job(index, job);
+        }
+    }
+    ctx.findings
+}
+
+struct Ctx<'a> {
+    rel_path: &'a str,
+    params: Option<&'a PaperParams>,
+    findings: Vec<Finding>,
+}
+
+impl Ctx<'_> {
+    fn report(&mut self, message: String) {
+        self.findings.push(Finding {
+            rule: AnalyzeRule::GridFeasibility.id(),
+            path: self.rel_path.to_owned(),
+            line: 1,
+            message,
+        });
+    }
+
+    fn check_axis_nonempty(&mut self, doc: &Json, axis: &str) {
+        match doc.get(axis) {
+            Some(Json::Arr(items)) if !items.is_empty() => {}
+            Some(Json::Arr(_)) => {
+                self.report(format!("`{axis}` is empty — the grid expands to zero jobs"));
+            }
+            _ => self.report(format!("`{axis}` must be a non-empty array")),
+        }
+    }
+
+    /// A `PolicySpec` in serde's JSON encoding: unit variants are
+    /// strings, payload variants are single-key objects.
+    fn check_policy(&mut self, policy: &Json, context: &str) {
+        match policy {
+            Json::Str(name)
+                if matches!(name.as_str(), "Conv" | "Asap" | "FcDpm" | "WindowedAverage") => {}
+            Json::Obj(fields) if fields.len() == 1 => {
+                let (variant, payload) = &fields[0];
+                match variant.as_str() {
+                    "Quantized" => {
+                        if !payload.as_f64().is_some_and(|n| n >= 2.0) {
+                            self.report(format!(
+                                "{context}: Quantized needs at least 2 output levels, got {}",
+                                payload_text(payload)
+                            ));
+                        }
+                    }
+                    "Constant" => self.check_constant_setpoint(payload.as_f64(), context),
+                    other => self.report(format!("{context}: unknown policy variant `{other}`")),
+                }
+            }
+            other => self.report(format!(
+                "{context}: unrecognized policy encoding {}",
+                payload_text(other)
+            )),
+        }
+    }
+
+    fn check_constant_setpoint(&mut self, setpoint: Option<f64>, context: &str) {
+        let Some(x) = setpoint.filter(|x| x.is_finite()) else {
+            self.report(format!(
+                "{context}: Constant setpoint is not a finite number"
+            ));
+            return;
+        };
+        let Some(params) = self.params else { return };
+        if x < params.i_f_min || x > params.i_f_max {
+            self.report(format!(
+                "{context}: Constant setpoint {x} A is outside the load-following range [{}, {}] A",
+                params.i_f_min, params.i_f_max
+            ));
+        }
+    }
+
+    fn check_workload(&mut self, workload: &Json) {
+        match workload {
+            Json::Obj(fields)
+                if fields.len() == 1
+                    && matches!(
+                        fields[0].0.as_str(),
+                        "Experiment1" | "Experiment2" | "MultiDevice"
+                    )
+                    && fields[0].1.as_f64().is_some() => {}
+            other => self.report(format!(
+                "workloads: unrecognized workload encoding {}",
+                payload_text(other)
+            )),
+        }
+    }
+
+    /// β must keep the Equation 4 denominator `α − β·I_F` positive over
+    /// the whole load-following range.
+    fn check_beta(&mut self, beta: Option<f64>, context: &str) {
+        let Some(b) = beta.filter(|b| b.is_finite()) else {
+            self.report(format!("{context}: β is not a finite number"));
+            return;
+        };
+        if b < 0.0 {
+            self.report(format!("{context}: β = {b} is negative"));
+            return;
+        }
+        let Some(params) = self.params else { return };
+        if params.alpha - b * params.i_f_max <= 0.0 {
+            self.report(format!(
+                "{context}: β = {b} makes the efficiency denominator α − β·I_F non-positive at I_F = {} A (α = {}) — the fuel model diverges inside the load-following range",
+                params.i_f_max, params.alpha
+            ));
+        }
+    }
+
+    /// Storage must at least cover the worst single sleep transition.
+    fn check_capacity(&mut self, capacity: Option<f64>, context: &str) {
+        let Some(c) = capacity.filter(|c| c.is_finite() && *c > 0.0) else {
+            self.report(format!(
+                "{context}: capacity must be a positive finite number"
+            ));
+            return;
+        };
+        let Some(params) = self.params else { return };
+        if c < params.min_capacity_mamin {
+            self.report(format!(
+                "{context}: capacity {c} mA·min cannot buffer one sleep transition (worst preset draws {:.1} mA·min)",
+                params.min_capacity_mamin
+            ));
+        }
+    }
+
+    fn check_path_efficiency(&mut self, eff: Option<f64>, context: &str) {
+        if !eff.is_some_and(|e| e.is_finite() && e > 0.0 && e <= 1.0) {
+            self.report(format!(
+                "{context}: buffer path efficiency must lie in (0, 1]"
+            ));
+        }
+    }
+
+    /// One-off jobs carry the same axes inline (`inject_panic` is
+    /// legitimate here — the pool's fault-isolation tests use it).
+    fn check_extra_job(&mut self, index: usize, job: &Json) {
+        let context = format!("extra_jobs[{index}]");
+        match job.get("policy") {
+            Some(policy) => self.check_policy(policy, &context),
+            None => self.report(format!("{context}: missing `policy`")),
+        }
+        match job.get("workload") {
+            Some(workload) => self.check_workload(workload),
+            None => self.report(format!("{context}: missing `workload`")),
+        }
+        if let Some(beta) = job.get("beta") {
+            if beta != &Json::Null {
+                self.check_beta(beta.as_f64(), &context);
+            }
+        }
+        if let Some(capacity) = job.get("capacity_mamin") {
+            if capacity != &Json::Null {
+                self.check_capacity(capacity.as_f64(), &context);
+            }
+        }
+        if let Some(eff) = job.get("buffer_path_efficiency") {
+            if eff != &Json::Null {
+                self.check_path_efficiency(eff.as_f64(), &context);
+            }
+        }
+    }
+}
+
+fn payload_text(json: &Json) -> String {
+    match json {
+        Json::Null => "null".to_owned(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => n.to_string(),
+        Json::Float(x) => format!("{x:?}"),
+        Json::Str(s) => format!("`{s}`"),
+        Json::Arr(_) => "an array".to_owned(),
+        Json::Obj(_) => "an object".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PARAMS: PaperParams = PaperParams {
+        i_f_min: 0.1,
+        i_f_max: 1.2,
+        alpha: 0.45,
+        min_capacity_mamin: 40.0,
+    };
+
+    fn check_str(text: &str) -> Vec<Finding> {
+        let doc = fcdpm_lint::json::parse(text).expect("fixture parses");
+        check("examples/fixture.json", &doc, Some(&PARAMS))
+    }
+
+    #[test]
+    fn committed_example_grid_shape_is_clean() {
+        let got = check_str(
+            r#"{"policies": ["Conv", "Asap", "FcDpm", {"Quantized": 4}, {"Constant": 0.6}],
+                "workloads": [{"Experiment1": 3670024199}],
+                "betas": [0.13, 0.2],
+                "capacities_mamin": [50.0, 100.0],
+                "buffer_path_efficiencies": [1.0, 0.9],
+                "extra_jobs": [{"policy": "FcDpm", "workload": {"Experiment1": 1}, "inject_panic": true}]}"#,
+        );
+        assert!(got.is_empty(), "{got:#?}");
+    }
+
+    #[test]
+    fn out_of_range_constant_setpoint_is_rejected() {
+        let got =
+            check_str(r#"{"policies": [{"Constant": 1.3}], "workloads": [{"Experiment1": 1}]}"#);
+        assert_eq!(got.len(), 1, "{got:#?}");
+        assert!(got[0].message.contains("load-following range"));
+        assert!(got[0].message.contains("1.3"));
+    }
+
+    #[test]
+    fn degenerate_quantized_and_empty_axes_are_rejected() {
+        let got = check_str(r#"{"policies": [{"Quantized": 1}], "workloads": []}"#);
+        assert_eq!(got.len(), 2, "{got:#?}");
+        assert!(got.iter().any(|f| f.message.contains("zero jobs")));
+        assert!(got.iter().any(|f| f.message.contains("at least 2")));
+    }
+
+    #[test]
+    fn divergent_beta_and_undersized_capacity_are_rejected() {
+        let got = check_str(
+            r#"{"policies": ["Conv"], "workloads": [{"Experiment2": 1}],
+                "betas": [0.4], "capacities_mamin": [10.0]}"#,
+        );
+        assert_eq!(got.len(), 2, "{got:#?}");
+        assert!(got.iter().any(|f| f.message.contains("non-positive")));
+        assert!(got.iter().any(|f| f.message.contains("sleep transition")));
+    }
+
+    #[test]
+    fn extra_job_axes_are_checked_inline() {
+        let got = check_str(
+            r#"{"policies": ["Conv"], "workloads": [{"Experiment1": 1}],
+                "extra_jobs": [{"policy": {"Constant": 0.05}, "workload": {"Experiment1": 1},
+                                "buffer_path_efficiency": 1.5}]}"#,
+        );
+        assert_eq!(got.len(), 2, "{got:#?}");
+        assert!(got
+            .iter()
+            .all(|f| f.message.contains("extra_jobs[0]") || f.message.contains("(0, 1]")));
+    }
+
+    #[test]
+    fn range_checks_skip_without_manifest_params() {
+        let doc = fcdpm_lint::json::parse(
+            r#"{"policies": [{"Constant": 9.9}], "workloads": [{"Experiment1": 1}], "betas": [5.0]}"#,
+        )
+        .unwrap();
+        let got = check("examples/fixture.json", &doc, None);
+        assert!(got.is_empty(), "{got:#?}");
+    }
+}

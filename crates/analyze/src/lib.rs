@@ -1,0 +1,314 @@
+//! Second-stage semantic analysis for the `fcdpm` workspace.
+//!
+//! Where `fcdpm-lint` does token-level pattern matching file by file,
+//! this crate builds workspace-wide context and checks properties the
+//! lint cannot see:
+//!
+//! * [`AnalyzeRule::Layering`] — a cross-crate symbol/module graph from
+//!   `use` edges, checked against the intended dependency DAG (physics
+//!   below policy below orchestration).
+//! * [`AnalyzeRule::UnitDataflow`] — a conservative dataflow lattice
+//!   that follows `fcdpm-units` newtypes through `let`-bindings and
+//!   arithmetic inside function bodies, flagging dimensional mixes the
+//!   signature-level lint cannot reach.
+//! * [`AnalyzeRule::PaperConstants`] — every DAC'07 constant recorded in
+//!   `paper-constants.toml` must appear verbatim as a literal in the
+//!   source file its manifest section names.
+//! * [`AnalyzeRule::GridFeasibility`] — committed runner job grids
+//!   (`examples/*.json`) are validated against the load-following range
+//!   and storage feasibility before any simulation runs.
+//!
+//! The report/baseline/SARIF machinery is shared with `fcdpm-lint`
+//! (identical ledger semantics, disjoint rule catalogue, separate
+//! `analyze-baseline.json`), and the same determinism contract holds:
+//! findings are sorted by `(path, line, rule, message)` so two runs over
+//! the same tree are byte-identical in every output format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constants;
+pub mod dataflow;
+pub mod grid;
+pub mod symbols;
+pub mod toml;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use fcdpm_lint::{json, Baseline, Report, Scan};
+
+pub use constants::MANIFEST_PATH;
+pub use grid::PaperParams;
+pub use symbols::SymbolGraph;
+
+/// The analysis rule catalogue (disjoint from the lint's [`fcdpm_lint::Rule`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalyzeRule {
+    /// Dimensional soundness of arithmetic inside function bodies.
+    UnitDataflow,
+    /// Cross-crate `use` edges respect the intended dependency layering.
+    Layering,
+    /// Hard-coded paper constants match `paper-constants.toml`.
+    PaperConstants,
+    /// Committed job grids are statically feasible.
+    GridFeasibility,
+}
+
+/// Every rule, in catalogue order.
+pub const ALL_RULES: [AnalyzeRule; 4] = [
+    AnalyzeRule::UnitDataflow,
+    AnalyzeRule::Layering,
+    AnalyzeRule::PaperConstants,
+    AnalyzeRule::GridFeasibility,
+];
+
+impl AnalyzeRule {
+    /// Stable identifier used in reports, baselines and suppressions.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            AnalyzeRule::UnitDataflow => "unit-dataflow",
+            AnalyzeRule::Layering => "layering",
+            AnalyzeRule::PaperConstants => "paper-constants",
+            AnalyzeRule::GridFeasibility => "grid-feasibility",
+        }
+    }
+
+    /// One-line description (also the SARIF rule short description).
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            AnalyzeRule::UnitDataflow => {
+                "arithmetic must not mix raw f64 projections or newtypes of distinct dimensions"
+            }
+            AnalyzeRule::Layering => {
+                "cross-crate use edges must follow the workspace dependency DAG"
+            }
+            AnalyzeRule::PaperConstants => {
+                "hard-coded paper constants must match paper-constants.toml"
+            }
+            AnalyzeRule::GridFeasibility => {
+                "committed job grids must be statically feasible for the paper hardware"
+            }
+        }
+    }
+}
+
+/// The `(id, summary)` pairs for SARIF output.
+#[must_use]
+pub fn rule_catalogue() -> Vec<(&'static str, &'static str)> {
+    ALL_RULES.iter().map(|r| (r.id(), r.summary())).collect()
+}
+
+/// Crates whose function bodies the unit-dataflow pass covers (the same
+/// physics set the lint's unit-safety rule guards).
+pub const PHYSICS_CRATES: [&str; 8] = [
+    "sim", "core", "predict", "fuelcell", "storage", "device", "dvs", "workload",
+];
+
+fn is_physics_file(rel_path: &str) -> bool {
+    PHYSICS_CRATES
+        .iter()
+        .any(|krate| rel_path.starts_with(&format!("crates/{krate}/src/")))
+}
+
+/// Extracts the range/feasibility parameters the grid checks need from
+/// parsed manifest sections. Returns `None` if any required key is
+/// missing — the grid checks then skip their range-dependent parts.
+#[must_use]
+pub fn paper_params(sections: &[toml::Section]) -> Option<PaperParams> {
+    fn num(sections: &[toml::Section], section: &str, key: &str) -> Option<f64> {
+        sections
+            .iter()
+            .find(|s| s.name == section)?
+            .pairs
+            .iter()
+            .find_map(|(k, v)| match v {
+                toml::Value::Num(x) if k == key => Some(*x),
+                _ => None,
+            })
+    }
+
+    let i_f_min = num(sections, "load_following", "i_f_min_a")?;
+    let i_f_max = num(sections, "load_following", "i_f_max_a")?;
+    let alpha = num(sections, "efficiency", "alpha")?;
+    let bus_v = num(sections, "efficiency", "v_bus_v")?;
+
+    // Worst single sleep transition over every device preset section:
+    // charge = P_tr / V_bus · (t_down + t_up), reported in mA·min.
+    let mut worst_amp_seconds = 0.0f64;
+    for section in sections {
+        let get = |key: &str| {
+            section.pairs.iter().find_map(|(k, v)| match v {
+                toml::Value::Num(x) if k == key => Some(*x),
+                _ => None,
+            })
+        };
+        if let (Some(tr_w), Some(down_s), Some(up_s)) =
+            (get("transition_w"), get("power_down_s"), get("wake_up_s"))
+        {
+            worst_amp_seconds = worst_amp_seconds.max(tr_w / bus_v * (down_s + up_s));
+        }
+    }
+    Some(PaperParams {
+        i_f_min,
+        i_f_max,
+        alpha,
+        min_capacity_mamin: worst_amp_seconds * 1000.0 / 60.0,
+    })
+}
+
+/// Collects the workspace-relative paths of committed grid JSON files
+/// under `root/examples`, sorted.
+fn grid_files(root: &Path) -> io::Result<Vec<String>> {
+    let dir = root.join("examples");
+    let mut rel = Vec::new();
+    if dir.is_dir() {
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "json") {
+                if let Some(name) = path.file_name() {
+                    rel.push(format!("examples/{}", name.to_string_lossy()));
+                }
+            }
+        }
+    }
+    rel.sort();
+    Ok(rel)
+}
+
+/// Analyzes the workspace under `root` and matches the result against
+/// `baseline` (conventionally `analyze-baseline.json`, kept separate
+/// from the lint's ledger).
+///
+/// # Errors
+///
+/// Propagates I/O errors from traversal or file reads.
+pub fn run(root: &Path, baseline: &Baseline) -> io::Result<Report> {
+    let files = fcdpm_lint::workspace_files(root)?;
+    let mut findings = Vec::new();
+    let mut inline_suppressed = 0usize;
+    let mut graph = SymbolGraph::default();
+
+    for (rel, path) in &files {
+        let source = fs::read_to_string(path)?;
+        let scan = Scan::new(&source);
+        graph.add_file(rel, &scan);
+        if is_physics_file(rel) {
+            for finding in dataflow::check_file(rel, &scan) {
+                if scan.is_suppressed(finding.rule, finding.line) {
+                    inline_suppressed += 1;
+                } else {
+                    findings.push(finding);
+                }
+            }
+        }
+    }
+    findings.extend(symbols::check_layering(&graph));
+
+    let mut scanned: std::collections::BTreeSet<String> =
+        files.iter().map(|(rel, _)| rel.clone()).collect();
+    let mut files_scanned = files.len();
+
+    // Paper-constants conformance — skipped entirely when the manifest
+    // is absent (scratch workspaces in tests have none).
+    let manifest_path = root.join(MANIFEST_PATH);
+    let mut params = None;
+    if let Ok(text) = fs::read_to_string(&manifest_path) {
+        scanned.insert(MANIFEST_PATH.to_owned());
+        files_scanned += 1;
+        findings.extend(constants::check(root, &text));
+        if let Ok(sections) = toml::parse(&text) {
+            params = paper_params(&sections);
+        }
+    }
+
+    // Grid feasibility over committed examples/*.json documents.
+    for rel in grid_files(root)? {
+        let text = fs::read_to_string(root.join(&rel))?;
+        scanned.insert(rel.clone());
+        files_scanned += 1;
+        match json::parse(&text) {
+            Ok(doc) if grid::looks_like_grid(&doc) => {
+                findings.extend(grid::check(&rel, &doc, params.as_ref()));
+            }
+            Ok(_) => {}
+            Err(err) => findings.push(fcdpm_lint::Finding {
+                rule: AnalyzeRule::GridFeasibility.id(),
+                path: rel,
+                line: 1,
+                message: format!("does not parse as JSON: {err}"),
+            }),
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    let outcome = baseline.apply(findings, Some(&scanned));
+    Ok(Report {
+        findings: outcome.findings,
+        inline_suppressed,
+        baselined: outcome.baselined,
+        stale: outcome.stale,
+        files_scanned,
+    })
+}
+
+/// Analyzes the tree and builds a baseline that exactly covers the
+/// current findings (the `--write-baseline` workflow).
+///
+/// # Errors
+///
+/// Propagates I/O errors from traversal or file reads.
+pub fn snapshot_baseline(root: &Path, note: &str) -> io::Result<Baseline> {
+    let report = run(root, &Baseline::default())?;
+    Ok(Baseline::from_findings(&report.findings, note))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_stable_and_disjoint_from_lint() {
+        let ids: Vec<&str> = ALL_RULES.iter().map(|r| r.id()).collect();
+        assert_eq!(
+            ids,
+            [
+                "unit-dataflow",
+                "layering",
+                "paper-constants",
+                "grid-feasibility"
+            ]
+        );
+        for rule in fcdpm_lint::Rule::ALL {
+            assert!(!ids.contains(&rule.id()), "catalogues must not overlap");
+        }
+    }
+
+    #[test]
+    fn paper_params_come_from_the_committed_manifest_shape() {
+        let text = "\
+[efficiency]\npath = \"a.rs\"\nalpha = 0.45\nbeta = 0.13\nv_bus_v = 12.0\n\
+[load_following]\npath = \"b.rs\"\ni_f_min_a = 0.1\ni_f_max_a = 1.2\n\
+[camcorder]\npath = \"c.rs\"\ntransition_w = 4.8\npower_down_s = 0.5\nwake_up_s = 0.5\n\
+[experiment2]\npath = \"c.rs\"\ntransition_w = 14.4\npower_down_s = 1.0\nwake_up_s = 1.0\n";
+        let params = paper_params(&toml::parse(text).unwrap()).unwrap();
+        assert!((params.i_f_min - 0.1).abs() < 1e-12);
+        assert!((params.i_f_max - 1.2).abs() < 1e-12);
+        assert!((params.alpha - 0.45).abs() < 1e-12);
+        // Experiment 2: 14.4 W / 12 V × 2 s = 2.4 A·s = 40 mA·min.
+        assert!(
+            (params.min_capacity_mamin - 40.0).abs() < 1e-9,
+            "{params:?}"
+        );
+    }
+
+    #[test]
+    fn missing_manifest_keys_mean_no_params() {
+        assert!(paper_params(&toml::parse("[efficiency]\nalpha = 0.45\n").unwrap()).is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! A minimal TOML subset reader for `paper-constants.toml`.
+//!
+//! Supports exactly what the manifest needs: `[section]` headers,
+//! `key = value` pairs with string, number and number-array values, and
+//! `#` comments. Sections and keys keep file order so diagnostics are
+//! deterministic. Anything outside this subset is a parse error — the
+//! manifest is part of the CI gate and should fail loudly, not
+//! approximately.
+
+/// A manifest value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// A number (ints are widened to `f64`; manifest quantities are far
+    /// below 2^53 so the widening is exact).
+    Num(f64),
+    /// An array of numbers.
+    Arr(Vec<f64>),
+}
+
+/// One `[section]` with its key/value pairs in file order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    /// The header name.
+    pub name: String,
+    /// 1-indexed line of the header.
+    pub line: usize,
+    /// Key/value pairs in file order.
+    pub pairs: Vec<(String, Value)>,
+}
+
+/// Parses the manifest subset.
+///
+/// # Errors
+///
+/// Returns `line number + description` for the first construct outside
+/// the subset.
+pub fn parse(text: &str) -> Result<Vec<Section>, String> {
+    let mut sections: Vec<Section> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let name = header
+                .strip_suffix(']')
+                .ok_or(format!("line {line_no}: unterminated section header"))?
+                .trim();
+            if name.is_empty() {
+                return Err(format!("line {line_no}: empty section name"));
+            }
+            sections.push(Section {
+                name: name.to_owned(),
+                line: line_no,
+                pairs: Vec::new(),
+            });
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or(format!("line {line_no}: expected `key = value`"))?;
+        let section = sections
+            .last_mut()
+            .ok_or(format!("line {line_no}: key before any [section]"))?;
+        section.pairs.push((
+            key.trim().to_owned(),
+            parse_value(value.trim()).map_err(|e| format!("line {line_no}: {e}"))?,
+        ));
+    }
+    Ok(sections)
+}
+
+/// Drops a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if let Some(inner) = text.strip_prefix('"') {
+        let body = inner
+            .strip_suffix('"')
+            .ok_or("unterminated string".to_owned())?;
+        if body.contains('"') || body.contains('\\') {
+            return Err("escapes in strings are outside the subset".to_owned());
+        }
+        return Ok(Value::Str(body.to_owned()));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let body = inner
+            .strip_suffix(']')
+            .ok_or("unterminated array".to_owned())?
+            .trim();
+        let mut items = Vec::new();
+        if !body.is_empty() {
+            for item in body.split(',') {
+                items.push(parse_num(item.trim())?);
+            }
+        }
+        return Ok(Value::Arr(items));
+    }
+    Ok(Value::Num(parse_num(text)?))
+}
+
+fn parse_num(text: &str) -> Result<f64, String> {
+    match text.parse::<f64>() {
+        Ok(x) if x.is_finite() => Ok(x),
+        _ => Err(format!("bad number `{text}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_manifest_shapes() {
+        let text = "\n# top comment\n[efficiency]\npath = \"crates/fuelcell/src/efficiency.rs\"\nalpha = 0.45 # Equation 4\ncells = 20\n\n[dvs]\nspeeds = [0.2, 0.4, 1.0]\n";
+        let sections = parse(text).unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].name, "efficiency");
+        assert_eq!(sections[0].line, 3);
+        assert_eq!(
+            sections[0].pairs,
+            vec![
+                (
+                    "path".to_owned(),
+                    Value::Str("crates/fuelcell/src/efficiency.rs".to_owned())
+                ),
+                ("alpha".to_owned(), Value::Num(0.45)),
+                ("cells".to_owned(), Value::Num(20.0)),
+            ]
+        );
+        assert_eq!(
+            sections[1].pairs,
+            vec![("speeds".to_owned(), Value::Arr(vec![0.2, 0.4, 1.0]))]
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_subset_constructs() {
+        assert!(parse("key = 1").is_err(), "key before section");
+        assert!(parse("[s]\nkey 1").is_err(), "missing equals");
+        assert!(parse("[s]\nkey = {a = 1}").is_err(), "inline table");
+        assert!(parse("[broken\nkey = 1").is_err(), "bad header");
+    }
+}

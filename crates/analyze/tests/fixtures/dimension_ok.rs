@@ -1,0 +1,35 @@
+//! Dataflow fixture: the same shapes as `dimension_bad.rs`, written
+//! dimensionally soundly. Must produce zero findings.
+
+/// Same-dimension raw arithmetic is fine.
+pub fn raw_same(a: Amps, b: Amps) -> f64 {
+    let delta = a.amps() - b.amps();
+    delta + 0.05
+}
+
+/// Unit algebra through operators: V·A = W, W·s = E.
+pub fn unit_algebra(v: Volts, i: Amps, t: Seconds) -> Energy {
+    let power = v * i;
+    let energy = power * t;
+    energy
+}
+
+/// Named accessors instead of `.0`.
+pub fn named_projection(soc: Charge) -> f64 {
+    let raw = soc.amp_seconds();
+    raw
+}
+
+/// Shadowing that stays within one dimension.
+pub fn shadowed_same(i: Amps, j: Amps) -> f64 {
+    let x = i.amps();
+    let x = j.amps();
+    x + i.amps()
+}
+
+/// A raw factor may carry inverse units, so products are untracked by
+/// design (the calibration fit's slope is 1/A).
+pub fn fitted_slope(e: Efficiency, i: Amps, intercept: f64, slope: f64) -> f64 {
+    let residual = e.value() - (intercept + slope * i.amps());
+    residual
+}

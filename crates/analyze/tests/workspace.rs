@@ -1,0 +1,190 @@
+//! End-to-end tests for `fcdpm-analyze`: the committed workspace is
+//! clean, reports are deterministic, and seeded defects (a drifted
+//! paper constant, an infeasible job grid, a dimensional mix behind a
+//! re-export) are detected in scratch workspaces.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use fcdpm_analyze::{rule_catalogue, AnalyzeRule};
+use fcdpm_lint::sarif::to_sarif;
+use fcdpm_lint::{Baseline, Scan};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// A scratch workspace under the target dir, deleted on drop.
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(name: &str) -> Self {
+        let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+        fs::remove_dir_all(&root).ok();
+        fs::create_dir_all(&root).expect("scratch root");
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("dirs");
+        fs::write(path, contents).expect("write");
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        fs::remove_dir_all(&self.root).ok();
+    }
+}
+
+#[test]
+fn committed_workspace_is_clean_against_committed_baseline() {
+    let root = repo_root();
+    let text = fs::read_to_string(root.join("analyze-baseline.json")).expect("baseline exists");
+    let baseline = Baseline::from_json(&text).expect("baseline parses");
+    let report = fcdpm_analyze::run(&root, &baseline).expect("analysis runs");
+    assert!(
+        report.is_clean(),
+        "committed workspace must analyze clean:\n{}",
+        report.to_human()
+    );
+    assert!(
+        report.stale.is_empty(),
+        "committed analyze baseline has stale entries:\n{}",
+        report.to_human()
+    );
+}
+
+#[test]
+fn reports_are_byte_identical_across_runs() {
+    let root = repo_root();
+    let a = fcdpm_analyze::run(&root, &Baseline::default()).expect("first run");
+    let b = fcdpm_analyze::run(&root, &Baseline::default()).expect("second run");
+    assert_eq!(a.to_human(), b.to_human());
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(
+        to_sarif(&a, "fcdpm-analyze", &rule_catalogue()),
+        to_sarif(&b, "fcdpm-analyze", &rule_catalogue())
+    );
+}
+
+#[test]
+fn sarif_output_carries_the_analyze_catalogue() {
+    let root = repo_root();
+    let report = fcdpm_analyze::run(&root, &Baseline::default()).expect("analysis runs");
+    let sarif = to_sarif(&report, "fcdpm-analyze", &rule_catalogue());
+    for rule in fcdpm_analyze::ALL_RULES {
+        assert!(sarif.contains(rule.id()), "missing rule {}", rule.id());
+    }
+    assert!(sarif.contains("\"fcdpm-analyze\""));
+}
+
+#[test]
+fn seeded_alpha_drift_in_efficiency_copy_is_detected() {
+    let committed = fs::read_to_string(repo_root().join("crates/fuelcell/src/efficiency.rs"))
+        .expect("committed efficiency.rs");
+    let drifted = committed.replace("0.45", "0.46");
+    assert_ne!(committed, drifted, "seeding must change the file");
+
+    let scratch = Scratch::new("analyze-alpha-drift");
+    scratch.write("crates/fuelcell/src/efficiency.rs", &drifted);
+    scratch.write(
+        "paper-constants.toml",
+        "[efficiency]\npath = \"crates/fuelcell/src/efficiency.rs\"\nalpha = 0.45\nbeta = 0.13\nv_bus_v = 12.0\n",
+    );
+    let report = fcdpm_analyze::run(&scratch.root, &Baseline::default()).expect("runs");
+    assert_eq!(report.findings.len(), 1, "{}", report.to_human());
+    let finding = &report.findings[0];
+    assert_eq!(finding.rule, AnalyzeRule::PaperConstants.id());
+    assert_eq!(finding.path, "crates/fuelcell/src/efficiency.rs");
+    assert!(finding.message.contains("alpha = 0.45"), "{finding}");
+
+    // The undrifted copy is conformant.
+    scratch.write("crates/fuelcell/src/efficiency.rs", &committed);
+    let report = fcdpm_analyze::run(&scratch.root, &Baseline::default()).expect("runs");
+    assert!(report.is_clean(), "{}", report.to_human());
+}
+
+#[test]
+fn out_of_range_grid_setpoint_is_rejected() {
+    let scratch = Scratch::new("analyze-bad-grid");
+    // Minimal conformant manifest so the range parameters resolve.
+    scratch.write(
+        "crates/x/src/lib.rs",
+        "pub const A: f64 = 0.45;\npub const V: f64 = 12.0;\npub const LO: f64 = 0.1;\npub const HI: f64 = 1.2;\n",
+    );
+    scratch.write(
+        "paper-constants.toml",
+        "[efficiency]\npath = \"crates/x/src/lib.rs\"\nalpha = 0.45\nv_bus_v = 12.0\n\n[load_following]\npath = \"crates/x/src/lib.rs\"\ni_f_min_a = 0.1\ni_f_max_a = 1.2\n",
+    );
+    scratch.write(
+        "examples/good_grid.json",
+        r#"{"policies": ["Conv", {"Constant": 0.6}], "workloads": [{"Experiment1": 1}]}"#,
+    );
+    scratch.write(
+        "examples/bad_grid.json",
+        r#"{"policies": [{"Constant": 1.3}], "workloads": [{"Experiment1": 1}]}"#,
+    );
+    let report = fcdpm_analyze::run(&scratch.root, &Baseline::default()).expect("runs");
+    assert_eq!(report.findings.len(), 1, "{}", report.to_human());
+    let finding = &report.findings[0];
+    assert_eq!(finding.rule, AnalyzeRule::GridFeasibility.id());
+    assert_eq!(finding.path, "examples/bad_grid.json");
+    assert!(
+        finding.message.contains("load-following range"),
+        "{finding}"
+    );
+}
+
+#[test]
+fn mixing_behind_the_core_reexport_is_detected() {
+    // `fcdpm-core` re-exports the unit newtypes; physics code importing
+    // them through core instead of fcdpm-units must still be tracked.
+    let scratch = Scratch::new("analyze-core-reexport");
+    scratch.write(
+        "crates/sim/src/lib.rs",
+        "use fcdpm_core::{Amps, Seconds};\n\npub fn f(i: Amps, t: Seconds) -> f64 {\n    let mixed = i.amps() + t.seconds();\n    mixed\n}\n",
+    );
+    let report = fcdpm_analyze::run(&scratch.root, &Baseline::default()).expect("runs");
+    assert_eq!(report.findings.len(), 1, "{}", report.to_human());
+    assert_eq!(report.findings[0].rule, AnalyzeRule::UnitDataflow.id());
+    assert_eq!(report.findings[0].line, 4);
+}
+
+#[test]
+fn inline_suppression_silences_the_dataflow_rule() {
+    let scratch = Scratch::new("analyze-suppression");
+    scratch.write(
+        "crates/sim/src/lib.rs",
+        "pub fn f(i: Amps, t: Seconds) -> f64 {\n    // fcdpm-lint: allow(unit-dataflow)\n    let mixed = i.amps() + t.seconds();\n    mixed\n}\n",
+    );
+    let report = fcdpm_analyze::run(&scratch.root, &Baseline::default()).expect("runs");
+    assert!(report.is_clean(), "{}", report.to_human());
+    assert_eq!(report.inline_suppressed, 1);
+}
+
+#[test]
+fn dimension_fixture_pair_splits_cleanly() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let bad = fs::read_to_string(dir.join("dimension_bad.rs")).expect("bad fixture");
+    let ok = fs::read_to_string(dir.join("dimension_ok.rs")).expect("ok fixture");
+
+    let bad_findings =
+        fcdpm_analyze::dataflow::check_file("crates/sim/src/dimension_bad.rs", &Scan::new(&bad));
+    // One finding per mixing-class function in the fixture.
+    assert_eq!(bad_findings.len(), 5, "{bad_findings:#?}");
+    assert!(bad_findings
+        .iter()
+        .any(|f| f.message.contains("raw f64 projections")));
+    assert!(bad_findings
+        .iter()
+        .any(|f| f.message.contains("unit newtypes")));
+    assert!(bad_findings.iter().any(|f| f.message.contains("`.0`")));
+
+    let ok_findings =
+        fcdpm_analyze::dataflow::check_file("crates/sim/src/dimension_ok.rs", &Scan::new(&ok));
+    assert!(ok_findings.is_empty(), "{ok_findings:#?}");
+}

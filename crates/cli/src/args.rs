@@ -42,13 +42,15 @@ pub enum DeviceChoice {
     Exp2,
 }
 
-/// Output format of `fcdpm lint`.
+/// Output format of `fcdpm lint` and `fcdpm analyze`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LintFormat {
     /// One `path:line: [rule] message` diagnostic per line.
     Human,
     /// The machine-readable JSON report.
     Json,
+    /// SARIF 2.1.0, for code-scanning upload and editor ingestion.
+    Sarif,
 }
 
 /// A parsed CLI invocation.
@@ -115,6 +117,21 @@ pub enum Command {
         /// Diagnostics format (default human).
         format: LintFormat,
         /// Baseline file path (default `<root>/lint-baseline.json`;
+        /// missing file means an empty baseline).
+        baseline: Option<String>,
+        /// Workspace root to scan (default: current directory).
+        root: Option<String>,
+        /// Regenerate the baseline file from the current findings
+        /// instead of failing on them.
+        write_baseline: bool,
+    },
+    /// Run the workspace-aware semantic analysis (symbol graph,
+    /// unit-dimension dataflow, paper-constants conformance, job-grid
+    /// feasibility).
+    Analyze {
+        /// Diagnostics format (default human).
+        format: LintFormat,
+        /// Baseline file path (default `<root>/analyze-baseline.json`;
         /// missing file means an empty baseline).
         baseline: Option<String>,
         /// Workspace root to scan (default: current directory).
@@ -368,7 +385,7 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, ParseCliError> {
                 out,
             })
         }
-        "lint" => {
+        "lint" | "analyze" => {
             let mut format = LintFormat::Human;
             let mut baseline = None;
             let mut root = None;
@@ -380,6 +397,7 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, ParseCliError> {
                         format = match v {
                             "human" => LintFormat::Human,
                             "json" => LintFormat::Json,
+                            "sarif" => LintFormat::Sarif,
                             other => return Err(err(format!("unknown format `{other}`"))),
                         };
                     }
@@ -393,12 +411,21 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, ParseCliError> {
                     other => return Err(err(format!("unknown flag `{other}`"))),
                 }
             }
-            Ok(Command::Lint {
-                format,
-                baseline,
-                root,
-                write_baseline,
-            })
+            if cmd == "analyze" {
+                Ok(Command::Analyze {
+                    format,
+                    baseline,
+                    root,
+                    write_baseline,
+                })
+            } else {
+                Ok(Command::Lint {
+                    format,
+                    baseline,
+                    root,
+                    write_baseline,
+                })
+            }
         }
         other => Err(err(format!("unknown command `{other}`"))),
     }
@@ -594,6 +621,49 @@ mod tests {
         assert!(parse(&["lint", "--format", "xml"]).is_err());
         assert!(parse(&["lint", "--baseline"]).is_err());
         assert!(parse(&["lint", "--frob"]).is_err());
+    }
+
+    #[test]
+    fn analyze_parse() {
+        assert_eq!(
+            parse(&["analyze"]).unwrap(),
+            Command::Analyze {
+                format: LintFormat::Human,
+                baseline: None,
+                root: None,
+                write_baseline: false,
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "analyze",
+                "--format",
+                "sarif",
+                "--baseline",
+                "a.json",
+                "--root",
+                "/tmp/ws",
+                "--write-baseline"
+            ])
+            .unwrap(),
+            Command::Analyze {
+                format: LintFormat::Sarif,
+                baseline: Some("a.json".into()),
+                root: Some("/tmp/ws".into()),
+                write_baseline: true,
+            }
+        );
+        assert_eq!(
+            parse(&["lint", "--format", "sarif"]).unwrap(),
+            Command::Lint {
+                format: LintFormat::Sarif,
+                baseline: None,
+                root: None,
+                write_baseline: false,
+            }
+        );
+        assert!(parse(&["analyze", "--format", "xml"]).is_err());
+        assert!(parse(&["analyze", "--frob"]).is_err());
     }
 
     #[test]

@@ -73,7 +73,20 @@ pub fn execute(command: &Command) -> Result<CmdOutput, String> {
             baseline,
             root,
             write_baseline,
-        } => run_lint(
+        } => run_analysis_stage(
+            &LINT_STAGE,
+            *format,
+            baseline.as_deref(),
+            root.as_deref(),
+            *write_baseline,
+        ),
+        Command::Analyze {
+            format,
+            baseline,
+            root,
+            write_baseline,
+        } => run_analysis_stage(
+            &ANALYZE_STAGE,
             *format,
             baseline.as_deref(),
             root.as_deref(),
@@ -82,7 +95,49 @@ pub fn execute(command: &Command) -> Result<CmdOutput, String> {
     }
 }
 
-fn run_lint(
+/// One static-analysis stage (`lint` or `analyze`): both share the
+/// report, baseline and SARIF machinery and differ only in the rule
+/// engine behind them and the ledger file they default to.
+struct AnalysisStage {
+    /// Verb used in error messages (`lint`, `analyze`).
+    verb: &'static str,
+    /// SARIF `tool.driver.name`.
+    tool_name: &'static str,
+    /// Default baseline filename under the workspace root.
+    default_baseline: &'static str,
+    /// Runs the stage against a baseline.
+    run: fn(&std::path::Path, &fcdpm_lint::Baseline) -> std::io::Result<fcdpm_lint::Report>,
+    /// Builds a baseline covering the current findings.
+    snapshot: fn(&std::path::Path, &str) -> std::io::Result<fcdpm_lint::Baseline>,
+    /// `(id, summary)` pairs for the SARIF rule catalogue.
+    catalogue: fn() -> Vec<(&'static str, &'static str)>,
+}
+
+const LINT_STAGE: AnalysisStage = AnalysisStage {
+    verb: "lint",
+    tool_name: "fcdpm-lint",
+    default_baseline: "lint-baseline.json",
+    run: |root, baseline| fcdpm_lint::run(root, baseline),
+    snapshot: |root, note| fcdpm_lint::snapshot_baseline(root, note),
+    catalogue: || {
+        fcdpm_lint::Rule::ALL
+            .into_iter()
+            .map(|r| (r.id(), r.summary()))
+            .collect()
+    },
+};
+
+const ANALYZE_STAGE: AnalysisStage = AnalysisStage {
+    verb: "analyze",
+    tool_name: "fcdpm-analyze",
+    default_baseline: "analyze-baseline.json",
+    run: |root, baseline| fcdpm_analyze::run(root, baseline),
+    snapshot: |root, note| fcdpm_analyze::snapshot_baseline(root, note),
+    catalogue: fcdpm_analyze::rule_catalogue,
+};
+
+fn run_analysis_stage(
+    stage: &AnalysisStage,
     format: LintFormat,
     baseline: Option<&str>,
     root: Option<&str>,
@@ -91,13 +146,13 @@ fn run_lint(
     let root_dir = std::path::PathBuf::from(root.unwrap_or("."));
     let baseline_path = baseline
         .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| root_dir.join("lint-baseline.json"));
+        .unwrap_or_else(|| root_dir.join(stage.default_baseline));
     if write_baseline {
-        let snapshot = fcdpm_lint::snapshot_baseline(
+        let snapshot = (stage.snapshot)(
             &root_dir,
             "pre-existing debt; see DESIGN.md \u{a7} Static analysis",
         )
-        .map_err(|e| format!("cannot lint `{}`: {e}", root_dir.display()))?;
+        .map_err(|e| format!("cannot {} `{}`: {e}", stage.verb, root_dir.display()))?;
         let entries = snapshot.entries.len();
         std::fs::write(&baseline_path, snapshot.to_json())
             .map_err(|e| format!("cannot write `{}`: {e}", baseline_path.display()))?;
@@ -115,11 +170,14 @@ fn run_lint(
     } else {
         fcdpm_lint::Baseline::default()
     };
-    let report = fcdpm_lint::run(&root_dir, &baseline)
-        .map_err(|e| format!("cannot lint `{}`: {e}", root_dir.display()))?;
+    let report = (stage.run)(&root_dir, &baseline)
+        .map_err(|e| format!("cannot {} `{}`: {e}", stage.verb, root_dir.display()))?;
     let text = match format {
         LintFormat::Human => report.to_human(),
         LintFormat::Json => report.to_json(),
+        LintFormat::Sarif => {
+            fcdpm_lint::sarif::to_sarif(&report, stage.tool_name, &(stage.catalogue)())
+        }
     };
     Ok(CmdOutput {
         text,
@@ -468,6 +526,51 @@ mod tests {
         let out = execute(&Command::Help).unwrap().text;
         assert!(out.contains("USAGE"));
         assert!(out.contains("experiment"));
+        assert!(out.contains("analyze"));
+    }
+
+    #[test]
+    fn analyze_runs_clean_on_this_workspace_in_every_format() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_owned();
+        for format in [LintFormat::Human, LintFormat::Json, LintFormat::Sarif] {
+            let out = execute(&Command::Analyze {
+                format,
+                baseline: None,
+                root: Some(root.clone()),
+                write_baseline: false,
+            })
+            .unwrap();
+            assert!(
+                out.ok,
+                "committed workspace must analyze clean:\n{}",
+                out.text
+            );
+        }
+        let sarif = execute(&Command::Analyze {
+            format: LintFormat::Sarif,
+            baseline: None,
+            root: Some(root),
+            write_baseline: false,
+        })
+        .unwrap()
+        .text;
+        assert!(sarif.contains("\"fcdpm-analyze\""));
+        assert!(sarif.contains("sarif-schema-2.1.0"));
+    }
+
+    #[test]
+    fn lint_sarif_carries_the_lint_catalogue() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_owned();
+        let out = execute(&Command::Lint {
+            format: LintFormat::Sarif,
+            baseline: None,
+            root: Some(root),
+            write_baseline: false,
+        })
+        .unwrap();
+        assert!(out.ok, "committed workspace must lint clean:\n{}", out.text);
+        assert!(out.text.contains("\"fcdpm-lint\""));
+        assert!(out.text.contains("panic-policy"));
     }
 
     #[test]

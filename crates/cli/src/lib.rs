@@ -29,7 +29,8 @@ USAGE:
     fcdpm lifetime [--moles <N>] [--capacity-mamin <N>]
     fcdpm sizing [--tolerance-as <N>]
     fcdpm batch <grid.json> [--jobs <N>] [--out <DIR>]
-    fcdpm lint [--format <human|json>] [--baseline <FILE>] [--root <DIR>] [--write-baseline]
+    fcdpm lint [--format <human|json|sarif>] [--baseline <FILE>] [--root <DIR>] [--write-baseline]
+    fcdpm analyze [--format <human|json|sarif>] [--baseline <FILE>] [--root <DIR>] [--write-baseline]
     fcdpm help
 
 COMMANDS:
@@ -42,6 +43,8 @@ COMMANDS:
     batch        run a JSON job grid on the worker pool, write a run manifest
     lint         static-analysis pass: determinism, unit-safety, panic policy,
                  crate hygiene (exit 1 on any non-baselined finding)
+    analyze      semantic pass: crate layering, unit-dimension dataflow,
+                 paper-constants conformance, job-grid feasibility
     help         show this message
 "
     .to_owned()

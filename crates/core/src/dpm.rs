@@ -345,14 +345,19 @@ impl ProbabilisticSleep {
         // Candidate timeouts: zero (immediate sleep), each observation
         // (the cost is piecewise-linear with kinks there), and "past the
         // maximum" (never sleep).
-        let mut candidates: Vec<f64> = vec![0.0];
-        candidates.extend(self.history.iter().copied());
-        let never = self.history.iter().cloned().fold(0.0f64, f64::max) + 1.0;
-        candidates.push(never);
-        let best = candidates
-            .into_iter()
-            .min_by(|a, b| self.expected_cost(*a).total_cmp(&self.expected_cost(*b)))
-            .expect("candidate list is non-empty");
+        let never = self.history.iter().copied().fold(0.0f64, f64::max) + 1.0;
+        // Seed the scan with the zero candidate so the fold needs no
+        // "empty list" escape hatch; `<=` keeps `min_by`'s last-wins
+        // tie-breaking so the chosen timeout is unchanged.
+        let mut best = 0.0f64;
+        let mut best_cost = self.expected_cost(0.0);
+        for tau in self.history.iter().copied().chain(std::iter::once(never)) {
+            let cost = self.expected_cost(tau);
+            if cost <= best_cost {
+                best = tau;
+                best_cost = cost;
+            }
+        }
         Some(Seconds::new(best))
     }
 }

@@ -58,3 +58,7 @@ pub use optimizer::{
     ConstraintCase, FuelOptimizer, Overhead, SlotPlan, SlotProfile, StorageContext,
 };
 pub use policy::{FcOutputPolicy, PolicyPhase};
+// Re-export the quantity newtypes policy code passes around, so
+// downstream crates can take them from `fcdpm_core` without a separate
+// `fcdpm_units` dependency line.
+pub use fcdpm_units::{Amps, Charge, CurrentRange, Seconds, Volts, Watts};

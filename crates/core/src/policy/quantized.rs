@@ -28,7 +28,32 @@ use super::{ActiveStart, FcOutputPolicy, PolicyPhase, SlotEnd, SlotStart};
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct OutputLevels {
-    levels: Vec<Amps>,
+    levels: NonEmpty,
+}
+
+/// A level vector whose non-emptiness is a constructor invariant, so
+/// first/last access needs no per-call-site `expect`.
+#[derive(Debug, Clone, PartialEq)]
+struct NonEmpty(Vec<Amps>);
+
+impl NonEmpty {
+    #[track_caller]
+    fn new(items: Vec<Amps>) -> Self {
+        assert!(!items.is_empty(), "need at least one output level");
+        Self(items)
+    }
+
+    fn first(&self) -> Amps {
+        self.0[0]
+    }
+
+    fn last(&self) -> Amps {
+        self.0[self.0.len() - 1]
+    }
+
+    fn as_slice(&self) -> &[Amps] {
+        &self.0
+    }
 }
 
 impl OutputLevels {
@@ -41,12 +66,12 @@ impl OutputLevels {
     #[must_use]
     #[track_caller]
     pub fn new(levels: Vec<Amps>) -> Self {
-        assert!(!levels.is_empty(), "need at least one output level");
         assert!(
             levels.windows(2).all(|w| w[0] < w[1]),
             "levels must be strictly ascending"
         );
-        assert!(!levels[0].is_negative(), "levels must be non-negative");
+        let levels = NonEmpty::new(levels);
+        assert!(!levels.first().is_negative(), "levels must be non-negative");
         Self { levels }
     }
 
@@ -63,19 +88,19 @@ impl OutputLevels {
     /// Number of levels.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.levels.len()
+        self.levels.as_slice().len()
     }
 
     /// Whether the set is empty (never true for a constructed set).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.levels.is_empty()
+        self.levels.as_slice().is_empty()
     }
 
     /// The supported levels, ascending.
     #[must_use]
     pub fn as_slice(&self) -> &[Amps] {
-        &self.levels
+        self.levels.as_slice()
     }
 
     /// The level closest to `i` (ties resolve to the lower level).
@@ -93,16 +118,17 @@ impl OutputLevels {
     /// extremes both elements are the extreme level.
     #[must_use]
     pub fn bracket(&self, i: Amps) -> (Amps, Amps) {
-        let first = self.levels[0];
-        let last = *self.levels.last().expect("non-empty");
+        let first = self.levels.first();
+        let last = self.levels.last();
         if i <= first {
             return (first, first);
         }
         if i >= last {
             return (last, last);
         }
-        let pos = self.levels.partition_point(|l| *l <= i);
-        (self.levels[pos - 1], self.levels[pos])
+        let levels = self.levels.as_slice();
+        let pos = levels.partition_point(|l| *l <= i);
+        (levels[pos - 1], levels[pos])
     }
 }
 

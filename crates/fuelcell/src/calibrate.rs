@@ -132,13 +132,17 @@ impl PolarizationCurve {
             }
         };
         // Initial guess: open circuit from the lowest-current sample; the
-        // BCS-class loss shape as the seed.
-        let v_oc_guess = points
-            .iter()
-            .min_by(|a, b| a.0.amps().total_cmp(&b.0.amps()))
-            .expect("non-empty")
-            .1
-            .volts();
+        // BCS-class loss shape as the seed. The scan always overwrites
+        // the seed voltage because `points` holds at least six samples
+        // (checked above); `<=` keeps `min_by`'s last-wins tie-breaking.
+        let mut v_oc_guess = 0.0;
+        let mut i_min = f64::INFINITY;
+        for (i, v) in points {
+            if i.amps() <= i_min {
+                i_min = i.amps();
+                v_oc_guess = v.volts();
+            }
+        }
         let start = [
             v_oc_guess,
             (0.5f64).ln(),

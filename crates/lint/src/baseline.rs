@@ -9,7 +9,7 @@
 //! baseline can be tightened, and it never grows silently because any
 //! finding beyond the allowance fails the run.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::json::{parse, Json};
 use crate::Finding;
@@ -42,7 +42,7 @@ impl Baseline {
         let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
         for f in findings {
             *counts
-                .entry((f.path.clone(), f.rule.id().to_owned()))
+                .entry((f.path.clone(), f.rule.to_owned()))
                 .or_insert(0) += 1;
         }
         let entries = counts
@@ -130,8 +130,20 @@ impl Baseline {
 
     /// Splits `findings` into (non-baselined, baselined-count) and
     /// reports stale entries whose allowance was not fully used.
+    ///
+    /// `scanned` is the set of workspace-relative paths the run actually
+    /// visited. An entry whose path is not in that set names a file that
+    /// no longer exists (or was never scanned); it is reported as stale
+    /// even when its allowance is zero, so deleted files cannot keep
+    /// ghost entries in the ledger forever. Pass `None` when no path set
+    /// is available (e.g. when matching synthetic findings in tests) —
+    /// then only unused allowances are stale.
     #[must_use]
-    pub fn apply(&self, findings: Vec<Finding>) -> BaselineOutcome {
+    pub fn apply(
+        &self,
+        findings: Vec<Finding>,
+        scanned: Option<&BTreeSet<String>>,
+    ) -> BaselineOutcome {
         let mut remaining: BTreeMap<(String, String), usize> = self
             .entries
             .iter()
@@ -140,7 +152,7 @@ impl Baseline {
         let mut outstanding = Vec::new();
         let mut baselined = 0usize;
         for finding in findings {
-            let key = (finding.rule.id().to_owned(), finding.path.clone());
+            let key = (finding.rule.to_owned(), finding.path.clone());
             match remaining.get_mut(&key) {
                 Some(allowance) if *allowance > 0 => {
                     *allowance -= 1;
@@ -151,8 +163,15 @@ impl Baseline {
         }
         let stale = remaining
             .into_iter()
-            .filter(|(_, unused)| *unused > 0)
-            .map(|((rule, path), unused)| StaleEntry { rule, path, unused })
+            .filter_map(|((rule, path), unused)| {
+                let missing_path = scanned.is_some_and(|set| !set.contains(&path));
+                (unused > 0 || missing_path).then_some(StaleEntry {
+                    rule,
+                    path,
+                    unused,
+                    missing_path,
+                })
+            })
             .collect();
         BaselineOutcome {
             findings: outstanding,
@@ -172,6 +191,9 @@ pub struct StaleEntry {
     pub path: String,
     /// Unused allowance.
     pub unused: usize,
+    /// Whether the entry's path was absent from the scanned file set
+    /// (the file was deleted or renamed since the entry was written).
+    pub missing_path: bool,
 }
 
 /// The result of matching findings against a baseline.
@@ -188,9 +210,8 @@ pub struct BaselineOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Rule;
 
-    fn finding(rule: Rule, path: &str, line: usize) -> Finding {
+    fn finding(rule: &'static str, path: &str, line: usize) -> Finding {
         Finding {
             rule,
             path: path.to_owned(),
@@ -202,9 +223,9 @@ mod tests {
     #[test]
     fn round_trip_is_identity() {
         let findings = vec![
-            finding(Rule::PanicPolicy, "crates/a/src/lib.rs", 3),
-            finding(Rule::PanicPolicy, "crates/a/src/lib.rs", 9),
-            finding(Rule::Determinism, "crates/b/src/x.rs", 1),
+            finding("panic-policy", "crates/a/src/lib.rs", 3),
+            finding("panic-policy", "crates/a/src/lib.rs", 9),
+            finding("determinism", "crates/b/src/x.rs", 1),
         ];
         let baseline = Baseline::from_findings(&findings, "tracked debt");
         let text = baseline.to_json();
@@ -223,10 +244,13 @@ mod tests {
                 note: String::new(),
             }],
         };
-        let outcome = baseline.apply(vec![
-            finding(Rule::PanicPolicy, "crates/a/src/lib.rs", 3),
-            finding(Rule::PanicPolicy, "crates/a/src/lib.rs", 9),
-        ]);
+        let outcome = baseline.apply(
+            vec![
+                finding("panic-policy", "crates/a/src/lib.rs", 3),
+                finding("panic-policy", "crates/a/src/lib.rs", 9),
+            ],
+            None,
+        );
         assert_eq!(outcome.baselined, 1);
         assert_eq!(outcome.findings.len(), 1);
         assert!(outcome.stale.is_empty());
@@ -242,7 +266,10 @@ mod tests {
                 note: String::new(),
             }],
         };
-        let outcome = baseline.apply(vec![finding(Rule::PanicPolicy, "crates/a/src/lib.rs", 3)]);
+        let outcome = baseline.apply(
+            vec![finding("panic-policy", "crates/a/src/lib.rs", 3)],
+            None,
+        );
         assert_eq!(outcome.baselined, 1);
         assert_eq!(
             outcome.stale,
@@ -250,6 +277,42 @@ mod tests {
                 rule: "panic-policy".into(),
                 path: "crates/a/src/lib.rs".into(),
                 unused: 4,
+                missing_path: false,
+            }]
+        );
+    }
+
+    #[test]
+    fn entry_for_unscanned_path_is_stale_even_with_zero_allowance() {
+        let baseline = Baseline {
+            entries: vec![
+                BaselineEntry {
+                    rule: "panic-policy".into(),
+                    path: "crates/gone/src/lib.rs".into(),
+                    count: 0,
+                    note: String::new(),
+                },
+                BaselineEntry {
+                    rule: "panic-policy".into(),
+                    path: "crates/a/src/lib.rs".into(),
+                    count: 1,
+                    note: String::new(),
+                },
+            ],
+        };
+        let scanned: BTreeSet<String> = ["crates/a/src/lib.rs".to_owned()].into_iter().collect();
+        let outcome = baseline.apply(
+            vec![finding("panic-policy", "crates/a/src/lib.rs", 3)],
+            Some(&scanned),
+        );
+        assert_eq!(outcome.baselined, 1);
+        assert_eq!(
+            outcome.stale,
+            vec![StaleEntry {
+                rule: "panic-policy".into(),
+                path: "crates/gone/src/lib.rs".into(),
+                unused: 0,
+                missing_path: true,
             }]
         );
     }

@@ -3,8 +3,8 @@
 //! `fcdpm-lint` is deliberately dependency-free (the workspace builds
 //! offline), so the baseline file and the `--format json` report are
 //! handled by this ~200-line module instead of `serde_json`. It supports
-//! exactly the JSON the tool needs: objects (insertion-ordered), arrays,
-//! strings, unsigned integers, booleans and null.
+//! exactly the JSON the tools need: objects (insertion-ordered), arrays,
+//! strings, unsigned integers, finite floats, booleans and null.
 
 use std::fmt::Write as _;
 
@@ -16,8 +16,12 @@ pub enum Json {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// A non-negative integer (the only numbers the tool produces).
+    /// A non-negative integer (the only numbers the lint produces).
     Num(u64),
+    /// A finite float. Parsed for any numeric token carrying a sign,
+    /// fraction or exponent; emitted via `{:?}` so the shortest exact
+    /// round-trip form (including a trailing `.0`) is written back.
+    Float(f64),
     /// A string.
     Str(String),
     /// An array.
@@ -54,6 +58,22 @@ impl Json {
         }
     }
 
+    /// The numeric payload as `f64`, if this is any number. Useful for
+    /// physical-quantity fields that may be written as `1` or `1.0`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => {
+                // u64 → f64 may round for huge values; quantities in
+                // this workspace are far below 2^53 so this is exact.
+                #[allow(clippy::cast_precision_loss)]
+                Some(*n as f64)
+            }
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
     /// The element list, if this is an array.
     #[must_use]
     pub fn as_arr(&self) -> Option<&[Json]> {
@@ -78,6 +98,9 @@ impl Json {
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(n) => {
                 let _ = write!(out, "{n}");
+            }
+            Json::Float(x) => {
+                let _ = write!(out, "{x:?}");
             }
             Json::Str(s) => write_escaped(out, s),
             Json::Arr(items) => {
@@ -181,7 +204,7 @@ fn parse_value(chars: &[char], pos: &mut usize) -> Result<Json, String> {
         Some('t') => parse_lit(chars, pos, "true", Json::Bool(true)),
         Some('f') => parse_lit(chars, pos, "false", Json::Bool(false)),
         Some('n') => parse_lit(chars, pos, "null", Json::Null),
-        Some(c) if c.is_ascii_digit() => parse_num(chars, pos),
+        Some(c) if c.is_ascii_digit() || *c == '-' => parse_num(chars, pos),
         Some(c) => Err(format!("unexpected `{c}` at offset {pos}")),
     }
 }
@@ -198,13 +221,23 @@ fn parse_lit(chars: &[char], pos: &mut usize, lit: &str, value: Json) -> Result<
 
 fn parse_num(chars: &[char], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
-    while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+    while chars
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+    {
         *pos += 1;
     }
     let text: String = chars[start..*pos].iter().collect();
-    text.parse::<u64>()
-        .map(Json::Num)
-        .map_err(|e| format!("bad number `{text}`: {e}"))
+    if text.chars().all(|c| c.is_ascii_digit()) {
+        return text
+            .parse::<u64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number `{text}`: {e}"));
+    }
+    match text.parse::<f64>() {
+        Ok(x) if x.is_finite() => Ok(Json::Float(x)),
+        _ => Err(format!("bad number `{text}`")),
+    }
 }
 
 fn parse_string(chars: &[char], pos: &mut usize) -> Result<String, String> {
@@ -334,6 +367,27 @@ mod tests {
             Some(1)
         );
         assert!(doc.get("missing").is_none());
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        let doc = parse("[50.0, -0.13, 1.2e-3, 0.45, 3]").unwrap();
+        assert_eq!(
+            doc,
+            Json::Arr(vec![
+                Json::Float(50.0),
+                Json::Float(-0.13),
+                Json::Float(1.2e-3),
+                Json::Float(0.45),
+                Json::Num(3),
+            ])
+        );
+        // Emission keeps the float-ness: `50.0` must not collapse to `50`.
+        let text = doc.to_pretty();
+        assert!(text.contains("50.0"));
+        assert_eq!(parse(&text).unwrap(), doc);
+        assert_eq!(doc.as_arr().unwrap()[4].as_f64(), Some(3.0));
+        assert_eq!(doc.as_arr().unwrap()[1].as_f64(), Some(-0.13));
     }
 
     #[test]

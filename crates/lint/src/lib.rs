@@ -35,6 +35,7 @@
 pub mod baseline;
 pub mod json;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
 
 use std::fmt;
@@ -48,10 +49,15 @@ pub use rules::{lint_file, FileLint, Rule};
 pub use scan::Scan;
 
 /// One diagnostic produced by a rule.
+///
+/// The rule is carried as its stable string identifier (not the
+/// [`Rule`] enum) so the report/baseline machinery is shared by every
+/// analysis stage — `fcdpm lint` and `fcdpm analyze` have disjoint rule
+/// catalogues but identical ledger semantics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// The rule that fired.
-    pub rule: Rule,
+    /// Stable identifier of the rule that fired (e.g. `panic-policy`).
+    pub rule: &'static str,
     /// Workspace-relative path with `/` separators.
     pub path: String,
     /// 1-indexed line.
@@ -65,10 +71,7 @@ impl fmt::Display for Finding {
         write!(
             f,
             "{}:{}: [{}] {}",
-            self.path,
-            self.line,
-            self.rule.id(),
-            self.message
+            self.path, self.line, self.rule, self.message
         )
     }
 }
@@ -106,10 +109,17 @@ impl Report {
             out.push('\n');
         }
         for stale in &self.stale {
-            out.push_str(&format!(
-                "stale baseline entry: {} [{}] allows {} more finding(s) than exist — tighten lint-baseline.json\n",
-                stale.path, stale.rule, stale.unused
-            ));
+            if stale.missing_path {
+                out.push_str(&format!(
+                    "stale baseline entry: {} [{}] names a file that no longer exists — remove it from the baseline\n",
+                    stale.path, stale.rule
+                ));
+            } else {
+                out.push_str(&format!(
+                    "stale baseline entry: {} [{}] allows {} more finding(s) than exist — tighten the baseline\n",
+                    stale.path, stale.rule, stale.unused
+                ));
+            }
         }
         out.push_str(&format!(
             "{} file(s) scanned: {} finding(s), {} baselined, {} inline-suppressed, {} stale baseline entr{}\n",
@@ -133,7 +143,7 @@ impl Report {
             .iter()
             .map(|f| {
                 Json::Obj(vec![
-                    ("rule".into(), Json::Str(f.rule.id().into())),
+                    ("rule".into(), Json::Str(f.rule.into())),
                     ("path".into(), Json::Str(f.path.clone())),
                     ("line".into(), Json::Num(f.line as u64)),
                     ("message".into(), Json::Str(f.message.clone())),
@@ -148,6 +158,7 @@ impl Report {
                     ("rule".into(), Json::Str(s.rule.clone())),
                     ("path".into(), Json::Str(s.path.clone())),
                     ("unused".into(), Json::Num(s.unused as u64)),
+                    ("missing_path".into(), Json::Bool(s.missing_path)),
                 ])
             })
             .collect();
@@ -244,7 +255,9 @@ pub fn run(root: &Path, baseline: &Baseline) -> io::Result<Report> {
     findings.sort_by(|a, b| {
         (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
     });
-    let outcome = baseline.apply(findings);
+    let scanned: std::collections::BTreeSet<String> =
+        files.iter().map(|(rel, _)| rel.clone()).collect();
+    let outcome = baseline.apply(findings, Some(&scanned));
     Ok(Report {
         findings: outcome.findings,
         inline_suppressed,
@@ -273,7 +286,7 @@ mod tests {
     fn report_renderings_are_deterministic() {
         let report = Report {
             findings: vec![Finding {
-                rule: Rule::PanicPolicy,
+                rule: "panic-policy",
                 path: "crates/a/src/lib.rs".into(),
                 line: 4,
                 message: "m".into(),
@@ -284,6 +297,7 @@ mod tests {
                 rule: "determinism".into(),
                 path: "crates/b/src/lib.rs".into(),
                 unused: 1,
+                missing_path: false,
             }],
             files_scanned: 7,
         };

@@ -154,7 +154,7 @@ pub fn lint_file(rel_path: &str, source: &str) -> FileLint {
 
     let mut out = FileLint::default();
     for finding in raw {
-        if scan.is_suppressed(finding.rule.id(), finding.line) {
+        if scan.is_suppressed(finding.rule, finding.line) {
             out.inline_suppressed += 1;
         } else {
             out.findings.push(finding);
@@ -167,7 +167,7 @@ pub fn lint_file(rel_path: &str, source: &str) -> FileLint {
 
 fn push(out: &mut Vec<Finding>, rule: Rule, rel_path: &str, line: usize, message: String) {
     out.push(Finding {
-        rule,
+        rule: rule.id(),
         path: rel_path.to_owned(),
         line,
         message,

@@ -16,7 +16,7 @@ fn fixture(name: &str) -> String {
 }
 
 fn count(findings: &[fcdpm_lint::Finding], rule: Rule) -> usize {
-    findings.iter().filter(|f| f.rule == rule).count()
+    findings.iter().filter(|f| f.rule == rule.id()).count()
 }
 
 #[test]
@@ -222,5 +222,49 @@ fn stale_baseline_entries_are_reported_not_fatal() {
     assert_eq!(gated.stale.len(), 1);
     assert_eq!(gated.stale[0].unused, 3);
     assert!(gated.to_human().contains("stale baseline entry"));
+    fs::remove_dir_all(&root).unwrap();
+}
+
+/// Regression test: a baseline entry whose `path` no longer exists on
+/// disk must be reported stale — even when its allowance is zero or
+/// fully "used up" on paper — instead of silently lingering forever.
+#[test]
+fn baseline_entry_for_deleted_file_is_stale() {
+    let root = scratch_workspace("deleted-path");
+    let baseline = Baseline {
+        entries: vec![
+            fcdpm_lint::BaselineEntry {
+                rule: "panic-policy".into(),
+                path: "crates/sim/src/ghost.rs".into(),
+                count: 2,
+                note: "file was deleted after this entry was written".into(),
+            },
+            fcdpm_lint::BaselineEntry {
+                rule: "determinism".into(),
+                path: "crates/sim/src/phantom.rs".into(),
+                count: 0,
+                note: "zero allowance must still be flagged".into(),
+            },
+        ],
+    };
+    let report = fcdpm_lint::run(&root, &baseline).unwrap();
+    assert_eq!(
+        report.stale.len(),
+        2,
+        "both vanished paths must surface: {:#?}",
+        report.stale
+    );
+    assert!(report.stale.iter().all(|s| s.missing_path));
+    assert!(report
+        .stale
+        .iter()
+        .any(|s| s.path == "crates/sim/src/ghost.rs"));
+    assert!(report
+        .stale
+        .iter()
+        .any(|s| s.path == "crates/sim/src/phantom.rs" && s.unused == 0));
+    assert!(report
+        .to_human()
+        .contains("names a file that no longer exists"));
     fs::remove_dir_all(&root).unwrap();
 }

@@ -6,7 +6,7 @@
 
 use fcdpm_core::dpm::{OracleSleep, PredictiveSleep, SleepPolicy};
 use fcdpm_core::policy::{
-    AsapDpm, ConvDpm, FcDpm, FcOutputPolicy, OutputLevels, Quantized, WindowedAverage,
+    AsapDpm, ConvDpm, FcDpm, FcOutputPolicy, OutputLevels, PolicyPhase, Quantized, WindowedAverage,
 };
 use fcdpm_core::FuelOptimizer;
 use fcdpm_fuelcell::{GibbsCoefficient, HydrogenTank, LinearEfficiency};
@@ -15,7 +15,7 @@ use fcdpm_predict::{
 };
 use fcdpm_sim::{HybridSimulator, SimMetrics};
 use fcdpm_storage::{ChargeStorage, IdealStorage, KineticBattery, SuperCapacitor};
-use fcdpm_units::{Charge, CurrentRange, Seconds, Volts, Watts};
+use fcdpm_units::{Amps, Charge, CurrentRange, Seconds, Volts, Watts};
 use fcdpm_workload::{CamcorderTrace, LoadProfile, Scenario, SyntheticTrace, Trace};
 
 use serde::{Deserialize, Serialize};
@@ -140,6 +140,49 @@ fn build_sleep(spec: &JobSpec, scenario: &Scenario) -> Box<dyn SleepPolicy> {
     Box::new(PredictiveSleep::with_predictor(predictor))
 }
 
+/// Holds the FC at a fixed output current regardless of load or SoC.
+/// Mostly useful as a baseline and for feasibility probing; the setpoint
+/// is validated against the load-following range before construction.
+#[derive(Debug)]
+struct ConstantOutput {
+    current: Amps,
+    name: String,
+}
+
+impl ConstantOutput {
+    fn new(current: Amps) -> Self {
+        let name = format!("Constant({} A)", current.amps());
+        Self { current, name }
+    }
+}
+
+impl FcOutputPolicy for ConstantOutput {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn segment_current(&mut self, _phase: PolicyPhase, _load: Amps, _soc: Charge) -> Amps {
+        self.current
+    }
+}
+
+/// Rejects specs whose constant setpoint lies outside the
+/// load-following range — the fuel model `I_fc = V_F·I_F/(ζ·(α−β·I_F))`
+/// is only calibrated inside `CurrentRange::dac07()`.
+fn validate_policy(spec: &JobSpec) -> Result<(), String> {
+    if let PolicySpec::Constant(amps) = spec.policy {
+        let range = CurrentRange::dac07();
+        if !amps.is_finite() || !range.contains(Amps::new(amps)) {
+            return Err(format!(
+                "constant setpoint {amps} A is outside the load-following range [{}, {}] A",
+                range.min().amps(),
+                range.max().amps()
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn build_policy(
     spec: &JobSpec,
     scenario: &Scenario,
@@ -164,6 +207,8 @@ fn build_policy(
             let levels = OutputLevels::uniform(CurrentRange::dac07(), count);
             Box::new(Quantized::new(fc(optimizer), levels))
         }
+        // Range-checked by `validate_policy` before this is reached.
+        PolicySpec::Constant(amps) => Box::new(ConstantOutput::new(Amps::new(amps))),
     }
 }
 
@@ -269,7 +314,10 @@ pub fn multi_device_profile(seed: u64) -> LoadProfile {
 
 fn execute_multi_device(spec: &JobSpec, seed: u64) -> Result<JobMetrics, String> {
     match spec.policy {
-        PolicySpec::Conv | PolicySpec::Asap | PolicySpec::WindowedAverage => {}
+        PolicySpec::Conv
+        | PolicySpec::Asap
+        | PolicySpec::WindowedAverage
+        | PolicySpec::Constant(_) => {}
         PolicySpec::FcDpm | PolicySpec::Quantized(_) => {
             return Err(format!(
                 "policy `{}` needs slot structure; multi-device runs are profile-driven",
@@ -284,6 +332,7 @@ fn execute_multi_device(spec: &JobSpec, seed: u64) -> Result<JobMetrics, String>
     let mut policy: Box<dyn FcOutputPolicy> = match spec.policy {
         PolicySpec::Conv => Box::new(ConvDpm::dac07()),
         PolicySpec::Asap => Box::new(AsapDpm::dac07(capacity)),
+        PolicySpec::Constant(amps) => Box::new(ConstantOutput::new(Amps::new(amps))),
         _ => Box::new(WindowedAverage::dac07()),
     };
     let mut storage = build_storage(spec, capacity);
@@ -310,6 +359,7 @@ pub fn execute(spec: &JobSpec) -> Result<JobMetrics, String> {
         spec.inject_panic != Some(true),
         "injected panic (inject_panic = true)"
     );
+    validate_policy(spec)?;
     if let WorkloadSpec::MultiDevice(seed) = spec.workload {
         return execute_multi_device(spec, seed);
     }
@@ -404,6 +454,26 @@ mod tests {
         let metrics = execute(&spec).expect("runs");
         assert!(metrics.fuel_as > 0.0);
         assert_eq!(metrics.slots, 0);
+    }
+
+    #[test]
+    fn constant_policy_holds_its_setpoint() {
+        let spec = JobSpec::new(PolicySpec::Constant(0.6), WorkloadSpec::Experiment1(SEED));
+        let metrics = execute(&spec).expect("in-range constant runs");
+        assert!(metrics.fuel_as > 0.0);
+        assert_eq!(spec.policy.label(), "const0.6");
+        // Slot-free, so it also drives the multi-device profile.
+        let multi = JobSpec::new(PolicySpec::Constant(0.6), WorkloadSpec::MultiDevice(1));
+        assert!(execute(&multi).expect("slot-free").fuel_as > 0.0);
+    }
+
+    #[test]
+    fn out_of_range_constant_is_rejected() {
+        for amps in [0.05, 1.3, f64::NAN] {
+            let spec = JobSpec::new(PolicySpec::Constant(amps), WorkloadSpec::Experiment1(SEED));
+            let err = execute(&spec).unwrap_err();
+            assert!(err.contains("load-following range"), "{err}");
+        }
     }
 
     #[test]

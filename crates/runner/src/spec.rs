@@ -21,6 +21,10 @@ pub enum PolicySpec {
     WindowedAverage,
     /// FC-DPM quantized to this many uniform output levels.
     Quantized(usize),
+    /// Hold the FC at this constant output current (amps). Must lie in
+    /// the load-following range `[0.1, 1.2] A`; `fcdpm analyze` and the
+    /// executor both reject setpoints outside it.
+    Constant(f64),
 }
 
 impl PolicySpec {
@@ -33,6 +37,7 @@ impl PolicySpec {
             PolicySpec::FcDpm => "fcdpm".to_owned(),
             PolicySpec::WindowedAverage => "windowed".to_owned(),
             PolicySpec::Quantized(levels) => format!("quantized{levels}"),
+            PolicySpec::Constant(amps) => format!("const{amps}"),
         }
     }
 }

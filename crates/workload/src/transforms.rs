@@ -62,12 +62,12 @@ pub fn aggregate_idles(trace: &Trace, min_idle: Seconds, max_defer: Seconds) -> 
     let mut worst_deferral = Seconds::ZERO;
 
     for slot in trace.slots() {
-        let mergeable = match out.last() {
-            Some(_) if slot.idle < min_idle => pending_deferral + slot.idle <= max_defer,
-            _ => false,
-        };
-        if mergeable {
-            let prev = out.pop().expect("guarded by match");
+        // Popping inside the guard makes the merge structurally tied to
+        // a previous slot existing: an empty `out` yields `None` and
+        // falls through to the push branch.
+        let mergeable = slot.idle < min_idle && pending_deferral + slot.idle <= max_defer;
+        let merged = if mergeable { out.pop() } else { None };
+        if let Some(prev) = merged {
             pending_deferral += slot.idle;
             worst_deferral = worst_deferral.max(pending_deferral);
             let active = prev.active + slot.active;
