@@ -262,14 +262,15 @@ const ALLOWED_DEPS: [(&str, &[&str]); 16] = [
     (
         "bench",
         &[
-            "core", "device", "fuelcell", "predict", "sim", "storage", "units", "workload",
+            "core", "device", "fuelcell", "predict", "runner", "sim", "storage", "units",
+            "workload",
         ],
     ),
     (
         "cli",
         &[
-            "analyze", "core", "device", "fuelcell", "lint", "predict", "runner", "sim", "storage",
-            "units", "workload",
+            "analyze", "bench", "core", "device", "fuelcell", "lint", "predict", "runner", "sim",
+            "storage", "units", "workload",
         ],
     ),
     (

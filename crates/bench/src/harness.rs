@@ -1,0 +1,262 @@
+//! Wall-clock bench harness behind `fcdpm bench`.
+//!
+//! Two measurements in one pass:
+//!
+//! 1. **Fixture grid** — the paper's three policies over the camcorder
+//!    and synthetic reference workloads, executed through
+//!    [`fcdpm_runner::run_grid`] exactly as a batch campaign would run
+//!    them, with per-job wall-clock from the manifest.
+//! 2. **Coalescing A/B** — each reference policy on the camcorder
+//!    scenario with the chunk-coalescing fast path on and off, timing
+//!    both and checking the physics agree.
+//!
+//! The machine-readable payload ([`BenchReport::json`]) carries only
+//! deterministic content — metrics and work counters, never timings —
+//! so CI can diff two consecutive runs byte-for-byte. Wall-clock
+//! numbers live in the human report ([`BenchReport::text`]).
+
+use std::time::Instant;
+
+use fcdpm_runner::{run_grid, JobGrid, PolicySpec, RunConfig, WorkloadSpec};
+use fcdpm_sim::fixture::{run_reference_on, ReferencePolicy};
+use fcdpm_sim::{HybridSimulator, SimMetrics};
+use fcdpm_workload::Scenario;
+
+use serde::Serialize;
+
+/// The paper's reference trace seed.
+pub const BENCH_SEED: u64 = 0xDAC0_2007;
+
+/// How many timing repetitions a full (respectively `--quick`) run takes
+/// per configuration; the minimum over repetitions is reported.
+const FULL_REPS: usize = 20;
+const QUICK_REPS: usize = 3;
+
+/// Options for one harness run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchOptions {
+    /// Fewer timing repetitions — for CI smoke runs.
+    pub quick: bool,
+}
+
+/// One fixture-grid job in the deterministic payload.
+#[derive(Debug, Clone, Serialize)]
+struct JobEntry {
+    id: String,
+    policy: String,
+    workload: String,
+    metrics: fcdpm_runner::JobMetrics,
+}
+
+/// One coalescing A/B comparison in the deterministic payload.
+#[derive(Debug, Clone, Serialize)]
+struct CoalescingEntry {
+    policy: String,
+    chunks_stepped: u64,
+    chunks_coalesced: u64,
+    policy_consultations: u64,
+    physics_match: bool,
+}
+
+/// The deterministic machine-readable payload (`BENCH_4.json`).
+#[derive(Debug, Clone, Serialize)]
+struct BenchPayload {
+    schema: String,
+    seed: u64,
+    grid_digest: String,
+    jobs: Vec<JobEntry>,
+    coalescing: Vec<CoalescingEntry>,
+}
+
+/// The outcome of one harness run.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Deterministic JSON payload — write this to `BENCH_4.json`.
+    pub json: String,
+    /// Human report with wall-clock timings — print this.
+    pub text: String,
+    /// Coalesced-over-per-chunk speedup on the Conv camcorder run.
+    pub speedup: f64,
+}
+
+/// Do two runs agree physically? Work counters are excluded (the two
+/// paths legitimately count work differently) and accumulated floats
+/// compare to tolerance, since the closed form reorders arithmetic.
+fn physics_match(a: &SimMetrics, b: &SimMetrics) -> bool {
+    let close = |x: f64, y: f64| (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs()));
+    a.slots == b.slots
+        && a.sleeps == b.sleeps
+        && close(a.fuel.total().amp_seconds(), b.fuel.total().amp_seconds())
+        && close(
+            a.delivered_charge.amp_seconds(),
+            b.delivered_charge.amp_seconds(),
+        )
+        && close(a.load_charge.amp_seconds(), b.load_charge.amp_seconds())
+        && close(a.bled_charge.amp_seconds(), b.bled_charge.amp_seconds())
+        && close(
+            a.deficit_charge.amp_seconds(),
+            b.deficit_charge.amp_seconds(),
+        )
+        && close(a.deficit_time.seconds(), b.deficit_time.seconds())
+        && close(a.final_soc.amp_seconds(), b.final_soc.amp_seconds())
+}
+
+/// Minimum wall-clock over `reps` runs of `f`, in seconds, plus the
+/// last run's metrics.
+fn time_min<F: FnMut() -> Result<SimMetrics, String>>(
+    reps: usize,
+    mut f: F,
+) -> Result<(f64, SimMetrics), String> {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let metrics = f()?;
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some(metrics);
+    }
+    last.map(|m| (best, m))
+        .ok_or_else(|| "no repetitions ran".to_owned())
+}
+
+/// Runs the harness.
+///
+/// # Errors
+///
+/// Returns a message when any fixture job fails or the coalescing A/B
+/// physics disagree beyond tolerance.
+pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
+    let reps = if options.quick { QUICK_REPS } else { FULL_REPS };
+    let mut text = String::new();
+
+    // 1. Fixture grid through the batch runner.
+    let grid = JobGrid::new(
+        vec![PolicySpec::Conv, PolicySpec::Asap, PolicySpec::FcDpm],
+        vec![
+            WorkloadSpec::Experiment1(BENCH_SEED),
+            WorkloadSpec::Experiment2(BENCH_SEED),
+        ],
+    );
+    let manifest = run_grid(&grid, &RunConfig::default());
+    if !manifest.all_completed() {
+        return Err(format!("fixture grid failed: {}", manifest.summary()));
+    }
+
+    text.push_str("fixture grid (via fcdpm-runner)\n");
+    text.push_str(
+        "  job                          wall_ms  chunks_stepped  chunks_coalesced  consultations\n",
+    );
+    let mut jobs = Vec::new();
+    for record in &manifest.records {
+        let metrics = record
+            .outcome
+            .metrics()
+            .ok_or_else(|| format!("job {} has no metrics", record.id))?;
+        let name = format!(
+            "{}/{}",
+            record.spec.policy.label(),
+            record.spec.workload.label()
+        );
+        text.push_str(&format!(
+            "  {name:<28} {:>7}  {:>14}  {:>16}  {:>13}\n",
+            record.wall_ms,
+            metrics.chunks_stepped,
+            metrics.chunks_coalesced,
+            metrics.policy_consultations,
+        ));
+        jobs.push(JobEntry {
+            id: record.id.clone(),
+            policy: record.spec.policy.label(),
+            workload: record.spec.workload.label(),
+            metrics: metrics.clone(),
+        });
+    }
+
+    // 2. Coalescing A/B on the camcorder scenario.
+    let scenario = Scenario::experiment1_seeded(BENCH_SEED);
+    text.push_str("\ncoalescing A/B (camcorder trace)\n");
+    text.push_str("  policy    coalesced_ms  per_chunk_ms  speedup  physics\n");
+    let mut coalescing = Vec::new();
+    let mut conv_speedup = 0.0;
+    for policy in ReferencePolicy::ALL {
+        let fast_sim = HybridSimulator::dac07(&scenario.device);
+        let slow_sim = HybridSimulator::dac07(&scenario.device).without_coalescing();
+        let (fast_s, fast) = time_min(reps, || {
+            run_reference_on(&fast_sim, &scenario, policy).map_err(|e| e.to_string())
+        })?;
+        let (slow_s, slow) = time_min(reps, || {
+            run_reference_on(&slow_sim, &scenario, policy).map_err(|e| e.to_string())
+        })?;
+        let matches = physics_match(&fast, &slow);
+        if !matches {
+            return Err(format!(
+                "{}: coalesced physics diverge from per-chunk",
+                policy.label()
+            ));
+        }
+        let speedup = if fast_s > 0.0 { slow_s / fast_s } else { 1.0 };
+        if policy == ReferencePolicy::Conv {
+            conv_speedup = speedup;
+        }
+        text.push_str(&format!(
+            "  {:<9} {:>12.3}  {:>12.3}  {:>6.2}x  {}\n",
+            policy.label(),
+            fast_s * 1e3,
+            slow_s * 1e3,
+            speedup,
+            if matches { "ok" } else { "DIVERGED" },
+        ));
+        coalescing.push(CoalescingEntry {
+            policy: policy.label().to_owned(),
+            chunks_stepped: fast.chunks_stepped,
+            chunks_coalesced: fast.chunks_coalesced,
+            policy_consultations: fast.policy_consultations,
+            physics_match: matches,
+        });
+    }
+    text.push_str(&format!(
+        "\nConv camcorder speedup: {conv_speedup:.2}x (acceptance floor: 3x)\n"
+    ));
+
+    let payload = BenchPayload {
+        schema: "fcdpm-bench/1".to_owned(),
+        seed: BENCH_SEED,
+        grid_digest: manifest.grid_digest.clone(),
+        jobs,
+        coalescing,
+    };
+    let json = serde_json::to_string_pretty(&payload)
+        .map_err(|e| format!("payload serialization: {e}"))?;
+
+    Ok(BenchReport {
+        json,
+        text,
+        speedup: conv_speedup,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_harness_runs_and_is_deterministic() {
+        let options = BenchOptions { quick: true };
+        let first = run(&options).expect("harness runs");
+        let second = run(&options).expect("harness runs");
+        assert_eq!(first.json, second.json, "payload must be deterministic");
+        assert!(first.json.contains("\"schema\": \"fcdpm-bench/1\""));
+        assert!(!first.json.contains("wall_ms"), "no timings in payload");
+        assert!(first.text.contains("speedup"));
+    }
+
+    #[test]
+    fn coalescing_beats_per_chunk_on_conv() {
+        let report = run(&BenchOptions { quick: true }).expect("harness runs");
+        assert!(
+            report.speedup >= 3.0,
+            "Conv camcorder speedup {:.2}x below the 3x acceptance floor",
+            report.speedup
+        );
+    }
+}

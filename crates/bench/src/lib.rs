@@ -1,20 +1,23 @@
-//! Shared fixtures for the Criterion benchmarks.
+//! Shared fixtures and the wall-clock bench harness.
 //!
-//! Each bench target regenerates one of the paper's tables or figures
-//! (`benches/figures.rs`, `benches/tables.rs`) or measures a core
-//! primitive (`benches/micro.rs`). The fixtures here keep the policy
-//! wiring identical to the `fcdpm-experiments` binaries so the benches
-//! time exactly the code that produces the published numbers.
+//! Each Criterion bench target regenerates one of the paper's tables or
+//! figures (`benches/figures.rs`, `benches/tables.rs`) or measures a
+//! core primitive (`benches/micro.rs`). The fixtures delegate to
+//! [`fcdpm_sim::fixture`], the same reference configuration the
+//! integration tests and the batch runner use, so the benches time
+//! exactly the code that produces the published numbers.
+//!
+//! [`harness`] drives the `fcdpm bench` CLI subcommand: the reference
+//! workloads under every policy through the batch runner, plus a
+//! coalesced-versus-per-chunk A/B timing of the simulator fast path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use fcdpm_core::dpm::PredictiveSleep;
-use fcdpm_core::policy::{AsapDpm, ConvDpm, FcDpm};
-use fcdpm_core::{FcOutputPolicy, FuelOptimizer};
-use fcdpm_sim::{HybridSimulator, SimMetrics};
-use fcdpm_storage::IdealStorage;
-use fcdpm_units::Charge;
+pub mod harness;
+
+use fcdpm_sim::fixture::{run_reference, ReferencePolicy};
+use fcdpm_sim::SimMetrics;
 use fcdpm_workload::Scenario;
 
 /// Which FC output policy a fixture run uses.
@@ -28,9 +31,22 @@ pub enum PolicyKind {
     FcDpm,
 }
 
+impl PolicyKind {
+    /// The shared reference-fixture policy this bench fixture selects.
+    #[must_use]
+    pub fn reference(self) -> ReferencePolicy {
+        match self {
+            Self::Conv => ReferencePolicy::Conv,
+            Self::Asap => ReferencePolicy::Asap,
+            Self::FcDpm => ReferencePolicy::FcDpm,
+        }
+    }
+}
+
 /// Runs one policy on a scenario with the paper's storage configuration
 /// and returns the metrics — the unit of work every table/figure bench
-/// times.
+/// times. Delegates to [`fcdpm_sim::fixture::run_reference`] so the
+/// benched configuration cannot drift from the tested one.
 ///
 /// # Panics
 ///
@@ -38,36 +54,7 @@ pub enum PolicyKind {
 /// configurations).
 #[must_use]
 pub fn run_policy(scenario: &Scenario, kind: PolicyKind) -> SimMetrics {
-    let capacity = Charge::from_milliamp_minutes(100.0);
-    let sim = HybridSimulator::dac07(&scenario.device);
-    let mut storage = IdealStorage::new(capacity, capacity * 0.5);
-    let mut sleep = PredictiveSleep::new(scenario.rho);
-    let mut conv;
-    let mut asap;
-    let mut fc;
-    let policy: &mut dyn FcOutputPolicy = match kind {
-        PolicyKind::Conv => {
-            conv = ConvDpm::dac07();
-            &mut conv
-        }
-        PolicyKind::Asap => {
-            asap = AsapDpm::dac07(capacity);
-            &mut asap
-        }
-        PolicyKind::FcDpm => {
-            fc = FcDpm::new(
-                FuelOptimizer::dac07(),
-                &scenario.device,
-                capacity,
-                scenario.sigma,
-                scenario.active_current_estimate,
-            );
-            &mut fc
-        }
-    };
-    sim.run(&scenario.trace, &mut sleep, policy, &mut storage)
-        .expect("paper configuration simulates cleanly")
-        .metrics
+    run_reference(scenario, kind.reference()).expect("paper configuration simulates cleanly")
 }
 
 #[cfg(test)]

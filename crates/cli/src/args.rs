@@ -112,6 +112,14 @@ pub enum Command {
         /// Output directory for the run manifest (default `results`).
         out: Option<String>,
     },
+    /// Run the wall-clock bench harness (fixture grid plus the
+    /// chunk-coalescing A/B) and write the deterministic payload.
+    Bench {
+        /// Fewer timing repetitions — for CI smoke runs.
+        quick: bool,
+        /// Output path for the JSON payload (default `BENCH_4.json`).
+        out: Option<String>,
+    },
     /// Run the in-repo static-analysis pass over the workspace sources.
     Lint {
         /// Diagnostics format (default human).
@@ -385,6 +393,20 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, ParseCliError> {
                 out,
             })
         }
+        "bench" => {
+            let mut quick = false;
+            let mut out = None;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--quick" => quick = true,
+                    "--out" => {
+                        out = Some(take_value(flag, &mut iter)?.to_owned());
+                    }
+                    other => return Err(err(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Bench { quick, out })
+        }
         "lint" | "analyze" => {
             let mut format = LintFormat::Human;
             let mut baseline = None;
@@ -586,6 +608,26 @@ mod tests {
         assert!(parse(&["batch", "g.json", "--jobs", "0"]).is_err());
         assert!(parse(&["batch", "g.json", "--jobs", "x"]).is_err());
         assert!(parse(&["batch", "g.json", "--frob"]).is_err());
+    }
+
+    #[test]
+    fn bench_parse() {
+        assert_eq!(
+            parse(&["bench"]).unwrap(),
+            Command::Bench {
+                quick: false,
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&["bench", "--quick", "--out", "target/b.json"]).unwrap(),
+            Command::Bench {
+                quick: true,
+                out: Some("target/b.json".into()),
+            }
+        );
+        assert!(parse(&["bench", "--out"]).is_err());
+        assert!(parse(&["bench", "--frob"]).is_err());
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub fn execute(command: &Command) -> Result<CmdOutput, String> {
         Command::Batch { spec, jobs, out } => {
             run_batch(spec, *jobs, out.as_deref()).map(CmdOutput::success)
         }
+        Command::Bench { quick, out } => run_bench(*quick, out.as_deref()).map(CmdOutput::success),
         Command::Lint {
             format,
             baseline,
@@ -238,6 +239,17 @@ fn run_batch(
     let _ = writeln!(out, "{}", manifest.summary());
     let _ = writeln!(out, "manifest: {}", manifest_path.display());
     Ok(out)
+}
+
+fn run_bench(quick: bool, out: Option<&str>) -> Result<String, String> {
+    let options = fcdpm_bench::harness::BenchOptions { quick };
+    let report = fcdpm_bench::harness::run(&options)?;
+    let out_path = std::path::Path::new(out.unwrap_or("BENCH_4.json"));
+    std::fs::write(out_path, &report.json)
+        .map_err(|e| format!("cannot write `{}`: {e}", out_path.display()))?;
+    let mut text = report.text;
+    let _ = writeln!(text, "payload: {}", out_path.display());
+    Ok(text)
 }
 
 fn run_simulate(path: &str, device: DeviceChoice, capacity_mamin: f64) -> Result<String, String> {

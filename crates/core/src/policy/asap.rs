@@ -91,6 +91,13 @@ impl FcOutputPolicy for AsapDpm {
             self.range.clamp(load)
         }
     }
+
+    fn steady_current(&self, _phase: PolicyPhase, _load: Amps, _soc: Charge) -> Option<Amps> {
+        // Never coalesce: the hysteretic recharge trigger watches the
+        // state of charge *during* a segment, so skipping the per-chunk
+        // consultation would delay the mode flip by up to a whole segment.
+        None
+    }
 }
 
 #[cfg(test)]

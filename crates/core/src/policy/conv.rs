@@ -48,6 +48,12 @@ impl FcOutputPolicy for ConvDpm {
     fn segment_current(&mut self, _phase: PolicyPhase, _load: Amps, _soc: Charge) -> Amps {
         self.range.max()
     }
+
+    fn steady_current(&self, _phase: PolicyPhase, _load: Amps, _soc: Charge) -> Option<Amps> {
+        // The setpoint is pinned at the range maximum regardless of phase,
+        // load or state of charge, so every segment may be coalesced.
+        Some(self.range.max())
+    }
 }
 
 #[cfg(test)]

@@ -282,6 +282,20 @@ impl FcOutputPolicy for FcDpm {
         }
     }
 
+    fn steady_current(&self, phase: PolicyPhase, load: Amps, _soc: Charge) -> Option<Amps> {
+        // The plan is fixed per phase at `begin_slot`/`begin_active`, and
+        // the fallback follows the (segment-constant) load; neither
+        // consults the mid-segment state of charge, so every segment may
+        // be coalesced.
+        if self.fallback {
+            return Some(self.optimizer.range().clamp(load));
+        }
+        Some(match phase {
+            PolicyPhase::Idle => self.i_f_idle,
+            PolicyPhase::Active => self.i_f_active,
+        })
+    }
+
     fn end_slot(&mut self, end: &SlotEnd) {
         self.active_predictor.observe(end.t_active);
         self.idle_backup.observe(end.t_idle);

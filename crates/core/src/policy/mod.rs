@@ -96,6 +96,24 @@ pub trait FcOutputPolicy: core::fmt::Debug {
     /// The FC system output current for the segment about to play.
     fn segment_current(&mut self, phase: PolicyPhase, load: Amps, soc: Charge) -> Amps;
 
+    /// Steady-setpoint hint for the segment about to play.
+    ///
+    /// Returning `Some(i)` promises that [`segment_current`] would return
+    /// exactly `i` for *every* control chunk of a segment starting from
+    /// the given state, without updating any policy state along the way.
+    /// The simulator may then integrate the whole segment in closed form
+    /// instead of consulting the policy chunk by chunk (the
+    /// chunk-coalescing fast path).
+    ///
+    /// The default is `None`: keep per-chunk stepping. Policies whose
+    /// setpoint reacts to the mid-segment state of charge (for example
+    /// [`AsapDpm`]'s recharge trigger) must leave it that way.
+    ///
+    /// [`segment_current`]: FcOutputPolicy::segment_current
+    fn steady_current(&self, _phase: PolicyPhase, _load: Amps, _soc: Charge) -> Option<Amps> {
+        None
+    }
+
     /// Called at each slot end with the observed values.
     fn end_slot(&mut self, _end: &SlotEnd) {}
 }
@@ -115,5 +133,25 @@ mod trait_tests {
             assert!(i >= Amps::new(0.1) && i <= Amps::new(1.2));
             assert!(!p.name().is_empty());
         }
+    }
+
+    #[test]
+    fn steady_hints_match_segment_current() {
+        // Wherever a policy hints `Some(i)`, `segment_current` must agree
+        // and must not have mutated any state that changes later answers.
+        let mut conv = ConvDpm::dac07();
+        let hint = conv.steady_current(PolicyPhase::Idle, Amps::new(0.2), Charge::new(3.0));
+        assert_eq!(hint, Some(Amps::new(1.2)));
+        assert_eq!(
+            conv.segment_current(PolicyPhase::Idle, Amps::new(0.2), Charge::new(3.0)),
+            Amps::new(1.2)
+        );
+
+        // ASAP-DPM's recharge trigger watches the mid-segment SoC: no hint.
+        let asap = AsapDpm::dac07(Charge::new(6.0));
+        assert_eq!(
+            asap.steady_current(PolicyPhase::Idle, Amps::new(0.2), Charge::new(1.0)),
+            None
+        );
     }
 }

@@ -208,6 +208,13 @@ impl<P: FcOutputPolicy> FcOutputPolicy for Quantized<P> {
         }
     }
 
+    fn steady_current(&self, _phase: PolicyPhase, _load: Amps, _soc: Charge) -> Option<Amps> {
+        // Never coalesce: the level choice is steered chunk by chunk by
+        // the state of charge relative to the latched reference (and the
+        // inner policy may be stateful per consultation too).
+        None
+    }
+
     fn end_slot(&mut self, end: &SlotEnd) {
         self.inner.end_slot(end);
     }

@@ -97,6 +97,12 @@ impl FcOutputPolicy for WindowedAverage {
         let feedback = self.gain * (c_ref - soc).amp_seconds();
         self.range.clamp(Amps::new((ewma + feedback).max(0.0)))
     }
+
+    fn steady_current(&self, _phase: PolicyPhase, _load: Amps, _soc: Charge) -> Option<Amps> {
+        // Never coalesce: every consultation advances the EWMA and reads
+        // the live state of charge through the feedback term.
+        None
+    }
 }
 
 #[cfg(test)]

@@ -43,8 +43,16 @@ pub struct JobMetrics {
     pub bled_as: f64,
     /// Unserved load charge (brownouts), in A·s.
     pub deficit_as: f64,
+    /// Time spent browning out, in s (step-size invariant).
+    pub deficit_time_s: f64,
     /// Final storage state of charge, in A·s.
     pub final_soc_as: f64,
+    /// Control chunks integrated individually.
+    pub chunks_stepped: u64,
+    /// Control chunks folded into closed-form segment updates.
+    pub chunks_coalesced: u64,
+    /// Policy consultations (steady hints plus per-chunk queries).
+    pub policy_consultations: u64,
 }
 
 impl JobMetrics {
@@ -72,7 +80,11 @@ impl JobMetrics {
             slots: m.slots,
             bled_as: m.bled_charge.amp_seconds(),
             deficit_as: m.deficit_charge.amp_seconds(),
+            deficit_time_s: m.deficit_time.seconds(),
             final_soc_as: m.final_soc.amp_seconds(),
+            chunks_stepped: m.chunks_stepped,
+            chunks_coalesced: m.chunks_coalesced,
+            policy_consultations: m.policy_consultations,
         }
     }
 }
@@ -163,6 +175,11 @@ impl FcOutputPolicy for ConstantOutput {
 
     fn segment_current(&mut self, _phase: PolicyPhase, _load: Amps, _soc: Charge) -> Amps {
         self.current
+    }
+
+    fn steady_current(&self, _phase: PolicyPhase, _load: Amps, _soc: Charge) -> Option<Amps> {
+        // A fixed setpoint by construction: always coalescible.
+        Some(self.current)
     }
 }
 

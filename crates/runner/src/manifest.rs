@@ -195,7 +195,11 @@ mod tests {
             slots: 2,
             bled_as: 0.0,
             deficit_as: 0.0,
+            deficit_time_s: 0.0,
             final_soc_as: 3.0,
+            chunks_stepped: 200,
+            chunks_coalesced: 0,
+            policy_consultations: 200,
         }
     }
 

@@ -148,10 +148,12 @@ impl JobSpec {
         }
     }
 
-    /// The effective storage capacity in mA·min.
+    /// The effective storage capacity in mA·min, defaulting to the
+    /// paper's reference sizing.
     #[must_use]
     pub fn capacity_mamin_or_default(&self) -> f64 {
-        self.capacity_mamin.unwrap_or(100.0)
+        self.capacity_mamin
+            .unwrap_or(fcdpm_sim::fixture::REFERENCE_CAPACITY_MAMIN)
     }
 
     /// Deterministic job ID: the job's grid index plus an FNV-1a digest

@@ -1,0 +1,146 @@
+//! The paper's reference experiment fixture, shared by tests, benches,
+//! the batch runner and the CLI.
+//!
+//! Before this module existed the reference configuration — a
+//! 100 mA·min ideal buffer at half charge behind a DAC'07 simulator with
+//! the scenario's predictive sleep — was wired up independently by the
+//! simulator's unit tests, the Criterion bench fixtures and the CLI,
+//! each with its own hard-coded capacity. One drifting copy would
+//! silently bench a configuration nobody tests; every consumer now goes
+//! through here.
+
+use fcdpm_core::dpm::PredictiveSleep;
+use fcdpm_core::policy::{AsapDpm, ConvDpm, FcDpm, FcOutputPolicy};
+use fcdpm_core::FuelOptimizer;
+use fcdpm_storage::IdealStorage;
+use fcdpm_units::Charge;
+use fcdpm_workload::Scenario;
+
+use crate::{HybridSimulator, SimError, SimMetrics};
+
+/// The paper's reference storage capacity in mA·min (Section 5: the 1 F
+/// super-capacitor holds 100 mA·min at the 12 V bus). The single source
+/// of truth — the runner's `JobSpec` default and the bench fixtures both
+/// read it from here.
+pub const REFERENCE_CAPACITY_MAMIN: f64 = 100.0;
+
+/// The reference storage capacity as a typed charge.
+#[must_use]
+pub fn reference_capacity() -> Charge {
+    Charge::from_milliamp_minutes(REFERENCE_CAPACITY_MAMIN)
+}
+
+/// The reference storage element: the ideal buffer at half charge, as
+/// every Section-5 experiment starts it.
+#[must_use]
+pub fn reference_storage() -> IdealStorage {
+    let capacity = reference_capacity();
+    IdealStorage::new(capacity, capacity * 0.5)
+}
+
+/// The three FC output policies of the paper's Section-5 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReferencePolicy {
+    /// The Conv-DPM baseline (no fuel-flow control).
+    Conv,
+    /// The ASAP-DPM baseline (load following + recharge trigger).
+    Asap,
+    /// The paper's FC-DPM.
+    FcDpm,
+}
+
+impl ReferencePolicy {
+    /// All three policies, in the paper's table order.
+    pub const ALL: [Self; 3] = [Self::Conv, Self::Asap, Self::FcDpm];
+
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Conv => "Conv-DPM",
+            Self::Asap => "ASAP-DPM",
+            Self::FcDpm => "FC-DPM",
+        }
+    }
+
+    /// Builds the policy wired exactly as the paper's experiments run it,
+    /// against the reference capacity.
+    #[must_use]
+    pub fn build(self, scenario: &Scenario) -> Box<dyn FcOutputPolicy + Send> {
+        let capacity = reference_capacity();
+        match self {
+            Self::Conv => Box::new(ConvDpm::dac07()),
+            Self::Asap => Box::new(AsapDpm::dac07(capacity)),
+            Self::FcDpm => Box::new(FcDpm::new(
+                FuelOptimizer::dac07(),
+                &scenario.device,
+                capacity,
+                scenario.sigma,
+                scenario.active_current_estimate,
+            )),
+        }
+    }
+}
+
+/// Runs one reference policy on `scenario` through a DAC'07 simulator
+/// with the reference storage and sleep wiring.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator (the paper's
+/// configurations simulate cleanly).
+pub fn run_reference(scenario: &Scenario, policy: ReferencePolicy) -> Result<SimMetrics, SimError> {
+    run_reference_on(&HybridSimulator::dac07(&scenario.device), scenario, policy)
+}
+
+/// As [`run_reference`], but on a caller-configured simulator (a custom
+/// control step, or [`HybridSimulator::without_coalescing`] for A/B
+/// comparisons). The simulator should be built over `scenario.device`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+pub fn run_reference_on(
+    sim: &HybridSimulator<'_>,
+    scenario: &Scenario,
+    policy: ReferencePolicy,
+) -> Result<SimMetrics, SimError> {
+    let mut storage = reference_storage();
+    let mut sleep = PredictiveSleep::new(scenario.rho);
+    let mut policy = policy.build(scenario);
+    Ok(sim
+        .run(&scenario.trace, &mut sleep, policy.as_mut(), &mut storage)?
+        .metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_capacity_is_the_paper_value() {
+        // 100 mA·min = 0.1 A × 60 s = 6 A·s.
+        assert!((reference_capacity().amp_seconds() - 6.0).abs() < 1e-9);
+        use fcdpm_storage::ChargeStorage;
+        let storage = reference_storage();
+        assert!((storage.soc() - reference_capacity() * 0.5).is_zero());
+    }
+
+    #[test]
+    fn all_reference_policies_run() {
+        let scenario = Scenario::experiment1();
+        for policy in ReferencePolicy::ALL {
+            let m = run_reference(&scenario, policy).expect("reference run succeeds");
+            assert!(m.fuel.total().amp_seconds() > 0.0, "{}", policy.label());
+            assert!(!policy.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn reference_ordering_matches_the_paper() {
+        let scenario = Scenario::experiment1();
+        let conv = run_reference(&scenario, ReferencePolicy::Conv).expect("conv");
+        let fc = run_reference(&scenario, ReferencePolicy::FcDpm).expect("fc");
+        assert!(fc.fuel.total() < conv.fuel.total());
+    }
+}

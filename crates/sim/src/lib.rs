@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod fixture;
 mod fuel_model;
 mod lifetime;
 mod metrics;

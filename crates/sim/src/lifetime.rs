@@ -102,11 +102,14 @@ fn accumulate(total: &mut SimMetrics, cycle: &SimMetrics) {
     total.delivered_charge += cycle.delivered_charge;
     total.bled_charge += cycle.bled_charge;
     total.deficit_charge += cycle.deficit_charge;
-    total.deficit_chunks += cycle.deficit_chunks;
+    total.deficit_time += cycle.deficit_time;
     total.sleeps += cycle.sleeps;
     total.slots += cycle.slots;
     total.task_latency += cycle.task_latency;
     total.final_soc = cycle.final_soc;
+    total.chunks_stepped += cycle.chunks_stepped;
+    total.chunks_coalesced += cycle.chunks_coalesced;
+    total.policy_consultations += cycle.policy_consultations;
 }
 
 #[cfg(test)]

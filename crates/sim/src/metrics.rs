@@ -5,8 +5,12 @@ use core::fmt;
 use fcdpm_fuelcell::FuelGauge;
 use fcdpm_units::{Amps, Charge, Seconds};
 
+/// The reference control-step length used to derive the deprecated
+/// `deficit_chunks` serde alias from [`SimMetrics::deficit_time`].
+const REFERENCE_CONTROL_STEP_S: f64 = 0.5;
+
 /// Aggregate results of one simulation run.
-#[derive(Debug, Default, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct SimMetrics {
     /// Fuel consumption (`∫ I_fc dt`) and elapsed time.
     pub fuel: FuelGauge,
@@ -18,8 +22,13 @@ pub struct SimMetrics {
     pub bled_charge: Charge,
     /// Unmet load charge (brownouts).
     pub deficit_charge: Charge,
-    /// Number of integration chunks that saw a deficit.
-    pub deficit_chunks: u64,
+    /// Total wall-clock time the load spent browned out.
+    ///
+    /// Unlike the chunk count it replaces, this is invariant under the
+    /// control-step length and under chunk coalescing: within each
+    /// integration step the brownout duration is apportioned as
+    /// `dt · deficit / (deficit + discharged)`.
+    pub deficit_time: Seconds,
     /// Number of slots in which the DPM layer slept.
     pub sleeps: usize,
     /// Number of slots simulated.
@@ -28,6 +37,14 @@ pub struct SimMetrics {
     pub task_latency: Seconds,
     /// Storage state of charge at the end of the run.
     pub final_soc: Charge,
+    /// Work counter: control chunks integrated one at a time.
+    pub chunks_stepped: u64,
+    /// Work counter: control chunks subsumed by coalesced segments
+    /// (the chunks the fast path did *not* have to step).
+    pub chunks_coalesced: u64,
+    /// Work counter: policy consultations (`steady_current` hints plus
+    /// `segment_current` calls).
+    pub policy_consultations: u64,
 }
 
 impl SimMetrics {
@@ -109,6 +126,90 @@ impl SimMetrics {
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.bled_charge.is_zero() && self.deficit_charge.is_zero()
+    }
+
+    /// A copy with the work counters (`chunks_stepped`,
+    /// `chunks_coalesced`, `policy_consultations`) zeroed.
+    ///
+    /// The counters describe *how* a run was integrated, not *what* it
+    /// computed, so they legitimately differ between the coalesced and
+    /// per-chunk paths. Comparisons that care about the physics — the
+    /// cross-path determinism suite, for one — compare
+    /// `a.without_work_counters()` against `b.without_work_counters()`.
+    #[must_use]
+    pub fn without_work_counters(&self) -> Self {
+        Self {
+            chunks_stepped: 0,
+            chunks_coalesced: 0,
+            policy_consultations: 0,
+            ..self.clone()
+        }
+    }
+}
+
+// Serde is hand-written (the vendored derive has no attribute support)
+// so the retired `deficit_chunks` field can live on for one release as a
+// deprecated output alias derived from `deficit_time`, and so old
+// manifests that only carry `deficit_chunks` still deserialize.
+impl serde::Serialize for SimMetrics {
+    fn to_value(&self) -> serde::Value {
+        let deficit_chunks = (self.deficit_time.seconds() / REFERENCE_CONTROL_STEP_S).ceil() as u64;
+        serde::Value::Map(vec![
+            ("fuel".into(), self.fuel.to_value()),
+            ("load_charge".into(), self.load_charge.to_value()),
+            ("delivered_charge".into(), self.delivered_charge.to_value()),
+            ("bled_charge".into(), self.bled_charge.to_value()),
+            ("deficit_charge".into(), self.deficit_charge.to_value()),
+            ("deficit_time".into(), self.deficit_time.to_value()),
+            // Deprecated alias (one release): ceil of the deficit time in
+            // 0.5 s reference chunks, so any nonzero deficit still reads
+            // as at least one chunk.
+            ("deficit_chunks".into(), deficit_chunks.to_value()),
+            ("sleeps".into(), self.sleeps.to_value()),
+            ("slots".into(), self.slots.to_value()),
+            ("task_latency".into(), self.task_latency.to_value()),
+            ("final_soc".into(), self.final_soc.to_value()),
+            ("chunks_stepped".into(), self.chunks_stepped.to_value()),
+            ("chunks_coalesced".into(), self.chunks_coalesced.to_value()),
+            (
+                "policy_consultations".into(),
+                self.policy_consultations.to_value(),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for SimMetrics {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("SimMetrics: expected a map"))?;
+        let deficit_time = match serde::field::<Option<Seconds>>(map, "deficit_time")? {
+            Some(t) => t,
+            // Legacy manifests carry only the chunk count; recover the
+            // time at the 0.5 s reference step it was counted with.
+            None => match serde::field::<Option<u64>>(map, "deficit_chunks")? {
+                Some(chunks) => Seconds::new(chunks as f64 * REFERENCE_CONTROL_STEP_S),
+                None => Seconds::ZERO,
+            },
+        };
+        Ok(Self {
+            fuel: serde::field(map, "fuel")?,
+            load_charge: serde::field(map, "load_charge")?,
+            delivered_charge: serde::field(map, "delivered_charge")?,
+            bled_charge: serde::field(map, "bled_charge")?,
+            deficit_charge: serde::field(map, "deficit_charge")?,
+            deficit_time,
+            sleeps: serde::field(map, "sleeps")?,
+            slots: serde::field(map, "slots")?,
+            task_latency: serde::field(map, "task_latency")?,
+            final_soc: serde::field(map, "final_soc")?,
+            // Absent in pre-coalescing manifests: zero work recorded.
+            chunks_stepped: serde::field::<Option<u64>>(map, "chunks_stepped")?.unwrap_or(0),
+            chunks_coalesced: serde::field::<Option<u64>>(map, "chunks_coalesced")?.unwrap_or(0),
+            policy_consultations: serde::field::<Option<u64>>(map, "policy_consultations")?
+                .unwrap_or(0),
+        })
     }
 }
 
@@ -196,5 +297,83 @@ mod tests {
         let a = SimMetrics::new();
         let b = metrics_with(1.0, 1.0);
         let _ = a.normalized_fuel(&b);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_all_fields() {
+        use serde::{Deserialize, Serialize};
+        let mut m = metrics_with(0.4, 60.0);
+        m.load_charge = Charge::new(20.0);
+        m.delivered_charge = Charge::new(24.0);
+        m.bled_charge = Charge::new(1.0);
+        m.deficit_charge = Charge::new(0.5);
+        m.deficit_time = Seconds::new(1.25);
+        m.sleeps = 2;
+        m.slots = 3;
+        m.task_latency = Seconds::new(4.5);
+        m.final_soc = Charge::new(3.0);
+        m.chunks_stepped = 120;
+        m.chunks_coalesced = 480;
+        m.policy_consultations = 126;
+        let back = SimMetrics::from_value(&m.to_value()).expect("round trip");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn serde_emits_deprecated_deficit_chunks_alias() {
+        use serde::{Serialize, Value};
+        let mut m = SimMetrics::new();
+        m.deficit_time = Seconds::new(1.25);
+        let Value::Map(map) = m.to_value() else {
+            panic!("expected a map");
+        };
+        let alias = map
+            .iter()
+            .find(|(k, _)| k == "deficit_chunks")
+            .expect("alias present");
+        // ceil(1.25 / 0.5) = 3 reference chunks.
+        assert_eq!(alias.1.as_u64(), Some(3));
+    }
+
+    #[test]
+    fn serde_reads_legacy_deficit_chunks() {
+        use serde::{Deserialize, Serialize, Value};
+        // A pre-deficit_time manifest: strip the new field, keep the old.
+        let mut m = SimMetrics::new();
+        m.fuel.consume(Amps::new(1.0), Seconds::new(10.0));
+        let Value::Map(mut map) = m.to_value() else {
+            panic!("expected a map");
+        };
+        map.retain(|(k, _)| {
+            k != "deficit_time"
+                && k != "chunks_stepped"
+                && k != "chunks_coalesced"
+                && k != "policy_consultations"
+        });
+        for (k, v) in &mut map {
+            if k == "deficit_chunks" {
+                *v = Value::UInt(4);
+            }
+        }
+        let back = SimMetrics::from_value(&Value::Map(map)).expect("legacy manifest");
+        assert_eq!(back.deficit_time, Seconds::new(2.0));
+        assert_eq!(back.chunks_stepped, 0);
+        assert_eq!(back.chunks_coalesced, 0);
+        assert_eq!(back.policy_consultations, 0);
+    }
+
+    #[test]
+    fn without_work_counters_zeroes_only_the_counters() {
+        let mut m = metrics_with(0.4, 60.0);
+        m.deficit_time = Seconds::new(0.75);
+        m.chunks_stepped = 10;
+        m.chunks_coalesced = 20;
+        m.policy_consultations = 11;
+        let stripped = m.without_work_counters();
+        assert_eq!(stripped.chunks_stepped, 0);
+        assert_eq!(stripped.chunks_coalesced, 0);
+        assert_eq!(stripped.policy_consultations, 0);
+        assert_eq!(stripped.deficit_time, m.deficit_time);
+        assert_eq!(stripped.fuel, m.fuel);
     }
 }

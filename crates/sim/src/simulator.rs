@@ -4,11 +4,37 @@ use fcdpm_core::dpm::SleepPolicy;
 use fcdpm_core::policy::{ActiveStart, FcOutputPolicy, PolicyPhase, SlotEnd, SlotStart};
 use fcdpm_device::{DeviceSpec, SlotTimeline};
 use fcdpm_fuelcell::LinearEfficiency;
-use fcdpm_storage::ChargeStorage;
-use fcdpm_units::{Charge, CurrentRange, Seconds};
+use fcdpm_storage::{ChargeStorage, StorageFlow};
+use fcdpm_units::{Amps, Charge, CurrentRange, Seconds};
 use fcdpm_workload::Trace;
 
 use crate::{FuelFlowModel, ProfileRecorder, SimError, SimMetrics};
+
+/// Residual floor for the chunk loop, as a fraction of the control step:
+/// `remaining -= dt` accumulates floating-point error, and without a
+/// floor a segment whose duration is not an exact multiple of the step
+/// can leave a ~1e-16 s ghost chunk that hits the recorder and skews the
+/// work counters. A final chunk is widened to absorb any residual below
+/// this fraction of the step.
+pub(crate) const RESIDUAL_FLOOR_FRACTION: f64 = 1e-9;
+
+/// Wall-clock duration of the brownout inside one integration step.
+///
+/// Within a step the storage discharges at a constant rate, so the
+/// browned-out portion is the deficit's share of the total demanded
+/// charge. This makes the sum invariant under the step size and under
+/// chunk coalescing, unlike a chunk count.
+pub(crate) fn deficit_time_of(flow: &StorageFlow, dt: Seconds) -> Seconds {
+    if flow.deficit.is_zero() {
+        return Seconds::ZERO;
+    }
+    let demanded = flow.deficit + flow.discharged;
+    if demanded.is_zero() {
+        dt
+    } else {
+        dt * (flow.deficit / demanded)
+    }
+}
 
 /// The outcome of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +52,13 @@ pub struct SimResult {
 /// chunks* (default 0.5 s) at whose boundaries the FC policy is
 /// re-consulted — this is what lets ASAP-DPM's recharge trigger fire "as
 /// soon as possible" mid-segment.
+///
+/// Policies that hold a constant setpoint across a segment can say so via
+/// [`FcOutputPolicy::steady_current`]; such segments are integrated in
+/// closed form (the *chunk-coalescing fast path*) instead of chunk by
+/// chunk, with identical physics up to floating-point accumulation order.
+/// [`Self::without_coalescing`] forces per-chunk stepping for A/B
+/// comparison.
 #[derive(Debug)]
 pub struct HybridSimulator<'a> {
     device: &'a DeviceSpec,
@@ -34,6 +67,7 @@ pub struct HybridSimulator<'a> {
     control_step: Seconds,
     charger_efficiency: f64,
     discharger_efficiency: f64,
+    coalescing: bool,
 }
 
 impl<'a> HybridSimulator<'a> {
@@ -62,7 +96,27 @@ impl<'a> HybridSimulator<'a> {
             control_step,
             charger_efficiency: 1.0,
             discharger_efficiency: 1.0,
+            coalescing: true,
         })
+    }
+
+    /// Disables the chunk-coalescing fast path, forcing per-chunk
+    /// integration even through segments for which the policy offers a
+    /// steady-setpoint hint. Intended for A/B comparison against the
+    /// fast path (the cross-path determinism suite and the bench
+    /// harness); the physics results agree either way, only the work
+    /// counters differ.
+    #[must_use]
+    pub fn without_coalescing(mut self) -> Self {
+        self.coalescing = false;
+        self
+    }
+
+    /// Whether the chunk-coalescing fast path is enabled (it is by
+    /// default).
+    #[must_use]
+    pub fn coalescing_enabled(&self) -> bool {
+        self.coalescing
     }
 
     /// Models the charger/discharger blocks of the paper's Figure 1 as
@@ -142,6 +196,31 @@ impl<'a> HybridSimulator<'a> {
     /// The fuel-flow model integrating stack current.
     pub(crate) fn fuel_model(&self) -> &(dyn crate::FuelFlowModel + Send + Sync) {
         self.fuel_model.as_ref()
+    }
+
+    /// Integrates one whole segment in closed form under a steady
+    /// setpoint: one fuel-model evaluation for the whole duration and one
+    /// [`ChargeStorage::step_coalesced`] call that splits analytically at
+    /// the saturation/depletion boundary.
+    pub(crate) fn integrate_coalesced(
+        &self,
+        load: Amps,
+        demanded: Amps,
+        duration: Seconds,
+        storage: &mut dyn ChargeStorage,
+        metrics: &mut SimMetrics,
+    ) -> Result<(), SimError> {
+        let i_f = self.range.clamp(demanded);
+        let i_fc = self.fuel_model.stack_current(i_f)?;
+        metrics.fuel.consume(i_fc, duration);
+        metrics.delivered_charge += i_f * duration;
+        metrics.load_charge += load * duration;
+        let flow = storage.step_coalesced(self.buffer_net(i_f - load), duration);
+        metrics.bled_charge += flow.bled;
+        metrics.deficit_charge += flow.deficit;
+        metrics.deficit_time += deficit_time_of(&flow, duration);
+        metrics.chunks_coalesced += (duration / self.control_step).ceil() as u64;
+        Ok(())
     }
 
     /// Runs `trace` and returns the aggregate metrics.
@@ -235,10 +314,43 @@ impl<'a> HybridSimulator<'a> {
                         soc: storage.soc(),
                     });
                 }
+                if seg.duration <= Seconds::ZERO {
+                    continue;
+                }
+
+                // Fast path: with a steady-setpoint hint the whole
+                // segment integrates in closed form — one fuel-model
+                // evaluation, one (analytically rail-split) storage
+                // update. Skipped while the recorder still wants samples
+                // so figure outputs keep their per-chunk resolution.
+                let record_pending = recorder.as_deref().is_some_and(ProfileRecorder::active);
+                if self.coalescing && !record_pending {
+                    if let Some(demanded) = policy.steady_current(phase, seg.load, storage.soc()) {
+                        metrics.policy_consultations += 1;
+                        self.integrate_coalesced(
+                            seg.load,
+                            demanded,
+                            seg.duration,
+                            storage,
+                            &mut metrics,
+                        )?;
+                        time += seg.duration;
+                        continue;
+                    }
+                    metrics.policy_consultations += 1;
+                }
+
+                let residual_floor = self.control_step * RESIDUAL_FLOOR_FRACTION;
                 let mut remaining = seg.duration;
                 while remaining > Seconds::ZERO {
-                    let dt = remaining.min(self.control_step);
+                    let mut dt = remaining.min(self.control_step);
+                    if remaining - dt <= residual_floor {
+                        // Widen the final chunk to absorb the
+                        // floating-point residual of `remaining -= dt`.
+                        dt = remaining;
+                    }
                     let demanded = policy.segment_current(phase, seg.load, storage.soc());
+                    metrics.policy_consultations += 1;
                     let i_f = self.range.clamp(demanded);
                     let i_fc = self.fuel_model.stack_current(i_f)?;
                     metrics.fuel.consume(i_fc, dt);
@@ -247,9 +359,8 @@ impl<'a> HybridSimulator<'a> {
                     let flow = storage.step(self.buffer_net(i_f - seg.load), dt);
                     metrics.bled_charge += flow.bled;
                     metrics.deficit_charge += flow.deficit;
-                    if !flow.deficit.is_zero() {
-                        metrics.deficit_chunks += 1;
-                    }
+                    metrics.deficit_time += deficit_time_of(&flow, dt);
+                    metrics.chunks_stepped += 1;
                     if let Some(rec) = recorder.as_deref_mut() {
                         rec.record_chunk(time, dt, seg.load, i_f, i_fc, storage.soc());
                     }
@@ -497,6 +608,78 @@ mod tests {
             SimError::InvalidConfig {
                 name: "control_step"
             }
+        );
+    }
+
+    #[test]
+    fn fast_path_coalesces_steady_policies() {
+        // Conv-DPM hints a steady setpoint for every segment, so the
+        // whole run integrates without a single per-chunk step.
+        let scenario = Scenario::experiment1();
+        let cap = Charge::from_milliamp_minutes(100.0);
+        let m = run_policy(&scenario, &mut ConvDpm::dac07(), cap);
+        assert_eq!(m.chunks_stepped, 0);
+        assert!(m.chunks_coalesced > 0);
+        assert!(m.policy_consultations > 0);
+        // ASAP-DPM never hints: everything steps chunk by chunk.
+        let m = run_policy(&scenario, &mut AsapDpm::dac07(cap), cap);
+        assert_eq!(m.chunks_coalesced, 0);
+        assert!(m.chunks_stepped > 0);
+    }
+
+    #[test]
+    fn without_coalescing_reproduces_fast_path_physics() {
+        let scenario = Scenario::experiment1();
+        let cap = Charge::from_milliamp_minutes(100.0);
+        let run_with = |coalescing: bool| {
+            let mut sim = HybridSimulator::dac07(&scenario.device);
+            if !coalescing {
+                sim = sim.without_coalescing();
+            }
+            let mut policy = ConvDpm::dac07();
+            let mut storage = IdealStorage::new(cap, cap * 0.5);
+            let mut sleep = PredictiveSleep::new(scenario.rho);
+            sim.run(&scenario.trace, &mut sleep, &mut policy, &mut storage)
+                .unwrap()
+                .metrics
+        };
+        let fast = run_with(true);
+        let slow = run_with(false);
+        assert!(slow.chunks_coalesced == 0 && fast.chunks_stepped == 0);
+        assert_eq!(fast.slots, slow.slots);
+        assert_eq!(fast.sleeps, slow.sleeps);
+        assert!(fast.fuel.total().approx_eq(slow.fuel.total(), 1e-6));
+        assert!(fast.delivered_charge.approx_eq(slow.delivered_charge, 1e-6));
+        assert!(fast.final_soc.approx_eq(slow.final_soc, 1e-6));
+        assert!((fast.deficit_time - slow.deficit_time).abs() < Seconds::new(1e-6));
+    }
+
+    #[test]
+    fn recorder_keeps_per_chunk_resolution_until_horizon() {
+        // With the recorder attached, segments inside the horizon still
+        // step per chunk (so Figure-7 outputs are unchanged); once the
+        // horizon passes, the fast path takes over.
+        let scenario = Scenario::experiment1();
+        let sim = HybridSimulator::dac07(&scenario.device);
+        let mut storage = IdealStorage::dac07_supercap();
+        let mut sleep = PredictiveSleep::new(scenario.rho);
+        let mut rec = ProfileRecorder::new(Seconds::new(0.5), Seconds::new(300.0));
+        let mut policy = ConvDpm::dac07();
+        let m = sim
+            .run_recorded(
+                &scenario.trace,
+                &mut sleep,
+                &mut policy,
+                &mut storage,
+                &mut rec,
+            )
+            .unwrap()
+            .metrics;
+        assert_eq!(rec.samples().len(), 601);
+        assert!(m.chunks_stepped > 0, "horizon segments must step");
+        assert!(
+            m.chunks_coalesced > 0,
+            "post-horizon segments must coalesce"
         );
     }
 

@@ -188,6 +188,14 @@ impl ChargeStorage for KineticBattery {
         self.y1 = total * self.c;
         self.y2 = total * (1.0 - self.c);
     }
+
+    fn step_coalesced(&mut self, net: Amps, duration: Seconds) -> StorageFlow {
+        // `step` already solves the two-well ODE in closed form for an
+        // arbitrary duration and bisects the rail crossing itself; the
+        // default lossless-projection split would disagree with the
+        // diffusion-limited boundary.
+        self.step(net, duration)
+    }
 }
 
 #[cfg(test)]

@@ -102,6 +102,43 @@ pub trait ChargeStorage: core::fmt::Debug {
     fn is_empty(&self, tol: Charge) -> bool {
         self.soc() <= tol
     }
+
+    /// Applies net current `net` for an arbitrarily long `duration` in at
+    /// most two analytic sub-steps, splitting at the instant the state of
+    /// charge would hit a rail (full when charging, empty when
+    /// discharging) under lossless projection.
+    ///
+    /// This is the closed-form back end of the simulator's
+    /// chunk-coalescing fast path: instead of integrating a segment in
+    /// fixed control chunks, the simulator hands the whole segment here.
+    /// The default implementation is exact for elements whose [`step`]
+    /// is itself exact for constant current over any duration (the
+    /// lossless [`IdealStorage`] and the leak-free DAC'07
+    /// [`SuperCapacitor`] preset); models with time-dependent losses may
+    /// override it — [`KineticBattery`] delegates to its native
+    /// closed-form `step`, which already handles rail crossings.
+    ///
+    /// [`step`]: ChargeStorage::step
+    fn step_coalesced(&mut self, net: Amps, duration: Seconds) -> StorageFlow {
+        if duration <= Seconds::ZERO || net.is_zero() {
+            return self.step(net, duration);
+        }
+        // Lossless projection of the instant the state of charge reaches
+        // a rail; beyond it the flow becomes pure bleed (charging) or
+        // pure deficit (discharging), so two exact sub-steps cover the
+        // whole duration.
+        let crossing = if net.is_negative() {
+            self.soc() / -net
+        } else {
+            self.headroom() / net
+        };
+        if !crossing.is_finite() || crossing >= duration {
+            return self.step(net, duration);
+        }
+        let mut flow = self.step(net, crossing);
+        flow.absorb(&self.step(net, duration - crossing));
+        flow
+    }
 }
 
 #[cfg(test)]
@@ -133,5 +170,74 @@ mod trait_tests {
             Box::new(IdealStorage::new(Charge::new(5.0), Charge::ZERO));
         let flow = boxed.step(Amps::new(1.0), Seconds::new(2.0));
         assert_eq!(flow.charged.amp_seconds(), 2.0);
+    }
+
+    #[test]
+    fn coalesced_without_crossing_matches_single_step() {
+        let mut a = IdealStorage::new(Charge::new(10.0), Charge::new(4.0));
+        let mut b = a.clone();
+        let fa = a.step(Amps::new(0.5), Seconds::new(3.0));
+        let fb = b.step_coalesced(Amps::new(0.5), Seconds::new(3.0));
+        assert_eq!(fa, fb);
+        assert_eq!(a.soc(), b.soc());
+    }
+
+    #[test]
+    fn coalesced_charge_splits_at_saturation() {
+        // 4 A·s of headroom at 1 A: full after 4 s, bleeds for 6 s.
+        let mut s = IdealStorage::new(Charge::new(10.0), Charge::new(6.0));
+        let flow = s.step_coalesced(Amps::new(1.0), Seconds::new(10.0));
+        assert!(flow.charged.approx_eq(Charge::new(4.0), 1e-12));
+        assert!(flow.bled.approx_eq(Charge::new(6.0), 1e-12));
+        assert!(s.is_full(Charge::new(1e-12)));
+    }
+
+    #[test]
+    fn coalesced_discharge_splits_at_depletion() {
+        // 6 A·s at 2 A: empty after 3 s, browns out for 2 s.
+        let mut s = IdealStorage::new(Charge::new(10.0), Charge::new(6.0));
+        let flow = s.step_coalesced(Amps::new(-2.0), Seconds::new(5.0));
+        assert!(flow.discharged.approx_eq(Charge::new(6.0), 1e-12));
+        assert!(flow.deficit.approx_eq(Charge::new(4.0), 1e-12));
+        assert!(s.is_empty(Charge::new(1e-12)));
+    }
+
+    #[test]
+    fn coalesced_zero_net_is_noop_for_ideal() {
+        let mut s = IdealStorage::new(Charge::new(10.0), Charge::new(4.0));
+        let flow = s.step_coalesced(Amps::ZERO, Seconds::new(100.0));
+        assert!(flow.is_clean());
+        assert_eq!(s.soc().amp_seconds(), 4.0);
+    }
+
+    #[test]
+    fn coalesced_matches_chunked_within_tolerance() {
+        // The closed form and 0.5 s chunking agree to float tolerance on
+        // every rail regime (charging into saturation here).
+        let mut coalesced = IdealStorage::new(Charge::new(6.0), Charge::new(3.0));
+        let mut chunked = coalesced.clone();
+        let net = Amps::new(0.33);
+        let total = Seconds::new(30.0);
+        let fast = coalesced.step_coalesced(net, total);
+        let mut slow = StorageFlow::NONE;
+        let mut remaining = total;
+        while remaining > Seconds::ZERO {
+            let dt = remaining.min(Seconds::new(0.5));
+            slow.absorb(&chunked.step(net, dt));
+            remaining -= dt;
+        }
+        assert!(fast.charged.approx_eq(slow.charged, 1e-9));
+        assert!(fast.bled.approx_eq(slow.bled, 1e-9));
+        assert!(coalesced.soc().approx_eq(chunked.soc(), 1e-9));
+    }
+
+    #[test]
+    fn kibam_coalesced_delegates_to_native_closed_form() {
+        let mut a = KineticBattery::new(Charge::new(100.0), 1.0, 0.3, 0.005);
+        let mut b = a.clone();
+        let fa = a.step(Amps::new(-2.0), Seconds::new(12.0));
+        let fb = b.step_coalesced(Amps::new(-2.0), Seconds::new(12.0));
+        assert_eq!(fa, fb);
+        assert_eq!(a.soc(), b.soc());
     }
 }
