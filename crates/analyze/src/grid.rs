@@ -240,6 +240,107 @@ impl Ctx<'_> {
                 self.check_path_efficiency(eff.as_f64(), &context);
             }
         }
+        if let Some(resilient) = job.get("resilient") {
+            if !matches!(resilient, Json::Null | Json::Bool(_)) {
+                self.report(format!("{context}: `resilient` must be a boolean"));
+            }
+        }
+        if let Some(faults) = job.get("faults") {
+            if faults != &Json::Null {
+                self.check_faults(faults, &context);
+            }
+        }
+    }
+
+    /// Mirrors `FaultSchedule::validate` statically, plus the one range
+    /// check the schedule itself cannot do: a starvation cap below the
+    /// load-following minimum leaves the stack no feasible setpoint at
+    /// all, so the window becomes a hard outage rather than a fault.
+    fn check_faults(&mut self, faults: &Json, context: &str) {
+        let context = format!("{context}.faults");
+        let Some(Json::Arr(events)) = faults.get("events") else {
+            self.report(format!("{context}: schedule needs an `events` array"));
+            return;
+        };
+        for (index, event) in events.iter().enumerate() {
+            let context = format!("{context}.events[{index}]");
+            let at_s = event.get("at_s").and_then(Json::as_f64);
+            if !at_s.is_some_and(|t| t.is_finite() && t >= 0.0) {
+                self.report(format!("{context}: `at_s` must be finite and non-negative"));
+            }
+            let Some(Json::Obj(kind)) = event.get("kind") else {
+                self.report(format!("{context}: `kind` must be a fault-variant object"));
+                continue;
+            };
+            let [(variant, payload)] = kind.as_slice() else {
+                self.report(format!("{context}: `kind` must have exactly one variant"));
+                continue;
+            };
+            let field = |name: &str| payload.get(name).and_then(Json::as_f64);
+            let window_holds = |until: Option<f64>| {
+                until.is_some_and(|u| u.is_finite() && at_s.is_none_or(|t| u >= t))
+            };
+            match variant.as_str() {
+                "FuelStarvation" => {
+                    if !window_holds(field("until_s")) {
+                        self.report(format!(
+                            "{context}: `until_s` must be finite and at or after `at_s`"
+                        ));
+                    }
+                    let max_a = field("max_a");
+                    if !max_a.is_some_and(|x| x.is_finite() && x > 0.0) {
+                        self.report(format!("{context}: `max_a` must be finite and positive"));
+                    } else if let (Some(x), Some(params)) = (max_a, self.params) {
+                        if x < params.i_f_min {
+                            self.report(format!(
+                                "{context}: starvation cap {x} A sits below the load-following minimum {} A — the window is a hard outage, not a fault",
+                                params.i_f_min
+                            ));
+                        }
+                    }
+                }
+                "EfficiencyFade" => {
+                    if !field("alpha_scale").is_some_and(|x| x.is_finite() && x > 0.0 && x <= 1.0) {
+                        self.report(format!("{context}: `alpha_scale` must be in (0, 1]"));
+                    }
+                    if !field("beta_scale").is_some_and(|x| x.is_finite() && x >= 1.0) {
+                        self.report(format!("{context}: `beta_scale` must be at least 1"));
+                    }
+                }
+                "StorageFade" => {
+                    if !field("capacity_scale")
+                        .is_some_and(|x| x.is_finite() && x > 0.0 && x <= 1.0)
+                    {
+                        self.report(format!("{context}: `capacity_scale` must be in (0, 1]"));
+                    }
+                }
+                "SelfDischarge" => {
+                    if !field("leak_a").is_some_and(|x| x.is_finite() && x >= 0.0) {
+                        self.report(format!(
+                            "{context}: `leak_a` must be finite and non-negative"
+                        ));
+                    }
+                }
+                "PredictorDropout" => {
+                    if !window_holds(field("until_s")) {
+                        self.report(format!(
+                            "{context}: `until_s` must be finite and at or after `at_s`"
+                        ));
+                    }
+                }
+                "PredictorNoise" => {
+                    if !window_holds(field("until_s")) {
+                        self.report(format!(
+                            "{context}: `until_s` must be finite and at or after `at_s`"
+                        ));
+                    }
+                    if !field("magnitude").is_some_and(|x| (0.0..1.0).contains(&x)) {
+                        self.report(format!("{context}: `magnitude` must be in [0, 1)"));
+                    }
+                }
+                other => self.report(format!("{context}: unknown fault kind `{other}`")),
+            }
+        }
     }
 }
 
@@ -323,6 +424,66 @@ mod tests {
         assert!(got
             .iter()
             .all(|f| f.message.contains("extra_jobs[0]") || f.message.contains("(0, 1]")));
+    }
+
+    #[test]
+    fn well_formed_fault_schedule_is_clean() {
+        let got = check_str(
+            r#"{"policies": ["Conv"], "workloads": [{"Experiment1": 1}],
+                "extra_jobs": [{"policy": "FcDpm", "workload": {"Experiment1": 1},
+                                "resilient": true,
+                                "faults": {"seed": 1, "events": [
+                                  {"at_s": 200.0, "kind": {"FuelStarvation": {"until_s": 740.0, "max_a": 0.47}}},
+                                  {"at_s": 400.0, "kind": {"StorageFade": {"capacity_scale": 0.6}}},
+                                  {"at_s": 900.0, "kind": {"PredictorNoise": {"until_s": 1300.0, "magnitude": 0.3}}}]}}]}"#,
+        );
+        assert!(got.is_empty(), "{got:#?}");
+    }
+
+    #[test]
+    fn broken_fault_schedules_are_rejected() {
+        let got = check_str(
+            r#"{"policies": ["Conv"], "workloads": [{"Experiment1": 1}],
+                "extra_jobs": [{"policy": "FcDpm", "workload": {"Experiment1": 1},
+                                "resilient": 7,
+                                "faults": {"seed": 1, "events": [
+                                  {"at_s": -5.0, "kind": {"FuelStarvation": {"until_s": 740.0, "max_a": 0.05}}},
+                                  {"at_s": 10.0, "kind": {"EfficiencyFade": {"alpha_scale": 1.5, "beta_scale": 0.5}}},
+                                  {"at_s": 20.0, "kind": {"Meteor": {}}}]}}]}"#,
+        );
+        assert!(
+            got.iter().any(|f| f.message.contains("`resilient`")),
+            "{got:#?}"
+        );
+        assert!(got.iter().any(|f| f.message.contains("`at_s`")), "{got:#?}");
+        assert!(
+            got.iter().any(|f| f.message.contains("hard outage")),
+            "{got:#?}"
+        );
+        assert!(
+            got.iter().any(|f| f.message.contains("alpha_scale")),
+            "{got:#?}"
+        );
+        assert!(
+            got.iter().any(|f| f.message.contains("beta_scale")),
+            "{got:#?}"
+        );
+        assert!(
+            got.iter()
+                .any(|f| f.message.contains("unknown fault kind `Meteor`")),
+            "{got:#?}"
+        );
+    }
+
+    #[test]
+    fn fault_schedule_without_events_is_rejected() {
+        let got = check_str(
+            r#"{"policies": ["Conv"], "workloads": [{"Experiment1": 1}],
+                "extra_jobs": [{"policy": "FcDpm", "workload": {"Experiment1": 1},
+                                "faults": {"seed": 1}}]}"#,
+        );
+        assert_eq!(got.len(), 1, "{got:#?}");
+        assert!(got[0].message.contains("`events` array"));
     }
 
     #[test]

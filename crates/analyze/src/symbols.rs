@@ -231,7 +231,7 @@ fn item_keyword(line: &str) -> Option<(ItemKind, &str)> {
 /// without parsing Cargo.toml at analysis time. A crate may import
 /// itself, `std`/`core`/`alloc`, external shims and anything listed
 /// here; everything else `fcdpm_*` is a layering violation.
-const ALLOWED_DEPS: [(&str, &[&str]); 16] = [
+const ALLOWED_DEPS: [(&str, &[&str]); 17] = [
     ("units", &[]),
     ("lint", &[]),
     ("analyze", &["lint"]),
@@ -240,6 +240,7 @@ const ALLOWED_DEPS: [(&str, &[&str]); 16] = [
     ("storage", &["units"]),
     ("workload", &["units", "device"]),
     ("predict", &["units", "workload"]),
+    ("faults", &["fuelcell", "units"]),
     ("dvs", &["units", "fuelcell", "workload"]),
     (
         "core",
@@ -250,27 +251,28 @@ const ALLOWED_DEPS: [(&str, &[&str]); 16] = [
     (
         "sim",
         &[
-            "core", "device", "fuelcell", "predict", "storage", "units", "workload",
+            "core", "device", "faults", "fuelcell", "predict", "storage", "units", "workload",
         ],
     ),
     (
         "runner",
         &[
-            "core", "device", "fuelcell", "predict", "sim", "storage", "units", "workload",
+            "core", "device", "faults", "fuelcell", "predict", "sim", "storage", "units",
+            "workload",
         ],
     ),
     (
         "bench",
         &[
-            "core", "device", "fuelcell", "predict", "runner", "sim", "storage", "units",
+            "core", "device", "faults", "fuelcell", "predict", "runner", "sim", "storage", "units",
             "workload",
         ],
     ),
     (
         "cli",
         &[
-            "analyze", "bench", "core", "device", "fuelcell", "lint", "predict", "runner", "sim",
-            "storage", "units", "workload",
+            "analyze", "bench", "core", "device", "faults", "fuelcell", "lint", "predict",
+            "runner", "sim", "storage", "units", "workload",
         ],
     ),
     (
@@ -283,7 +285,8 @@ const ALLOWED_DEPS: [(&str, &[&str]); 16] = [
     (
         "fcdpm",
         &[
-            "core", "device", "dvs", "fuelcell", "predict", "sim", "storage", "units", "workload",
+            "core", "device", "dvs", "faults", "fuelcell", "predict", "sim", "storage", "units",
+            "workload",
         ],
     ),
 ];

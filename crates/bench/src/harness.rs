@@ -9,20 +9,27 @@
 //! 2. **Coalescing A/B** — each reference policy on the camcorder
 //!    scenario with the chunk-coalescing fast path on and off, timing
 //!    both and checking the physics agree.
+//! 3. **Fault sweep** — the quick canonical fault-injection sweep
+//!    (starvation and combined schedules under plain, resilient and
+//!    Conv policies), so payload diffs also catch drift in the
+//!    degradation ladder.
 //!
 //! The machine-readable payload ([`BenchReport::json`]) carries only
 //! deterministic content — metrics and work counters, never timings —
 //! so CI can diff two consecutive runs byte-for-byte. Wall-clock
-//! numbers live in the human report ([`BenchReport::text`]).
+//! numbers live in the human report ([`BenchReport::text`]);
+//! [`drift_against`] renders the metric drift between two payloads for
+//! the `results/bench-history/` trend tracking.
 
+use core::fmt::Write as _;
 use std::time::Instant;
 
-use fcdpm_runner::{run_grid, JobGrid, PolicySpec, RunConfig, WorkloadSpec};
+use fcdpm_runner::{run_grid, run_specs, JobGrid, PolicySpec, RunConfig, WorkloadSpec};
 use fcdpm_sim::fixture::{run_reference_on, ReferencePolicy};
 use fcdpm_sim::{HybridSimulator, SimMetrics};
 use fcdpm_workload::Scenario;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// The paper's reference trace seed.
 pub const BENCH_SEED: u64 = 0xDAC0_2007;
@@ -40,7 +47,7 @@ pub struct BenchOptions {
 }
 
 /// One fixture-grid job in the deterministic payload.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct JobEntry {
     id: String,
     policy: String,
@@ -49,7 +56,7 @@ struct JobEntry {
 }
 
 /// One coalescing A/B comparison in the deterministic payload.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct CoalescingEntry {
     policy: String,
     chunks_stepped: u64,
@@ -58,14 +65,23 @@ struct CoalescingEntry {
     physics_match: bool,
 }
 
+/// One fault-sweep job in the deterministic payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FaultEntry {
+    label: String,
+    id: String,
+    metrics: fcdpm_runner::JobMetrics,
+}
+
 /// The deterministic machine-readable payload (`BENCH_4.json`).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct BenchPayload {
     schema: String,
     seed: u64,
     grid_digest: String,
     jobs: Vec<JobEntry>,
     coalescing: Vec<CoalescingEntry>,
+    faults: Vec<FaultEntry>,
 }
 
 /// The outcome of one harness run.
@@ -218,12 +234,41 @@ pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
         "\nConv camcorder speedup: {conv_speedup:.2}x (acceptance floor: 3x)\n"
     ));
 
+    // 3. Quick fault-injection sweep through the runner. Always the
+    // quick catalogue, so quick and full harness runs produce the same
+    // payload bytes.
+    let sweep = fcdpm_runner::fault_sweep_labeled(BENCH_SEED, true);
+    let specs: Vec<fcdpm_runner::JobSpec> = sweep.iter().map(|(_, s)| s.clone()).collect();
+    let fault_manifest = run_specs(&specs, &RunConfig::default());
+    if !fault_manifest.all_completed() {
+        return Err(format!("fault sweep failed: {}", fault_manifest.summary()));
+    }
+    text.push_str("\nfault sweep (quick canonical schedules)\n");
+    text.push_str("  schedule/policy         wall_ms  deficit_s  faults  degradations\n");
+    let mut faults = Vec::new();
+    for ((label, _), record) in sweep.iter().zip(&fault_manifest.records) {
+        let metrics = record
+            .outcome
+            .metrics()
+            .ok_or_else(|| format!("fault job {} has no metrics", record.id))?;
+        text.push_str(&format!(
+            "  {label:<22} {:>8}  {:>9.3}  {:>6}  {:>12}\n",
+            record.wall_ms, metrics.deficit_time_s, metrics.faults_applied, metrics.degradations,
+        ));
+        faults.push(FaultEntry {
+            label: label.clone(),
+            id: record.id.clone(),
+            metrics: metrics.clone(),
+        });
+    }
+
     let payload = BenchPayload {
-        schema: "fcdpm-bench/1".to_owned(),
+        schema: "fcdpm-bench/2".to_owned(),
         seed: BENCH_SEED,
         grid_digest: manifest.grid_digest.clone(),
         jobs,
         coalescing,
+        faults,
     };
     let json = serde_json::to_string_pretty(&payload)
         .map_err(|e| format!("payload serialization: {e}"))?;
@@ -233,6 +278,92 @@ pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
         text,
         speedup: conv_speedup,
     })
+}
+
+/// Appends a drift line for one `(metric, old, new)` triple when the
+/// values differ beyond float noise.
+fn drift_line(out: &mut String, entry: &str, metric: &str, old: f64, new: f64) -> bool {
+    let close = (old - new).abs() <= 1e-9 * (1.0 + old.abs().max(new.abs()));
+    if close {
+        return false;
+    }
+    let rel = if old.abs() > 0.0 {
+        format!(" ({:+.2}%)", (new - old) / old.abs() * 100.0)
+    } else {
+        String::new()
+    };
+    let _ = writeln!(out, "  {entry}: {metric} {old:.3} -> {new:.3}{rel}");
+    true
+}
+
+/// Renders the metric drift between two deterministic payloads.
+///
+/// Returns `None` when `previous` does not parse as the current payload
+/// schema (e.g. a payload written before a schema bump) — callers
+/// should skip the comparison rather than fail. Identical payloads
+/// yield the explicit "no drift" line so trend logs stay greppable.
+#[must_use]
+pub fn drift_against(previous: &str, current: &str) -> Option<String> {
+    let prev: BenchPayload = serde_json::from_str(previous).ok()?;
+    let cur: BenchPayload = serde_json::from_str(current).ok()?;
+    if prev.schema != cur.schema {
+        return None;
+    }
+    let mut out = String::new();
+    let mut drifted = 0usize;
+    fn compare(
+        out: &mut String,
+        entry: &str,
+        old: &fcdpm_runner::JobMetrics,
+        new: &fcdpm_runner::JobMetrics,
+    ) -> usize {
+        let mut drifted = 0usize;
+        for (metric, o, n) in [
+            ("fuel_as", old.fuel_as, new.fuel_as),
+            ("deficit_time_s", old.deficit_time_s, new.deficit_time_s),
+            (
+                "chunks_coalesced",
+                to_f64(old.chunks_coalesced),
+                to_f64(new.chunks_coalesced),
+            ),
+            (
+                "degradations",
+                to_f64(old.degradations),
+                to_f64(new.degradations),
+            ),
+        ] {
+            drifted += usize::from(drift_line(out, entry, metric, o, n));
+        }
+        drifted
+    }
+    for entry in &cur.jobs {
+        if let Some(p) = prev.jobs.iter().find(|p| p.id == entry.id) {
+            let label = format!("{}/{}", entry.policy, entry.workload);
+            drifted += compare(&mut out, &label, &p.metrics, &entry.metrics);
+        } else {
+            let _ = writeln!(out, "  {}: new fixture job", entry.id);
+            drifted += 1;
+        }
+    }
+    for entry in &cur.faults {
+        if let Some(p) = prev.faults.iter().find(|p| p.id == entry.id) {
+            drifted += compare(&mut out, &entry.label, &p.metrics, &entry.metrics);
+        } else {
+            let _ = writeln!(out, "  {}: new fault job", entry.label);
+            drifted += 1;
+        }
+    }
+    if drifted == 0 {
+        out.push_str("  no drift vs previous payload\n");
+    }
+    Some(out)
+}
+
+/// `u64` → `f64` for drift display; bench counters stay far below the
+/// 2^53 mantissa limit.
+#[allow(clippy::cast_precision_loss)]
+fn to_f64(v: u64) -> f64 {
+    v as f64
 }
 
 #[cfg(test)]
@@ -245,9 +376,30 @@ mod tests {
         let first = run(&options).expect("harness runs");
         let second = run(&options).expect("harness runs");
         assert_eq!(first.json, second.json, "payload must be deterministic");
-        assert!(first.json.contains("\"schema\": \"fcdpm-bench/1\""));
+        assert!(first.json.contains("\"schema\": \"fcdpm-bench/2\""));
         assert!(!first.json.contains("wall_ms"), "no timings in payload");
         assert!(first.text.contains("speedup"));
+        assert!(first.text.contains("fault sweep"));
+        assert!(first.json.contains("starvation/resilient"));
+    }
+
+    #[test]
+    fn drift_reporting_detects_change_and_tolerates_old_schemas() {
+        let report = run(&BenchOptions { quick: true }).expect("harness runs");
+        // Identical payloads: explicit no-drift line.
+        let same = drift_against(&report.json, &report.json).expect("same schema");
+        assert!(same.contains("no drift"), "{same}");
+        // A perturbed copy drifts.
+        let perturbed = report
+            .json
+            .replacen("\"fuel_as\":", "\"fuel_as\": 1.0, \"was\":", 1);
+        let drift = drift_against(&perturbed, &report.json);
+        if let Some(drift) = drift {
+            assert!(drift.contains("fuel_as"), "{drift}");
+        }
+        // Pre-schema-bump payloads don't parse: comparison is skipped.
+        assert!(drift_against("{\"schema\": \"fcdpm-bench/1\"}", &report.json).is_none());
+        assert!(drift_against("not json", &report.json).is_none());
     }
 
     #[test]

@@ -112,6 +112,20 @@ pub enum Command {
         /// Output directory for the run manifest (default `results`).
         out: Option<String>,
     },
+    /// Run the seeded fault-injection sweep (canonical schedules under
+    /// plain, resilient and Conv-DPM policies) and write the
+    /// deterministic manifest.
+    Faults {
+        /// Only the starvation and combined schedules — for CI smoke
+        /// runs.
+        quick: bool,
+        /// Sweep seed (default: the paper-reference seed).
+        seed: Option<u64>,
+        /// Worker threads (default: available parallelism).
+        jobs: Option<usize>,
+        /// Output directory for the manifest (default `results`).
+        out: Option<String>,
+    },
     /// Run the wall-clock bench harness (fixture grid plus the
     /// chunk-coalescing A/B) and write the deterministic payload.
     Bench {
@@ -393,6 +407,43 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, ParseCliError> {
                 out,
             })
         }
+        "faults" => {
+            let mut quick = false;
+            let mut seed = None;
+            let mut jobs = None;
+            let mut out = None;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--quick" => quick = true,
+                    "--seed" => {
+                        let v = take_value(flag, &mut iter)?;
+                        seed = Some(
+                            v.parse::<u64>()
+                                .map_err(|_| err(format!("bad seed `{v}`")))?,
+                        );
+                    }
+                    "--jobs" => {
+                        let v = take_value(flag, &mut iter)?;
+                        jobs = Some(
+                            v.parse::<usize>()
+                                .ok()
+                                .filter(|n| *n > 0)
+                                .ok_or_else(|| err(format!("bad worker count `{v}`")))?,
+                        );
+                    }
+                    "--out" => {
+                        out = Some(take_value(flag, &mut iter)?.to_owned());
+                    }
+                    other => return Err(err(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Faults {
+                quick,
+                seed,
+                jobs,
+                out,
+            })
+        }
         "bench" => {
             let mut quick = false;
             let mut out = None;
@@ -608,6 +659,32 @@ mod tests {
         assert!(parse(&["batch", "g.json", "--jobs", "0"]).is_err());
         assert!(parse(&["batch", "g.json", "--jobs", "x"]).is_err());
         assert!(parse(&["batch", "g.json", "--frob"]).is_err());
+    }
+
+    #[test]
+    fn faults_parse() {
+        assert_eq!(
+            parse(&["faults"]).unwrap(),
+            Command::Faults {
+                quick: false,
+                seed: None,
+                jobs: None,
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&["faults", "--quick", "--seed", "7", "--jobs", "2", "--out", "runs"]).unwrap(),
+            Command::Faults {
+                quick: true,
+                seed: Some(7),
+                jobs: Some(2),
+                out: Some("runs".into()),
+            }
+        );
+        assert!(parse(&["faults", "--seed", "x"]).is_err());
+        assert!(parse(&["faults", "--jobs", "0"]).is_err());
+        assert!(parse(&["faults", "--out"]).is_err());
+        assert!(parse(&["faults", "--frob"]).is_err());
     }
 
     #[test]

@@ -68,6 +68,12 @@ pub fn execute(command: &Command) -> Result<CmdOutput, String> {
         Command::Batch { spec, jobs, out } => {
             run_batch(spec, *jobs, out.as_deref()).map(CmdOutput::success)
         }
+        Command::Faults {
+            quick,
+            seed,
+            jobs,
+            out,
+        } => run_faults(*quick, *seed, *jobs, out.as_deref()).map(CmdOutput::success),
         Command::Bench { quick, out } => run_bench(*quick, out.as_deref()).map(CmdOutput::success),
         Command::Lint {
             format,
@@ -241,6 +247,82 @@ fn run_batch(
     Ok(out)
 }
 
+fn run_faults(
+    quick: bool,
+    seed: Option<u64>,
+    jobs: Option<usize>,
+    out_dir: Option<&str>,
+) -> Result<String, String> {
+    let seed = seed.unwrap_or(0xDAC0_2007);
+    let labeled = fcdpm_runner::fault_sweep_labeled(seed, quick);
+    let specs: Vec<fcdpm_runner::JobSpec> = labeled.iter().map(|(_, s)| s.clone()).collect();
+    let config = match jobs {
+        Some(workers) => fcdpm_runner::RunConfig::with_workers(workers),
+        None => fcdpm_runner::RunConfig::default(),
+    };
+    let manifest = fcdpm_runner::run_specs(&specs, &config);
+
+    let out_dir = std::path::Path::new(out_dir.unwrap_or("results"));
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create `{}`: {e}", out_dir.display()))?;
+    let manifest_path = out_dir.join(format!("faults-{seed:x}.manifest.json"));
+    std::fs::write(&manifest_path, manifest.deterministic_json())
+        .map_err(|e| format!("cannot write `{}`: {e}", manifest_path.display()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fault sweep, seed {seed:#x}, {} jobs{}",
+        manifest.records.len(),
+        if quick { " (quick)" } else { "" }
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>8} {:>12} {:>11} {:>7} {:>6} {:>12}",
+        "schedule/policy", "outcome", "fuel [A*s]", "deficit [s]", "faults", "degr", "fallback [s]"
+    );
+    for ((label, _), record) in labeled.iter().zip(&manifest.records) {
+        match &record.outcome {
+            fcdpm_runner::JobOutcome::Completed(m) => {
+                let _ = writeln!(
+                    out,
+                    "{label:<22} {:>8} {:>12.1} {:>11.3} {:>7} {:>6} {:>12.1}",
+                    "ok",
+                    m.fuel_as,
+                    m.deficit_time_s,
+                    m.faults_applied,
+                    m.degradations,
+                    m.time_in_fallback_s
+                );
+            }
+            fcdpm_runner::JobOutcome::Failed(msg) => {
+                let reason: String = msg.chars().take(40).collect();
+                let _ = writeln!(out, "{label:<22} {:>8}  {reason}", "FAILED");
+            }
+            fcdpm_runner::JobOutcome::TimedOut => {
+                let _ = writeln!(out, "{label:<22} {:>8}", "TIMEOUT");
+            }
+        }
+    }
+
+    // The leading control pair (no schedule vs empty schedule) must be
+    // bit-identical — fault plumbing is only allowed to change runs
+    // that actually carry events.
+    let control_identical = matches!(
+        (&manifest.records[0].outcome, &manifest.records[1].outcome),
+        (
+            fcdpm_runner::JobOutcome::Completed(a),
+            fcdpm_runner::JobOutcome::Completed(b),
+        ) if a == b
+    );
+    if !control_identical {
+        return Err("control pair differs: an empty fault schedule changed the metrics".to_owned());
+    }
+    let _ = writeln!(out, "control pair bit-identical: yes");
+    let _ = writeln!(out, "manifest: {}", manifest_path.display());
+    Ok(out)
+}
+
 fn run_bench(quick: bool, out: Option<&str>) -> Result<String, String> {
     let options = fcdpm_bench::harness::BenchOptions { quick };
     let report = fcdpm_bench::harness::run(&options)?;
@@ -249,7 +331,70 @@ fn run_bench(quick: bool, out: Option<&str>) -> Result<String, String> {
         .map_err(|e| format!("cannot write `{}`: {e}", out_path.display()))?;
     let mut text = report.text;
     let _ = writeln!(text, "payload: {}", out_path.display());
+
+    // Trend tracking: keep sequential payload copies next to the
+    // payload (default `results/bench-history/`) and print the metric
+    // drift against the most recent previous entry. The payload is
+    // timing-free, so drift means the simulation itself changed.
+    let history_dir = out_path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map_or_else(
+            || std::path::PathBuf::from("results/bench-history"),
+            |p| p.join("bench-history"),
+        );
+    std::fs::create_dir_all(&history_dir)
+        .map_err(|e| format!("cannot create `{}`: {e}", history_dir.display()))?;
+    let previous = latest_bench_entry(&history_dir);
+    let next_seq = previous.as_ref().map_or(1, |(n, _)| n + 1);
+    match &previous {
+        None => {
+            let _ = writeln!(text, "bench history: first entry");
+        }
+        Some((_, path)) => {
+            let drift = std::fs::read_to_string(path)
+                .ok()
+                .and_then(|prev| fcdpm_bench::harness::drift_against(&prev, &report.json));
+            match drift {
+                Some(drift) => {
+                    let _ = writeln!(text, "drift vs {}:", path.display());
+                    text.push_str(&drift);
+                }
+                None => {
+                    let _ = writeln!(
+                        text,
+                        "previous payload `{}` unreadable (schema change)",
+                        path.display()
+                    );
+                }
+            }
+        }
+    }
+    let entry = history_dir.join(format!("bench-{next_seq:04}.json"));
+    std::fs::write(&entry, &report.json)
+        .map_err(|e| format!("cannot write `{}`: {e}", entry.display()))?;
+    let _ = writeln!(text, "history: {}", entry.display());
     Ok(text)
+}
+
+/// Highest-numbered `bench-NNNN.json` in the history directory.
+fn latest_bench_entry(dir: &std::path::Path) -> Option<(u64, std::path::PathBuf)> {
+    let mut best: Option<(u64, std::path::PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name();
+        let Some(seq) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("bench-"))
+            .and_then(|n| n.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(b, _)| seq > *b) {
+            best = Some((seq, entry.path()));
+        }
+    }
+    best
 }
 
 fn run_simulate(path: &str, device: DeviceChoice, capacity_mamin: f64) -> Result<String, String> {
@@ -670,6 +815,67 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn faults_quick_sweep_is_worker_invariant() {
+        let dir = std::env::temp_dir().join("fcdpm-faults-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |workers: usize| {
+            execute(&Command::Faults {
+                quick: true,
+                seed: None,
+                jobs: Some(workers),
+                out: Some(dir.to_string_lossy().into_owned()),
+            })
+            .unwrap()
+            .text
+        };
+        let manifest_path = dir.join("faults-dac02007.manifest.json");
+        let text = run(2);
+        assert!(text.contains("control pair bit-identical: yes"), "{text}");
+        assert!(text.contains("starvation/resilient"), "{text}");
+        assert!(text.contains("combined/conv"), "{text}");
+        let two_workers = std::fs::read_to_string(&manifest_path).unwrap();
+        run(1);
+        let one_worker = std::fs::read_to_string(&manifest_path).unwrap();
+        assert_eq!(
+            two_workers, one_worker,
+            "deterministic manifest must not depend on worker count"
+        );
+    }
+
+    #[test]
+    fn bench_history_tracks_drift_across_runs() {
+        let dir = std::env::temp_dir().join("fcdpm-bench-cli-test");
+        // Start from a clean slate so the sequence numbering is known.
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let payload = dir.join("bench.json");
+        let run = || {
+            execute(&Command::Bench {
+                quick: true,
+                out: Some(payload.to_string_lossy().into_owned()),
+            })
+            .unwrap()
+            .text
+        };
+        let first = run();
+        assert!(first.contains("bench history: first entry"), "{first}");
+        assert!(dir.join("bench-history/bench-0001.json").exists());
+        let second = run();
+        assert!(second.contains("drift vs"), "{second}");
+        assert!(second.contains("no drift"), "{second}");
+        assert!(dir.join("bench-history/bench-0002.json").exists());
+        // An unreadable (pre-schema-bump) previous entry is tolerated.
+        std::fs::write(
+            dir.join("bench-history/bench-0003.json"),
+            "{\"schema\": \"fcdpm-bench/1\"}",
+        )
+        .unwrap();
+        let third = run();
+        assert!(third.contains("unreadable (schema change)"), "{third}");
+        assert!(dir.join("bench-history/bench-0004.json").exists());
     }
 
     #[test]

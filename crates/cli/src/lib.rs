@@ -29,6 +29,7 @@ USAGE:
     fcdpm lifetime [--moles <N>] [--capacity-mamin <N>]
     fcdpm sizing [--tolerance-as <N>]
     fcdpm batch <grid.json> [--jobs <N>] [--out <DIR>]
+    fcdpm faults [--quick] [--seed <N>] [--jobs <N>] [--out <DIR>]
     fcdpm bench [--quick] [--out <FILE>]
     fcdpm lint [--format <human|json|sarif>] [--baseline <FILE>] [--root <DIR>] [--write-baseline]
     fcdpm analyze [--format <human|json|sarif>] [--baseline <FILE>] [--root <DIR>] [--write-baseline]
@@ -42,6 +43,8 @@ COMMANDS:
     lifetime     run Experiment 1 cyclically until a hydrogen tank runs dry
     sizing       smallest storage capacity for unconstrained FC-DPM (Exp. 1)
     batch        run a JSON job grid on the worker pool, write a run manifest
+    faults       seeded fault-injection sweep: canonical schedules under plain,
+                 resilient and Conv-DPM policies, deterministic manifest
     bench        wall-clock harness: fixture grid + chunk-coalescing A/B,
                  deterministic payload to BENCH_4.json (timings on stdout)
     lint         static-analysis pass: determinism, unit-safety, panic policy,

@@ -22,16 +22,18 @@ mod asap;
 mod conv;
 mod fcdpm;
 mod quantized;
+mod resilient;
 mod windowed;
 
 pub use asap::AsapDpm;
 pub use conv::ConvDpm;
 pub use fcdpm::FcDpm;
 pub use quantized::{OutputLevels, Quantized};
+pub use resilient::{ResilienceMode, ResilientPolicy};
 pub use windowed::WindowedAverage;
 
 use fcdpm_device::SleepDirective;
-use fcdpm_units::{Amps, Charge, Seconds};
+use fcdpm_units::{Amps, Charge, CurrentRange, Seconds};
 
 /// Which phase of the slot a segment belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +84,56 @@ pub struct SlotEnd {
     pub soc: Charge,
 }
 
+/// The operating conditions of the hybrid source as the simulator
+/// currently sees them — reported to policies so health-aware wrappers
+/// such as [`ResilientPolicy`] can detect infeasibility and degrade
+/// gracefully. Without fault injection the conditions are permanently
+/// nominal and the simulator never reports them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingConditions {
+    /// The load-following range currently feasible (equal to
+    /// `base_range` while the source is healthy; shrunken under a
+    /// fuel-starvation fault).
+    pub effective_range: CurrentRange,
+    /// The nominal load-following range.
+    pub base_range: CurrentRange,
+    /// Whether the DPM layer's idle-length predictor feed is healthy.
+    pub predictor_ok: bool,
+    /// Storage state of charge as a fraction of (effective) capacity.
+    pub soc_fraction: f64,
+}
+
+impl OperatingConditions {
+    /// Nominal conditions for a given range: full range, healthy
+    /// predictor, the given state of charge.
+    #[must_use]
+    pub fn nominal(range: CurrentRange, soc_fraction: f64) -> Self {
+        Self {
+            effective_range: range,
+            base_range: range,
+            predictor_ok: true,
+            soc_fraction,
+        }
+    }
+
+    /// Whether the effective range is currently narrower than nominal.
+    #[must_use]
+    pub fn shrunken(&self) -> bool {
+        self.effective_range != self.base_range
+    }
+}
+
+/// A degradation-aware policy's self-report, polled by the simulator to
+/// attribute wall-clock time to fallback operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceStatus {
+    /// Whether the policy is currently operating degraded (not
+    /// delegating to its nominal strategy).
+    pub degraded: bool,
+    /// Downward ladder transitions taken so far.
+    pub degradations: u64,
+}
+
 /// An FC output-current policy driven by the hybrid-source simulator.
 pub trait FcOutputPolicy: core::fmt::Debug {
     /// Short policy name for reports ("Conv-DPM", "ASAP-DPM", "FC-DPM").
@@ -116,6 +168,22 @@ pub trait FcOutputPolicy: core::fmt::Debug {
 
     /// Called at each slot end with the observed values.
     fn end_slot(&mut self, _end: &SlotEnd) {}
+
+    /// Reports the current operating conditions of the hybrid source.
+    ///
+    /// The simulator calls this at every point where the conditions can
+    /// have changed (slot starts and fault-boundary span starts), and
+    /// only when fault injection is configured. Like the other
+    /// lifecycle hooks this is a legal place to change strategy; a
+    /// [`steady_current`](Self::steady_current) hint needs to stay
+    /// valid only between consecutive lifecycle calls.
+    fn observe_conditions(&mut self, _conditions: &OperatingConditions) {}
+
+    /// Degradation self-report for health-aware wrappers; `None` (the
+    /// default) for ordinary policies, which are never degraded.
+    fn resilience(&self) -> Option<ResilienceStatus> {
+        None
+    }
 }
 
 #[cfg(test)]

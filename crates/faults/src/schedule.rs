@@ -1,0 +1,347 @@
+//! The serializable fault schedule: timed events and their payloads.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// FC efficiency fade: the linear characterization `η_s = α − β·I_F`
+/// drifts as the stack ages — `α` shrinks and `β` steepens, so the same
+/// output current costs more fuel. Permanent once applied; multiple
+/// fades compose multiplicatively.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyFade {
+    /// Multiplier on `α`, in `(0, 1]` (1.0 = no fade).
+    pub alpha_scale: f64,
+    /// Multiplier on `β`, at least 1.0 (1.0 = no steepening).
+    pub beta_scale: f64,
+}
+
+/// Fuel starvation: between the event time and `until_s` the stack
+/// cannot track its full load-following range — the effective upper
+/// bound drops to `max_a` (clamped into the base range). A later
+/// starvation event replaces an active one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FuelStarvation {
+    /// End of the starvation window, in simulated seconds.
+    pub until_s: f64,
+    /// The largest deliverable output current during the window, in
+    /// amperes.
+    pub max_a: f64,
+}
+
+/// Storage capacity fade: the element permanently loses usable
+/// capacity. Multiple fades compose multiplicatively.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageFade {
+    /// Multiplier on the usable capacity, in `(0, 1]`.
+    pub capacity_scale: f64,
+}
+
+/// Storage self-discharge: a parasitic leak current drains the storage
+/// element for the rest of the run. Multiple leaks add up.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelfDischarge {
+    /// Leak current in amperes (non-negative).
+    pub leak_a: f64,
+}
+
+/// Predictor sensor dropout: between the event time and `until_s` the
+/// DPM layer's idle-length prediction is unavailable (the FC policy
+/// sees `None`, as on a cold start).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictorDropout {
+    /// End of the dropout window, in simulated seconds.
+    pub until_s: f64,
+}
+
+/// Predictor sensor noise: between the event time and `until_s` the
+/// idle-length prediction is multiplied by a deterministic factor in
+/// `[1 − magnitude, 1 + magnitude]`, keyed by the schedule seed and the
+/// slot index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictorNoise {
+    /// End of the noise window, in simulated seconds.
+    pub until_s: f64,
+    /// Relative noise magnitude, in `[0, 1)`.
+    pub magnitude: f64,
+}
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// FC efficiency fade (permanent `α`/`β` drift).
+    EfficiencyFade(EfficiencyFade),
+    /// Fuel-starvation window (shrunken load-following range).
+    FuelStarvation(FuelStarvation),
+    /// Permanent storage capacity fade.
+    StorageFade(StorageFade),
+    /// Permanent storage self-discharge leak.
+    SelfDischarge(SelfDischarge),
+    /// Predictor sensor dropout window.
+    PredictorDropout(PredictorDropout),
+    /// Predictor sensor noise window.
+    PredictorNoise(PredictorNoise),
+}
+
+/// A fault that fires at a fixed simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Simulated time at which the fault takes effect, in seconds.
+    pub at_s: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, seeded schedule of fault events.
+///
+/// The seed keys the predictor-noise generator; the events fire in time
+/// order regardless of their order in the list. An empty schedule is
+/// valid and leaves every run bit-identical to a fault-free one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// Seed for the deterministic noise generator.
+    pub seed: u64,
+    /// The timed fault events.
+    pub events: Vec<FaultEvent>,
+}
+
+/// A structural problem with a [`FaultSchedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    /// Index of the offending event in [`FaultSchedule::events`].
+    pub event: usize,
+    /// What is wrong with it.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault event {}: {}", self.event, self.reason)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+fn check(ok: bool, event: usize, reason: &'static str) -> Result<(), FaultError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(FaultError { event, reason })
+    }
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no events; behaviorally identical to running
+    /// without fault injection).
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether the schedule carries no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Validates every event: times must be finite and non-negative,
+    /// windows must end at or after their start, scales must stay in
+    /// their physical ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending event and the reason.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        for (i, ev) in self.events.iter().enumerate() {
+            check(
+                ev.at_s.is_finite() && ev.at_s >= 0.0,
+                i,
+                "at_s must be finite and non-negative",
+            )?;
+            match &ev.kind {
+                FaultKind::EfficiencyFade(f) => {
+                    check(
+                        f.alpha_scale.is_finite() && f.alpha_scale > 0.0 && f.alpha_scale <= 1.0,
+                        i,
+                        "alpha_scale must be in (0, 1]",
+                    )?;
+                    check(
+                        f.beta_scale.is_finite() && f.beta_scale >= 1.0,
+                        i,
+                        "beta_scale must be at least 1",
+                    )?;
+                }
+                FaultKind::FuelStarvation(f) => {
+                    check(
+                        f.until_s.is_finite() && f.until_s >= ev.at_s,
+                        i,
+                        "until_s must be finite and at or after at_s",
+                    )?;
+                    check(
+                        f.max_a.is_finite() && f.max_a > 0.0,
+                        i,
+                        "max_a must be finite and positive",
+                    )?;
+                }
+                FaultKind::StorageFade(f) => {
+                    check(
+                        f.capacity_scale.is_finite()
+                            && f.capacity_scale > 0.0
+                            && f.capacity_scale <= 1.0,
+                        i,
+                        "capacity_scale must be in (0, 1]",
+                    )?;
+                }
+                FaultKind::SelfDischarge(f) => {
+                    check(
+                        f.leak_a.is_finite() && f.leak_a >= 0.0,
+                        i,
+                        "leak_a must be finite and non-negative",
+                    )?;
+                }
+                FaultKind::PredictorDropout(f) => {
+                    check(
+                        f.until_s.is_finite() && f.until_s >= ev.at_s,
+                        i,
+                        "until_s must be finite and at or after at_s",
+                    )?;
+                }
+                FaultKind::PredictorNoise(f) => {
+                    check(
+                        f.until_s.is_finite() && f.until_s >= ev.at_s,
+                        i,
+                        "until_s must be finite and at or after at_s",
+                    )?;
+                    check(
+                        f.magnitude.is_finite() && (0.0..1.0).contains(&f.magnitude),
+                        i,
+                        "magnitude must be in [0, 1)",
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn starvation(at: f64, until: f64, max: f64) -> FaultEvent {
+        FaultEvent {
+            at_s: at,
+            kind: FaultKind::FuelStarvation(FuelStarvation {
+                until_s: until,
+                max_a: max,
+            }),
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_valid() {
+        let s = FaultSchedule::none(7);
+        assert!(s.is_empty());
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip_covers_every_kind() {
+        let s = FaultSchedule {
+            seed: 0xDAC0_2007,
+            events: vec![
+                FaultEvent {
+                    at_s: 10.0,
+                    kind: FaultKind::EfficiencyFade(EfficiencyFade {
+                        alpha_scale: 0.9,
+                        beta_scale: 1.2,
+                    }),
+                },
+                starvation(60.0, 120.0, 0.5),
+                FaultEvent {
+                    at_s: 30.0,
+                    kind: FaultKind::StorageFade(StorageFade {
+                        capacity_scale: 0.8,
+                    }),
+                },
+                FaultEvent {
+                    at_s: 40.0,
+                    kind: FaultKind::SelfDischarge(SelfDischarge { leak_a: 0.01 }),
+                },
+                FaultEvent {
+                    at_s: 50.0,
+                    kind: FaultKind::PredictorDropout(PredictorDropout { until_s: 90.0 }),
+                },
+                FaultEvent {
+                    at_s: 70.0,
+                    kind: FaultKind::PredictorNoise(PredictorNoise {
+                        until_s: 100.0,
+                        magnitude: 0.25,
+                    }),
+                },
+            ],
+        };
+        assert!(s.validate().is_ok());
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn validation_rejects_bad_events() {
+        let bad = |ev: FaultEvent| FaultSchedule {
+            seed: 0,
+            events: vec![ev],
+        };
+        assert!(bad(starvation(-1.0, 10.0, 0.5)).validate().is_err());
+        assert!(bad(starvation(10.0, 5.0, 0.5)).validate().is_err());
+        assert!(bad(starvation(10.0, 20.0, 0.0)).validate().is_err());
+        assert!(bad(FaultEvent {
+            at_s: 0.0,
+            kind: FaultKind::EfficiencyFade(EfficiencyFade {
+                alpha_scale: 1.5,
+                beta_scale: 1.0,
+            }),
+        })
+        .validate()
+        .is_err());
+        assert!(bad(FaultEvent {
+            at_s: 0.0,
+            kind: FaultKind::EfficiencyFade(EfficiencyFade {
+                alpha_scale: 0.9,
+                beta_scale: 0.5,
+            }),
+        })
+        .validate()
+        .is_err());
+        assert!(bad(FaultEvent {
+            at_s: 0.0,
+            kind: FaultKind::StorageFade(StorageFade {
+                capacity_scale: 0.0,
+            }),
+        })
+        .validate()
+        .is_err());
+        assert!(bad(FaultEvent {
+            at_s: 0.0,
+            kind: FaultKind::SelfDischarge(SelfDischarge { leak_a: -0.1 }),
+        })
+        .validate()
+        .is_err());
+        assert!(bad(FaultEvent {
+            at_s: 0.0,
+            kind: FaultKind::PredictorNoise(PredictorNoise {
+                until_s: 10.0,
+                magnitude: 1.0,
+            }),
+        })
+        .validate()
+        .is_err());
+        let err = bad(starvation(f64::NAN, 10.0, 0.5)).validate().unwrap_err();
+        assert_eq!(err.event, 0);
+        assert!(err.to_string().contains("at_s"));
+    }
+}

@@ -1,0 +1,436 @@
+//! The runtime the simulator drives: applied faults and their effects.
+
+use fcdpm_fuelcell::LinearEfficiency;
+use fcdpm_units::{Amps, CurrentRange, Seconds};
+
+use crate::schedule::{FaultEvent, FaultKind, FaultSchedule};
+
+/// Floor on the faded efficiency when computing the stack derate: a
+/// fully dead stack is modeled as 1 % efficient so the fuel integral
+/// stays finite and the run stays defined.
+const EFFICIENCY_FLOOR: f64 = 0.01;
+
+/// splitmix64: the standard 64-bit mixing finalizer. Deterministic,
+/// allocation-free, and good enough to decorrelate per-slot noise.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A unit sample in `[0, 1)` from the top 53 bits of a mixed word.
+fn unit_sample(word: u64) -> f64 {
+    (word >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The live fault picture at a point in simulated time.
+///
+/// Built from a validated [`FaultSchedule`]; the simulator calls
+/// [`advance_to`](Self::advance_to) at every integration-span start and
+/// [`next_boundary`](Self::next_boundary) to know where the current
+/// span must end so no fault edge falls inside a closed-form segment.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    seed: u64,
+    /// Events sorted by time; `next` indexes the first unapplied one.
+    events: Vec<FaultEvent>,
+    next: usize,
+    applied: u64,
+    // Persistent effects.
+    alpha_scale: f64,
+    beta_scale: f64,
+    capacity_scale: f64,
+    leak: Amps,
+    // Windowed effects: `(until_s, payload)` while active.
+    starvation: Option<(f64, f64)>,
+    dropout_until: Option<f64>,
+    noise: Option<(f64, f64)>,
+    /// The paper's baseline characterization, against which fades are
+    /// expressed. Exact for simulations driven by the default
+    /// [`LinearEfficiency::dac07`] fuel model.
+    base: LinearEfficiency,
+}
+
+impl FaultState {
+    /// Builds the runtime for a schedule. Events are applied in time
+    /// order regardless of their order in the schedule.
+    #[must_use]
+    pub fn new(schedule: &FaultSchedule) -> Self {
+        let mut events = schedule.events.clone();
+        events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        Self {
+            seed: schedule.seed,
+            events,
+            next: 0,
+            applied: 0,
+            alpha_scale: 1.0,
+            beta_scale: 1.0,
+            capacity_scale: 1.0,
+            leak: Amps::ZERO,
+            starvation: None,
+            dropout_until: None,
+            noise: None,
+            base: LinearEfficiency::dac07(),
+        }
+    }
+
+    /// Applies every event due at or before `now` and expires windows
+    /// that end at or before `now`. Returns the number of newly applied
+    /// events. Idempotent for a fixed `now`; `now` must not go
+    /// backwards.
+    pub fn advance_to(&mut self, now: Seconds) -> u64 {
+        let t = now.seconds();
+        // Expire windows first so an event at the same instant can
+        // reopen them.
+        if self.starvation.is_some_and(|(until, _)| until <= t) {
+            self.starvation = None;
+        }
+        if self.dropout_until.is_some_and(|until| until <= t) {
+            self.dropout_until = None;
+        }
+        if self.noise.is_some_and(|(until, _)| until <= t) {
+            self.noise = None;
+        }
+        let mut newly = 0;
+        while let Some(ev) = self.events.get(self.next) {
+            if ev.at_s > t {
+                break;
+            }
+            match ev.kind {
+                FaultKind::EfficiencyFade(f) => {
+                    self.alpha_scale *= f.alpha_scale;
+                    self.beta_scale *= f.beta_scale;
+                }
+                FaultKind::FuelStarvation(f) => {
+                    if f.until_s > t {
+                        self.starvation = Some((f.until_s, f.max_a));
+                    }
+                }
+                FaultKind::StorageFade(f) => self.capacity_scale *= f.capacity_scale,
+                FaultKind::SelfDischarge(f) => self.leak += Amps::new(f.leak_a),
+                FaultKind::PredictorDropout(f) => {
+                    if f.until_s > t {
+                        let until = self.dropout_until.map_or(f.until_s, |u| u.max(f.until_s));
+                        self.dropout_until = Some(until);
+                    }
+                }
+                FaultKind::PredictorNoise(f) => {
+                    if f.until_s > t {
+                        self.noise = Some((f.until_s, f.magnitude));
+                    }
+                }
+            }
+            self.next += 1;
+            newly += 1;
+        }
+        self.applied += newly;
+        newly
+    }
+
+    /// The earliest instant strictly after `now` at which the fault
+    /// picture changes: the next unapplied event, or the end of an
+    /// active window. `None` when nothing further is scheduled.
+    #[must_use]
+    pub fn next_boundary(&self, now: Seconds) -> Option<Seconds> {
+        let t = now.seconds();
+        let mut boundary: Option<f64> = None;
+        let mut consider = |candidate: f64| {
+            if candidate > t {
+                boundary = Some(boundary.map_or(candidate, |b: f64| b.min(candidate)));
+            }
+        };
+        if let Some(ev) = self.events.get(self.next) {
+            consider(ev.at_s);
+        }
+        if let Some((until, _)) = self.starvation {
+            consider(until);
+        }
+        if let Some(until) = self.dropout_until {
+            consider(until);
+        }
+        if let Some((until, _)) = self.noise {
+            consider(until);
+        }
+        boundary.map(Seconds::new)
+    }
+
+    /// Total events applied so far.
+    #[must_use]
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Whether any fault currently shapes the physics: a persistent
+    /// fade or leak has been applied, or a window is open.
+    #[must_use]
+    pub fn any_active(&self) -> bool {
+        self.alpha_scale != 1.0
+            || self.beta_scale != 1.0
+            || self.capacity_scale != 1.0
+            || !self.leak.is_zero()
+            || self.starvation.is_some()
+            || self.dropout_until.is_some()
+            || self.noise.is_some()
+    }
+
+    /// The load-following range currently feasible: under starvation
+    /// the upper bound drops to the window's `max_a` (never below the
+    /// base lower bound).
+    #[must_use]
+    pub fn effective_range(&self, base: CurrentRange) -> CurrentRange {
+        match self.starvation {
+            Some((_, max_a)) => {
+                let max = Amps::new(max_a).clamp(base.min(), base.max());
+                CurrentRange::new(base.min(), max)
+            }
+            None => base,
+        }
+    }
+
+    /// Multiplier on the baseline stack current at output current `i_f`
+    /// under the accumulated efficiency fade: `η_base(i) / η_faded(i)`
+    /// with `η_faded = α·alpha_scale − β·beta_scale·i`, both evaluated
+    /// on the paper's `α = 0.45, β = 0.13` characterization. Exactly
+    /// 1.0 while no fade has been applied — the fault-free path is
+    /// bit-identical.
+    #[must_use]
+    pub fn stack_derate(&self, i_f: Amps) -> f64 {
+        if self.alpha_scale == 1.0 && self.beta_scale == 1.0 {
+            return 1.0;
+        }
+        let i = i_f.amps();
+        let eta_base = (self.base.alpha() - self.base.beta() * i).max(EFFICIENCY_FLOOR);
+        let eta_faded = (self.base.alpha() * self.alpha_scale
+            - self.base.beta() * self.beta_scale * i)
+            .max(EFFICIENCY_FLOOR);
+        eta_base / eta_faded
+    }
+
+    /// The accumulated self-discharge leak current.
+    #[must_use]
+    pub fn leak(&self) -> Amps {
+        self.leak
+    }
+
+    /// The accumulated storage capacity multiplier, in `(0, 1]`.
+    #[must_use]
+    pub fn capacity_scale(&self) -> f64 {
+        self.capacity_scale
+    }
+
+    /// Whether the idle-length predictor feed is currently healthy (no
+    /// dropout window open).
+    #[must_use]
+    pub fn predictor_ok(&self) -> bool {
+        self.dropout_until.is_none()
+    }
+
+    /// The idle-length prediction as the FC policy sees it: `None`
+    /// during a dropout window; multiplied by deterministic seed-keyed
+    /// noise in `[1 − magnitude, 1 + magnitude]` during a noise window;
+    /// untouched otherwise.
+    #[must_use]
+    pub fn perturb_prediction(
+        &self,
+        slot_index: usize,
+        predicted: Option<Seconds>,
+    ) -> Option<Seconds> {
+        if self.dropout_until.is_some() {
+            return None;
+        }
+        match self.noise {
+            Some((_, magnitude)) => predicted.map(|t| {
+                let word = splitmix64(self.seed ^ (slot_index as u64));
+                let factor = 1.0 + magnitude * (2.0 * unit_sample(word) - 1.0);
+                (t * factor).max_zero()
+            }),
+            None => predicted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{
+        EfficiencyFade, FuelStarvation, PredictorDropout, PredictorNoise, SelfDischarge,
+        StorageFade,
+    };
+
+    fn schedule(events: Vec<FaultEvent>) -> FaultSchedule {
+        FaultSchedule {
+            seed: 0xDAC0_2007,
+            events,
+        }
+    }
+
+    fn starvation(at: f64, until: f64, max: f64) -> FaultEvent {
+        FaultEvent {
+            at_s: at,
+            kind: FaultKind::FuelStarvation(FuelStarvation {
+                until_s: until,
+                max_a: max,
+            }),
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_inert() {
+        let mut s = FaultState::new(&FaultSchedule::none(1));
+        assert_eq!(s.advance_to(Seconds::new(1e6)), 0);
+        assert!(!s.any_active());
+        assert_eq!(s.next_boundary(Seconds::ZERO), None);
+        assert_eq!(s.stack_derate(Amps::new(0.5)), 1.0);
+        assert_eq!(
+            s.effective_range(CurrentRange::dac07()),
+            CurrentRange::dac07()
+        );
+        assert!(s.predictor_ok());
+        let p = Some(Seconds::new(10.0));
+        assert_eq!(s.perturb_prediction(3, p), p);
+    }
+
+    #[test]
+    fn events_apply_in_time_order() {
+        // Listed out of order; the 10 s fade must apply before the 20 s one.
+        let mut s = FaultState::new(&schedule(vec![
+            FaultEvent {
+                at_s: 20.0,
+                kind: FaultKind::EfficiencyFade(EfficiencyFade {
+                    alpha_scale: 0.5,
+                    beta_scale: 1.0,
+                }),
+            },
+            FaultEvent {
+                at_s: 10.0,
+                kind: FaultKind::EfficiencyFade(EfficiencyFade {
+                    alpha_scale: 0.8,
+                    beta_scale: 1.5,
+                }),
+            },
+        ]));
+        assert_eq!(s.next_boundary(Seconds::ZERO), Some(Seconds::new(10.0)));
+        assert_eq!(s.advance_to(Seconds::new(10.0)), 1);
+        assert!(s.any_active());
+        assert_eq!(
+            s.next_boundary(Seconds::new(10.0)),
+            Some(Seconds::new(20.0))
+        );
+        assert_eq!(s.advance_to(Seconds::new(20.0)), 1);
+        assert_eq!(s.applied(), 2);
+        // Composed: alpha ×0.4, beta ×1.5.
+        let derate = s.stack_derate(Amps::new(0.5));
+        let eta_base = 0.45 - 0.13 * 0.5;
+        let eta_faded = 0.45 * 0.4 - 0.13 * 1.5 * 0.5;
+        assert!((derate - eta_base / eta_faded).abs() < 1e-12);
+        assert!(derate > 1.0);
+    }
+
+    #[test]
+    fn starvation_window_opens_and_closes() {
+        let base = CurrentRange::dac07();
+        let mut s = FaultState::new(&schedule(vec![starvation(60.0, 120.0, 0.5)]));
+        s.advance_to(Seconds::new(59.0));
+        assert_eq!(s.effective_range(base), base);
+        s.advance_to(Seconds::new(60.0));
+        assert_eq!(s.effective_range(base).max(), Amps::new(0.5));
+        assert_eq!(s.effective_range(base).min(), base.min());
+        assert_eq!(
+            s.next_boundary(Seconds::new(60.0)),
+            Some(Seconds::new(120.0))
+        );
+        s.advance_to(Seconds::new(120.0));
+        assert_eq!(s.effective_range(base), base);
+        assert!(!s.any_active());
+    }
+
+    #[test]
+    fn starvation_max_clamps_into_base_range() {
+        let base = CurrentRange::dac07();
+        let mut s = FaultState::new(&schedule(vec![starvation(0.0, 10.0, 0.01)]));
+        s.advance_to(Seconds::ZERO);
+        // Never below the base lower bound.
+        assert_eq!(s.effective_range(base).max(), base.min());
+    }
+
+    #[test]
+    fn expired_window_never_applies() {
+        // A window wholly in the past at its own event time is dropped.
+        let mut s = FaultState::new(&schedule(vec![starvation(10.0, 10.0, 0.5)]));
+        assert_eq!(s.advance_to(Seconds::new(10.0)), 1);
+        assert!(s.starvation.is_none());
+    }
+
+    #[test]
+    fn storage_faults_accumulate() {
+        let mut s = FaultState::new(&schedule(vec![
+            FaultEvent {
+                at_s: 0.0,
+                kind: FaultKind::StorageFade(StorageFade {
+                    capacity_scale: 0.8,
+                }),
+            },
+            FaultEvent {
+                at_s: 5.0,
+                kind: FaultKind::StorageFade(StorageFade {
+                    capacity_scale: 0.5,
+                }),
+            },
+            FaultEvent {
+                at_s: 5.0,
+                kind: FaultKind::SelfDischarge(SelfDischarge { leak_a: 0.01 }),
+            },
+            FaultEvent {
+                at_s: 6.0,
+                kind: FaultKind::SelfDischarge(SelfDischarge { leak_a: 0.02 }),
+            },
+        ]));
+        s.advance_to(Seconds::new(10.0));
+        assert!((s.capacity_scale() - 0.4).abs() < 1e-12);
+        assert!((s.leak().amps() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictor_dropout_and_noise() {
+        let mut s = FaultState::new(&schedule(vec![
+            FaultEvent {
+                at_s: 0.0,
+                kind: FaultKind::PredictorDropout(PredictorDropout { until_s: 10.0 }),
+            },
+            FaultEvent {
+                at_s: 20.0,
+                kind: FaultKind::PredictorNoise(PredictorNoise {
+                    until_s: 30.0,
+                    magnitude: 0.5,
+                }),
+            },
+        ]));
+        s.advance_to(Seconds::ZERO);
+        assert!(!s.predictor_ok());
+        assert_eq!(s.perturb_prediction(0, Some(Seconds::new(12.0))), None);
+        s.advance_to(Seconds::new(10.0));
+        assert!(s.predictor_ok());
+        s.advance_to(Seconds::new(20.0));
+        let p = Some(Seconds::new(12.0));
+        let a = s.perturb_prediction(1, p);
+        let b = s.perturb_prediction(1, p);
+        assert_eq!(a, b, "noise must be deterministic per slot");
+        let a = a.unwrap();
+        assert!(a >= Seconds::new(6.0) && a <= Seconds::new(18.0), "got {a}");
+        // Different slots draw different factors (with overwhelming
+        // probability for this seed — pinned here).
+        let c = s.perturb_prediction(2, p).unwrap();
+        assert_ne!(a, c);
+        s.advance_to(Seconds::new(30.0));
+        assert_eq!(s.perturb_prediction(3, p), p);
+    }
+
+    #[test]
+    fn unit_sample_stays_in_unit_interval() {
+        for k in 0..1000u64 {
+            let u = unit_sample(splitmix64(k));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

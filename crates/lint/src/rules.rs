@@ -72,7 +72,9 @@ impl Rule {
 }
 
 /// Crates whose `src/` trees must be bit-deterministic.
-const DETERMINISTIC_CRATES: [&str; 6] = ["sim", "core", "predict", "fuelcell", "storage", "device"];
+const DETERMINISTIC_CRATES: [&str; 7] = [
+    "sim", "core", "predict", "fuelcell", "storage", "device", "faults",
+];
 
 /// Crates whose public signatures model physical quantities.
 const PHYSICS_CRATES: [&str; 8] = [

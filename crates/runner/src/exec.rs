@@ -6,7 +6,8 @@
 
 use fcdpm_core::dpm::{OracleSleep, PredictiveSleep, SleepPolicy};
 use fcdpm_core::policy::{
-    AsapDpm, ConvDpm, FcDpm, FcOutputPolicy, OutputLevels, PolicyPhase, Quantized, WindowedAverage,
+    AsapDpm, ConvDpm, FcDpm, FcOutputPolicy, OutputLevels, PolicyPhase, Quantized, ResilientPolicy,
+    WindowedAverage,
 };
 use fcdpm_core::FuelOptimizer;
 use fcdpm_fuelcell::{GibbsCoefficient, HydrogenTank, LinearEfficiency};
@@ -53,6 +54,14 @@ pub struct JobMetrics {
     pub chunks_coalesced: u64,
     /// Policy consultations (steady hints plus per-chunk queries).
     pub policy_consultations: u64,
+    /// Fault events applied by the injected schedule.
+    pub faults_applied: u64,
+    /// Downward transitions the resilient degradation ladder took.
+    pub degradations: u64,
+    /// Time spent in a degraded (fallback) policy mode, in s.
+    pub time_in_fallback_s: f64,
+    /// Brownout time accrued while a fault was active, in s.
+    pub fault_deficit_time_s: f64,
 }
 
 impl JobMetrics {
@@ -85,6 +94,10 @@ impl JobMetrics {
             chunks_stepped: m.chunks_stepped,
             chunks_coalesced: m.chunks_coalesced,
             policy_consultations: m.policy_consultations,
+            faults_applied: m.faults_applied,
+            degradations: m.degradations,
+            time_in_fallback_s: m.time_in_fallback.seconds(),
+            fault_deficit_time_s: m.fault_deficit_time.seconds(),
         }
     }
 }
@@ -205,7 +218,7 @@ fn build_policy(
     scenario: &Scenario,
     capacity: Charge,
     optimizer: FuelOptimizer,
-) -> Box<dyn FcOutputPolicy> {
+) -> Box<dyn FcOutputPolicy + Send> {
     let fc = |opt: FuelOptimizer| {
         FcDpm::new(
             opt,
@@ -255,7 +268,35 @@ fn build_sim<'d>(
             .with_buffer_path_efficiency(eta, eta)
             .map_err(|e| format!("invalid path efficiency {eta}: {e}"))?,
     };
+    let sim = match &spec.faults {
+        None => sim,
+        Some(schedule) => sim.with_faults(schedule.clone()),
+    };
     Ok((sim, optimizer))
+}
+
+/// Rejects structurally invalid fault schedules before any simulation
+/// state is built.
+fn validate_faults(spec: &JobSpec) -> Result<(), String> {
+    if let Some(schedule) = &spec.faults {
+        schedule
+            .validate()
+            .map_err(|e| format!("fault schedule: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Wraps `policy` in the graceful-degradation ladder when the spec asks
+/// for it.
+fn wrap_resilient(
+    spec: &JobSpec,
+    policy: Box<dyn FcOutputPolicy + Send>,
+) -> Box<dyn FcOutputPolicy + Send> {
+    if spec.resilient == Some(true) {
+        Box::new(ResilientPolicy::new(policy, CurrentRange::dac07()))
+    } else {
+        policy
+    }
 }
 
 /// Builds the three multi-device load profiles (camcorder, radio,
@@ -346,12 +387,13 @@ fn execute_multi_device(spec: &JobSpec, seed: u64) -> Result<JobMetrics, String>
     let device = fcdpm_device::presets::dvd_camcorder(); // spec unused on profiles
     let (sim, _optimizer) = build_sim(spec, &device)?;
     let profile = multi_device_profile(seed);
-    let mut policy: Box<dyn FcOutputPolicy> = match spec.policy {
+    let policy: Box<dyn FcOutputPolicy + Send> = match spec.policy {
         PolicySpec::Conv => Box::new(ConvDpm::dac07()),
         PolicySpec::Asap => Box::new(AsapDpm::dac07(capacity)),
         PolicySpec::Constant(amps) => Box::new(ConstantOutput::new(Amps::new(amps))),
         _ => Box::new(WindowedAverage::dac07()),
     };
+    let mut policy = wrap_resilient(spec, policy);
     let mut storage = build_storage(spec, capacity);
     let metrics = sim
         .run_profile(&profile, policy.as_mut(), storage.as_mut())
@@ -377,14 +419,21 @@ pub fn execute(spec: &JobSpec) -> Result<JobMetrics, String> {
         "injected panic (inject_panic = true)"
     );
     validate_policy(spec)?;
+    validate_faults(spec)?;
     if let WorkloadSpec::MultiDevice(seed) = spec.workload {
+        if spec.faults.as_ref().is_some_and(|s| !s.is_empty()) {
+            return Err(
+                "fault injection needs slot structure; multi-device runs are profile-driven"
+                    .to_owned(),
+            );
+        }
         return execute_multi_device(spec, seed);
     }
     let scenario = build_scenario(spec)?;
     let capacity = Charge::from_milliamp_minutes(spec.capacity_mamin_or_default());
     let (sim, optimizer) = build_sim(spec, &scenario.device)?;
     let mut sleep = build_sleep(spec, &scenario);
-    let mut policy = build_policy(spec, &scenario, capacity, optimizer);
+    let mut policy = wrap_resilient(spec, build_policy(spec, &scenario, capacity, optimizer));
     let mut storage = build_storage(spec, capacity);
     let metrics = sim
         .run(
@@ -491,6 +540,60 @@ mod tests {
             let err = execute(&spec).unwrap_err();
             assert!(err.contains("load-following range"), "{err}");
         }
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical_to_none() {
+        let plain = JobSpec::new(PolicySpec::FcDpm, WorkloadSpec::Experiment1(SEED));
+        let mut empty = plain.clone();
+        empty.faults = Some(fcdpm_faults::FaultSchedule::none(SEED));
+        let a = execute(&plain).unwrap();
+        let b = execute(&empty).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.faults_applied, 0);
+        assert_eq!(b.degradations, 0);
+        assert_eq!(b.time_in_fallback_s, 0.0);
+    }
+
+    #[test]
+    fn invalid_fault_schedule_is_rejected_before_running() {
+        let mut spec = JobSpec::new(PolicySpec::FcDpm, WorkloadSpec::Experiment1(SEED));
+        spec.faults = Some(crate::sweep::starvation_schedule(SEED));
+        if let Some(s) = spec.faults.as_mut() {
+            s.events[0].at_s = f64::NAN;
+        }
+        let err = execute(&spec).unwrap_err();
+        assert!(err.contains("fault schedule"), "{err}");
+    }
+
+    #[test]
+    fn faults_on_multi_device_are_rejected() {
+        let mut spec = JobSpec::new(PolicySpec::WindowedAverage, WorkloadSpec::MultiDevice(1));
+        spec.faults = Some(crate::sweep::starvation_schedule(SEED));
+        let err = execute(&spec).unwrap_err();
+        assert!(err.contains("slot structure"), "{err}");
+        // An empty schedule is no fault injection at all, so it runs.
+        spec.faults = Some(fcdpm_faults::FaultSchedule::none(SEED));
+        assert!(execute(&spec).is_ok());
+    }
+
+    #[test]
+    fn resilient_wrapper_lowers_starvation_deficit() {
+        let mut plain = JobSpec::new(PolicySpec::FcDpm, WorkloadSpec::Experiment1(SEED));
+        plain.faults = Some(crate::sweep::starvation_schedule(SEED));
+        let mut wrapped = plain.clone();
+        wrapped.resilient = Some(true);
+        let plain = execute(&plain).unwrap();
+        let wrapped = execute(&wrapped).unwrap();
+        assert!(plain.faults_applied > 0);
+        assert!(
+            wrapped.deficit_time_s < plain.deficit_time_s,
+            "wrapped {} s must brown out strictly less than unwrapped {} s",
+            wrapped.deficit_time_s,
+            plain.deficit_time_s
+        );
+        assert!(wrapped.degradations > 0);
+        assert!(wrapped.time_in_fallback_s > 0.0);
     }
 
     #[test]

@@ -38,12 +38,14 @@ pub mod exec;
 pub mod manifest;
 pub mod pool;
 pub mod spec;
+pub mod sweep;
 
 pub use exec::{execute, JobMetrics};
 pub use manifest::{JobOutcome, JobRecord, RunAggregates, RunManifest};
 pub use spec::{
     DevicePreset, JobGrid, JobSpec, PolicySpec, PredictorSpec, StorageSpec, WorkloadSpec,
 };
+pub use sweep::{fault_sweep, fault_sweep_labeled};
 
 /// How a grid run is scheduled.
 #[derive(Debug, Clone)]

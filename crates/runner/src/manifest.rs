@@ -200,6 +200,10 @@ mod tests {
             chunks_stepped: 200,
             chunks_coalesced: 0,
             policy_consultations: 200,
+            faults_applied: 0,
+            degradations: 0,
+            time_in_fallback_s: 0.0,
+            fault_deficit_time_s: 0.0,
         }
     }
 

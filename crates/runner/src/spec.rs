@@ -6,6 +6,7 @@
 //! in version-controlled JSON files (see `examples/` at the repository
 //! root).
 
+use fcdpm_faults::FaultSchedule;
 use serde::{Deserialize, Serialize};
 
 /// Which FC output-current policy drives the run.
@@ -126,6 +127,13 @@ pub struct JobSpec {
     pub beta: Option<f64>,
     /// Charger/discharger path efficiency (`None` = lossless).
     pub buffer_path_efficiency: Option<f64>,
+    /// Fault schedule injected mid-run (`None` = no faults; an empty
+    /// schedule is behaviorally identical to `None`).
+    pub faults: Option<FaultSchedule>,
+    /// Wrap the FC policy in the graceful-degradation
+    /// [`ResilientPolicy`](fcdpm_core::policy::ResilientPolicy) ladder
+    /// (`None` = unwrapped).
+    pub resilient: Option<bool>,
     /// Panic deliberately inside the executor — exercises the pool's
     /// fault isolation (used by tests and example grids).
     pub inject_panic: Option<bool>,
@@ -144,6 +152,8 @@ impl JobSpec {
             capacity_mamin: None,
             beta: None,
             buffer_path_efficiency: None,
+            faults: None,
+            resilient: None,
             inject_panic: None,
         }
     }
@@ -263,6 +273,8 @@ impl JobGrid {
                                             capacity_mamin: *capacity,
                                             beta: *beta,
                                             buffer_path_efficiency: *path_eff,
+                                            faults: None,
+                                            resilient: None,
                                             inject_panic: None,
                                         });
                                     }

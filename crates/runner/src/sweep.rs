@@ -1,0 +1,234 @@
+//! The canonical seeded fault sweep.
+//!
+//! [`fault_sweep`] expands a fixed catalogue of fault schedules —
+//! fuel starvation, FC efficiency fade, storage degradation, predictor
+//! loss, and all of them combined — against the Experiment-1 camcorder
+//! trace, running each schedule under the unwrapped FC-DPM planner, the
+//! [`ResilientPolicy`](fcdpm_core::policy::ResilientPolicy)-wrapped
+//! planner, and the Conv-DPM worst-case baseline. A no-fault control
+//! pair (no schedule vs an empty schedule) rides along so manifests
+//! double as a bit-identity regression check.
+//!
+//! Everything is keyed by one seed, so two runs of the same sweep are
+//! byte-identical under
+//! [`RunManifest::deterministic_json`](crate::RunManifest::deterministic_json)
+//! regardless of worker count.
+
+use fcdpm_faults::{
+    EfficiencyFade, FaultEvent, FaultKind, FaultSchedule, FuelStarvation, PredictorDropout,
+    PredictorNoise, SelfDischarge, StorageFade,
+};
+
+use crate::spec::{JobSpec, PolicySpec, WorkloadSpec};
+
+fn at(at_s: f64, kind: FaultKind) -> FaultEvent {
+    FaultEvent { at_s, kind }
+}
+
+/// The canonical starvation schedule: the stack loses most of its
+/// load-following headroom for a nine-minute window mid-trace. The
+/// 0.47 A cap sits above FC-DPM's fuel-optimal idle setpoints but well
+/// below the camcorder's active draw, so the window separates policies
+/// that rebuild reserve (strictly less brownout time) from ones that
+/// keep optimizing fuel against a range that no longer exists.
+#[must_use]
+pub fn starvation_schedule(seed: u64) -> FaultSchedule {
+    FaultSchedule {
+        seed,
+        events: vec![at(
+            200.0,
+            FaultKind::FuelStarvation(FuelStarvation {
+                until_s: 740.0,
+                max_a: 0.47,
+            }),
+        )],
+    }
+}
+
+/// The canonical efficiency-fade schedule: `α` drops and `β` steepens
+/// a third of the way in, permanently.
+#[must_use]
+pub fn fade_schedule(seed: u64) -> FaultSchedule {
+    FaultSchedule {
+        seed,
+        events: vec![at(
+            560.0,
+            FaultKind::EfficiencyFade(EfficiencyFade {
+                alpha_scale: 0.85,
+                beta_scale: 1.3,
+            }),
+        )],
+    }
+}
+
+/// The canonical storage-degradation schedule: a capacity fade
+/// followed by a parasitic self-discharge leak.
+#[must_use]
+pub fn storage_schedule(seed: u64) -> FaultSchedule {
+    FaultSchedule {
+        seed,
+        events: vec![
+            at(
+                400.0,
+                FaultKind::StorageFade(StorageFade {
+                    capacity_scale: 0.6,
+                }),
+            ),
+            at(
+                700.0,
+                FaultKind::SelfDischarge(SelfDischarge { leak_a: 0.02 }),
+            ),
+        ],
+    }
+}
+
+/// The canonical predictor-loss schedule: a dropout window followed by
+/// a seeded noise window.
+#[must_use]
+pub fn predictor_schedule(seed: u64) -> FaultSchedule {
+    FaultSchedule {
+        seed,
+        events: vec![
+            at(
+                250.0,
+                FaultKind::PredictorDropout(PredictorDropout { until_s: 640.0 }),
+            ),
+            at(
+                900.0,
+                FaultKind::PredictorNoise(PredictorNoise {
+                    until_s: 1300.0,
+                    magnitude: 0.3,
+                }),
+            ),
+        ],
+    }
+}
+
+/// Every canonical fault at once — the stress case the degradation
+/// ladder exists for.
+#[must_use]
+pub fn combined_schedule(seed: u64) -> FaultSchedule {
+    let mut events = Vec::new();
+    for schedule in [
+        starvation_schedule(seed),
+        fade_schedule(seed),
+        storage_schedule(seed),
+        predictor_schedule(seed),
+    ] {
+        events.extend(schedule.events);
+    }
+    FaultSchedule { seed, events }
+}
+
+/// The canonical `(label, schedule)` catalogue, in sweep order.
+#[must_use]
+pub fn canonical_schedules(seed: u64) -> Vec<(&'static str, FaultSchedule)> {
+    vec![
+        ("starvation", starvation_schedule(seed)),
+        ("fade", fade_schedule(seed)),
+        ("storage", storage_schedule(seed)),
+        ("predictor", predictor_schedule(seed)),
+        ("combined", combined_schedule(seed)),
+    ]
+}
+
+/// [`fault_sweep`] with a human-facing row label per job
+/// (`"<schedule>/<variant>"`), for report tables.
+#[must_use]
+pub fn fault_sweep_labeled(seed: u64, quick: bool) -> Vec<(String, JobSpec)> {
+    let mut jobs = Vec::new();
+
+    let base = || JobSpec::new(PolicySpec::FcDpm, WorkloadSpec::Experiment1(seed));
+    jobs.push(("control/none".to_owned(), base()));
+    let mut control = base();
+    control.faults = Some(FaultSchedule::none(seed));
+    jobs.push(("control/empty".to_owned(), control));
+
+    for (label, schedule) in canonical_schedules(seed) {
+        if quick && label != "starvation" && label != "combined" {
+            continue;
+        }
+        let mut plain = base();
+        plain.faults = Some(schedule.clone());
+        jobs.push((format!("{label}/fcdpm"), plain));
+
+        let mut wrapped = base();
+        wrapped.faults = Some(schedule.clone());
+        wrapped.resilient = Some(true);
+        jobs.push((format!("{label}/resilient"), wrapped));
+
+        let mut conv = JobSpec::new(PolicySpec::Conv, WorkloadSpec::Experiment1(seed));
+        conv.faults = Some(schedule);
+        jobs.push((format!("{label}/conv"), conv));
+    }
+    jobs
+}
+
+/// Expands the canonical fault sweep into concrete jobs.
+///
+/// Order is fixed: the no-fault control pair (FC-DPM with no schedule,
+/// then with an empty schedule — their metrics must be bit-identical),
+/// then for each canonical schedule the unwrapped FC-DPM planner, the
+/// resilient-wrapped planner, and the Conv-DPM baseline. `quick` keeps
+/// only the starvation and combined schedules, for CI smoke runs.
+#[must_use]
+pub fn fault_sweep(seed: u64, quick: bool) -> Vec<JobSpec> {
+    fault_sweep_labeled(seed, quick)
+        .into_iter()
+        .map(|(_, job)| job)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEED: u64 = 0xDAC0_2007;
+
+    /// The Experiment-1 trace runs ~28 simulated minutes, so every
+    /// canonical window must sit inside `[0, 1680] s` to matter.
+    const TRACE_END_S: f64 = 1680.0;
+
+    #[test]
+    fn canonical_schedules_validate_and_fit_the_trace() {
+        for (label, schedule) in canonical_schedules(SEED) {
+            schedule.validate().unwrap_or_else(|e| {
+                panic!("canonical schedule `{label}` is invalid: {e}");
+            });
+            assert!(!schedule.is_empty(), "schedule `{label}` has no events");
+            for ev in &schedule.events {
+                assert!(
+                    ev.at_s < TRACE_END_S,
+                    "schedule `{label}` event at {} s misses the trace",
+                    ev.at_s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_shape_is_fixed() {
+        let full = fault_sweep(SEED, false);
+        assert_eq!(full.len(), 2 + 5 * 3);
+        let quick = fault_sweep(SEED, true);
+        assert_eq!(quick.len(), 2 + 2 * 3);
+        // The control pair leads with no-schedule then empty-schedule.
+        assert_eq!(full[0].faults, None);
+        assert_eq!(full[1].faults, Some(FaultSchedule::none(SEED)));
+        // Every scheduled triple is (plain, resilient, conv).
+        for triple in full[2..].chunks(3) {
+            assert_eq!(triple[0].policy, PolicySpec::FcDpm);
+            assert_eq!(triple[0].resilient, None);
+            assert_eq!(triple[1].policy, PolicySpec::FcDpm);
+            assert_eq!(triple[1].resilient, Some(true));
+            assert_eq!(triple[2].policy, PolicySpec::Conv);
+            assert_eq!(triple[0].faults, triple[2].faults);
+        }
+    }
+
+    #[test]
+    fn sweep_is_seed_deterministic() {
+        assert_eq!(fault_sweep(SEED, false), fault_sweep(SEED, false));
+        assert_ne!(fault_sweep(SEED, false), fault_sweep(1, false));
+    }
+}

@@ -5,8 +5,9 @@ use core::fmt;
 use fcdpm_fuelcell::FuelGauge;
 use fcdpm_units::{Amps, Charge, Seconds};
 
-/// The reference control-step length used to derive the deprecated
-/// `deficit_chunks` serde alias from [`SimMetrics::deficit_time`].
+/// The reference control-step length at which legacy manifests counted
+/// the retired `deficit_chunks` field; used to recover
+/// [`SimMetrics::deficit_time`] when reading them.
 const REFERENCE_CONTROL_STEP_S: f64 = 0.5;
 
 /// Aggregate results of one simulation run.
@@ -45,6 +46,17 @@ pub struct SimMetrics {
     /// Work counter: policy consultations (`steady_current` hints plus
     /// `segment_current` calls).
     pub policy_consultations: u64,
+    /// Fault events applied during the run (zero without an attached
+    /// [`FaultSchedule`](fcdpm_faults::FaultSchedule)).
+    pub faults_applied: u64,
+    /// Downward degradation-ladder transitions the FC policy reported
+    /// (zero for ordinary, non-resilient policies).
+    pub degradations: u64,
+    /// Wall-clock time the FC policy spent in a degraded fallback mode.
+    pub time_in_fallback: Seconds,
+    /// The portion of [`deficit_time`](Self::deficit_time) accrued while
+    /// at least one injected fault was shaping the physics.
+    pub fault_deficit_time: Seconds,
 }
 
 impl SimMetrics {
@@ -148,12 +160,12 @@ impl SimMetrics {
 }
 
 // Serde is hand-written (the vendored derive has no attribute support)
-// so the retired `deficit_chunks` field can live on for one release as a
-// deprecated output alias derived from `deficit_time`, and so old
-// manifests that only carry `deficit_chunks` still deserialize.
+// so old manifests that only carry the retired `deficit_chunks` count
+// still deserialize (the writer-side alias was dropped after its one
+// deprecation release), and so manifests predating the fault-injection
+// counters read back with those counters zeroed.
 impl serde::Serialize for SimMetrics {
     fn to_value(&self) -> serde::Value {
-        let deficit_chunks = (self.deficit_time.seconds() / REFERENCE_CONTROL_STEP_S).ceil() as u64;
         serde::Value::Map(vec![
             ("fuel".into(), self.fuel.to_value()),
             ("load_charge".into(), self.load_charge.to_value()),
@@ -161,10 +173,6 @@ impl serde::Serialize for SimMetrics {
             ("bled_charge".into(), self.bled_charge.to_value()),
             ("deficit_charge".into(), self.deficit_charge.to_value()),
             ("deficit_time".into(), self.deficit_time.to_value()),
-            // Deprecated alias (one release): ceil of the deficit time in
-            // 0.5 s reference chunks, so any nonzero deficit still reads
-            // as at least one chunk.
-            ("deficit_chunks".into(), deficit_chunks.to_value()),
             ("sleeps".into(), self.sleeps.to_value()),
             ("slots".into(), self.slots.to_value()),
             ("task_latency".into(), self.task_latency.to_value()),
@@ -174,6 +182,13 @@ impl serde::Serialize for SimMetrics {
             (
                 "policy_consultations".into(),
                 self.policy_consultations.to_value(),
+            ),
+            ("faults_applied".into(), self.faults_applied.to_value()),
+            ("degradations".into(), self.degradations.to_value()),
+            ("time_in_fallback".into(), self.time_in_fallback.to_value()),
+            (
+                "fault_deficit_time".into(),
+                self.fault_deficit_time.to_value(),
             ),
         ])
     }
@@ -209,6 +224,13 @@ impl serde::Deserialize for SimMetrics {
             chunks_coalesced: serde::field::<Option<u64>>(map, "chunks_coalesced")?.unwrap_or(0),
             policy_consultations: serde::field::<Option<u64>>(map, "policy_consultations")?
                 .unwrap_or(0),
+            // Absent in pre-fault-injection manifests: nothing injected.
+            faults_applied: serde::field::<Option<u64>>(map, "faults_applied")?.unwrap_or(0),
+            degradations: serde::field::<Option<u64>>(map, "degradations")?.unwrap_or(0),
+            time_in_fallback: serde::field::<Option<Seconds>>(map, "time_in_fallback")?
+                .unwrap_or(Seconds::ZERO),
+            fault_deficit_time: serde::field::<Option<Seconds>>(map, "fault_deficit_time")?
+                .unwrap_or(Seconds::ZERO),
         })
     }
 }
@@ -231,7 +253,18 @@ impl fmt::Display for SimMetrics {
             f,
             "slots {}, sleeps {}, task latency {:.1}, final SoC {:.2}",
             self.slots, self.sleeps, self.task_latency, self.final_soc
-        )
+        )?;
+        if self.faults_applied > 0 {
+            write!(
+                f,
+                "\nfaults {}, degradations {}, fallback {:.1}, deficit under fault {:.3}",
+                self.faults_applied,
+                self.degradations,
+                self.time_in_fallback,
+                self.fault_deficit_time
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -315,30 +348,33 @@ mod tests {
         m.chunks_stepped = 120;
         m.chunks_coalesced = 480;
         m.policy_consultations = 126;
+        m.faults_applied = 3;
+        m.degradations = 2;
+        m.time_in_fallback = Seconds::new(42.0);
+        m.fault_deficit_time = Seconds::new(0.5);
         let back = SimMetrics::from_value(&m.to_value()).expect("round trip");
         assert_eq!(m, back);
     }
 
     #[test]
-    fn serde_emits_deprecated_deficit_chunks_alias() {
+    fn serde_no_longer_emits_deficit_chunks_alias() {
+        // The deprecated writer-side alias lived for one release; writers
+        // emit only `deficit_time` now (readers still accept the alias).
         use serde::{Serialize, Value};
         let mut m = SimMetrics::new();
         m.deficit_time = Seconds::new(1.25);
         let Value::Map(map) = m.to_value() else {
             panic!("expected a map");
         };
-        let alias = map
-            .iter()
-            .find(|(k, _)| k == "deficit_chunks")
-            .expect("alias present");
-        // ceil(1.25 / 0.5) = 3 reference chunks.
-        assert_eq!(alias.1.as_u64(), Some(3));
+        assert!(map.iter().all(|(k, _)| k != "deficit_chunks"));
+        assert!(map.iter().any(|(k, _)| k == "deficit_time"));
     }
 
     #[test]
     fn serde_reads_legacy_deficit_chunks() {
         use serde::{Deserialize, Serialize, Value};
-        // A pre-deficit_time manifest: strip the new field, keep the old.
+        // A pre-deficit_time manifest: strip the new fields, carry only
+        // the retired chunk count.
         let mut m = SimMetrics::new();
         m.fuel.consume(Amps::new(1.0), Seconds::new(10.0));
         let Value::Map(mut map) = m.to_value() else {
@@ -349,17 +385,22 @@ mod tests {
                 && k != "chunks_stepped"
                 && k != "chunks_coalesced"
                 && k != "policy_consultations"
+                && k != "faults_applied"
+                && k != "degradations"
+                && k != "time_in_fallback"
+                && k != "fault_deficit_time"
         });
-        for (k, v) in &mut map {
-            if k == "deficit_chunks" {
-                *v = Value::UInt(4);
-            }
-        }
+        map.push(("deficit_chunks".into(), Value::UInt(4)));
         let back = SimMetrics::from_value(&Value::Map(map)).expect("legacy manifest");
+        // Recovered at the 0.5 s reference step the count was taken with.
         assert_eq!(back.deficit_time, Seconds::new(2.0));
         assert_eq!(back.chunks_stepped, 0);
         assert_eq!(back.chunks_coalesced, 0);
         assert_eq!(back.policy_consultations, 0);
+        assert_eq!(back.faults_applied, 0);
+        assert_eq!(back.degradations, 0);
+        assert_eq!(back.time_in_fallback, Seconds::ZERO);
+        assert_eq!(back.fault_deficit_time, Seconds::ZERO);
     }
 
     #[test]

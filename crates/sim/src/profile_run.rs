@@ -77,6 +77,7 @@ impl HybridSimulator<'_> {
                         point.duration,
                         storage,
                         &mut metrics,
+                        None,
                     )?;
                     time += point.duration;
                     continue;

@@ -1,0 +1,86 @@
+//! End-to-end robustness guarantees for seeded fault injection.
+//!
+//! Three contracts, checked at the runner level so the whole stack —
+//! schedule expansion, mid-run application in the simulator, the
+//! graceful-degradation wrapper, manifest serialization — is on the
+//! hook at once:
+//!
+//! 1. A fault sweep is deterministic: byte-identical manifests across
+//!    repeated runs and across worker counts.
+//! 2. Carrying an empty schedule is behaviorally invisible: metrics are
+//!    bit-identical to a run with no schedule at all.
+//! 3. Under the canonical fuel-starvation window, wrapping FC-DPM in
+//!    [`ResilientPolicy`](fcdpm_core::policy::ResilientPolicy) strictly
+//!    reduces unserved-load time on the reference camcorder trace.
+
+use fcdpm_faults::FaultSchedule;
+use fcdpm_runner::{
+    fault_sweep, run_specs, JobOutcome, JobSpec, PolicySpec, RunConfig, WorkloadSpec,
+};
+
+const SEED: u64 = 0xDAC0_2007;
+
+fn completed(outcome: &JobOutcome) -> &fcdpm_runner::JobMetrics {
+    match outcome {
+        JobOutcome::Completed(metrics) => metrics,
+        other => panic!("job must complete, got {other:?}"),
+    }
+}
+
+#[test]
+fn fault_sweep_is_worker_invariant_and_reproducible() {
+    let specs = fault_sweep(SEED, true);
+    let serial = run_specs(&specs, &RunConfig::with_workers(1));
+    let parallel = run_specs(&specs, &RunConfig::with_workers(4));
+    let again = run_specs(&specs, &RunConfig::with_workers(4));
+    assert!(serial.all_completed(), "{}", serial.summary());
+    assert_eq!(
+        serial.deterministic_json(),
+        parallel.deterministic_json(),
+        "scheduling leaked into the fault-sweep manifest"
+    );
+    assert_eq!(
+        parallel.deterministic_json(),
+        again.deterministic_json(),
+        "same seed and schedules must replay byte-identically"
+    );
+}
+
+#[test]
+fn empty_fault_schedule_is_invisible() {
+    let baseline = JobSpec::new(PolicySpec::FcDpm, WorkloadSpec::Experiment1(SEED));
+    let mut carried = baseline.clone();
+    carried.faults = Some(FaultSchedule::none(SEED));
+    let manifest = run_specs(&[baseline, carried], &RunConfig::with_workers(1));
+    let a = completed(&manifest.records[0].outcome);
+    let b = completed(&manifest.records[1].outcome);
+    assert_eq!(a, b, "an empty schedule changed the metrics");
+    assert_eq!(a.faults_applied, 0);
+    assert_eq!(a.degradations, 0);
+}
+
+#[test]
+fn resilient_wrapper_strictly_reduces_starvation_brownouts() {
+    let schedule = fcdpm_runner::sweep::starvation_schedule(SEED);
+    let mut plain = JobSpec::new(PolicySpec::FcDpm, WorkloadSpec::Experiment1(SEED));
+    plain.faults = Some(schedule);
+    let mut wrapped = plain.clone();
+    wrapped.resilient = Some(true);
+    let manifest = run_specs(&[plain, wrapped], &RunConfig::with_workers(2));
+    let plain = completed(&manifest.records[0].outcome);
+    let wrapped = completed(&manifest.records[1].outcome);
+    assert!(
+        plain.deficit_time_s > 0.0,
+        "the canonical starvation window must actually brown out unwrapped FC-DPM"
+    );
+    assert!(
+        wrapped.deficit_time_s < plain.deficit_time_s,
+        "resilient {} s must be strictly below unwrapped {} s",
+        wrapped.deficit_time_s,
+        plain.deficit_time_s
+    );
+    assert!(wrapped.degradations > 0, "the ladder must have engaged");
+    assert!(wrapped.time_in_fallback_s > 0.0);
+    assert_eq!(plain.faults_applied, 1);
+    assert_eq!(wrapped.faults_applied, 1);
+}
