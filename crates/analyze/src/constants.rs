@@ -118,18 +118,16 @@ fn literal_bits(scan: &Scan) -> BTreeSet<u64> {
         i += 1;
         while i < bytes.len() {
             let d = bytes[i] as char;
-            if d.is_ascii_alphanumeric() || d == '_' {
-                i += 1;
-            } else if d == '.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
-                i += 1;
-            } else if (d == '+' || d == '-')
-                && matches!(bytes[i - 1] as char, 'e' | 'E')
-                && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
-            {
-                i += 1;
-            } else {
+            let continues = d.is_ascii_alphanumeric()
+                || d == '_'
+                || (d == '.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit))
+                || ((d == '+' || d == '-')
+                    && matches!(bytes[i - 1] as char, 'e' | 'E')
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit));
+            if !continues {
                 break;
             }
+            i += 1;
         }
         let token: String = cleaned[start..i].chars().filter(|&ch| ch != '_').collect();
         // Strip a type suffix (`f64`, `u32`, `usize`...). Hex literals

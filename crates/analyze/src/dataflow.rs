@@ -141,18 +141,16 @@ fn tokenize(cleaned: &str) -> Vec<Spanned> {
             let mut j = i + 1;
             while j < bytes.len() {
                 let d = bytes[j] as char;
-                if d.is_ascii_alphanumeric() || d == '_' {
-                    j += 1;
-                } else if d == '.' && bytes.get(j + 1).is_some_and(u8::is_ascii_digit) {
-                    j += 1;
-                } else if (d == '+' || d == '-')
-                    && matches!(bytes[j - 1] as char, 'e' | 'E')
-                    && bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
-                {
-                    j += 1;
-                } else {
+                let continues = d.is_ascii_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && bytes.get(j + 1).is_some_and(u8::is_ascii_digit))
+                    || ((d == '+' || d == '-')
+                        && matches!(bytes[j - 1] as char, 'e' | 'E')
+                        && bytes.get(j + 1).is_some_and(u8::is_ascii_digit));
+                if !continues {
                     break;
                 }
+                j += 1;
             }
             out.push(Spanned {
                 tok: Tok::Number(cleaned[i..j].to_owned()),
@@ -340,20 +338,17 @@ impl<'a> Pass<'a> {
                 None => return,
                 Some(Tok::LParen) => depth += 1,
                 Some(Tok::RParen) => depth -= 1,
-                Some(Tok::Ident(name)) if depth == 1 => {
-                    if self.peek() == Some(&Tok::Colon) {
+                Some(Tok::Ident(name)) if depth == 1 && self.peek() == Some(&Tok::Colon) => {
+                    self.pos += 1;
+                    // `&`/`mut` prefixes, then the type name.
+                    while matches!(self.peek(), Some(Tok::Amp))
+                        || matches!(self.peek(), Some(Tok::Ident(w)) if w == "mut")
+                    {
                         self.pos += 1;
-                        // `&`/`mut` prefixes, then the type name.
-                        while matches!(self.peek(), Some(Tok::Amp))
-                            || matches!(self.peek(), Some(Tok::Ident(w)) if w == "mut")
-                        {
-                            self.pos += 1;
-                        }
-                        if let Some(Tok::Ident(ty_name)) = self.peek() {
-                            let ty =
-                                UnitKind::from_type_name(ty_name).map_or(Ty::Unknown, Ty::Unit);
-                            self.scope.insert(name, ty);
-                        }
+                    }
+                    if let Some(Tok::Ident(ty_name)) = self.peek() {
+                        let ty = UnitKind::from_type_name(ty_name).map_or(Ty::Unknown, Ty::Unit);
+                        self.scope.insert(name, ty);
                     }
                 }
                 _ => {}

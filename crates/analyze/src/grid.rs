@@ -1,13 +1,19 @@
 //! Static feasibility checks for runner job grids.
 //!
 //! The batch runner executes `JobGrid` JSON files (see
-//! `examples/batch_paper_grid.json`). Some spec mistakes only explode
-//! at run time — a `Constant` setpoint outside the stack's
-//! load-following range, a β that makes the Equation 4 denominator
-//! non-positive, a storage buffer too small to ride through one sleep
-//! transition. This pass validates the committed grid files against the
-//! paper manifest so those mistakes fail in CI, before any simulation
-//! runs.
+//! `examples/batch_paper_grid.json`), and the fleet engine executes
+//! intensional `GridSpec` files (see `examples/grid_fleet.json`). Some
+//! spec mistakes only explode at run time — a `Constant` setpoint
+//! outside the stack's load-following range, a β that makes the
+//! Equation 4 denominator non-positive, a storage buffer too small to
+//! ride through one sleep transition. This pass validates the committed
+//! grid files against the paper manifest so those mistakes fail in CI,
+//! before any simulation runs.
+//!
+//! The two formats share the policy/capacity checks; a document with a
+//! `seeds` field is a `GridSpec` (workloads are seedless families, the
+//! optional axes are preset lists), anything else with `policies` +
+//! `workloads` is a legacy `JobGrid`.
 
 use fcdpm_lint::{Finding, Json};
 
@@ -47,6 +53,10 @@ pub fn check(rel_path: &str, doc: &Json, params: Option<&PaperParams>) -> Vec<Fi
         params,
         findings: Vec::new(),
     };
+    if doc.get("seeds").is_some() {
+        ctx.check_gridspec(doc);
+        return ctx.findings;
+    }
     ctx.check_axis_nonempty(doc, "policies");
     ctx.check_axis_nonempty(doc, "workloads");
     if let Some(Json::Arr(policies)) = doc.get("policies") {
@@ -96,6 +106,91 @@ impl Ctx<'_> {
             line: 1,
             message,
         });
+    }
+
+    /// Validates an intensional `GridSpec` (the fleet-engine format):
+    /// a seed axis, seedless workload families, policy specs, and
+    /// optional fault-preset / capacity / resilience axes.
+    fn check_gridspec(&mut self, doc: &Json) {
+        match doc.get("seeds") {
+            Some(Json::Obj(fields)) if fields.len() == 1 => {
+                let (variant, payload) = &fields[0];
+                match variant.as_str() {
+                    "List" => {
+                        if !matches!(payload, Json::Arr(seeds) if !seeds.is_empty()) {
+                            self.report("seeds: List needs a non-empty array of seeds".to_owned());
+                        }
+                    }
+                    "Range" => {
+                        if !payload
+                            .get("count")
+                            .and_then(Json::as_f64)
+                            .is_some_and(|c| c >= 1.0)
+                        {
+                            self.report("seeds: Range needs a `count` of at least 1".to_owned());
+                        }
+                        if payload.get("start").and_then(Json::as_f64).is_none() {
+                            self.report("seeds: Range needs a numeric `start`".to_owned());
+                        }
+                    }
+                    other => self.report(format!("seeds: unknown seed axis `{other}`")),
+                }
+            }
+            _ => self.report("seeds: must be a `List` or `Range` axis object".to_owned()),
+        }
+        self.check_axis_nonempty(doc, "policies");
+        self.check_axis_nonempty(doc, "workloads");
+        if let Some(Json::Arr(policies)) = doc.get("policies") {
+            for policy in policies {
+                self.check_policy(policy, "policies");
+            }
+        }
+        if let Some(Json::Arr(workloads)) = doc.get("workloads") {
+            for workload in workloads {
+                if !matches!(
+                    workload,
+                    Json::Str(name)
+                        if matches!(name.as_str(), "Experiment1" | "Experiment2" | "MultiDevice")
+                ) {
+                    self.report(format!(
+                        "workloads: unrecognized workload family {}",
+                        payload_text(workload)
+                    ));
+                }
+            }
+        }
+        if let Some(faults) = doc.get("faults").filter(|f| **f != Json::Null) {
+            let Json::Arr(presets) = faults else {
+                self.report("faults: must be an array of preset names".to_owned());
+                return;
+            };
+            for preset in presets {
+                if !matches!(
+                    preset,
+                    Json::Str(name) if matches!(
+                        name.as_str(),
+                        "None" | "Starvation" | "Fade" | "Storage" | "Predictor" | "Combined"
+                    )
+                ) {
+                    self.report(format!(
+                        "faults: unknown fault preset {}",
+                        payload_text(preset)
+                    ));
+                }
+            }
+        }
+        if let Some(Json::Arr(capacities)) = doc.get("capacities_mamin") {
+            for capacity in capacities {
+                self.check_capacity(capacity.as_f64(), "capacities_mamin");
+            }
+        }
+        if let Some(resilient) = doc.get("resilient").filter(|r| **r != Json::Null) {
+            let ok = matches!(resilient, Json::Arr(values)
+                if values.iter().all(|v| matches!(v, Json::Bool(_))));
+            if !ok {
+                self.report("resilient: must be an array of booleans".to_owned());
+            }
+        }
     }
 
     fn check_axis_nonempty(&mut self, doc: &Json, axis: &str) {
@@ -484,6 +579,67 @@ mod tests {
         );
         assert_eq!(got.len(), 1, "{got:#?}");
         assert!(got[0].message.contains("`events` array"));
+    }
+
+    #[test]
+    fn well_formed_gridspec_is_clean() {
+        let got = check_str(
+            r#"{"name": "fleet",
+                "seeds": {"Range": {"start": 3670024199, "count": 50}},
+                "workloads": ["Experiment1", "MultiDevice"],
+                "policies": ["Conv", "FcDpm", {"Constant": 0.6}],
+                "faults": ["None", "Starvation", "Combined"],
+                "capacities_mamin": [50.0, 100.0],
+                "resilient": [false, true]}"#,
+        );
+        assert!(got.is_empty(), "{got:#?}");
+        let list = check_str(
+            r#"{"seeds": {"List": [1, 2, 3]},
+                "workloads": ["Experiment2"],
+                "policies": ["Asap"]}"#,
+        );
+        assert!(list.is_empty(), "{list:#?}");
+    }
+
+    #[test]
+    fn broken_gridspec_axes_are_rejected() {
+        let got = check_str(
+            r#"{"seeds": {"Range": {"start": 1, "count": 0}},
+                "workloads": ["Experiment9"],
+                "policies": [{"Constant": 1.3}],
+                "faults": ["Meteor"],
+                "capacities_mamin": [10.0],
+                "resilient": [1]}"#,
+        );
+        assert!(
+            got.iter().any(|f| f.message.contains("at least 1")),
+            "{got:#?}"
+        );
+        assert!(
+            got.iter().any(|f| f.message.contains("Experiment9")),
+            "{got:#?}"
+        );
+        assert!(
+            got.iter()
+                .any(|f| f.message.contains("load-following range")),
+            "{got:#?}"
+        );
+        assert!(got.iter().any(|f| f.message.contains("Meteor")), "{got:#?}");
+        assert!(
+            got.iter().any(|f| f.message.contains("sleep transition")),
+            "{got:#?}"
+        );
+        assert!(
+            got.iter().any(|f| f.message.contains("booleans")),
+            "{got:#?}"
+        );
+        let empty_list = check_str(
+            r#"{"seeds": {"List": []}, "workloads": ["Experiment1"], "policies": ["Conv"]}"#,
+        );
+        assert!(
+            empty_list.iter().any(|f| f.message.contains("non-empty")),
+            "{empty_list:#?}"
+        );
     }
 
     #[test]

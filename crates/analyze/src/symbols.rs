@@ -231,7 +231,7 @@ fn item_keyword(line: &str) -> Option<(ItemKind, &str)> {
 /// without parsing Cargo.toml at analysis time. A crate may import
 /// itself, `std`/`core`/`alloc`, external shims and anything listed
 /// here; everything else `fcdpm_*` is a layering violation.
-const ALLOWED_DEPS: [(&str, &[&str]); 17] = [
+const ALLOWED_DEPS: [(&str, &[&str]); 18] = [
     ("units", &[]),
     ("lint", &[]),
     ("analyze", &["lint"]),
@@ -262,16 +262,23 @@ const ALLOWED_DEPS: [(&str, &[&str]); 17] = [
         ],
     ),
     (
-        "bench",
+        "grid",
         &[
             "core", "device", "faults", "fuelcell", "predict", "runner", "sim", "storage", "units",
             "workload",
         ],
     ),
     (
+        "bench",
+        &[
+            "core", "device", "faults", "fuelcell", "grid", "predict", "runner", "sim", "storage",
+            "units", "workload",
+        ],
+    ),
+    (
         "cli",
         &[
-            "analyze", "bench", "core", "device", "faults", "fuelcell", "lint", "predict",
+            "analyze", "bench", "core", "device", "faults", "fuelcell", "grid", "lint", "predict",
             "runner", "sim", "storage", "units", "workload",
         ],
     ),

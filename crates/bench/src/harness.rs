@@ -13,6 +13,11 @@
 //!    (starvation and combined schedules under plain, resilient and
 //!    Conv policies), so payload diffs also catch drift in the
 //!    degradation ladder.
+//! 4. **Grid throughput** — a small fixture `GridSpec` through the
+//!    sharded fleet engine, reporting jobs/sec as a first-class metric:
+//!    *nominal* jobs/sec (from the simulators' own work counters under
+//!    the engine's fixed cost model — deterministic, in the payload)
+//!    and *wall* jobs/sec (in the human report only).
 //!
 //! The machine-readable payload ([`BenchReport::json`]) carries only
 //! deterministic content — metrics and work counters, never timings —
@@ -73,6 +78,23 @@ struct FaultEntry {
     metrics: fcdpm_runner::JobMetrics,
 }
 
+/// The fleet-engine throughput section of the deterministic payload.
+/// Only work-counter-derived numbers — the wall-clock jobs/sec lives in
+/// the human report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ThroughputEntry {
+    spec_digest: String,
+    jobs: u64,
+    shards: u64,
+    shard_size: u64,
+    completed: u64,
+    peak_resident_jobs: u64,
+    chunks_stepped: u64,
+    chunks_coalesced: u64,
+    policy_consultations: u64,
+    jobs_per_sec_nominal: f64,
+}
+
 /// The deterministic machine-readable payload (`BENCH_4.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct BenchPayload {
@@ -82,6 +104,7 @@ struct BenchPayload {
     jobs: Vec<JobEntry>,
     coalescing: Vec<CoalescingEntry>,
     faults: Vec<FaultEntry>,
+    throughput: ThroughputEntry,
 }
 
 /// The outcome of one harness run.
@@ -93,6 +116,9 @@ pub struct BenchReport {
     pub text: String,
     /// Coalesced-over-per-chunk speedup on the Conv camcorder run.
     pub speedup: f64,
+    /// Wall-clock throughput of the fixture grid through the fleet
+    /// engine (jobs/sec; machine-dependent, not in the payload).
+    pub jobs_per_sec: f64,
 }
 
 /// Do two runs agree physically? Work counters are excluded (the two
@@ -262,13 +288,64 @@ pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
         });
     }
 
+    // 4. Grid throughput through the sharded fleet engine: a fresh run
+    // into a scratch directory, sized to exercise multiple shards with
+    // a ragged tail. The payload keeps only the deterministic nominal
+    // throughput; wall-clock jobs/sec goes to the text report.
+    let grid_spec = fcdpm_grid::GridSpec::new(
+        fcdpm_grid::SeedAxis::Range(fcdpm_grid::SeedRange {
+            start: BENCH_SEED,
+            count: 4,
+        }),
+        vec![fcdpm_grid::WorkloadKind::Experiment1],
+        vec![PolicySpec::Conv, PolicySpec::FcDpm],
+    );
+    let grid_config = fcdpm_grid::GridConfig {
+        shard_size: 3,
+        out_dir: std::env::temp_dir().join("fcdpm-bench-grid"),
+        ..fcdpm_grid::GridConfig::default()
+    };
+    let grid_run = fcdpm_grid::run(&grid_spec, &grid_config)
+        .map_err(|e| format!("throughput grid failed: {e}"))?;
+    let agg = &grid_run.aggregate;
+    if agg.completed != agg.jobs {
+        return Err(format!(
+            "throughput grid failed: {} of {} jobs completed",
+            agg.completed, agg.jobs
+        ));
+    }
+    text.push_str(&format!(
+        "\ngrid throughput (fleet engine, {} jobs over {} shards)\n",
+        agg.jobs, agg.shards
+    ));
+    text.push_str(&format!(
+        "  jobs/sec: {:.0} wall, {:.0} nominal | peak resident jobs: {} | wall: {:.1} ms\n",
+        grid_run.jobs_per_sec_wall,
+        agg.jobs_per_sec_nominal,
+        grid_run.peak_resident_jobs,
+        grid_run.wall_s * 1e3,
+    ));
+    let throughput = ThroughputEntry {
+        spec_digest: agg.spec_digest.clone(),
+        jobs: agg.jobs,
+        shards: agg.shards,
+        shard_size: agg.shard_size,
+        completed: agg.completed,
+        peak_resident_jobs: grid_run.peak_resident_jobs,
+        chunks_stepped: agg.chunks_stepped,
+        chunks_coalesced: agg.chunks_coalesced,
+        policy_consultations: agg.policy_consultations,
+        jobs_per_sec_nominal: agg.jobs_per_sec_nominal,
+    };
+
     let payload = BenchPayload {
-        schema: "fcdpm-bench/2".to_owned(),
+        schema: "fcdpm-bench/3".to_owned(),
         seed: BENCH_SEED,
         grid_digest: manifest.grid_digest.clone(),
         jobs,
         coalescing,
         faults,
+        throughput,
     };
     let json = serde_json::to_string_pretty(&payload)
         .map_err(|e| format!("payload serialization: {e}"))?;
@@ -277,6 +354,7 @@ pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
         json,
         text,
         speedup: conv_speedup,
+        jobs_per_sec: grid_run.jobs_per_sec_wall,
     })
 }
 
@@ -353,6 +431,13 @@ pub fn drift_against(previous: &str, current: &str) -> Option<String> {
             drifted += 1;
         }
     }
+    drifted += usize::from(drift_line(
+        &mut out,
+        "grid-throughput",
+        "jobs_per_sec_nominal",
+        prev.throughput.jobs_per_sec_nominal,
+        cur.throughput.jobs_per_sec_nominal,
+    ));
     if drifted == 0 {
         out.push_str("  no drift vs previous payload\n");
     }
@@ -376,11 +461,17 @@ mod tests {
         let first = run(&options).expect("harness runs");
         let second = run(&options).expect("harness runs");
         assert_eq!(first.json, second.json, "payload must be deterministic");
-        assert!(first.json.contains("\"schema\": \"fcdpm-bench/2\""));
+        assert!(first.json.contains("\"schema\": \"fcdpm-bench/3\""));
         assert!(!first.json.contains("wall_ms"), "no timings in payload");
         assert!(first.text.contains("speedup"));
         assert!(first.text.contains("fault sweep"));
         assert!(first.json.contains("starvation/resilient"));
+        // Throughput is first-class: deterministic nominal jobs/sec in
+        // the payload, wall jobs/sec only in the human report.
+        assert!(first.json.contains("jobs_per_sec_nominal"));
+        assert!(!first.json.contains("jobs_per_sec_wall"));
+        assert!(first.text.contains("grid throughput"));
+        assert!(first.jobs_per_sec > 0.0);
     }
 
     #[test]

@@ -53,6 +53,17 @@ pub enum LintFormat {
     Sarif,
 }
 
+/// What a `fcdpm grid` invocation does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridAction {
+    /// Execute the grid fresh (ignoring any previous spill).
+    Run,
+    /// Execute the grid, reusing digest-matching records from spill.
+    Resume,
+    /// Inspect a run directory without executing anything.
+    Status,
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -111,6 +122,22 @@ pub enum Command {
         jobs: Option<usize>,
         /// Output directory for the run manifest (default `results`).
         out: Option<String>,
+    },
+    /// Drive the fleet-scale grid engine: sharded streaming execution
+    /// of an intensional `GridSpec` with digest-keyed resume.
+    Grid {
+        /// What to do.
+        action: GridAction,
+        /// Spec file path (`run`/`resume`) or run directory (`status`).
+        path: String,
+        /// Worker threads (default: available parallelism).
+        jobs: Option<usize>,
+        /// Jobs per shard — the resident-memory ceiling (default 1024).
+        shard_size: Option<u64>,
+        /// Parent directory for run directories (default `results/grid`).
+        out: Option<String>,
+        /// Run directory name (default `grid-<spec-digest>`).
+        run_id: Option<String>,
     },
     /// Run the seeded fault-injection sweep (canonical schedules under
     /// plain, resilient and Conv-DPM policies) and write the
@@ -407,6 +434,62 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, ParseCliError> {
                 out,
             })
         }
+        "grid" => {
+            let action = match iter.next() {
+                Some("run") => GridAction::Run,
+                Some("resume") => GridAction::Resume,
+                Some("status") => GridAction::Status,
+                Some(other) => return Err(err(format!("unknown grid action `{other}`"))),
+                None => return Err(err("grid needs `run`, `resume` or `status`")),
+            };
+            let Some(path) = iter.next().filter(|p| !p.starts_with('-')) else {
+                return Err(err(match action {
+                    GridAction::Status => "grid status needs a run directory",
+                    _ => "grid needs a JSON GridSpec file path",
+                }));
+            };
+            let mut jobs = None;
+            let mut shard_size = None;
+            let mut out = None;
+            let mut run_id = None;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--jobs" => {
+                        let v = take_value(flag, &mut iter)?;
+                        jobs = Some(
+                            v.parse::<usize>()
+                                .ok()
+                                .filter(|n| *n > 0)
+                                .ok_or_else(|| err(format!("bad worker count `{v}`")))?,
+                        );
+                    }
+                    "--shard-size" => {
+                        let v = take_value(flag, &mut iter)?;
+                        shard_size = Some(
+                            v.parse::<u64>()
+                                .ok()
+                                .filter(|n| *n > 0)
+                                .ok_or_else(|| err(format!("bad shard size `{v}`")))?,
+                        );
+                    }
+                    "--out" => {
+                        out = Some(take_value(flag, &mut iter)?.to_owned());
+                    }
+                    "--run-id" => {
+                        run_id = Some(take_value(flag, &mut iter)?.to_owned());
+                    }
+                    other => return Err(err(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Grid {
+                action,
+                path: path.to_owned(),
+                jobs,
+                shard_size,
+                out,
+                run_id,
+            })
+        }
         "faults" => {
             let mut quick = false;
             let mut seed = None;
@@ -659,6 +742,67 @@ mod tests {
         assert!(parse(&["batch", "g.json", "--jobs", "0"]).is_err());
         assert!(parse(&["batch", "g.json", "--jobs", "x"]).is_err());
         assert!(parse(&["batch", "g.json", "--frob"]).is_err());
+    }
+
+    #[test]
+    fn grid_parse() {
+        assert_eq!(
+            parse(&["grid", "run", "fleet.json"]).unwrap(),
+            Command::Grid {
+                action: GridAction::Run,
+                path: "fleet.json".into(),
+                jobs: None,
+                shard_size: None,
+                out: None,
+                run_id: None,
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "grid",
+                "resume",
+                "fleet.json",
+                "--jobs",
+                "4",
+                "--shard-size",
+                "512",
+                "--out",
+                "runs",
+                "--run-id",
+                "campaign-a"
+            ])
+            .unwrap(),
+            Command::Grid {
+                action: GridAction::Resume,
+                path: "fleet.json".into(),
+                jobs: Some(4),
+                shard_size: Some(512),
+                out: Some("runs".into()),
+                run_id: Some("campaign-a".into()),
+            }
+        );
+        assert_eq!(
+            parse(&["grid", "status", "results/grid/grid-abc"]).unwrap(),
+            Command::Grid {
+                action: GridAction::Status,
+                path: "results/grid/grid-abc".into(),
+                jobs: None,
+                shard_size: None,
+                out: None,
+                run_id: None,
+            }
+        );
+        assert!(parse(&["grid"]).is_err());
+        assert!(parse(&["grid", "frob"]).is_err());
+        assert!(parse(&["grid", "run"]).is_err());
+        assert!(parse(&["grid", "run", "--jobs", "4"]).is_err());
+        assert!(parse(&["grid", "run", "g.json", "--jobs", "0"]).is_err());
+        assert!(parse(&["grid", "run", "g.json", "--shard-size", "0"]).is_err());
+        assert!(parse(&["grid", "status"])
+            .unwrap_err()
+            .message
+            .contains("run directory"));
+        assert!(parse(&["grid", "run", "g.json", "--frob"]).is_err());
     }
 
     #[test]

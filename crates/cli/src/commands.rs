@@ -12,7 +12,7 @@ use fcdpm_storage::IdealStorage;
 use fcdpm_units::{Amps, Charge, CurrentRange, Seconds};
 use fcdpm_workload::{CamcorderTrace, Scenario, SyntheticTrace};
 
-use crate::{Command, DeviceChoice, ExperimentId, LintFormat, PolicyChoice, TraceKind};
+use crate::{Command, DeviceChoice, ExperimentId, GridAction, LintFormat, PolicyChoice, TraceKind};
 
 /// The outcome of executing a command: the stdout payload plus whether
 /// the process should exit successfully. `fcdpm lint` is the one command
@@ -68,6 +68,22 @@ pub fn execute(command: &Command) -> Result<CmdOutput, String> {
         Command::Batch { spec, jobs, out } => {
             run_batch(spec, *jobs, out.as_deref()).map(CmdOutput::success)
         }
+        Command::Grid {
+            action,
+            path,
+            jobs,
+            shard_size,
+            out,
+            run_id,
+        } => run_grid_cmd(
+            *action,
+            path,
+            *jobs,
+            *shard_size,
+            out.as_deref(),
+            run_id.as_deref(),
+        )
+        .map(CmdOutput::success),
         Command::Faults {
             quick,
             seed,
@@ -244,6 +260,103 @@ fn run_batch(
     }
     let _ = writeln!(out, "{}", manifest.summary());
     let _ = writeln!(out, "manifest: {}", manifest_path.display());
+    Ok(out)
+}
+
+fn run_grid_cmd(
+    action: GridAction,
+    path: &str,
+    jobs: Option<usize>,
+    shard_size: Option<u64>,
+    out_dir: Option<&str>,
+    run_id: Option<&str>,
+) -> Result<String, String> {
+    let mut out = String::new();
+    if action == GridAction::Status {
+        let state = fcdpm_grid::status(std::path::Path::new(path))?;
+        let _ = writeln!(
+            out,
+            "grid {}: {}/{} records across {} shard files",
+            state.run_id, state.records, state.expected_jobs, state.shards
+        );
+        let _ = writeln!(
+            out,
+            "completed {} | failed {} | timed out {}",
+            state.completed, state.failed, state.timed_out
+        );
+        let _ = writeln!(
+            out,
+            "aggregate.json: {}",
+            if state.has_aggregate {
+                "present"
+            } else {
+                "missing"
+            }
+        );
+        let _ = writeln!(
+            out,
+            "state: {}",
+            if state.is_complete() {
+                "complete"
+            } else {
+                "incomplete"
+            }
+        );
+        return Ok(out);
+    }
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let spec: fcdpm_grid::GridSpec =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))?;
+    let config = fcdpm_grid::GridConfig {
+        workers: jobs.unwrap_or(0),
+        shard_size: shard_size.unwrap_or(1024),
+        out_dir: std::path::PathBuf::from(out_dir.unwrap_or("results/grid")),
+        run_id: run_id.map(ToOwned::to_owned),
+        resume: action == GridAction::Resume,
+        timeout: None,
+    };
+    let run = fcdpm_grid::run(&spec, &config)?;
+    let agg = &run.aggregate;
+    let _ = writeln!(
+        out,
+        "grid {}: {} jobs over {} shards (shard size {})",
+        run.run_id, agg.jobs, agg.shards, agg.shard_size
+    );
+    let _ = writeln!(
+        out,
+        "completed {} | failed {} | timed out {}",
+        agg.completed, agg.failed, agg.timed_out
+    );
+    let _ = writeln!(
+        out,
+        "cache hits: {}/{} ({:.1}%)",
+        run.cache_hits,
+        run.cache_hits + run.recomputed,
+        run.cache_hit_pct()
+    );
+    let _ = writeln!(out, "recomputed: {}", run.recomputed);
+    let _ = writeln!(
+        out,
+        "fuel: {:.1} A*s total (p50 {:.1}, p99 {:.1})",
+        agg.total_fuel_as, agg.fuel_p50_as, agg.fuel_p99_as
+    );
+    let _ = writeln!(
+        out,
+        "deficit: {:.1} s total (p50 {:.1}, p99 {:.1})",
+        agg.total_deficit_time_s, agg.deficit_p50_s, agg.deficit_p99_s
+    );
+    let _ = writeln!(
+        out,
+        "throughput: {:.0} jobs/s nominal, {:.0} jobs/s wall",
+        agg.jobs_per_sec_nominal, run.jobs_per_sec_wall
+    );
+    let _ = writeln!(out, "peak resident jobs: {}", run.peak_resident_jobs);
+    let _ = writeln!(
+        out,
+        "aggregate: {}",
+        run.dir.join("aggregate.json").display()
+    );
     Ok(out)
 }
 

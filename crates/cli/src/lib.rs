@@ -11,7 +11,8 @@ mod args;
 mod commands;
 
 pub use args::{
-    parse, Command, DeviceChoice, ExperimentId, LintFormat, ParseCliError, PolicyChoice, TraceKind,
+    parse, Command, DeviceChoice, ExperimentId, GridAction, LintFormat, ParseCliError,
+    PolicyChoice, TraceKind,
 };
 pub use commands::{execute, CmdOutput};
 
@@ -29,6 +30,8 @@ USAGE:
     fcdpm lifetime [--moles <N>] [--capacity-mamin <N>]
     fcdpm sizing [--tolerance-as <N>]
     fcdpm batch <grid.json> [--jobs <N>] [--out <DIR>]
+    fcdpm grid <run|resume> <spec.json> [--jobs <N>] [--shard-size <N>] [--out <DIR>] [--run-id <ID>]
+    fcdpm grid status <run-dir>
     fcdpm faults [--quick] [--seed <N>] [--jobs <N>] [--out <DIR>]
     fcdpm bench [--quick] [--out <FILE>]
     fcdpm lint [--format <human|json|sarif>] [--baseline <FILE>] [--root <DIR>] [--write-baseline]
@@ -43,6 +46,8 @@ COMMANDS:
     lifetime     run Experiment 1 cyclically until a hydrogen tank runs dry
     sizing       smallest storage capacity for unconstrained FC-DPM (Exp. 1)
     batch        run a JSON job grid on the worker pool, write a run manifest
+    grid         fleet-scale engine: lazy cross-product GridSpec, sharded
+                 streaming spill to shard-*.jsonl, digest-keyed resume
     faults       seeded fault-injection sweep: canonical schedules under plain,
                  resilient and Conv-DPM policies, deterministic manifest
     bench        wall-clock harness: fixture grid + chunk-coalescing A/B,

@@ -92,10 +92,16 @@ impl LinearEfficiency {
 
     /// The paper's measured model: α = 0.45, β = 0.13, V_F = 12 V,
     /// ζ = 37.5 — so `I_fc = 0.32·I_F/η_s` exactly as in Equation 4.
+    /// Constructed directly — the literals trivially satisfy the
+    /// [`new`](Self::new) invariants (α ∈ (0, 1], β ≥ 0, V_F > 0).
     #[must_use]
     pub fn dac07() -> Self {
-        Self::new(0.45, 0.13, Volts::new(12.0), GibbsCoefficient::dac07())
-            .expect("paper constants are valid")
+        Self {
+            alpha: 0.45,
+            beta: 0.13,
+            v_bus: Volts::new(12.0),
+            zeta: GibbsCoefficient::dac07(),
+        }
     }
 
     /// A constant-efficiency model (β = 0) at level `alpha` — the

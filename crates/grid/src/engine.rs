@@ -1,0 +1,682 @@
+//! The sharded streaming executor: bounded memory, spill, resume.
+//!
+//! [`run`] walks a [`GridSpec`] shard by shard. Per shard it decodes at
+//! most `shard_size` specs (the only job state ever resident), checks
+//! each spec's digest against any previously spilled record, executes
+//! the misses on the [`fcdpm_runner::pool`] work-stealing pool, writes
+//! the shard's records to `shard-NNNNN.jsonl`, folds them into the run
+//! aggregate, and drops everything before moving on. A 100k-job grid
+//! therefore peaks at `shard_size` resident jobs plus two `f64` columns
+//! (fuel and deficit-time per completed job, 8 B each) kept for the
+//! p50/p99 quantiles.
+//!
+//! Resume is digest-keyed, not timestamp-keyed: a record is reused iff
+//! the spec decoded at its index hashes to the digest stored on disk.
+//! Re-running an untouched grid recomputes zero jobs; editing one axis
+//! value recomputes exactly the jobs whose specs changed.
+//!
+//! The [`GridAggregate`] written to `aggregate.json` is deliberately
+//! free of wall-clock or cache statistics, so a fresh run and a fully
+//! cached resume of the same grid produce byte-identical aggregates —
+//! CI diffs them directly. Timings live only on the returned
+//! [`GridRun`].
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use fcdpm_runner::pool::{run_to_completion, Execution};
+use fcdpm_runner::{execute, JobOutcome};
+use serde::{Deserialize, Serialize};
+
+use crate::gen::{spec_digest, GridSpec};
+use crate::manifest::{digest_hex, read_shard, shard_file_name, write_shard, GridJobRecord};
+
+/// How a grid run is scheduled and where it spills.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// Worker threads (0 = available parallelism).
+    pub workers: usize,
+    /// Jobs per shard — the resident-memory ceiling.
+    pub shard_size: u64,
+    /// Parent directory for run directories.
+    pub out_dir: PathBuf,
+    /// Run directory name; `None` derives `grid-<spec-digest>` so the
+    /// same grid always lands (and resumes) in the same place.
+    pub run_id: Option<String>,
+    /// Reuse digest-matching records from a previous run's spill.
+    pub resume: bool,
+    /// Per-job wall-clock budget (`None` = unbounded).
+    pub timeout: Option<Duration>,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            shard_size: 1024,
+            out_dir: PathBuf::from("results/grid"),
+            run_id: None,
+            resume: false,
+            timeout: None,
+        }
+    }
+}
+
+impl GridConfig {
+    /// The effective run ID for `spec` under this config.
+    #[must_use]
+    pub fn effective_run_id(&self, spec: &GridSpec) -> String {
+        self.run_id
+            .clone()
+            .unwrap_or_else(|| format!("grid-{}", digest_hex(spec.digest())))
+    }
+}
+
+/// One shard's deterministic contribution to the aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSummary {
+    /// Shard index.
+    pub shard: u64,
+    /// Jobs in the shard.
+    pub jobs: u64,
+    /// Jobs that completed with metrics.
+    pub completed: u64,
+    /// Jobs that failed (including panics).
+    pub failed: u64,
+    /// Jobs that exceeded the per-job budget.
+    pub timed_out: u64,
+    /// Total fuel consumed by the shard's completed jobs (A·s).
+    pub fuel_as: f64,
+    /// Total deficit time across the shard's completed jobs (s).
+    pub deficit_time_s: f64,
+}
+
+/// The deterministic rollup of a whole run, written to `aggregate.json`.
+///
+/// Everything here is a pure function of the record stream in index
+/// order — no wall-clock, no cache statistics — so resumes reproduce it
+/// byte for byte. The only throughput figure is *nominal* jobs/sec,
+/// derived from the simulators' own work counters under a fixed cost
+/// model (10 µs per stepped chunk, 1 µs per coalesced chunk or policy
+/// consultation), which makes it deterministic and comparable across
+/// machines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridAggregate {
+    /// Payload schema tag.
+    pub schema: String,
+    /// The grid's own digest (16 hex digits).
+    pub spec_digest: String,
+    /// Total jobs in the grid.
+    pub jobs: u64,
+    /// Number of shards spilled.
+    pub shards: u64,
+    /// Jobs per shard ceiling the run used.
+    pub shard_size: u64,
+    /// Jobs that completed with metrics.
+    pub completed: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Jobs that timed out.
+    pub timed_out: u64,
+    /// Total fuel consumed across completed jobs (A·s).
+    pub total_fuel_as: f64,
+    /// Median per-job fuel (A·s, nearest-rank over completed jobs).
+    pub fuel_p50_as: f64,
+    /// 99th-percentile per-job fuel (A·s).
+    pub fuel_p99_as: f64,
+    /// Total battery-deficit time across completed jobs (s).
+    pub total_deficit_time_s: f64,
+    /// Median per-job deficit time (s).
+    pub deficit_p50_s: f64,
+    /// 99th-percentile per-job deficit time (s).
+    pub deficit_p99_s: f64,
+    /// Mean stack current across completed jobs (A).
+    pub mean_stack_current_a: f64,
+    /// Total simulated time across completed jobs (s).
+    pub total_sim_time_s: f64,
+    /// Simulator chunks stepped one slot at a time.
+    pub chunks_stepped: u64,
+    /// Simulator chunks advanced by the coalescing fast path.
+    pub chunks_coalesced: u64,
+    /// Policy consultations across completed jobs.
+    pub policy_consultations: u64,
+    /// Deterministic throughput under the fixed nominal cost model.
+    pub jobs_per_sec_nominal: f64,
+    /// Per-shard rollups, in shard order.
+    pub per_shard: Vec<ShardSummary>,
+}
+
+/// Nominal wall cost of the run's simulation work, in seconds: the
+/// fixed cost model behind [`GridAggregate::jobs_per_sec_nominal`].
+#[must_use]
+pub fn nominal_seconds(chunks_stepped: u64, chunks_coalesced: u64, consultations: u64) -> f64 {
+    let stepped = chunks_stepped as f64 * 10e-6;
+    let fast = (chunks_coalesced + consultations) as f64 * 1e-6;
+    stepped + fast
+}
+
+impl GridAggregate {
+    /// Pretty, key-stable JSON — the exact bytes of `aggregate.json`.
+    #[must_use]
+    pub fn to_pretty_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+}
+
+/// Everything [`run`] learned, including the non-deterministic parts
+/// that deliberately stay out of `aggregate.json`.
+#[derive(Debug, Clone)]
+pub struct GridRun {
+    /// Effective run ID.
+    pub run_id: String,
+    /// The run directory that now holds `grid.json`, the shards and
+    /// `aggregate.json`.
+    pub dir: PathBuf,
+    /// Records reused from spill because their digest matched.
+    pub cache_hits: u64,
+    /// Jobs actually executed this invocation.
+    pub recomputed: u64,
+    /// Largest number of jobs resident at once (≤ shard size).
+    pub peak_resident_jobs: u64,
+    /// Wall-clock time of this invocation (s).
+    pub wall_s: f64,
+    /// Wall-clock throughput of this invocation (jobs/s, all jobs
+    /// counted, cached or not).
+    pub jobs_per_sec_wall: f64,
+    /// The deterministic rollup, as written to `aggregate.json`.
+    pub aggregate: GridAggregate,
+}
+
+impl GridRun {
+    /// Cache-hit ratio in percent (100.0 for a fully cached resume).
+    #[must_use]
+    pub fn cache_hit_pct(&self) -> f64 {
+        let total = self.cache_hits + self.recomputed;
+        if total == 0 {
+            100.0
+        } else {
+            100.0 * self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Nearest-rank quantile of an unsorted column (sorts a copy; the
+/// column is one `f64` per completed job, the run's only unbounded
+/// allocation and an explicit 8 B/job budget).
+fn quantile(column: &[f64], q: f64) -> f64 {
+    if column.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = column.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Streaming accumulator for the deterministic aggregate: scalar sums
+/// plus the two quantile columns (structure of arrays, not a
+/// `Vec<JobMetrics>`).
+#[derive(Debug, Default)]
+struct Rollup {
+    completed: u64,
+    failed: u64,
+    timed_out: u64,
+    total_fuel_as: f64,
+    total_deficit_time_s: f64,
+    total_sim_time_s: f64,
+    stack_current_sum_a: f64,
+    chunks_stepped: u64,
+    chunks_coalesced: u64,
+    policy_consultations: u64,
+    fuel_column: Vec<f64>,
+    deficit_column: Vec<f64>,
+    per_shard: Vec<ShardSummary>,
+}
+
+impl Rollup {
+    fn fold_shard(&mut self, shard: u64, records: &[GridJobRecord]) {
+        let mut summary = ShardSummary {
+            shard,
+            jobs: records.len() as u64,
+            completed: 0,
+            failed: 0,
+            timed_out: 0,
+            fuel_as: 0.0,
+            deficit_time_s: 0.0,
+        };
+        for record in records {
+            match &record.outcome {
+                JobOutcome::Completed(m) => {
+                    summary.completed += 1;
+                    summary.fuel_as += m.fuel_as;
+                    summary.deficit_time_s += m.deficit_time_s;
+                    self.total_sim_time_s += m.duration_s;
+                    self.stack_current_sum_a += m.mean_stack_current_a;
+                    self.chunks_stepped += m.chunks_stepped;
+                    self.chunks_coalesced += m.chunks_coalesced;
+                    self.policy_consultations += m.policy_consultations;
+                    self.fuel_column.push(m.fuel_as);
+                    self.deficit_column.push(m.deficit_time_s);
+                }
+                JobOutcome::Failed(_) => summary.failed += 1,
+                JobOutcome::TimedOut => summary.timed_out += 1,
+            }
+        }
+        self.completed += summary.completed;
+        self.failed += summary.failed;
+        self.timed_out += summary.timed_out;
+        self.total_fuel_as += summary.fuel_as;
+        self.total_deficit_time_s += summary.deficit_time_s;
+        self.per_shard.push(summary);
+    }
+
+    fn finish(self, spec: &GridSpec, jobs: u64, shard_size: u64) -> GridAggregate {
+        let nominal = nominal_seconds(
+            self.chunks_stepped,
+            self.chunks_coalesced,
+            self.policy_consultations,
+        );
+        GridAggregate {
+            schema: "fcdpm-grid/1".to_owned(),
+            spec_digest: digest_hex(spec.digest()),
+            jobs,
+            shards: self.per_shard.len() as u64,
+            shard_size,
+            completed: self.completed,
+            failed: self.failed,
+            timed_out: self.timed_out,
+            total_fuel_as: self.total_fuel_as,
+            fuel_p50_as: quantile(&self.fuel_column, 0.50),
+            fuel_p99_as: quantile(&self.fuel_column, 0.99),
+            total_deficit_time_s: self.total_deficit_time_s,
+            deficit_p50_s: quantile(&self.deficit_column, 0.50),
+            deficit_p99_s: quantile(&self.deficit_column, 0.99),
+            mean_stack_current_a: if self.completed == 0 {
+                0.0
+            } else {
+                self.stack_current_sum_a / self.completed as f64
+            },
+            total_sim_time_s: self.total_sim_time_s,
+            chunks_stepped: self.chunks_stepped,
+            chunks_coalesced: self.chunks_coalesced,
+            policy_consultations: self.policy_consultations,
+            jobs_per_sec_nominal: if nominal > 0.0 {
+                jobs as f64 / nominal
+            } else {
+                0.0
+            },
+            per_shard: self.per_shard,
+        }
+    }
+}
+
+/// Removes spill that must not leak into this run: on a fresh run every
+/// old shard, on a resume only stale shards past the current count.
+fn clean_stale(dir: &Path, shards: u64, resume: bool) -> Result<(), String> {
+    for path in crate::manifest::shard_files(dir)? {
+        let keep = resume
+            && path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| {
+                    n.strip_prefix("shard-")?
+                        .strip_suffix(".jsonl")?
+                        .parse::<u64>()
+                        .ok()
+                })
+                .is_some_and(|n| n < shards);
+        if !keep {
+            std::fs::remove_file(&path)
+                .map_err(|e| format!("cannot remove stale `{}`: {e}", path.display()))?;
+        }
+    }
+    Ok(())
+}
+
+/// Executes `spec` under `config`: shard by shard, spilling records,
+/// reusing digest-matching spill when `config.resume` is set, and
+/// writing the deterministic `aggregate.json` last.
+///
+/// # Errors
+///
+/// Returns a message when the spec fails validation or the run
+/// directory cannot be written.
+pub fn run(spec: &GridSpec, config: &GridConfig) -> Result<GridRun, String> {
+    spec.validate()?;
+    let start = Instant::now();
+    let total = spec.total_jobs();
+    let shard_size = config.shard_size.max(1);
+    let shards = total.div_ceil(shard_size);
+    let run_id = config.effective_run_id(spec);
+    let dir = config.out_dir.join(&run_id);
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| format!("cannot create run directory `{}`: {e}", dir.display()))?;
+    let spec_json = serde_json::to_string_pretty(spec).unwrap_or_default();
+    std::fs::write(dir.join("grid.json"), spec_json)
+        .map_err(|e| format!("cannot write grid.json in `{}`: {e}", dir.display()))?;
+    clean_stale(&dir, shards, config.resume)?;
+
+    let mut rollup = Rollup::default();
+    let mut cache_hits = 0u64;
+    let mut recomputed = 0u64;
+    let mut peak_resident_jobs = 0u64;
+
+    for shard in 0..shards {
+        let lo = shard * shard_size;
+        let hi = (lo + shard_size).min(total);
+
+        // The shard's job state, structure-of-arrays style: parallel
+        // columns indexed by slot, never a Vec of whole-job rows.
+        let mut specs = Vec::with_capacity(usize::try_from(hi - lo).unwrap_or(0));
+        let mut digests = Vec::with_capacity(specs.capacity());
+        for index in lo..hi {
+            let job = spec
+                .job_at(index)
+                .ok_or_else(|| format!("index {index} out of range (decoder bug)"))?;
+            digests.push(spec_digest(&job));
+            specs.push(job);
+        }
+        peak_resident_jobs = peak_resident_jobs.max(specs.len() as u64);
+
+        // Digest-keyed reuse from a previous run's spill of this shard.
+        let mut outcomes: Vec<Option<JobOutcome>> = vec![None; specs.len()];
+        if config.resume {
+            let shard_path = dir.join(shard_file_name(shard));
+            if shard_path.is_file() {
+                for record in read_shard(&shard_path)? {
+                    let Some(slot) = record.index.checked_sub(lo) else {
+                        continue;
+                    };
+                    let Ok(slot) = usize::try_from(slot) else {
+                        continue;
+                    };
+                    if slot < specs.len() && record.digest == digest_hex(digests[slot]) {
+                        outcomes[slot] = Some(record.outcome);
+                    }
+                }
+            }
+        }
+
+        // Execute the misses on the work-stealing pool.
+        let misses: Vec<usize> = (0..specs.len())
+            .filter(|&s| outcomes[s].is_none())
+            .collect();
+        cache_hits += (specs.len() - misses.len()) as u64;
+        recomputed += misses.len() as u64;
+        let jobs: Vec<_> = misses
+            .iter()
+            .map(|&slot| {
+                let job = specs[slot].clone();
+                move || execute(&job)
+            })
+            .collect();
+        for result in run_to_completion(jobs, config.workers, config.timeout) {
+            let outcome = match result.execution {
+                Execution::Completed(Ok(metrics)) => JobOutcome::Completed(metrics),
+                Execution::Completed(Err(message)) => JobOutcome::Failed(message),
+                Execution::Panicked(message) => JobOutcome::Failed(format!("panic: {message}")),
+                Execution::TimedOut => JobOutcome::TimedOut,
+            };
+            outcomes[misses[result.index]] = Some(outcome);
+        }
+
+        // Spill the shard in index order, fold it, drop it.
+        let mut records = Vec::with_capacity(specs.len());
+        for (slot, outcome) in outcomes.into_iter().enumerate() {
+            let index = lo + slot as u64;
+            let outcome =
+                outcome.ok_or_else(|| format!("job {index} produced no outcome (pool bug)"))?;
+            records.push(GridJobRecord {
+                index,
+                id: specs[slot].id(usize::try_from(index).unwrap_or(usize::MAX)),
+                digest: digest_hex(digests[slot]),
+                outcome,
+            });
+        }
+        write_shard(&dir, shard, &records)?;
+        rollup.fold_shard(shard, &records);
+    }
+
+    let aggregate = rollup.finish(spec, total, shard_size);
+    std::fs::write(dir.join("aggregate.json"), aggregate.to_pretty_json())
+        .map_err(|e| format!("cannot write aggregate.json in `{}`: {e}", dir.display()))?;
+
+    let wall_s = start.elapsed().as_secs_f64();
+    Ok(GridRun {
+        run_id,
+        dir,
+        cache_hits,
+        recomputed,
+        peak_resident_jobs,
+        wall_s,
+        jobs_per_sec_wall: if wall_s > 0.0 {
+            total as f64 / wall_s
+        } else {
+            0.0
+        },
+        aggregate,
+    })
+}
+
+/// What `fcdpm grid status` reports about a run directory on disk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridStatus {
+    /// Run directory name.
+    pub run_id: String,
+    /// Jobs the stored `grid.json` expands to.
+    pub expected_jobs: u64,
+    /// Records present across shard files.
+    pub records: u64,
+    /// Completed records.
+    pub completed: u64,
+    /// Failed records.
+    pub failed: u64,
+    /// Timed-out records.
+    pub timed_out: u64,
+    /// Shard files present.
+    pub shards: u64,
+    /// Whether `aggregate.json` has been written.
+    pub has_aggregate: bool,
+}
+
+impl GridStatus {
+    /// True when every expected record is on disk and aggregated.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.has_aggregate && self.records == self.expected_jobs
+    }
+}
+
+/// Inspects a run directory without executing anything: parses its
+/// `grid.json`, streams the shard files, and counts outcomes.
+///
+/// # Errors
+///
+/// Returns a message when the directory or its `grid.json` is
+/// unreadable.
+pub fn status(dir: &Path) -> Result<GridStatus, String> {
+    let spec_path = dir.join("grid.json");
+    let text = std::fs::read_to_string(&spec_path)
+        .map_err(|e| format!("cannot read `{}`: {e}", spec_path.display()))?;
+    let spec: GridSpec = serde_json::from_str(&text).map_err(|e| {
+        format!(
+            "`{}` does not parse as a GridSpec: {e}",
+            spec_path.display()
+        )
+    })?;
+    let mut state = GridStatus {
+        run_id: dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("<unnamed>")
+            .to_owned(),
+        expected_jobs: spec.total_jobs(),
+        records: 0,
+        completed: 0,
+        failed: 0,
+        timed_out: 0,
+        shards: 0,
+        has_aggregate: dir.join("aggregate.json").is_file(),
+    };
+    for path in crate::manifest::shard_files(dir)? {
+        state.shards += 1;
+        for record in read_shard(&path)? {
+            state.records += 1;
+            match record.outcome {
+                JobOutcome::Completed(_) => state.completed += 1,
+                JobOutcome::Failed(_) => state.failed += 1,
+                JobOutcome::TimedOut => state.timed_out += 1,
+            }
+        }
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{FaultPreset, SeedAxis, SeedRange, WorkloadKind};
+    use fcdpm_runner::PolicySpec;
+
+    fn tiny_spec() -> GridSpec {
+        let mut spec = GridSpec::new(
+            SeedAxis::Range(SeedRange {
+                start: 0xDAC0_2007,
+                count: 2,
+            }),
+            vec![WorkloadKind::Experiment1],
+            vec![PolicySpec::Conv, PolicySpec::FcDpm],
+        );
+        spec.faults = Some(vec![FaultPreset::None, FaultPreset::Starvation]);
+        spec
+    }
+
+    fn config(tag: &str, shard_size: u64, resume: bool) -> GridConfig {
+        GridConfig {
+            workers: 2,
+            shard_size,
+            out_dir: std::env::temp_dir().join(format!("fcdpm-grid-engine-{tag}")),
+            run_id: None,
+            resume,
+            timeout: None,
+        }
+    }
+
+    fn wipe(config: &GridConfig) {
+        let _ = std::fs::remove_dir_all(&config.out_dir);
+    }
+
+    #[test]
+    fn run_spills_shards_and_aggregates() {
+        let spec = tiny_spec();
+        let cfg = config("basic", 3, false);
+        wipe(&cfg);
+        let run = run(&spec, &cfg).expect("runs");
+        assert_eq!(run.recomputed, 8);
+        assert_eq!(run.cache_hits, 0);
+        assert!(run.peak_resident_jobs <= 3, "shard ceiling respected");
+        assert_eq!(run.aggregate.jobs, 8);
+        assert_eq!(run.aggregate.shards, 3, "8 jobs over shard_size 3");
+        assert_eq!(run.aggregate.completed, 8);
+        assert!(run.aggregate.total_fuel_as > 0.0);
+        assert!(run.aggregate.fuel_p99_as >= run.aggregate.fuel_p50_as);
+        assert!(run.aggregate.jobs_per_sec_nominal > 0.0);
+        assert!(run.dir.join("grid.json").is_file());
+        assert!(run.dir.join("aggregate.json").is_file());
+        assert!(run.dir.join(shard_file_name(2)).is_file());
+        let state = status(&run.dir).expect("status reads");
+        assert!(state.is_complete());
+        assert_eq!(state.records, 8);
+        wipe(&cfg);
+    }
+
+    #[test]
+    fn untouched_resume_is_all_cache_hits_and_byte_identical() {
+        let spec = tiny_spec();
+        let cfg = config("resume", 3, false);
+        wipe(&cfg);
+        let first = run(&spec, &cfg).expect("runs");
+        let bytes = std::fs::read(first.dir.join("aggregate.json")).expect("reads");
+
+        let again = run(
+            &spec,
+            &GridConfig {
+                resume: true,
+                ..cfg.clone()
+            },
+        )
+        .expect("resumes");
+        assert_eq!(again.recomputed, 0, "nothing changed, nothing recomputes");
+        assert_eq!(again.cache_hits, 8);
+        assert!((again.cache_hit_pct() - 100.0).abs() < f64::EPSILON);
+        let resumed = std::fs::read(again.dir.join("aggregate.json")).expect("reads");
+        assert_eq!(bytes, resumed, "aggregate.json is byte-identical");
+        wipe(&cfg);
+    }
+
+    #[test]
+    fn digest_change_recomputes_only_changed_jobs() {
+        let spec = tiny_spec();
+        let cfg = config("partial", 8, false);
+        wipe(&cfg);
+        let first = run(&spec, &cfg).expect("runs");
+        assert_eq!(first.recomputed, 8);
+
+        // Swap one policy: jobs sharing the run directory but with a
+        // changed spec digest must recompute; the rest must not.
+        let mut edited = spec.clone();
+        edited.policies[1] = PolicySpec::Asap;
+        let resumed = run(
+            &edited,
+            &GridConfig {
+                resume: true,
+                run_id: Some(first.run_id.clone()),
+                ..cfg.clone()
+            },
+        )
+        .expect("resumes");
+        assert_eq!(resumed.recomputed, 4, "half the grid changed policy");
+        assert_eq!(resumed.cache_hits, 4);
+        wipe(&cfg);
+    }
+
+    #[test]
+    fn fresh_rerun_clears_stale_spill() {
+        let spec = tiny_spec();
+        let cfg = config("stale", 2, false);
+        wipe(&cfg);
+        let first = run(&spec, &cfg).expect("runs");
+        assert_eq!(first.aggregate.shards, 4);
+
+        // Re-run with a bigger shard size: old shard-00002/3 would be
+        // stale; a fresh run must remove them.
+        let wide = GridConfig {
+            shard_size: 8,
+            ..cfg.clone()
+        };
+        let second = run(&spec, &wide).expect("runs");
+        assert_eq!(second.aggregate.shards, 1);
+        assert!(!second.dir.join(shard_file_name(2)).is_file());
+        let state = status(&second.dir).expect("status reads");
+        assert_eq!(state.shards, 1);
+        assert_eq!(state.records, 8);
+        wipe(&cfg);
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_before_any_io() {
+        let mut spec = tiny_spec();
+        spec.policies.clear();
+        let cfg = config("invalid", 2, false);
+        wipe(&cfg);
+        assert!(run(&spec, &cfg).is_err());
+        assert!(!cfg.out_dir.exists(), "no run directory for invalid specs");
+    }
+
+    #[test]
+    fn nominal_cost_model_is_fixed() {
+        assert!((nominal_seconds(100, 0, 0) - 1e-3).abs() < 1e-12);
+        assert!((nominal_seconds(0, 500, 500) - 1e-3).abs() < 1e-12);
+        assert_eq!(nominal_seconds(0, 0, 0), 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Chunked manifest spill: the on-disk record stream of a grid run.
+//!
+//! A grid run's job records live in `shard-NNNNN.jsonl` files under the
+//! run directory — one compact JSON record per line, ordered by global
+//! job index — so a million-job run is never resident at once: writers
+//! spill one shard at a time and readers stream line by line.
+//!
+//! Records deliberately carry *no spec*: the spec is reconstructable
+//! from the [`GridSpec`](crate::GridSpec) plus the index, and *no
+//! scheduling metadata* (wall time, worker), so shard bytes are
+//! identical across runs and worker counts — resume diffs them
+//! directly.
+//!
+//! [`for_each_record`] is the one reader. It also migrates the legacy
+//! single-file [`RunManifest`](fcdpm_runner::RunManifest) format that
+//! `fcdpm batch` writes: pointing it at a `*.json` manifest yields the
+//! same record stream, with digests recomputed from the embedded specs.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+use fcdpm_runner::{JobOutcome, RunManifest};
+use serde::{Deserialize, Serialize};
+
+use crate::gen::spec_digest;
+
+/// One job's record in a shard file: identity, cache key and outcome —
+/// nothing scheduling-dependent, nothing reconstructable from the spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridJobRecord {
+    /// Global index in the expanded grid.
+    pub index: u64,
+    /// Deterministic job ID (index + spec digest).
+    pub id: String,
+    /// Full 64-bit FNV-1a spec digest, as 16 hex digits — the
+    /// incremental-run cache key.
+    pub digest: String,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+}
+
+/// Renders a 64-bit digest as the 16-hex-digit on-disk form.
+#[must_use]
+pub fn digest_hex(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+/// The shard file name for shard `shard` (zero-padded so lexicographic
+/// directory order is shard order).
+#[must_use]
+pub fn shard_file_name(shard: u64) -> String {
+    format!("shard-{shard:05}.jsonl")
+}
+
+/// Writes one shard's records as JSON lines (atomically: temp file then
+/// rename, so a crashed run never leaves a half shard behind).
+///
+/// # Errors
+///
+/// Returns a message for I/O or serialization failures.
+pub fn write_shard(dir: &Path, shard: u64, records: &[GridJobRecord]) -> Result<PathBuf, String> {
+    let path = dir.join(shard_file_name(shard));
+    let tmp = dir.join(format!("{}.tmp", shard_file_name(shard)));
+    let file = File::create(&tmp).map_err(|e| format!("cannot create `{}`: {e}", tmp.display()))?;
+    let mut out = BufWriter::new(file);
+    for record in records {
+        let line = serde_json::to_string(record)
+            .map_err(|e| format!("record {} does not serialize: {e}", record.index))?;
+        out.write_all(line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+            .map_err(|e| format!("cannot write `{}`: {e}", tmp.display()))?;
+    }
+    out.flush()
+        .map_err(|e| format!("cannot flush `{}`: {e}", tmp.display()))?;
+    drop(out);
+    std::fs::rename(&tmp, &path)
+        .map_err(|e| format!("cannot move shard into place at `{}`: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Reads one shard file into records (one shard is bounded by the
+/// engine's shard size, so this is the largest unit ever resident).
+///
+/// # Errors
+///
+/// Returns a message for I/O failures or malformed lines.
+pub fn read_shard(path: &Path) -> Result<Vec<GridJobRecord>, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open `{}`: {e}", path.display()))?;
+    let mut records = Vec::new();
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: GridJobRecord = serde_json::from_str(&line)
+            .map_err(|e| format!("`{}` line {}: {e}", path.display(), lineno + 1))?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Shard files under `dir`, in shard order.
+///
+/// # Errors
+///
+/// Returns a message when the directory cannot be listed.
+pub fn shard_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list `{}`: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list `{}`: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("shard-") && name.ends_with(".jsonl") {
+            files.push(entry.path());
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Converts one legacy [`RunManifest`] job record into the chunked
+/// form, recomputing the digest from the embedded spec.
+fn migrate_record(record: &fcdpm_runner::JobRecord) -> GridJobRecord {
+    GridJobRecord {
+        index: record.index as u64,
+        id: record.id.clone(),
+        digest: digest_hex(spec_digest(&record.spec)),
+        outcome: record.outcome.clone(),
+    }
+}
+
+/// Streams every record reachable from `path`, in index order, calling
+/// `visit` once per record. Two layouts are accepted:
+///
+/// * a **run directory** holding chunked `shard-*.jsonl` files — shards
+///   are read one at a time, so memory stays bounded by the shard size;
+/// * a **legacy single-file manifest** (the `*.json` written by
+///   `fcdpm batch`) — migrated on the fly to the same record stream.
+///
+/// # Errors
+///
+/// Returns a message when the path is neither layout, or on I/O or
+/// parse failures.
+pub fn for_each_record(path: &Path, mut visit: impl FnMut(GridJobRecord)) -> Result<(), String> {
+    if path.is_dir() {
+        let files = shard_files(path)?;
+        if files.is_empty() {
+            return Err(format!("`{}` holds no shard-*.jsonl files", path.display()));
+        }
+        for file in files {
+            for record in read_shard(&file)? {
+                visit(record);
+            }
+        }
+        return Ok(());
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+    let legacy: RunManifest = serde_json::from_str(&text).map_err(|e| {
+        format!(
+            "`{}` is not a run directory and does not parse as a legacy RunManifest: {e}",
+            path.display()
+        )
+    })?;
+    for record in &legacy.records {
+        visit(migrate_record(record));
+    }
+    Ok(())
+}
+
+/// [`for_each_record`] collected into memory — for tests and small runs
+/// only; production paths stream.
+///
+/// # Errors
+///
+/// Same as [`for_each_record`].
+pub fn read_records(path: &Path) -> Result<Vec<GridJobRecord>, String> {
+    let mut records = Vec::new();
+    for_each_record(path, |record| records.push(record))?;
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcdpm_runner::{JobSpec, PolicySpec, RunConfig, WorkloadSpec};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fcdpm-grid-manifest-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn record(index: u64) -> GridJobRecord {
+        let spec = JobSpec::new(PolicySpec::Conv, WorkloadSpec::Experiment1(index));
+        GridJobRecord {
+            index,
+            id: spec.id(usize::try_from(index).expect("small")),
+            digest: digest_hex(spec_digest(&spec)),
+            outcome: JobOutcome::Failed("not run".to_owned()),
+        }
+    }
+
+    #[test]
+    fn chunked_shards_round_trip_in_order() {
+        let dir = temp_dir("roundtrip");
+        write_shard(&dir, 1, &[record(2), record(3)]).expect("writes");
+        write_shard(&dir, 0, &[record(0), record(1)]).expect("writes");
+        let back = read_records(&dir).expect("reads");
+        assert_eq!(back.len(), 4);
+        for (i, r) in back.iter().enumerate() {
+            assert_eq!(r.index, i as u64, "records stream in shard order");
+            assert_eq!(*r, record(i as u64), "round trip is lossless");
+        }
+        // Shard bytes are stable: rewriting produces identical files.
+        let path = dir.join(shard_file_name(0));
+        let first = std::fs::read(&path).expect("reads");
+        write_shard(&dir, 0, &[record(0), record(1)]).expect("writes");
+        assert_eq!(first, std::fs::read(&path).expect("reads"));
+    }
+
+    #[test]
+    fn legacy_single_file_manifest_migrates() {
+        let dir = temp_dir("legacy");
+        let grid = fcdpm_runner::JobGrid::new(
+            vec![PolicySpec::Conv, PolicySpec::FcDpm],
+            vec![WorkloadSpec::Experiment1(0xDAC0_2007)],
+        );
+        let manifest = fcdpm_runner::run_grid(&grid, &RunConfig::with_workers(2));
+        let path = dir.join("batch.manifest.json");
+        std::fs::write(&path, manifest.to_json()).expect("writes");
+
+        let migrated = read_records(&path).expect("migrates");
+        assert_eq!(migrated.len(), manifest.records.len());
+        for (old, new) in manifest.records.iter().zip(&migrated) {
+            assert_eq!(new.index, old.index as u64);
+            assert_eq!(new.id, old.id);
+            assert_eq!(new.outcome, old.outcome);
+            assert_eq!(new.digest, digest_hex(spec_digest(&old.spec)));
+        }
+
+        // And the migrated records round-trip through the chunked form.
+        write_shard(&dir, 0, &migrated).expect("writes");
+        let back = read_shard(&dir.join(shard_file_name(0))).expect("reads");
+        assert_eq!(back, migrated);
+    }
+
+    #[test]
+    fn unreadable_paths_are_named_errors() {
+        let dir = temp_dir("errors");
+        assert!(read_records(&dir).unwrap_err().contains("no shard"));
+        let bogus = dir.join("bogus.json");
+        std::fs::write(&bogus, "not json").expect("writes");
+        assert!(read_records(&bogus).unwrap_err().contains("legacy"));
+        assert!(read_records(&dir.join("missing.json")).is_err());
+    }
+}

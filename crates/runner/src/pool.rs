@@ -19,7 +19,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -45,6 +45,14 @@ pub struct PoolResult<T> {
     pub wall: Duration,
     /// Index of the worker that ran the job.
     pub worker: usize,
+}
+
+/// Locks a deque, tolerating poison: job panics are caught inside
+/// [`run_guarded`], never while a deque lock is held, so a poisoned
+/// lock still guards a structurally sound queue and the run can keep
+/// draining it.
+fn lock_deque<'a, T>(deque: &'a Mutex<VecDeque<T>>) -> MutexGuard<'a, VecDeque<T>> {
+    deque.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Renders a `catch_unwind` payload as a message.
@@ -90,16 +98,54 @@ where
     }
 }
 
+/// One worker's drain loop: own deque first (front), then steal from
+/// the back of the fullest other deque, until every deque is empty.
+fn worker_loop<T, F>(
+    worker: usize,
+    deques: &[Mutex<VecDeque<(usize, F)>>],
+    result_tx: &mpsc::Sender<PoolResult<T>>,
+    timeout: Option<Duration>,
+) where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    loop {
+        let mut next = lock_deque(&deques[worker]).pop_front();
+        if next.is_none() {
+            let victim = (0..deques.len())
+                .filter(|&v| v != worker)
+                .max_by_key(|&v| lock_deque(&deques[v]).len());
+            if let Some(victim) = victim {
+                next = lock_deque(&deques[victim]).pop_back();
+            }
+        }
+        let Some((index, job)) = next else {
+            return;
+        };
+        let start = Instant::now();
+        let execution = run_guarded(job, timeout);
+        let result = PoolResult {
+            index,
+            execution,
+            wall: start.elapsed(),
+            worker,
+        };
+        if result_tx.send(result).is_err() {
+            return;
+        }
+    }
+}
+
 /// Runs `jobs` on `workers` threads with work stealing and returns the
 /// results ordered by job index, regardless of scheduling.
 ///
 /// `workers` is clamped to `1..=jobs.len()` (a zero-job call returns
 /// immediately). `timeout` bounds each job's wall-clock time.
 ///
-/// # Panics
-///
-/// Panics only on poisoned internal locks, which would themselves
-/// indicate a bug in the pool (job panics are caught and reported).
+/// Degrades rather than panics: a poisoned deque lock is recovered
+/// (jobs never panic while holding one), a worker thread the OS refuses
+/// to spawn is covered by the other workers' stealing, and if *every*
+/// spawn fails the calling thread drains the deques itself.
 #[must_use]
 pub fn run_to_completion<T, F>(
     jobs: Vec<F>,
@@ -119,10 +165,7 @@ where
     let deques: Vec<Mutex<VecDeque<(usize, F)>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for (index, job) in jobs.into_iter().enumerate() {
-        deques[index % workers]
-            .lock()
-            .expect("fresh deque lock")
-            .push_back((index, job));
+        lock_deque(&deques[index % workers]).push_back((index, job));
     }
     let deques = Arc::new(deques);
 
@@ -131,37 +174,19 @@ where
     for worker in 0..workers {
         let deques = Arc::clone(&deques);
         let result_tx = result_tx.clone();
-        let handle = thread::Builder::new()
+        let spawned = thread::Builder::new()
             .name(format!("fcdpm-worker-{worker}"))
-            .spawn(move || loop {
-                // Own deque first (front), then steal from the back of
-                // the fullest other deque.
-                let mut next = deques[worker].lock().expect("deque lock").pop_front();
-                if next.is_none() {
-                    let victim = (0..deques.len())
-                        .filter(|&v| v != worker)
-                        .max_by_key(|&v| deques[v].lock().expect("deque lock").len());
-                    if let Some(victim) = victim {
-                        next = deques[victim].lock().expect("deque lock").pop_back();
-                    }
-                }
-                let Some((index, job)) = next else {
-                    return;
-                };
-                let start = Instant::now();
-                let execution = run_guarded(job, timeout);
-                let result = PoolResult {
-                    index,
-                    execution,
-                    wall: start.elapsed(),
-                    worker,
-                };
-                if result_tx.send(result).is_err() {
-                    return;
-                }
-            })
-            .expect("spawn worker thread");
-        handles.push(handle);
+            .spawn(move || worker_loop(worker, &deques, &result_tx, timeout));
+        if let Ok(handle) = spawned {
+            handles.push(handle);
+        }
+        // A refused spawn is not fatal: the workers that did start
+        // steal the orphaned deque dry.
+    }
+    if handles.is_empty() {
+        // The OS refused every worker thread — drain inline so the run
+        // still completes (worker 0 steals every other deque dry).
+        worker_loop(0, &deques, &result_tx, timeout);
     }
     drop(result_tx);
 
