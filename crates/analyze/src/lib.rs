@@ -18,6 +18,23 @@
 //!   (`examples/*.json`) are validated against the load-following range
 //!   and storage feasibility before any simulation runs.
 //!
+//! The third layer guards the byte-identical-artifact contract and the
+//! lock discipline behind it:
+//!
+//! * [`AnalyzeRule::DeterminismTaint`] — nondeterminism sources
+//!   (wall-clock, thread identity, hash-order iteration, env reads,
+//!   unseeded RNG, channel arrival order) must not reach artifact sinks
+//!   (manifest/shard/bench writers, FNV digest folds) without an
+//!   explicit sort/canonicalize launder ([`taint`]).
+//! * [`AnalyzeRule::LockDiscipline`] — a static lock-acquisition-order
+//!   graph over every `Mutex` site: cycles (potential deadlock), guards
+//!   held across job-closure calls, and poison handling inconsistent
+//!   with the `lock_deque` idiom ([`locks`]).
+//! * [`AnalyzeRule::DigestStability`] — digest-keyed structs
+//!   (`GridSpec`, `JobSpec`) must account for every serde field in an
+//!   explicit folded/masked manifest pair, so a new field can never
+//!   silently alias or orphan resume caches ([`digest`]).
+//!
 //! The report/baseline/SARIF machinery is shared with `fcdpm-lint`
 //! (identical ledger semantics, disjoint rule catalogue, separate
 //! `analyze-baseline.json`), and the same determinism contract holds:
@@ -29,8 +46,12 @@
 
 pub mod constants;
 pub mod dataflow;
+pub mod digest;
 pub mod grid;
+pub mod locks;
 pub mod symbols;
+mod syntax;
+pub mod taint;
 pub mod toml;
 
 use std::fs;
@@ -54,14 +75,23 @@ pub enum AnalyzeRule {
     PaperConstants,
     /// Committed job grids are statically feasible.
     GridFeasibility,
+    /// Nondeterminism sources must not reach artifact sinks un-laundered.
+    DeterminismTaint,
+    /// Lock acquisition order, guard scope and poison handling.
+    LockDiscipline,
+    /// Digest-keyed structs account for every field (folded or masked).
+    DigestStability,
 }
 
 /// Every rule, in catalogue order.
-pub const ALL_RULES: [AnalyzeRule; 4] = [
+pub const ALL_RULES: [AnalyzeRule; 7] = [
     AnalyzeRule::UnitDataflow,
     AnalyzeRule::Layering,
     AnalyzeRule::PaperConstants,
     AnalyzeRule::GridFeasibility,
+    AnalyzeRule::DeterminismTaint,
+    AnalyzeRule::LockDiscipline,
+    AnalyzeRule::DigestStability,
 ];
 
 impl AnalyzeRule {
@@ -73,6 +103,9 @@ impl AnalyzeRule {
             AnalyzeRule::Layering => "layering",
             AnalyzeRule::PaperConstants => "paper-constants",
             AnalyzeRule::GridFeasibility => "grid-feasibility",
+            AnalyzeRule::DeterminismTaint => "determinism-taint",
+            AnalyzeRule::LockDiscipline => "lock-discipline",
+            AnalyzeRule::DigestStability => "digest-stability",
         }
     }
 
@@ -91,6 +124,16 @@ impl AnalyzeRule {
             }
             AnalyzeRule::GridFeasibility => {
                 "committed job grids must be statically feasible for the paper hardware"
+            }
+            AnalyzeRule::DeterminismTaint => {
+                "nondeterminism sources must not reach artifact sinks without a sort/canonicalize"
+            }
+            AnalyzeRule::LockDiscipline => {
+                "lock acquisition order must be acyclic, guards must not cover job closures, \
+                 and poison handling must match the lock_deque idiom"
+            }
+            AnalyzeRule::DigestStability => {
+                "every field of a digest-keyed struct must be explicitly folded or masked"
             }
         }
     }
@@ -191,22 +234,31 @@ pub fn run(root: &Path, baseline: &Baseline) -> io::Result<Report> {
     let mut findings = Vec::new();
     let mut inline_suppressed = 0usize;
     let mut graph = SymbolGraph::default();
+    let mut lock_graph = locks::LockGraph::default();
 
     for (rel, path) in &files {
         let source = fs::read_to_string(path)?;
         let scan = Scan::new(&source);
         graph.add_file(rel, &scan);
+        let mut file_findings = Vec::new();
         if is_physics_file(rel) {
-            for finding in dataflow::check_file(rel, &scan) {
-                if scan.is_suppressed(finding.rule, finding.line) {
-                    inline_suppressed += 1;
-                } else {
-                    findings.push(finding);
-                }
+            file_findings.extend(dataflow::check_file(rel, &scan));
+        }
+        file_findings.extend(taint::check_file(rel, &scan));
+        file_findings.extend(digest::check_file(rel, &source, &scan));
+        for finding in file_findings {
+            if scan.is_suppressed(finding.rule, finding.line) {
+                inline_suppressed += 1;
+            } else {
+                findings.push(finding);
             }
         }
+        // The lock pass filters suppressions itself (its cycle findings
+        // only materialize after every file has fed the graph).
+        findings.extend(lock_graph.add_file(rel, &scan));
     }
     findings.extend(symbols::check_layering(&graph));
+    findings.extend(lock_graph.cycle_findings());
 
     let mut scanned: std::collections::BTreeSet<String> =
         files.iter().map(|(rel, _)| rel.clone()).collect();
@@ -281,7 +333,10 @@ mod tests {
                 "unit-dataflow",
                 "layering",
                 "paper-constants",
-                "grid-feasibility"
+                "grid-feasibility",
+                "determinism-taint",
+                "lock-discipline",
+                "digest-stability"
             ]
         );
         for rule in fcdpm_lint::Rule::ALL {

@@ -1,0 +1,205 @@
+//! Small lexical helpers shared by the third-layer passes
+//! ([`taint`](crate::taint), [`locks`](crate::locks),
+//! [`digest`](crate::digest)).
+//!
+//! Everything here operates on a [`Scan`](fcdpm_lint::Scan)'s `cleaned`
+//! text — comments, strings and char literals already blanked, line
+//! structure preserved — so delimiter matching and token search never
+//! trip over quoted braces.
+
+use std::ops::Range;
+
+/// True for characters that may appear inside a Rust identifier.
+pub(crate) fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Byte offsets of every occurrence of `needle`, token-delimited on
+/// each side whose edge is an identifier character (the lint's
+/// `token_occurrences` only guards the left edge, which is wrong for
+/// short needles like `fn` that prefix longer identifiers). Needles
+/// edged by punctuation (`.lock().unwrap()`) match verbatim there.
+pub(crate) fn word_occurrences(text: &str, needle: &str) -> Vec<usize> {
+    let guard_left = needle.chars().next().is_some_and(is_ident_char);
+    let guard_right = needle.chars().next_back().is_some_and(is_ident_char);
+    let mut hits = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = text[from..].find(needle) {
+        let at = from + rel;
+        from = at + needle.len().max(1);
+        let left_ok =
+            !guard_left || at == 0 || !text[..at].chars().next_back().is_some_and(is_ident_char);
+        let end = at + needle.len();
+        let right_ok = !guard_right
+            || end >= text.len()
+            || !text[end..].chars().next().is_some_and(is_ident_char);
+        if left_ok && right_ok {
+            hits.push(at);
+        }
+    }
+    hits
+}
+
+/// Offset of the delimiter matching the opener at `open` (which must
+/// hold `openc`), honouring nesting. `None` when unbalanced.
+pub(crate) fn matching(text: &str, open: usize, openc: u8, closec: u8) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if b == openc {
+            depth += 1;
+        } else if b == closec {
+            depth = depth.checked_sub(1)?;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Body ranges (between the braces, exclusive) of every *top-level*
+/// `fn` in `cleaned`, in source order, paired with the offset of the
+/// `fn` keyword. Nested `fn` items stay inside their parent's range.
+pub(crate) fn function_bodies(cleaned: &str) -> Vec<(usize, Range<usize>)> {
+    let mut out: Vec<(usize, Range<usize>)> = Vec::new();
+    for off in word_occurrences(cleaned, "fn") {
+        if out.last().is_some_and(|(_, body)| off < body.end) {
+            continue; // nested item — covered by the enclosing body walk
+        }
+        let rest = &cleaned[off..];
+        let Some(rel_stop) = rest.find(['{', ';']) else {
+            continue;
+        };
+        if rest.as_bytes()[rel_stop] != b'{' {
+            continue; // trait method / extern declaration without a body
+        }
+        let open = off + rel_stop;
+        let Some(close) = matching(cleaned, open, b'{', b'}') else {
+            continue;
+        };
+        out.push((off, open + 1..close));
+    }
+    out
+}
+
+/// The statement-ish segments of a function body: spans split on every
+/// `;` regardless of nesting depth. Coarse, but it keeps multi-line
+/// struct literals (no internal `;`) in one piece, which is what the
+/// taint pass needs; a closure body's `;` splits early and only costs
+/// precision, never soundness of what *is* reported.
+pub(crate) fn segments(cleaned: &str, body: &Range<usize>) -> Vec<(usize, Range<usize>)> {
+    let mut out = Vec::new();
+    let mut start = body.start;
+    for (i, b) in cleaned[body.start..body.end].bytes().enumerate() {
+        if b == b';' {
+            let at = body.start + i;
+            out.push((start, start..at));
+            start = at + 1;
+        }
+    }
+    if start < body.end {
+        out.push((start, start..body.end));
+    }
+    out
+}
+
+/// The identifier ending immediately before byte offset `end` (used to
+/// recover the receiver chain of a method call). Includes `.`-joined
+/// and `::`-joined path segments and `[...]` index suffixes, so
+/// `self.deques[v]` comes back whole.
+pub(crate) fn receiver_before(text: &str, end: usize) -> Option<&str> {
+    let bytes = text.as_bytes();
+    let mut i = end;
+    while i > 0 {
+        let c = bytes[i - 1];
+        if c == b']' {
+            // Skip the whole index expression.
+            let open = text[..i].rfind('[')?;
+            i = open;
+        } else if is_ident_char(c as char) || c == b'.' || c == b':' {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    while i < end && matches!(bytes[i], b'.' | b':') {
+        i += 1;
+    }
+    if i >= end {
+        None
+    } else {
+        Some(&text[i..end])
+    }
+}
+
+/// Collapses every `[...]` index in a lock-site expression to `[_]` and
+/// strips borrows/whitespace, so `&deques[victim]` and `deques[worker]`
+/// fall into the same lock *class* (`deques[_]`) for order tracking.
+pub(crate) fn normalize_lock_class(expr: &str) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    for c in expr.chars() {
+        match c {
+            '[' => {
+                depth += 1;
+                if depth == 1 {
+                    out.push_str("[_");
+                }
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    out.push(']');
+                }
+            }
+            _ if depth > 0 => {}
+            '&' | ' ' | '\t' | '\n' => {}
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_occurrences_need_both_boundaries() {
+        let text = "fn fnv1a(x: u64) { myfn(); fn inner() {} }";
+        let hits = word_occurrences(text, "fn");
+        assert_eq!(hits, vec![0, 27], "fnv1a and myfn must not match");
+    }
+
+    #[test]
+    fn top_level_bodies_swallow_nested_items() {
+        let src = "fn outer() { let a = 1; fn inner() { let b = 2; } }\nfn second() {}";
+        let bodies = function_bodies(src);
+        assert_eq!(bodies.len(), 2);
+        assert!(src[bodies[0].1.clone()].contains("inner"));
+        assert_eq!(&src[bodies[1].1.clone()], "");
+    }
+
+    #[test]
+    fn segments_split_on_every_semicolon() {
+        let src = "fn f() { let a = X { p: 1, q: 2 }; a.sort(); }";
+        let body = function_bodies(src).remove(0).1;
+        let segs = segments(src, &body);
+        assert_eq!(segs.len(), 3);
+        assert!(src[segs[0].1.clone()].contains("X { p: 1, q: 2 }"));
+        assert!(src[segs[1].1.clone()].contains("a.sort()"));
+    }
+
+    #[test]
+    fn receivers_and_lock_classes_normalize() {
+        let text = "self.deques[victim].lock()";
+        let at = text.find(".lock()").unwrap();
+        assert_eq!(receiver_before(text, at), Some("self.deques[victim]"));
+        assert_eq!(
+            normalize_lock_class("self.deques[victim]"),
+            "self.deques[_]"
+        );
+        assert_eq!(normalize_lock_class("&deques[w + 1]"), "deques[_]");
+    }
+}

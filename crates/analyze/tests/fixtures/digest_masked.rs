@@ -1,0 +1,28 @@
+//! A digest-keyed struct whose manifests partition the fields exactly:
+//! every serde field is folded or masked, the mask is neutralized in
+//! the digest fn, nothing else is. Paired with `digest_unmasked.rs`;
+//! checked by `workspace.rs` against the path `crates/grid/src/gen.rs`.
+//! Never compiled.
+
+pub const GRIDSPEC_DIGEST_FIELDS: &[&str] =
+    &["seeds", "workloads", "policies", "faults", "capacities_mamin", "resilient"];
+pub const GRIDSPEC_DIGEST_MASK: &[&str] = &["name"];
+
+pub struct GridSpec {
+    pub name: Option<String>,
+    pub seeds: SeedAxis,
+    pub workloads: Vec<WorkloadKind>,
+    pub policies: Vec<PolicySpec>,
+    #[serde(default)]
+    pub faults: Option<Vec<FaultPreset>>,
+    pub capacities_mamin: Option<Vec<f64>>,
+    pub resilient: Option<Vec<bool>>,
+}
+
+impl GridSpec {
+    pub fn digest(&self) -> u64 {
+        let mut canonical = self.clone();
+        canonical.name = None;
+        fnv1a(serde_json::to_string(&canonical).unwrap_or_default().as_bytes())
+    }
+}

@@ -1,0 +1,26 @@
+//! `digest_masked.rs` with `name` removed from the mask manifest: the
+//! field is now unaccounted for, and the digest fn's neutralizing
+//! assignment is unsanctioned — both must be flagged. Never compiled.
+
+pub const GRIDSPEC_DIGEST_FIELDS: &[&str] =
+    &["seeds", "workloads", "policies", "faults", "capacities_mamin", "resilient"];
+pub const GRIDSPEC_DIGEST_MASK: &[&str] = &[];
+
+pub struct GridSpec {
+    pub name: Option<String>,
+    pub seeds: SeedAxis,
+    pub workloads: Vec<WorkloadKind>,
+    pub policies: Vec<PolicySpec>,
+    #[serde(default)]
+    pub faults: Option<Vec<FaultPreset>>,
+    pub capacities_mamin: Option<Vec<f64>>,
+    pub resilient: Option<Vec<bool>>,
+}
+
+impl GridSpec {
+    pub fn digest(&self) -> u64 {
+        let mut canonical = self.clone();
+        canonical.name = None;
+        fnv1a(serde_json::to_string(&canonical).unwrap_or_default().as_bytes())
+    }
+}

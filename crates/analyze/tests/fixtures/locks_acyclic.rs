@@ -1,0 +1,52 @@
+//! The same locking shapes as `locks_cyclic.rs` with the discipline
+//! observed: one global acquisition order, statement-scoped
+//! temporaries, explicit `drop` hand-off, and block-scoped guards
+//! released before the job closure runs. Never compiled.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock_deque<T>(m: &Mutex<VecDeque<T>>) -> MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Both paths acquire `first` before `second`: no inversion.
+pub fn transfer_forward(first: &Mutex<VecDeque<u64>>, second: &Mutex<VecDeque<u64>>) {
+    let a = lock_deque(first);
+    let b = lock_deque(second);
+    move_between(a, b);
+}
+
+/// Same order again from another call path.
+pub fn drain_forward(first: &Mutex<VecDeque<u64>>, second: &Mutex<VecDeque<u64>>) {
+    let a = lock_deque(first);
+    let b = lock_deque(second);
+    drain_into(a, b);
+}
+
+/// Statement-scoped temporaries: two deques probed, never two guards.
+pub fn steal(deques: &[Mutex<VecDeque<u64>>], worker: usize, victim: usize) {
+    let next = lock_deque(&deques[worker]).pop_front();
+    let stolen = lock_deque(&deques[victim]).pop_back();
+    enqueue(next, stolen);
+}
+
+/// Explicit `drop` releases the first guard before the second family
+/// member is touched.
+pub fn handoff(deques: &[Mutex<VecDeque<u64>>], i: usize, j: usize) {
+    let a = lock_deque(&deques[i]);
+    let n = a.len();
+    drop(a);
+    let b = lock_deque(&deques[j]);
+    record_len(b, n);
+}
+
+/// The guard lives in its own block and is gone before the job runs.
+pub fn scoped_then_run(deques: &[Mutex<VecDeque<u64>>], worker: usize) {
+    let next = {
+        let mut q = lock_deque(&deques[worker]);
+        q.pop_front()
+    };
+    let outcome = run_guarded(next, None);
+    report(outcome);
+}

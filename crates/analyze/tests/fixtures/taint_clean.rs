@@ -1,0 +1,46 @@
+//! The same artifact-writing shapes as `taint_tainted.rs`, each
+//! laundered before the sink: an explicit sort, a `BTreeMap` rebuild,
+//! the `canonical` masking idiom, a clean re-binding, or timing that
+//! never reaches the payload. Never compiled.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use std::time::{Instant, SystemTime};
+
+/// Channel arrival order is laundered by an explicit sort.
+pub fn sorted_rows(path: &Path, rx: &Receiver<Row>) {
+    let mut rows = Vec::new();
+    let row = rx.recv();
+    rows.push(row);
+    rows.sort_by_key(|r| r.index);
+    std::fs::write(path, render(&rows)).ok();
+}
+
+/// Hash-order iteration is laundered through a `BTreeMap` rebuild.
+pub fn ordered_index_digest() -> u64 {
+    let index: HashMap<u64, u64> = build_index();
+    let ordered: BTreeMap<u64, u64> = index.iter().map(|(k, v)| (*k, *v)).collect();
+    fnv1a(&serialize(&ordered))
+}
+
+/// The `canonical` masking idiom is a laundered sink by definition.
+pub fn digest(&self) -> u64 {
+    let mut canonical = self.clone();
+    canonical.name = None;
+    fnv1a(serde_json::to_string(&canonical).unwrap_or_default().as_bytes())
+}
+
+/// Wall-clock timing that stays in the human report, never the payload.
+pub fn timed_write(path: &Path, payload: &[u8]) -> f64 {
+    let start = Instant::now();
+    std::fs::write(path, payload).ok();
+    start.elapsed().as_secs_f64()
+}
+
+/// A clean re-binding replaces the tainted value wholesale.
+pub fn rebound(path: &Path) {
+    let stamp = SystemTime::now();
+    report_wall_clock(stamp);
+    let stamp = 0u64;
+    std::fs::write(path, stamp.to_string()).ok();
+}

@@ -1,0 +1,33 @@
+//! Seeded determinism-taint violations: each function leaks one
+//! nondeterminism source into an artifact sink without laundering.
+//! Paired with `taint_clean.rs`; checked by `workspace.rs` against the
+//! sink path `crates/grid/src/manifest.rs`. Never compiled.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::time::SystemTime;
+
+/// Wall-clock time flows directly into the written artifact.
+pub fn stamped_manifest(path: &Path) {
+    let stamp = SystemTime::now();
+    std::fs::write(path, format!("{:?}", stamp)).ok();
+}
+
+/// Thread identity rides a variable chain into the payload.
+pub fn worker_tagged_payload(path: &Path) {
+    let tag = std::thread::current().id();
+    let payload = format!("{:?}", tag);
+    std::fs::write(path, payload).ok();
+}
+
+/// Hash-order iteration feeds the digest fold that keys resume caches.
+pub fn hash_keyed_digest() -> u64 {
+    let index: HashMap<u64, u64> = build_index();
+    fnv1a(&serialize(&index))
+}
+
+/// Channel arrival order is serialized as-is.
+pub fn first_arrival_wins(path: &Path, rx: &Receiver<Row>) {
+    let row = rx.recv();
+    serde_json::to_string(&row).map(|s| std::fs::write(path, s)).ok();
+}

@@ -1,12 +1,13 @@
 //! End-to-end tests for `fcdpm-analyze`: the committed workspace is
 //! clean, reports are deterministic, and seeded defects (a drifted
 //! paper constant, an infeasible job grid, a dimensional mix behind a
-//! re-export) are detected in scratch workspaces.
+//! re-export, tainted artifact flows, lock-order cycles, unaccounted
+//! digest fields) are detected in scratch workspaces and fixture pairs.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use fcdpm_analyze::{rule_catalogue, AnalyzeRule};
+use fcdpm_analyze::{digest, locks, rule_catalogue, taint, AnalyzeRule};
 use fcdpm_lint::sarif::to_sarif;
 use fcdpm_lint::{Baseline, Scan};
 
@@ -164,6 +165,140 @@ fn inline_suppression_silences_the_dataflow_rule() {
     let report = fcdpm_analyze::run(&scratch.root, &Baseline::default()).expect("runs");
     assert!(report.is_clean(), "{}", report.to_human());
     assert_eq!(report.inline_suppressed, 1);
+}
+
+fn fixture(name: &str) -> String {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    fs::read_to_string(dir.join(name)).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+#[test]
+fn taint_fixture_pair_splits_cleanly() {
+    // Fixtures masquerade as a sink file — only those can produce
+    // findings.
+    let bad = fixture("taint_tainted.rs");
+    let findings = taint::check_file("crates/grid/src/manifest.rs", &Scan::new(&bad));
+    assert_eq!(findings.len(), 4, "{findings:#?}");
+    assert!(findings
+        .iter()
+        .all(|f| f.rule == AnalyzeRule::DeterminismTaint.id()));
+    for carried in [
+        "wall-clock time",
+        "thread identity",
+        "hash-order iteration",
+        "channel arrival order",
+    ] {
+        assert!(
+            findings.iter().any(|f| f.message.contains(carried)),
+            "no finding carries {carried}: {findings:#?}"
+        );
+    }
+
+    let ok = fixture("taint_clean.rs");
+    let findings = taint::check_file("crates/grid/src/manifest.rs", &Scan::new(&ok));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn lock_fixture_pair_splits_cleanly() {
+    let bad = fixture("locks_cyclic.rs");
+    let findings = locks::check_file("crates/runner/src/pool.rs", &Scan::new(&bad));
+    assert_eq!(findings.len(), 5, "{findings:#?}");
+    assert!(findings
+        .iter()
+        .all(|f| f.rule == AnalyzeRule::LockDiscipline.id()));
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.message.contains("cycle"))
+            .count(),
+        2,
+        "both halves of the A<->B inversion: {findings:#?}"
+    );
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("another `deques[_]` instance")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("held across a call into `run_guarded`")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("poison handling")));
+
+    let ok = fixture("locks_acyclic.rs");
+    let findings = locks::check_file("crates/runner/src/pool.rs", &Scan::new(&ok));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn digest_fixture_pair_splits_cleanly() {
+    let bad = fixture("digest_unmasked.rs");
+    let findings = digest::check_file("crates/grid/src/gen.rs", &bad, &Scan::new(&bad));
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings
+        .iter()
+        .all(|f| f.rule == AnalyzeRule::DigestStability.id()));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("neither folded")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("masks `name` which")));
+
+    let ok = fixture("digest_masked.rs");
+    let findings = digest::check_file("crates/grid/src/gen.rs", &ok, &Scan::new(&ok));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn removing_the_gridspec_name_mask_fails_digest_stability() {
+    // The acceptance check runs against the *real* gen.rs, not a
+    // fixture: dropping `name` from the committed mask manifest must
+    // fail the pass.
+    let committed = fs::read_to_string(repo_root().join("crates/grid/src/gen.rs")).expect("gen.rs");
+    let clean = digest::check_file("crates/grid/src/gen.rs", &committed, &Scan::new(&committed));
+    assert!(clean.is_empty(), "{clean:#?}");
+
+    let drifted = committed.replace(r#"&["name"]"#, "&[]");
+    assert_ne!(committed, drifted, "seeding must change the file");
+    let findings = digest::check_file("crates/grid/src/gen.rs", &drifted, &Scan::new(&drifted));
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == AnalyzeRule::DigestStability.id() && f.message.contains("`name`")),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn seeded_new_layer_findings_are_byte_identical_across_runs() {
+    // The double-run gate matters most when there *are* findings: seed
+    // all three new-pass fixtures into one scratch workspace and demand
+    // byte-identical JSON and SARIF across two full runs.
+    let scratch = Scratch::new("analyze-new-layer-determinism");
+    scratch.write("crates/grid/src/manifest.rs", &fixture("taint_tainted.rs"));
+    scratch.write("crates/runner/src/pool.rs", &fixture("locks_cyclic.rs"));
+    scratch.write("crates/grid/src/gen.rs", &fixture("digest_unmasked.rs"));
+
+    let a = fcdpm_analyze::run(&scratch.root, &Baseline::default()).expect("first run");
+    let b = fcdpm_analyze::run(&scratch.root, &Baseline::default()).expect("second run");
+    for rule in [
+        AnalyzeRule::DeterminismTaint,
+        AnalyzeRule::LockDiscipline,
+        AnalyzeRule::DigestStability,
+    ] {
+        assert!(
+            a.findings.iter().any(|f| f.rule == rule.id()),
+            "no {} finding: {}",
+            rule.id(),
+            a.to_human()
+        );
+    }
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(
+        to_sarif(&a, "fcdpm-analyze", &rule_catalogue()),
+        to_sarif(&b, "fcdpm-analyze", &rule_catalogue())
+    );
 }
 
 #[test]

@@ -1,8 +1,49 @@
 //! Device presets from the paper's two experiments.
+//!
+//! Each preset's constants live in a [`PresetSpec`] constant whose
+//! validity (the same rules [`DeviceSpec`] enforces at build time) is
+//! proven by a `const _: () = assert!(…)` item right next to the
+//! literals, so the constructors below are infallible — no `expect`, no
+//! panic-policy baseline entry.
 
-use fcdpm_units::{Seconds, Volts, Watts};
-
+use crate::spec::PresetSpec;
 use crate::DeviceSpec;
+
+/// Figure 6 constants for [`dvd_camcorder`].
+const CAMCORDER: PresetSpec = PresetSpec {
+    name: "DVD camcorder (DAC'07 Experiment 1)",
+    bus_voltage_v: 12.0,
+    run_w: 14.65,
+    standby_w: 4.84,
+    sleep_w: 2.4,
+    // Figure 6: τ_PD = τ_WU = 0.5 s, I_PD = I_WU = 0.40 A at 12 V.
+    t_power_down_s: 0.5,
+    p_power_down_w: 4.8,
+    t_wake_up_s: 0.5,
+    p_wake_up_w: 4.8,
+    t_start_up_s: 1.5,
+    t_shut_down_s: 0.5,
+    break_even_s: None,
+};
+const _: () = assert!(CAMCORDER.is_valid());
+
+/// Section 5.2 constants for [`experiment2_device`]. The 14 W run power
+/// is the mean of the experiment's U[12 W, 16 W] active power.
+const EXPERIMENT2: PresetSpec = PresetSpec {
+    name: "synthetic device (DAC'07 Experiment 2)",
+    bus_voltage_v: 12.0,
+    run_w: 14.0,
+    standby_w: 4.84,
+    sleep_w: 2.4,
+    t_power_down_s: 1.0,
+    p_power_down_w: 14.4,
+    t_wake_up_s: 1.0,
+    p_wake_up_w: 14.4,
+    t_start_up_s: 0.0,
+    t_shut_down_s: 0.0,
+    break_even_s: Some(10.0),
+};
+const _: () = assert!(EXPERIMENT2.is_valid());
 
 /// The DVD camcorder of Experiment 1 (Figure 6):
 ///
@@ -12,25 +53,9 @@ use crate::DeviceSpec;
 /// * SLEEP transitions 0.5 s at 0.4 A (4.8 W at 12 V) each way;
 /// * STANDBY → RUN 1.5 s and RUN → STANDBY 0.5 s at RUN power;
 /// * derived break-even time ≈ 1 s, matching the paper's stated value.
-///
-/// # Panics
-///
-/// Never panics — the constants are a valid specification (asserted in
-/// tests).
 #[must_use]
 pub fn dvd_camcorder() -> DeviceSpec {
-    DeviceSpec::builder("DVD camcorder (DAC'07 Experiment 1)")
-        .bus_voltage(Volts::new(12.0))
-        .run_power(Watts::new(14.65))
-        .standby_power(Watts::new(4.84))
-        .sleep_power(Watts::new(2.4))
-        // Figure 6: τ_PD = τ_WU = 0.5 s, I_PD = I_WU = 0.40 A at 12 V.
-        .power_down(Seconds::new(0.5), Watts::new(4.8))
-        .wake_up(Seconds::new(0.5), Watts::new(4.8))
-        .start_up(Seconds::new(1.5))
-        .shut_down(Seconds::new(0.5))
-        .build()
-        .expect("camcorder constants are valid")
+    CAMCORDER.into_spec()
 }
 
 /// The synthetic device of Experiment 2 (Section 5.2): same mode powers as
@@ -38,28 +63,16 @@ pub fn dvd_camcorder() -> DeviceSpec {
 /// each way and a stated break-even time of 10 s. The STANDBY ↔ RUN
 /// transitions are folded into the trace's active periods (the paper gives
 /// none for this experiment).
-///
-/// # Panics
-///
-/// Never panics — the constants are a valid specification.
 #[must_use]
 pub fn experiment2_device() -> DeviceSpec {
-    DeviceSpec::builder("synthetic device (DAC'07 Experiment 2)")
-        .bus_voltage(Volts::new(12.0))
-        .run_power(Watts::new(14.0)) // mean of the U[12 W, 16 W] active power
-        .standby_power(Watts::new(4.84))
-        .sleep_power(Watts::new(2.4))
-        .power_down(Seconds::new(1.0), Watts::new(14.4))
-        .wake_up(Seconds::new(1.0), Watts::new(14.4))
-        .break_even(Seconds::new(10.0))
-        .build()
-        .expect("experiment-2 constants are valid")
+    EXPERIMENT2.into_spec()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::PowerMode;
+    use fcdpm_units::Seconds;
 
     #[test]
     fn camcorder_matches_figure_6() {

@@ -358,6 +358,77 @@ impl DeviceSpecBuilder {
     }
 }
 
+/// Raw constants for a paper preset, validated at *compile* time so the
+/// conversion into a [`DeviceSpec`] is infallible.
+///
+/// [`PresetSpec::is_valid`] mirrors [`DeviceSpecBuilder::build`]'s
+/// runtime checks exactly; each preset pins its constants with
+/// `const _: () = assert!(PRESET.is_valid());` next to the literals, so
+/// an invalid constant is a compile error rather than a library panic
+/// (the lint crate's panic-policy rule bans the latter).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PresetSpec {
+    pub name: &'static str,
+    pub bus_voltage_v: f64,
+    pub run_w: f64,
+    pub standby_w: f64,
+    pub sleep_w: f64,
+    pub t_power_down_s: f64,
+    pub p_power_down_w: f64,
+    pub t_wake_up_s: f64,
+    pub p_wake_up_w: f64,
+    pub t_start_up_s: f64,
+    pub t_shut_down_s: f64,
+    pub break_even_s: Option<f64>,
+}
+
+impl PresetSpec {
+    /// Compile-time mirror of [`DeviceSpecBuilder::build`]'s validation:
+    /// powers and durations non-negative and finite, bus voltage
+    /// positive and finite, sleep power strictly below standby power.
+    pub(crate) const fn is_valid(&self) -> bool {
+        const fn nonneg(x: f64) -> bool {
+            x >= 0.0 && x.is_finite()
+        }
+        let break_even_ok = match self.break_even_s {
+            None => true,
+            Some(t) => nonneg(t),
+        };
+        self.bus_voltage_v > 0.0
+            && self.bus_voltage_v.is_finite()
+            && nonneg(self.run_w)
+            && nonneg(self.standby_w)
+            && nonneg(self.sleep_w)
+            && nonneg(self.p_power_down_w)
+            && nonneg(self.p_wake_up_w)
+            && nonneg(self.t_power_down_s)
+            && nonneg(self.t_wake_up_s)
+            && nonneg(self.t_start_up_s)
+            && nonneg(self.t_shut_down_s)
+            && break_even_ok
+            && self.sleep_w < self.standby_w
+    }
+
+    /// Converts const-validated constants into a spec. Callers must pair
+    /// the constant with a `const _: () = assert!(…is_valid());` item.
+    pub(crate) fn into_spec(self) -> DeviceSpec {
+        DeviceSpec {
+            name: self.name.to_owned(),
+            bus_voltage: Volts::new(self.bus_voltage_v),
+            run_power: Watts::new(self.run_w),
+            standby_power: Watts::new(self.standby_w),
+            sleep_power: Watts::new(self.sleep_w),
+            t_power_down: Seconds::new(self.t_power_down_s),
+            p_power_down: Watts::new(self.p_power_down_w),
+            t_wake_up: Seconds::new(self.t_wake_up_s),
+            p_wake_up: Watts::new(self.p_wake_up_w),
+            t_start_up: Seconds::new(self.t_start_up_s),
+            t_shut_down: Seconds::new(self.t_shut_down_s),
+            break_even_override: self.break_even_s.map(Seconds::new),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

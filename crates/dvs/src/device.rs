@@ -107,18 +107,34 @@ impl DvsDevice {
     /// bus — a typical embedded-processor shape that exhibits a critical
     /// speed (below it, slowing down wastes static power).
     ///
-    /// # Panics
-    ///
-    /// Never panics — the constants are valid.
+    /// Infallible by construction: the speed grid is proven strictly
+    /// ascending inside `(0, 1]` at compile time, and `P(s)` is strictly
+    /// increasing in `s`, so every invariant [`Self::new`] checks at
+    /// runtime already holds.
     #[must_use]
     pub fn quadratic_example() -> Self {
-        let levels = [0.2, 0.4, 0.6, 0.8, 1.0]
+        const SPEEDS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+        const _: () = {
+            assert!(SPEEDS[0] > 0.0);
+            assert!(SPEEDS[SPEEDS.len() - 1] <= 1.0);
+            let mut i = 1;
+            while i < SPEEDS.len() {
+                assert!(SPEEDS[i - 1] < SPEEDS[i]);
+                i += 1;
+            }
+        };
+        let levels = SPEEDS
             .into_iter()
-            .map(|s: f64| {
-                SpeedLevel::new(s, Watts::new(2.0 + 10.0 * s.powi(3))).expect("constants valid")
+            .map(|s| SpeedLevel {
+                speed: s,
+                power: Watts::new(2.0 + 10.0 * s.powi(3)),
             })
             .collect();
-        Self::new(levels, Watts::new(1.5), Volts::new(12.0)).expect("constants valid")
+        Self {
+            levels,
+            idle_power: Watts::new(1.5),
+            bus_voltage: Volts::new(12.0),
+        }
     }
 
     /// The level table, ascending in speed.

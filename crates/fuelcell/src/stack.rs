@@ -118,9 +118,36 @@ impl PolarizationCurve {
     /// so that the open-circuit voltage is 18.2 V, the maximum power is
     /// ≈ 20 W, and the stack current is ≈ 1.3 A when the composed system
     /// delivers 1.2 A at the 12 V bus.
+    ///
+    /// Infallible by construction: the calibration constants are proven
+    /// valid against [`Self::new`]'s rules at compile time.
     #[must_use]
     pub fn bcs_20w() -> Self {
-        Self::new(18.2, 0.55, 0.01, 1.1, 0.01, 3.0, 20).expect("calibrated parameters are valid")
+        const E_OC: f64 = 18.2;
+        const A: f64 = 0.55;
+        const I0: f64 = 0.01;
+        const R: f64 = 1.1;
+        const M: f64 = 0.01;
+        const N: f64 = 3.0;
+        const CELLS: u32 = 20;
+        const _: () = {
+            assert!(E_OC.is_finite() && E_OC > 0.0);
+            assert!(A.is_finite() && A >= 0.0);
+            assert!(I0.is_finite() && I0 > 0.0);
+            assert!(R.is_finite() && R >= 0.0);
+            assert!(M.is_finite() && M >= 0.0);
+            assert!(N.is_finite() && N >= 0.0);
+            assert!(CELLS > 0);
+        };
+        Self {
+            e_oc: E_OC,
+            a: A,
+            i0: I0,
+            r: R,
+            m: M,
+            n: N,
+            cells: CELLS,
+        }
     }
 
     /// Number of series cells in the stack.

@@ -117,6 +117,26 @@ impl FaultPreset {
     }
 }
 
+/// Every [`GridSpec`] field folded into [`GridSpec::digest`]. Together
+/// with [`GRIDSPEC_DIGEST_MASK`] this must partition the struct's
+/// fields exactly — `fcdpm analyze`'s digest-stability pass checks the
+/// partition statically, so adding a field without deciding its cache
+/// fate fails CI instead of silently aliasing or orphaning resume
+/// directories.
+pub const GRIDSPEC_DIGEST_FIELDS: &[&str] = &[
+    "seeds",
+    "workloads",
+    "policies",
+    "faults",
+    "capacities_mamin",
+    "resilient",
+];
+
+/// [`GridSpec`] fields deliberately *excluded* from the digest (each
+/// one neutralized by an explicit `canonical.<field> = …` assignment in
+/// [`GridSpec::digest`]).
+pub const GRIDSPEC_DIGEST_MASK: &[&str] = &["name"];
+
 /// An intensionally-described cross product of fleet-simulation jobs.
 ///
 /// Optional axes default to a single neutral value, so the minimal spec

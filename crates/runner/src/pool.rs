@@ -111,13 +111,21 @@ fn worker_loop<T, F>(
 {
     loop {
         let mut next = lock_deque(&deques[worker]).pop_front();
-        if next.is_none() {
+        while next.is_none() {
+            // Steal from the fullest non-empty other deque. Each length
+            // probe and the pop are separate statement-scoped guards
+            // (never two locks held at once — the analyze pass's
+            // lock-discipline rule gates this), so the victim can drain
+            // between scan and pop; a lost race rescans instead of
+            // exiting while other deques still hold work.
             let victim = (0..deques.len())
                 .filter(|&v| v != worker)
-                .max_by_key(|&v| lock_deque(&deques[v]).len());
-            if let Some(victim) = victim {
-                next = lock_deque(&deques[victim]).pop_back();
-            }
+                .map(|v| (lock_deque(&deques[v]).len(), v))
+                .filter(|&(len, _)| len > 0)
+                .max()
+                .map(|(_, v)| v);
+            let Some(victim) = victim else { break };
+            next = lock_deque(&deques[victim]).pop_back();
         }
         let Some((index, job)) = next else {
             return;

@@ -107,6 +107,31 @@ pub enum PredictorSpec {
     Oracle,
 }
 
+/// Every [`JobSpec`] field folded into the spec digest
+/// (`fcdpm_grid::spec_digest` hashes the serialized spec whole, so the
+/// list is exhaustive and [`JOBSPEC_DIGEST_MASK`] stays empty).
+/// `fcdpm analyze`'s digest-stability pass checks the partition
+/// statically: a new field fails CI until it is listed here — and the
+/// author has decided, reviewably, that re-keying every cache is
+/// intended.
+pub const JOBSPEC_DIGEST_FIELDS: &[&str] = &[
+    "policy",
+    "workload",
+    "device",
+    "storage",
+    "predictor",
+    "capacity_mamin",
+    "beta",
+    "buffer_path_efficiency",
+    "faults",
+    "resilient",
+    "inject_panic",
+];
+
+/// [`JobSpec`] fields excluded from the spec digest: none — job
+/// identity covers every axis, including fault schedules.
+pub const JOBSPEC_DIGEST_MASK: &[&str] = &[];
+
 /// One fully pinned simulation job.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobSpec {

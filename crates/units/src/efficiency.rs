@@ -89,7 +89,9 @@ impl Efficiency {
     pub fn new(value: f64) -> Self {
         match Self::try_new(value) {
             Ok(v) => v,
-            Err(e) => panic!("invalid efficiency {value}: {e}"),
+            // Documented contract of this literal-convenience
+            // constructor; computed values go through `try_new`.
+            Err(e) => panic!("invalid efficiency {value}: {e}"), // fcdpm-lint: allow(panic-policy)
         }
     }
 
