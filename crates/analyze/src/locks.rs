@@ -29,6 +29,8 @@ use std::ops::Range;
 
 use fcdpm_lint::{Finding, Scan};
 
+use crate::callgraph;
+use crate::summaries::SummaryContext;
 use crate::syntax;
 use crate::AnalyzeRule;
 
@@ -53,17 +55,17 @@ pub struct LockGraph {
 }
 
 /// An acquisition site inside one segment.
-struct Acquisition {
-    offset: usize,
-    class: String,
+pub(crate) struct Acquisition {
+    pub(crate) offset: usize,
+    pub(crate) class: String,
     /// Byte just past the full acquisition expression (after any
     /// poison-adapter suffix), for guard-binding detection.
-    end: usize,
+    pub(crate) end: usize,
 }
 
 /// Finds every acquisition in `segment` (a `lock_deque(&…)` call or a
 /// `recv.lock()` chain), in offset order.
-fn acquisitions(segment: &str) -> Vec<Acquisition> {
+pub(crate) fn acquisitions(segment: &str) -> Vec<Acquisition> {
     let mut out = Vec::new();
     for off in syntax::word_occurrences(segment, "lock_deque") {
         let open = off + "lock_deque".len();
@@ -131,8 +133,16 @@ impl LockGraph {
     /// Scans one file: records acquisition-order edges into the graph
     /// and returns the file-local findings (guard-across-closure-call,
     /// poison inconsistency). Inline-suppressed lines are skipped here;
-    /// the caller never needs to re-filter.
-    pub fn add_file(&mut self, rel_path: &str, scan: &Scan) -> Vec<Finding> {
+    /// the caller never needs to re-filter. With a [`SummaryContext`],
+    /// a resolved call into a function that (transitively) acquires
+    /// locks, made while a guard is held, orders `held → callee-lock`
+    /// exactly like an inline acquisition.
+    pub fn add_file(
+        &mut self,
+        rel_path: &str,
+        scan: &Scan,
+        ctx: Option<&SummaryContext>,
+    ) -> Vec<Finding> {
         let cleaned = &scan.cleaned;
         if !cleaned.contains(".lock()") && !cleaned.contains("lock_deque") {
             return Vec::new();
@@ -168,7 +178,7 @@ impl LockGraph {
             if scan.is_test_line(scan.line_of(fn_off)) {
                 continue;
             }
-            self.walk_body(rel_path, scan, &body_range, &mut findings, &reportable);
+            self.walk_body(rel_path, scan, &body_range, ctx, &mut findings, &reportable);
         }
         findings
     }
@@ -178,6 +188,7 @@ impl LockGraph {
         rel_path: &str,
         scan: &Scan,
         body_range: &Range<usize>,
+        ctx: Option<&SummaryContext>,
         findings: &mut Vec<Finding>,
         reportable: &dyn Fn(usize) -> bool,
     ) {
@@ -231,6 +242,33 @@ impl LockGraph {
                     self.edges
                         .entry((pair[0].class.clone(), pair[1].class.clone()))
                         .or_insert_with(|| (rel_path.to_owned(), line));
+                }
+            }
+
+            // A resolved call into a function whose summary acquires
+            // locks, with a guard held: the hidden acquisition orders
+            // held → callee-lock like an inline one would.
+            if !held.is_empty() {
+                if let Some(ctx) = ctx {
+                    for (off, name) in callgraph::call_sites(segment) {
+                        if name == "lock_deque" {
+                            continue; // modelled precisely by acquisitions()
+                        }
+                        let Some((_, summary)) = ctx.resolve(rel_path, &name) else {
+                            continue;
+                        };
+                        let line = scan.line_of(seg_start + off);
+                        if !reportable(line) {
+                            continue;
+                        }
+                        for class in &summary.locks {
+                            for guard in &held {
+                                self.edges
+                                    .entry((guard.class.clone(), class.clone()))
+                                    .or_insert_with(|| (rel_path.to_owned(), line));
+                            }
+                        }
+                    }
                 }
             }
 
@@ -347,12 +385,13 @@ impl LockGraph {
     }
 }
 
-/// Runs the pass over a single file in isolation (fixture tests; the
-/// workspace run feeds every file through one shared [`LockGraph`]).
+/// Runs the pass over a single file in isolation, without summaries
+/// (fixture tests; the workspace run feeds every file through one
+/// shared [`LockGraph`] with a [`SummaryContext`]).
 #[must_use]
 pub fn check_file(rel_path: &str, scan: &Scan) -> Vec<Finding> {
     let mut graph = LockGraph::default();
-    let mut findings = graph.add_file(rel_path, scan);
+    let mut findings = graph.add_file(rel_path, scan, None);
     findings.extend(graph.cycle_findings());
     findings
 }
@@ -408,6 +447,37 @@ fn ba() {\n    let b = second.lock().unwrap_or_else(PoisonError::into_inner);\n 
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].message.contains("run_guarded"));
         assert!(findings[0].message.contains("poison"));
+    }
+
+    #[test]
+    fn hidden_helper_lock_under_a_guard_orders_via_the_summary() {
+        use crate::callgraph::{function_defs, CallGraph};
+        use crate::summaries::SummaryContext;
+
+        let helper = "fn grab_second() -> usize {\n    let g = second.lock().unwrap_or_else(PoisonError::into_inner);\n    g.len()\n}\n";
+        let caller = "fn ab() {\n    let a = first.lock().unwrap_or_else(PoisonError::into_inner);\n    let n = grab_second();\n    a.push(n);\n}\nfn ba() {\n    let b = second.lock().unwrap_or_else(PoisonError::into_inner);\n    let a = first.lock().unwrap_or_else(PoisonError::into_inner);\n    b.push(a.len());\n}\n";
+        let caller_scan = Scan::new(caller);
+        let helper_scan = Scan::new(helper);
+
+        // Without summaries the inversion is invisible (ab's second
+        // acquisition hides inside the helper).
+        let mut blind = LockGraph::default();
+        let mut blind_findings = blind.add_file("crates/runner/src/pool.rs", &caller_scan, None);
+        blind_findings.extend(blind.add_file("crates/runner/src/util.rs", &helper_scan, None));
+        blind_findings.extend(blind.cycle_findings());
+        assert!(blind_findings.is_empty(), "{blind_findings:?}");
+
+        let mut defs = function_defs("crates/runner/src/pool.rs", &caller_scan);
+        defs.extend(function_defs("crates/runner/src/util.rs", &helper_scan));
+        let ctx = SummaryContext::build(CallGraph::from_defs(defs));
+        let mut graph = LockGraph::default();
+        let mut findings = graph.add_file("crates/runner/src/pool.rs", &caller_scan, Some(&ctx));
+        findings.extend(graph.add_file("crates/runner/src/util.rs", &helper_scan, Some(&ctx)));
+        findings.extend(graph.cycle_findings());
+        assert!(
+            findings.iter().any(|f| f.message.contains("cycle")),
+            "{findings:?}"
+        );
     }
 
     #[test]

@@ -234,7 +234,7 @@ fn item_keyword(line: &str) -> Option<(ItemKind, &str)> {
 const ALLOWED_DEPS: [(&str, &[&str]); 18] = [
     ("units", &[]),
     ("lint", &[]),
-    ("analyze", &["lint"]),
+    ("analyze", &["lint", "runner"]),
     ("device", &["units"]),
     ("fuelcell", &["units"]),
     ("storage", &["units"]),

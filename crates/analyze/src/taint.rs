@@ -13,16 +13,25 @@
 //! launder (`sort*`, a `BTree*` collection, or the `canonical`/
 //! `deterministic_json` masking idiom) first.
 //!
-//! The analysis is per-function and conservative in the usual
-//! direction for this workspace: cross-function flows are out of scope
-//! (the runner's wall-clock fields are *deliberately* nondeterministic
-//! and masked at the `deterministic_json` boundary), so everything the
-//! pass does report is a same-body flow a reviewer can confirm by eye.
+//! The analysis is per-function-body and conservative, but no longer
+//! stops at call boundaries: when a [`SummaryContext`] is supplied,
+//! a call that *resolves* (see
+//! [`CallGraph::resolve`](crate::callgraph::CallGraph::resolve)) to a
+//! function whose summary returns nondeterminism acts as a source at
+//! the call site, and a resolved call to a laundering function (one
+//! whose body sorts or builds a `BTree*`) cleans the segment exactly
+//! like an inline sort. Unresolvable calls contribute nothing, so
+//! without a context — or on code the resolver cannot see through —
+//! the pass behaves exactly like its old per-function self, and
+//! everything it reports is a flow a reviewer can confirm by reading
+//! the implicated bodies.
 
 use std::collections::BTreeMap;
 
 use fcdpm_lint::{Finding, Scan};
 
+use crate::callgraph;
+use crate::summaries::SummaryContext;
 use crate::syntax;
 use crate::AnalyzeRule;
 
@@ -95,8 +104,13 @@ const LAUNDERS: [&str; 8] = [
 /// laundered sinks, not violations, when they appear *as the sink*.
 const LAUNDERED_SINKS: [&str; 2] = ["deterministic_json(", "canonical"];
 
+/// Does `text` contain one of the explicit laundering idioms?
+pub(crate) fn is_laundering(text: &str) -> bool {
+    LAUNDERS.iter().any(|l| text.contains(l))
+}
+
 /// Direct source kinds present in `segment` (word- and path-matched).
-fn source_kinds(segment: &str) -> Vec<&'static str> {
+pub(crate) fn source_kinds(segment: &str) -> Vec<&'static str> {
     let mut kinds = Vec::new();
     for (needle, kind) in SOURCES {
         if !syntax::word_occurrences(segment, needle).is_empty() {
@@ -140,9 +154,12 @@ fn pattern_binders(pattern: &str) -> Vec<String> {
 
 /// Runs the pass over one file. Only [`SINK_FILES`] can produce
 /// findings (that is where artifact bytes are born); other paths return
-/// empty immediately, so the workspace walk stays cheap.
+/// empty immediately, so the workspace walk stays cheap. With a
+/// [`SummaryContext`], resolved helper calls contribute their
+/// summarized effects (taint sources and launders across function and
+/// file boundaries); with `None` the pass is purely per-function.
 #[must_use]
-pub fn check_file(rel_path: &str, scan: &Scan) -> Vec<Finding> {
+pub fn check_file(rel_path: &str, scan: &Scan, ctx: Option<&SummaryContext>) -> Vec<Finding> {
     if !SINK_FILES.contains(&rel_path) {
         return Vec::new();
     }
@@ -170,6 +187,26 @@ pub fn check_file(rel_path: &str, scan: &Scan) -> Vec<Finding> {
                 None => segment,
             };
 
+            // Resolved helper calls contribute their summaries: one
+            // that launders cleans the segment like an inline sort; one
+            // whose return carries taint is a source at the call site.
+            let mut via_call: Option<(String, &'static str)> = None;
+            let mut call_launders = false;
+            if let Some(ctx) = ctx {
+                for name in callgraph::call_names(segment) {
+                    let Some((_, summary)) = ctx.resolve(rel_path, &name) else {
+                        continue;
+                    };
+                    if summary.launders {
+                        call_launders = true;
+                    } else if let Some(kind) = summary.returns_taint {
+                        if via_call.is_none() {
+                            via_call = Some((name, kind));
+                        }
+                    }
+                }
+            }
+
             // What taint does this segment see? Direct sources count
             // anywhere (a `HashMap` type ascription sits left of the
             // `=`); variable references only on the value side.
@@ -184,10 +221,11 @@ pub fn check_file(rel_path: &str, scan: &Scan) -> Vec<Finding> {
             let seg_taint: Option<&'static str> = direct
                 .first()
                 .copied()
-                .or(via_var.as_ref().map(|&(_, k)| k));
+                .or(via_var.as_ref().map(|&(_, k)| k))
+                .or(via_call.as_ref().map(|&(_, k)| k));
 
             // Laundering consumes the taint of every variable mentioned.
-            if LAUNDERS.iter().any(|l| segment.contains(l)) {
+            if call_launders || LAUNDERS.iter().any(|l| segment.contains(l)) {
                 let cleared: Vec<String> = tainted
                     .keys()
                     .filter(|var| !syntax::word_occurrences(segment, var).is_empty())
@@ -211,10 +249,15 @@ pub fn check_file(rel_path: &str, scan: &Scan) -> Vec<Finding> {
                         let line = scan.line_of(seg_start + sink_rel);
                         if !scan.is_test_line(line) {
                             let sink_name = sink.trim_end_matches('(');
-                            let message = match &via_var {
-                                Some((var, _)) if direct.is_empty() => format!(
+                            let message = match (&via_var, &via_call) {
+                                (Some((var, _)), _) if direct.is_empty() => format!(
                                     "`{var}` carries {kind} and reaches artifact sink \
                                      `{sink_name}` without an intervening sort/canonicalize"
+                                ),
+                                (None, Some((callee, _))) if direct.is_empty() => format!(
+                                    "`{callee}()` returns {kind} (through its body or \
+                                     callees) and reaches artifact sink `{sink_name}` \
+                                     without an intervening sort/canonicalize"
                                 ),
                                 _ => format!(
                                     "{kind} flows directly into artifact sink `{sink_name}`"
@@ -279,13 +322,47 @@ mod tests {
     const SINK: &str = "crates/grid/src/manifest.rs";
 
     fn run_on(src: &str) -> Vec<Finding> {
-        check_file(SINK, &Scan::new(src))
+        check_file(SINK, &Scan::new(src), None)
+    }
+
+    fn context(files: &[(&str, &str)]) -> SummaryContext {
+        let mut defs = Vec::new();
+        for (rel, src) in files {
+            defs.extend(callgraph::function_defs(rel, &Scan::new(src)));
+        }
+        SummaryContext::build(callgraph::CallGraph::from_defs(defs))
     }
 
     #[test]
     fn non_sink_files_are_skipped() {
         let src = "fn f() { let t = Instant::now(); fs::write(p, t); }";
-        assert!(check_file("crates/sim/src/lib.rs", &Scan::new(src)).is_empty());
+        assert!(check_file("crates/sim/src/lib.rs", &Scan::new(src), None).is_empty());
+    }
+
+    #[test]
+    fn helper_taint_crosses_the_call_boundary_with_a_context() {
+        let helper = "fn current_stamp() -> u64 { let t = Instant::now(); pack(t) }";
+        let caller = "fn write_manifest(path: &Path) {\n    let stamp = current_stamp();\n    fs::write(path, render(stamp));\n}\n";
+        let scan = Scan::new(caller);
+        // The per-function pass provably misses the flow...
+        assert!(check_file(SINK, &scan, None).is_empty());
+        // ...and catches it once summaries resolve the helper.
+        let ctx = context(&[("crates/grid/src/util.rs", helper), (SINK, caller)]);
+        let findings = check_file(SINK, &scan, Some(&ctx));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("wall-clock time"));
+        assert!(findings[0].message.contains("stamp"));
+    }
+
+    #[test]
+    fn laundering_helpers_clean_the_flow_with_a_context() {
+        let helper =
+            "fn arrivals(rx: &Receiver<u64>) -> Vec<u64> { rx.recv().into_iter().collect() }\n\
+                      fn ordered(mut v: Vec<u64>) -> Vec<u64> { v.sort(); v }";
+        let caller = "fn write_manifest(path: &Path, rx: &Receiver<u64>) {\n    let rows = arrivals(rx);\n    let rows = ordered(rows);\n    fs::write(path, render(&rows));\n}\n";
+        let scan = Scan::new(caller);
+        let ctx = context(&[("crates/grid/src/util.rs", helper), (SINK, caller)]);
+        assert!(check_file(SINK, &scan, Some(&ctx)).is_empty());
     }
 
     #[test]

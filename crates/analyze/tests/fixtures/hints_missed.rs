@@ -1,0 +1,14 @@
+// Hint-coalescing fixture: a None hint over a decide path that reads
+// only segment-invariant inputs (the load and the policy's constant
+// range). A Some(..) hint would let the simulator coalesce every
+// chunk of every segment.
+
+impl FcOutputPolicy for Timid {
+    fn segment_current(&mut self, phase: Phase, load: Amps, soc: AmpSeconds) -> Amps {
+        self.range.clamp(load)
+    }
+
+    fn steady_current(&self, phase: Phase, load: Amps) -> Option<Amps> {
+        None
+    }
+}

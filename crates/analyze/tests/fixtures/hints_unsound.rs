@@ -1,0 +1,18 @@
+// Hint-soundness fixture: an over-eager Some(..) steady hint over a
+// decide path that branches on the state of charge. Coalescing this
+// policy in closed form would freeze the soc-dependent branch for the
+// whole segment, so the hint is unsound.
+
+impl FcOutputPolicy for Overeager {
+    fn segment_current(&mut self, phase: Phase, load: Amps, soc: AmpSeconds) -> Amps {
+        if soc < self.floor {
+            self.range.max()
+        } else {
+            self.range.clamp(load)
+        }
+    }
+
+    fn steady_current(&self, phase: Phase, load: Amps) -> Option<Amps> {
+        Some(self.range.clamp(load))
+    }
+}

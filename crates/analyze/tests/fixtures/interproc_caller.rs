@@ -1,0 +1,12 @@
+// Interprocedural-taint fixture, caller half: the manifest writer
+// stamps its rows through a sibling module's `gather` helper. The
+// per-function pass sees only an opaque call and stays silent; the
+// call-graph summaries carry the helper's wall-clock taint (or its
+// laundering) across the file boundary.
+
+use std::path::Path;
+
+pub fn write_manifest(path: &Path) {
+    let rows = gather();
+    fs::write(path, render(&rows)).ok();
+}

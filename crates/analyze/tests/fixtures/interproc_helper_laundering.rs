@@ -1,0 +1,13 @@
+// Interprocedural-taint fixture, laundering-helper half: the same
+// `gather` entry point, but the arrival-ordered rows are sorted before
+// they escape. The summary records the launder, so the caller fixture's
+// flow into `fs::write` is clean.
+
+pub fn gather() -> Vec<u64> {
+    let mut rows = Vec::new();
+    while let Ok(row) = receiver().recv() {
+        rows.push(row);
+    }
+    rows.sort();
+    rows
+}

@@ -1,0 +1,11 @@
+// Interprocedural-taint fixture, tainted-helper half: `gather` returns
+// rows stamped with a wall-clock read. Its summary marks the return
+// value as carrying wall-clock time, which the caller fixture lets
+// reach `fs::write` without an intervening sort/canonicalize.
+
+use std::time::Instant;
+
+pub fn gather() -> Vec<u64> {
+    let t = Instant::now();
+    vec![mix(t)]
+}

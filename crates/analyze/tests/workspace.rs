@@ -7,7 +7,9 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use fcdpm_analyze::{digest, locks, rule_catalogue, taint, AnalyzeRule};
+use fcdpm_analyze::{
+    cache, digest, hints, locks, rule_catalogue, taint, AnalyzeRule, EngineOptions,
+};
 use fcdpm_lint::sarif::to_sarif;
 use fcdpm_lint::{Baseline, Scan};
 
@@ -177,7 +179,7 @@ fn taint_fixture_pair_splits_cleanly() {
     // Fixtures masquerade as a sink file — only those can produce
     // findings.
     let bad = fixture("taint_tainted.rs");
-    let findings = taint::check_file("crates/grid/src/manifest.rs", &Scan::new(&bad));
+    let findings = taint::check_file("crates/grid/src/manifest.rs", &Scan::new(&bad), None);
     assert_eq!(findings.len(), 4, "{findings:#?}");
     assert!(findings
         .iter()
@@ -195,7 +197,7 @@ fn taint_fixture_pair_splits_cleanly() {
     }
 
     let ok = fixture("taint_clean.rs");
-    let findings = taint::check_file("crates/grid/src/manifest.rs", &Scan::new(&ok));
+    let findings = taint::check_file("crates/grid/src/manifest.rs", &Scan::new(&ok), None);
     assert!(findings.is_empty(), "{findings:#?}");
 }
 
@@ -299,6 +301,202 @@ fn seeded_new_layer_findings_are_byte_identical_across_runs() {
         to_sarif(&a, "fcdpm-analyze", &rule_catalogue()),
         to_sarif(&b, "fcdpm-analyze", &rule_catalogue())
     );
+}
+
+#[test]
+fn hint_fixture_pair_splits_cleanly() {
+    // Fixtures masquerade as committed policy files; the pass only
+    // looks at `impl FcOutputPolicy for ..` blocks.
+    let unsound = fixture("hints_unsound.rs");
+    let findings = hints::check_file(
+        "crates/core/src/policy/overeager.rs",
+        &Scan::new(&unsound),
+        None,
+    );
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, AnalyzeRule::HintSoundness.id());
+    assert!(
+        findings[0].message.contains("reads the state of charge"),
+        "{}",
+        findings[0]
+    );
+    assert!(
+        findings[0].message.contains("the hint is unsound"),
+        "{}",
+        findings[0]
+    );
+
+    let missed = fixture("hints_missed.rs");
+    let findings = hints::check_file("crates/core/src/policy/timid.rs", &Scan::new(&missed), None);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, AnalyzeRule::HintCoalescing.id());
+    assert!(
+        findings[0].message.contains("coalesce every chunk"),
+        "{}",
+        findings[0]
+    );
+}
+
+#[test]
+fn unbaselined_repo_findings_are_exactly_the_coalescing_worklist() {
+    // The committed analyze-baseline.json carries exactly the two
+    // hint-coalescing entries; stripping the baseline must surface
+    // them and nothing else.
+    let report = fcdpm_analyze::run(&repo_root(), &Baseline::default()).expect("analysis runs");
+    let got: Vec<(&str, &str)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.path.as_str()))
+        .collect();
+    assert_eq!(
+        got,
+        [
+            ("hint-coalescing", "crates/core/src/policy/quantized.rs"),
+            ("hint-coalescing", "crates/core/src/policy/windowed.rs"),
+        ],
+        "{}",
+        report.to_human()
+    );
+}
+
+#[test]
+fn cross_file_taint_needs_summaries_and_respects_laundering() {
+    let caller = fixture("interproc_caller.rs");
+    // The per-function pass provably misses the cross-file flow...
+    let solo = taint::check_file("crates/grid/src/manifest.rs", &Scan::new(&caller), None);
+    assert!(solo.is_empty(), "{solo:#?}");
+
+    // ...while the full engine resolves the helper and flags it.
+    let scratch = Scratch::new("analyze-interproc-taint");
+    scratch.write("crates/grid/src/manifest.rs", &caller);
+    scratch.write(
+        "crates/grid/src/util.rs",
+        &fixture("interproc_helper_tainted.rs"),
+    );
+    let report = fcdpm_analyze::run(&scratch.root, &Baseline::default()).expect("runs");
+    assert_eq!(report.findings.len(), 1, "{}", report.to_human());
+    assert_eq!(report.findings[0].rule, AnalyzeRule::DeterminismTaint.id());
+    assert_eq!(report.findings[0].path, "crates/grid/src/manifest.rs");
+    assert!(
+        report.findings[0].message.contains("wall-clock time"),
+        "{}",
+        report.findings[0]
+    );
+
+    // Swapping in the laundering variant of the same helper cleans the
+    // caller's flow without the caller changing at all.
+    scratch.write(
+        "crates/grid/src/util.rs",
+        &fixture("interproc_helper_laundering.rs"),
+    );
+    let report = fcdpm_analyze::run(&scratch.root, &Baseline::default()).expect("runs");
+    assert!(report.is_clean(), "{}", report.to_human());
+}
+
+fn cache_options(scratch: &Scratch) -> EngineOptions {
+    EngineOptions {
+        cache_path: Some(scratch.root.join(cache::CACHE_FILE)),
+        workers: Some(2),
+    }
+}
+
+#[test]
+fn warm_cache_reuses_every_file_and_replays_byte_identical_artifacts() {
+    let scratch = Scratch::new("analyze-cache-warm");
+    scratch.write("crates/grid/src/manifest.rs", &fixture("taint_tainted.rs"));
+    scratch.write("crates/runner/src/pool.rs", &fixture("locks_acyclic.rs"));
+    scratch.write("crates/sim/src/lib.rs", "pub fn idle() {}\n");
+    let options = cache_options(&scratch);
+
+    let a = fcdpm_analyze::run_with(&scratch.root, &Baseline::default(), &options).expect("cold");
+    assert!(a.stats.cold);
+    assert_eq!(a.stats.files_reused, 0);
+    assert_eq!(a.stats.pass_hits, 0);
+    assert_eq!(a.changed.len(), 3, "{:?}", a.changed);
+
+    let b = fcdpm_analyze::run_with(&scratch.root, &Baseline::default(), &options).expect("warm");
+    assert!(!b.stats.cold);
+    assert_eq!(b.stats.files_total, 3);
+    assert_eq!(b.stats.files_reused, 3);
+    assert_eq!(b.stats.pass_hits, 12);
+    assert_eq!(b.stats.pass_misses, 0);
+    assert!(b.changed.is_empty(), "{:?}", b.changed);
+    assert!(
+        b.stats.human_line().contains("(100.0%)"),
+        "{}",
+        b.stats.human_line()
+    );
+
+    // The warm run replays the cold run's findings byte-for-byte.
+    assert!(!b.report.findings.is_empty());
+    assert_eq!(a.report.to_json(), b.report.to_json());
+    assert_eq!(
+        to_sarif(&a.report, "fcdpm-analyze", &rule_catalogue()),
+        to_sarif(&b.report, "fcdpm-analyze", &rule_catalogue())
+    );
+}
+
+#[test]
+fn editing_one_file_invalidates_only_its_own_passes() {
+    let scratch = Scratch::new("analyze-cache-edit");
+    scratch.write("crates/device/src/lib.rs", "pub fn a() {}\n");
+    scratch.write("crates/sim/src/lib.rs", "pub fn b() {}\n");
+    scratch.write("crates/workload/src/lib.rs", "pub fn c() {}\n");
+    let options = cache_options(&scratch);
+    let cold =
+        fcdpm_analyze::run_with(&scratch.root, &Baseline::default(), &options).expect("cold");
+    assert!(cold.stats.cold);
+
+    scratch.write("crates/sim/src/lib.rs", "pub fn b() {}\npub fn b2() {}\n");
+    let warm =
+        fcdpm_analyze::run_with(&scratch.root, &Baseline::default(), &options).expect("warm");
+    assert_eq!(warm.stats.files_total, 3);
+    assert_eq!(warm.stats.files_reused, 2);
+    assert_eq!(warm.stats.pass_hits, 8);
+    assert_eq!(warm.stats.pass_misses, 4);
+    let changed: Vec<&str> = warm.changed.iter().map(String::as_str).collect();
+    assert_eq!(changed, ["crates/sim/src/lib.rs"]);
+}
+
+#[test]
+fn editing_a_helper_reruns_the_callers_interprocedural_passes() {
+    let scratch = Scratch::new("analyze-cache-deps");
+    scratch.write(
+        "crates/grid/src/manifest.rs",
+        &fixture("interproc_caller.rs"),
+    );
+    scratch.write(
+        "crates/grid/src/util.rs",
+        "pub fn gather() -> Vec<u64> {\n    Vec::new()\n}\n",
+    );
+    let options = cache_options(&scratch);
+    let cold =
+        fcdpm_analyze::run_with(&scratch.root, &Baseline::default(), &options).expect("cold");
+    assert!(cold.report.is_clean(), "{}", cold.report.to_human());
+
+    // Swap in the tainted helper: the caller's bytes are untouched, so
+    // its content-keyed passes replay, but the dependency-digest
+    // mismatch forces its taint/hints passes to re-run...
+    scratch.write(
+        "crates/grid/src/util.rs",
+        &fixture("interproc_helper_tainted.rs"),
+    );
+    let warm =
+        fcdpm_analyze::run_with(&scratch.root, &Baseline::default(), &options).expect("warm");
+    assert_eq!(warm.stats.files_total, 2);
+    assert_eq!(warm.stats.files_reused, 0);
+    assert_eq!(warm.stats.pass_hits, 2);
+    assert_eq!(warm.stats.pass_misses, 6);
+    let changed: Vec<&str> = warm.changed.iter().map(String::as_str).collect();
+    assert_eq!(changed, ["crates/grid/src/util.rs"]);
+
+    // ...and the new cross-file flow surfaces on the unchanged caller.
+    assert_eq!(warm.report.findings.len(), 1, "{}", warm.report.to_human());
+    assert_eq!(
+        warm.report.findings[0].rule,
+        AnalyzeRule::DeterminismTaint.id()
+    );
+    assert_eq!(warm.report.findings[0].path, "crates/grid/src/manifest.rs");
 }
 
 #[test]

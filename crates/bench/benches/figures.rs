@@ -59,10 +59,16 @@ fn fig7_profiles(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_profiles");
     group.sample_size(10);
     group.bench_function("asap", |b| {
-        b.iter(|| black_box(run_policy(&scenario, PolicyKind::Asap)));
+        b.iter(|| {
+            black_box(run_policy(&scenario, PolicyKind::Asap))
+                .expect("paper configuration simulates cleanly")
+        });
     });
     group.bench_function("fcdpm", |b| {
-        b.iter(|| black_box(run_policy(&scenario, PolicyKind::FcDpm)));
+        b.iter(|| {
+            black_box(run_policy(&scenario, PolicyKind::FcDpm))
+                .expect("paper configuration simulates cleanly")
+        });
     });
     group.finish();
 }

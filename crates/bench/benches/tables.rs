@@ -17,7 +17,10 @@ fn table2_experiment1(c: &mut Criterion) {
         ("fcdpm", PolicyKind::FcDpm),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| black_box(run_policy(&scenario, kind)));
+            b.iter(|| {
+                black_box(run_policy(&scenario, kind))
+                    .expect("paper configuration simulates cleanly")
+            });
         });
     }
     group.finish();
@@ -33,7 +36,10 @@ fn table3_experiment2(c: &mut Criterion) {
         ("fcdpm", PolicyKind::FcDpm),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| black_box(run_policy(&scenario, kind)));
+            b.iter(|| {
+                black_box(run_policy(&scenario, kind))
+                    .expect("paper configuration simulates cleanly")
+            });
         });
     }
     group.finish();

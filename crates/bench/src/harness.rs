@@ -347,6 +347,11 @@ pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
         faults,
         throughput,
     };
+    // The A/B timer returns `(wall_seconds, metrics)` as one tuple, so
+    // the call-boundary taint pass cannot see that only the
+    // deterministic metrics half reaches the payload; the harness test
+    // pins `wall_ms` out of the JSON bytes.
+    // fcdpm-lint: allow(determinism-taint)
     let json = serde_json::to_string_pretty(&payload)
         .map_err(|e| format!("payload serialization: {e}"))?;
 

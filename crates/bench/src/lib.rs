@@ -17,7 +17,7 @@
 pub mod harness;
 
 use fcdpm_sim::fixture::{run_reference, ReferencePolicy};
-use fcdpm_sim::SimMetrics;
+use fcdpm_sim::{SimError, SimMetrics};
 use fcdpm_workload::Scenario;
 
 /// Which FC output policy a fixture run uses.
@@ -48,13 +48,12 @@ impl PolicyKind {
 /// times. Delegates to [`fcdpm_sim::fixture::run_reference`] so the
 /// benched configuration cannot drift from the tested one.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the simulation fails (cannot happen for the paper's
-/// configurations).
-#[must_use]
-pub fn run_policy(scenario: &Scenario, kind: PolicyKind) -> SimMetrics {
-    run_reference(scenario, kind.reference()).expect("paper configuration simulates cleanly")
+/// Propagates the simulation error (cannot happen for the paper's
+/// configurations; bench targets unwrap at the harness edge).
+pub fn run_policy(scenario: &Scenario, kind: PolicyKind) -> Result<SimMetrics, SimError> {
+    run_reference(scenario, kind.reference())
 }
 
 #[cfg(test)]
@@ -64,8 +63,8 @@ mod tests {
     #[test]
     fn fixture_runs_all_policies() {
         let scenario = Scenario::experiment1();
-        let conv = run_policy(&scenario, PolicyKind::Conv);
-        let fc = run_policy(&scenario, PolicyKind::FcDpm);
+        let conv = run_policy(&scenario, PolicyKind::Conv).expect("paper configuration");
+        let fc = run_policy(&scenario, PolicyKind::FcDpm).expect("paper configuration");
         assert!(fc.fuel.total() < conv.fuel.total());
     }
 }

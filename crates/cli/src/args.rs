@@ -53,6 +53,18 @@ pub enum LintFormat {
     Sarif,
 }
 
+/// The severity threshold that makes `fcdpm analyze` exit nonzero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailOn {
+    /// Fail only on error-tier findings.
+    Error,
+    /// Fail on any finding (the default — matches the old behavior).
+    #[default]
+    Warning,
+    /// Always exit zero (report-only mode for dashboards).
+    Never,
+}
+
 /// What a `fcdpm grid` invocation does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GridAction {
@@ -176,7 +188,7 @@ pub enum Command {
     },
     /// Run the workspace-aware semantic analysis (symbol graph,
     /// unit-dimension dataflow, paper-constants conformance, job-grid
-    /// feasibility).
+    /// feasibility, interprocedural taint/locks, coalescing hints).
     Analyze {
         /// Diagnostics format (default human).
         format: LintFormat,
@@ -188,6 +200,15 @@ pub enum Command {
         /// Regenerate the baseline file from the current findings
         /// instead of failing on them.
         write_baseline: bool,
+        /// Restrict the displayed findings to files whose content (or
+        /// interprocedural dependencies) changed since the cached run.
+        changed: bool,
+        /// Skip reading and writing `analyze-cache.json`.
+        no_cache: bool,
+        /// Print per-phase wall-clock timings to stderr.
+        timings: bool,
+        /// Severity threshold for a nonzero exit (default `warning`).
+        fail_on: FailOn,
     },
     /// Print usage.
     Help,
@@ -546,6 +567,10 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, ParseCliError> {
             let mut baseline = None;
             let mut root = None;
             let mut write_baseline = false;
+            let mut changed = false;
+            let mut no_cache = false;
+            let mut timings = false;
+            let mut fail_on = FailOn::default();
             while let Some(flag) = iter.next() {
                 match flag {
                     "--format" => {
@@ -564,6 +589,25 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, ParseCliError> {
                         root = Some(take_value(flag, &mut iter)?.to_owned());
                     }
                     "--write-baseline" => write_baseline = true,
+                    "--changed" | "--no-cache" | "--timings" | "--fail-on" if cmd == "lint" => {
+                        return Err(err(format!("flag `{flag}` only applies to `analyze`")));
+                    }
+                    "--changed" => changed = true,
+                    "--no-cache" => no_cache = true,
+                    "--timings" => timings = true,
+                    "--fail-on" => {
+                        let v = take_value(flag, &mut iter)?;
+                        fail_on = match v {
+                            "error" => FailOn::Error,
+                            "warning" => FailOn::Warning,
+                            "never" => FailOn::Never,
+                            other => {
+                                return Err(err(format!(
+                                    "unknown fail-on threshold `{other}` (error|warning|never)"
+                                )))
+                            }
+                        };
+                    }
                     other => return Err(err(format!("unknown flag `{other}`"))),
                 }
             }
@@ -573,6 +617,10 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, ParseCliError> {
                     baseline,
                     root,
                     write_baseline,
+                    changed,
+                    no_cache,
+                    timings,
+                    fail_on,
                 })
             } else {
                 Ok(Command::Lint {
@@ -895,6 +943,10 @@ mod tests {
                 baseline: None,
                 root: None,
                 write_baseline: false,
+                changed: false,
+                no_cache: false,
+                timings: false,
+                fail_on: FailOn::Warning,
             }
         );
         assert_eq!(
@@ -914,6 +966,10 @@ mod tests {
                 baseline: Some("a.json".into()),
                 root: Some("/tmp/ws".into()),
                 write_baseline: true,
+                changed: false,
+                no_cache: false,
+                timings: false,
+                fail_on: FailOn::Warning,
             }
         );
         assert_eq!(
@@ -927,6 +983,50 @@ mod tests {
         );
         assert!(parse(&["analyze", "--format", "xml"]).is_err());
         assert!(parse(&["analyze", "--frob"]).is_err());
+    }
+
+    #[test]
+    fn analyze_cache_flags_parse() {
+        assert_eq!(
+            parse(&[
+                "analyze",
+                "--changed",
+                "--no-cache",
+                "--timings",
+                "--fail-on",
+                "error"
+            ])
+            .unwrap(),
+            Command::Analyze {
+                format: LintFormat::Human,
+                baseline: None,
+                root: None,
+                write_baseline: false,
+                changed: true,
+                no_cache: true,
+                timings: true,
+                fail_on: FailOn::Error,
+            }
+        );
+        assert!(matches!(
+            parse(&["analyze", "--fail-on", "never"]).unwrap(),
+            Command::Analyze {
+                fail_on: FailOn::Never,
+                ..
+            }
+        ));
+        assert!(parse(&["analyze", "--fail-on", "panic"])
+            .unwrap_err()
+            .message
+            .contains("fail-on"));
+        assert!(parse(&["analyze", "--fail-on"]).is_err());
+        // The cache flags are analyze-only; lint rejects them by name.
+        for flag in ["--changed", "--no-cache", "--timings"] {
+            assert!(parse(&["lint", flag])
+                .unwrap_err()
+                .message
+                .contains("only applies to `analyze`"));
+        }
     }
 
     #[test]

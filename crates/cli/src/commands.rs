@@ -12,7 +12,9 @@ use fcdpm_storage::IdealStorage;
 use fcdpm_units::{Amps, Charge, CurrentRange, Seconds};
 use fcdpm_workload::{CamcorderTrace, Scenario, SyntheticTrace};
 
-use crate::{Command, DeviceChoice, ExperimentId, GridAction, LintFormat, PolicyChoice, TraceKind};
+use crate::{
+    Command, DeviceChoice, ExperimentId, FailOn, GridAction, LintFormat, PolicyChoice, TraceKind,
+};
 
 /// The outcome of executing a command: the stdout payload plus whether
 /// the process should exit successfully. `fcdpm lint` is the one command
@@ -108,13 +110,20 @@ pub fn execute(command: &Command) -> Result<CmdOutput, String> {
             baseline,
             root,
             write_baseline,
-        } => run_analysis_stage(
-            &ANALYZE_STAGE,
-            *format,
-            baseline.as_deref(),
-            root.as_deref(),
-            *write_baseline,
-        ),
+            changed,
+            no_cache,
+            timings,
+            fail_on,
+        } => run_analyze_command(&AnalyzeInvocation {
+            format: *format,
+            baseline: baseline.as_deref(),
+            root: root.as_deref(),
+            write_baseline: *write_baseline,
+            changed: *changed,
+            no_cache: *no_cache,
+            timings: *timings,
+            fail_on: *fail_on,
+        }),
     }
 }
 
@@ -206,6 +215,120 @@ fn run_analysis_stage(
         text,
         ok: report.is_clean(),
     })
+}
+
+/// One parsed `fcdpm analyze` invocation (bundled so the execution path
+/// takes one argument instead of eight).
+struct AnalyzeInvocation<'a> {
+    format: LintFormat,
+    baseline: Option<&'a str>,
+    root: Option<&'a str>,
+    write_baseline: bool,
+    changed: bool,
+    no_cache: bool,
+    timings: bool,
+    fail_on: FailOn,
+}
+
+/// Executes `fcdpm analyze` through the incremental engine: the pass
+/// cache at `<root>/analyze-cache.json` (unless `--no-cache`), display
+/// focused on changed inputs (`--changed`), phase timings on stderr
+/// (`--timings`), and the exit threshold (`--fail-on`). JSON and SARIF
+/// bytes carry no cache metadata, so cold and warm runs stay
+/// byte-identical.
+fn run_analyze_command(inv: &AnalyzeInvocation<'_>) -> Result<CmdOutput, String> {
+    if inv.write_baseline {
+        // Baseline regeneration goes through the shared (cache-less)
+        // stage path — it rewrites the ledger, not the cache.
+        return run_analysis_stage(&ANALYZE_STAGE, inv.format, inv.baseline, inv.root, true);
+    }
+    let root_dir = std::path::PathBuf::from(inv.root.unwrap_or("."));
+    let baseline_path = inv
+        .baseline
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| root_dir.join(ANALYZE_STAGE.default_baseline));
+    let baseline = if baseline_path.is_file() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read `{}`: {e}", baseline_path.display()))?;
+        fcdpm_lint::Baseline::from_json(&text)
+            .map_err(|e| format!("malformed baseline `{}`: {e}", baseline_path.display()))?
+    } else {
+        fcdpm_lint::Baseline::default()
+    };
+    let options = fcdpm_analyze::EngineOptions {
+        cache_path: (!inv.no_cache).then(|| root_dir.join(fcdpm_analyze::cache::CACHE_FILE)),
+        workers: None,
+    };
+    let analysis = fcdpm_analyze::run_with(&root_dir, &baseline, &options)
+        .map_err(|e| format!("cannot analyze `{}`: {e}", root_dir.display()))?;
+    if inv.timings {
+        for (phase, wall) in &analysis.timings {
+            eprintln!("analyze timing: {phase} {:.1} ms", wall.as_secs_f64() * 1e3);
+        }
+    }
+    let report = &analysis.report;
+    // `--changed` focuses the *display* on inputs whose digests moved;
+    // the exit status still judges the full finding set.
+    let display = if inv.changed {
+        fcdpm_lint::Report {
+            findings: report
+                .findings
+                .iter()
+                .filter(|f| analysis.changed.contains(&f.path))
+                .cloned()
+                .collect(),
+            inline_suppressed: report.inline_suppressed,
+            baselined: report.baselined,
+            stale: report.stale.clone(),
+            files_scanned: report.files_scanned,
+        }
+    } else {
+        fcdpm_lint::Report {
+            findings: report.findings.clone(),
+            inline_suppressed: report.inline_suppressed,
+            baselined: report.baselined,
+            stale: report.stale.clone(),
+            files_scanned: report.files_scanned,
+        }
+    };
+    let text = match inv.format {
+        LintFormat::Human => {
+            let mut text = display.to_human();
+            if inv.changed {
+                let _ = writeln!(
+                    text,
+                    "--changed: showing {} of {} finding(s) ({} changed input(s))",
+                    display.findings.len(),
+                    report.findings.len(),
+                    analysis.changed.len()
+                );
+            }
+            // The cache line is human-only so JSON/SARIF artifacts stay
+            // byte-identical between cold and warm runs.
+            text.push_str(&analysis.stats.human_line());
+            text.push('\n');
+            text
+        }
+        LintFormat::Json => display.to_json(),
+        LintFormat::Sarif => fcdpm_lint::sarif::to_sarif_leveled(
+            &display,
+            ANALYZE_STAGE.tool_name,
+            &(ANALYZE_STAGE.catalogue)(),
+            |rule| match fcdpm_analyze::severity_of(rule) {
+                fcdpm_analyze::Severity::Warning => "warning",
+                fcdpm_analyze::Severity::Error => "error",
+            },
+        ),
+    };
+    let ok = match inv.fail_on {
+        FailOn::Never => true,
+        FailOn::Warning => report.is_clean(),
+        FailOn::Error => !report
+            .findings
+            .iter()
+            .any(|f| fcdpm_analyze::severity_of(f.rule) == fcdpm_analyze::Severity::Error),
+    };
+    Ok(CmdOutput { text, ok })
 }
 
 fn run_batch(
@@ -808,6 +931,10 @@ mod tests {
                 baseline: None,
                 root: Some(root.clone()),
                 write_baseline: false,
+                changed: false,
+                no_cache: true,
+                timings: false,
+                fail_on: FailOn::Warning,
             })
             .unwrap();
             assert!(
@@ -821,6 +948,10 @@ mod tests {
             baseline: None,
             root: Some(root),
             write_baseline: false,
+            changed: false,
+            no_cache: true,
+            timings: false,
+            fail_on: FailOn::Warning,
         })
         .unwrap()
         .text;

@@ -11,7 +11,7 @@ mod args;
 mod commands;
 
 pub use args::{
-    parse, Command, DeviceChoice, ExperimentId, GridAction, LintFormat, ParseCliError,
+    parse, Command, DeviceChoice, ExperimentId, FailOn, GridAction, LintFormat, ParseCliError,
     PolicyChoice, TraceKind,
 };
 pub use commands::{execute, CmdOutput};
@@ -36,6 +36,7 @@ USAGE:
     fcdpm bench [--quick] [--out <FILE>]
     fcdpm lint [--format <human|json|sarif>] [--baseline <FILE>] [--root <DIR>] [--write-baseline]
     fcdpm analyze [--format <human|json|sarif>] [--baseline <FILE>] [--root <DIR>] [--write-baseline]
+                  [--changed] [--no-cache] [--timings] [--fail-on <error|warning|never>]
     fcdpm help
 
 COMMANDS:
@@ -55,7 +56,9 @@ COMMANDS:
     lint         static-analysis pass: determinism, unit-safety, panic policy,
                  crate hygiene (exit 1 on any non-baselined finding)
     analyze      semantic pass: crate layering, unit-dimension dataflow,
-                 paper-constants conformance, job-grid feasibility
+                 paper-constants conformance, job-grid feasibility,
+                 interprocedural taint/locks and coalescing-hint soundness,
+                 incremental via the digest-keyed analyze-cache.json
     help         show this message
 "
     .to_owned()

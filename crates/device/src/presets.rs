@@ -45,6 +45,42 @@ const EXPERIMENT2: PresetSpec = PresetSpec {
 };
 const _: () = assert!(EXPERIMENT2.is_valid());
 
+/// Constants for [`wireless_radio`], the second device of the runner's
+/// multi-device workload (bursty short-idle traffic).
+const RADIO: PresetSpec = PresetSpec {
+    name: "radio",
+    bus_voltage_v: 12.0,
+    run_w: 6.0,
+    standby_w: 1.2,
+    sleep_w: 0.3,
+    t_power_down_s: 0.2,
+    p_power_down_w: 1.0,
+    t_wake_up_s: 0.2,
+    p_wake_up_w: 1.0,
+    t_start_up_s: 0.0,
+    t_shut_down_s: 0.0,
+    break_even_s: None,
+};
+const _: () = assert!(RADIO.is_valid());
+
+/// Constants for [`sensor_node`], the third device of the runner's
+/// multi-device workload (long idle periods, cheap transitions).
+const SENSOR: PresetSpec = PresetSpec {
+    name: "sensor",
+    bus_voltage_v: 12.0,
+    run_w: 2.5,
+    standby_w: 0.6,
+    sleep_w: 0.1,
+    t_power_down_s: 0.1,
+    p_power_down_w: 0.5,
+    t_wake_up_s: 0.1,
+    p_wake_up_w: 0.5,
+    t_start_up_s: 0.0,
+    t_shut_down_s: 0.0,
+    break_even_s: None,
+};
+const _: () = assert!(SENSOR.is_valid());
+
 /// The DVD camcorder of Experiment 1 (Figure 6):
 ///
 /// * RUN 14.65 W (4× DVD writer writing from the 16 MB buffer);
@@ -66,6 +102,22 @@ pub fn dvd_camcorder() -> DeviceSpec {
 #[must_use]
 pub fn experiment2_device() -> DeviceSpec {
     EXPERIMENT2.into_spec()
+}
+
+/// A 6 W wireless radio on the 12 V bus: standby 1.2 W, sleep 0.3 W,
+/// SLEEP transitions 0.2 s at 1 W each way. Used by the runner's
+/// multi-device profiles alongside the camcorder.
+#[must_use]
+pub fn wireless_radio() -> DeviceSpec {
+    RADIO.into_spec()
+}
+
+/// A 2.5 W sensor node on the 12 V bus: standby 0.6 W, sleep 0.1 W,
+/// SLEEP transitions 0.1 s at 0.5 W each way. Used by the runner's
+/// multi-device profiles alongside the camcorder.
+#[must_use]
+pub fn sensor_node() -> DeviceSpec {
+    SENSOR.into_spec()
 }
 
 #[cfg(test)]

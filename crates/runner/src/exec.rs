@@ -325,30 +325,14 @@ pub fn multi_device_profiles(seed: u64) -> [LoadProfile; 3] {
 
     let camcorder = fcdpm_device::presets::dvd_camcorder();
     let cam_trace = CamcorderTrace::dac07().seed(seed).build();
-    let radio = DeviceSpec::builder("radio")
-        .bus_voltage(Volts::new(12.0))
-        .run_power(Watts::new(6.0))
-        .standby_power(Watts::new(1.2))
-        .sleep_power(Watts::new(0.3))
-        .power_down(Seconds::new(0.2), Watts::new(1.0))
-        .wake_up(Seconds::new(0.2), Watts::new(1.0))
-        .build()
-        .expect("valid radio spec");
+    let radio = fcdpm_device::presets::wireless_radio();
     let radio_trace = SyntheticTrace::dac07()
         .seed(seed.wrapping_add(1))
         .idle_range(Seconds::new(3.0), Seconds::new(40.0))
         .active_range(Seconds::new(0.5), Seconds::new(2.0))
         .power_range(Watts::new(5.0), Watts::new(7.0))
         .build();
-    let sensor = DeviceSpec::builder("sensor")
-        .bus_voltage(Volts::new(12.0))
-        .run_power(Watts::new(2.5))
-        .standby_power(Watts::new(0.6))
-        .sleep_power(Watts::new(0.1))
-        .power_down(Seconds::new(0.1), Watts::new(0.5))
-        .wake_up(Seconds::new(0.1), Watts::new(0.5))
-        .build()
-        .expect("valid sensor spec");
+    let sensor = fcdpm_device::presets::sensor_node();
     let sensor_trace = SyntheticTrace::dac07()
         .seed(seed.wrapping_add(2))
         .idle_range(Seconds::new(30.0), Seconds::new(120.0))
