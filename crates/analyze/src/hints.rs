@@ -26,6 +26,10 @@
 //!   `self` write) → **`hint-coalescing`** (warning): a segment-scoped
 //!   plan could still coalesce it — the enumerable worklist for the
 //!   ROADMAP item.
+//! * A `begin_segment` override → clean regardless of the hint: the
+//!   impl ships a segment-scoped plan, which is the coalescing
+//!   mechanism the warnings above ask for (the simulator integrates
+//!   plans in closed form whether or not `steady_current` also hints).
 //! * `None` hint + soc-gated hysteresis (ASAP's recharge latch), or a
 //!   hint that delegates to an inner policy's `steady_current` →
 //!   clean: the hint honestly reflects a genuinely chunk-coupled (or
@@ -56,6 +60,8 @@ struct PolicyImpl {
     impl_line: usize,
     steady: Option<(usize, Range<usize>)>,
     decide: Option<(usize, Range<usize>)>,
+    /// A `begin_segment` override: the impl plans whole segments.
+    plan: bool,
 }
 
 /// Extracts every non-test `impl FcOutputPolicy for ..` block.
@@ -84,6 +90,7 @@ fn policy_impls(scan: &Scan) -> Vec<PolicyImpl> {
             impl_line,
             steady: None,
             decide: None,
+            plan: false,
         };
         for (fn_off, body) in &bodies {
             if *fn_off < open || body.end > close {
@@ -92,6 +99,7 @@ fn policy_impls(scan: &Scan) -> Vec<PolicyImpl> {
             match syntax::ident_after(cleaned, fn_off + "fn".len()) {
                 "steady_current" => found.steady = Some((*fn_off, body.clone())),
                 "segment_current" => found.decide = Some((*fn_off, body.clone())),
+                "begin_segment" => found.plan = true,
                 _ => {}
             }
         }
@@ -218,6 +226,9 @@ pub fn check_file(rel_path: &str, scan: &Scan, ctx: Option<&SummaryContext>) -> 
                     reasons.join(" and ")
                 ),
             }),
+            // A begin_segment override IS the segment-scoped plan the
+            // coalescing warnings below would ask for: nothing to flag.
+            Hint::None if imp.plan => {}
             Hint::None if reasons.is_empty() => findings.push(Finding {
                 rule: AnalyzeRule::HintCoalescing.id(),
                 path: rel_path.to_owned(),
@@ -307,6 +318,29 @@ mod tests {
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].rule, "hint-coalescing");
         assert!(findings[0].message.contains("segment-scoped plan"));
+    }
+
+    #[test]
+    fn a_begin_segment_plan_satisfies_the_coalescing_contract() {
+        // Mutates an EWMA per chunk and hints None, but plans whole
+        // segments: the plan is the coalescing mechanism, so the
+        // worklist warning retires.
+        let src = "impl FcOutputPolicy for Fix {\n    fn segment_current(&mut self, phase: Phase, load: Amps, soc: AmpSeconds) -> Amps {\n        self.ewma = blend(self.ewma, load); self.range.clamp(load)\n    }\n    fn steady_current(&self, phase: Phase, load: Amps) -> Option<Amps> {\n        None\n    }\n    fn begin_segment(&mut self, phase: Phase, load: Amps, soc: AmpSeconds, remaining: Seconds) -> SegmentPlan {\n        SegmentPlan::Steady(self.range.clamp(load))\n    }\n}\n";
+        assert!(run_on(src).is_empty(), "{:?}", run_on(src));
+    }
+
+    #[test]
+    fn a_plan_in_another_impl_does_not_excuse_this_one() {
+        let src = format!(
+            "{}impl FcOutputPolicy for Other {{\n    fn segment_current(&mut self, phase: Phase, load: Amps, soc: AmpSeconds) -> Amps {{\n        self.range.max()\n    }}\n    fn begin_segment(&mut self, phase: Phase, load: Amps, soc: AmpSeconds, remaining: Seconds) -> SegmentPlan {{\n        SegmentPlan::Steady(self.range.max())\n    }}\n    fn steady_current(&self, phase: Phase, load: Amps) -> Option<Amps> {{\n        Some(self.range.max())\n    }}\n}}\n",
+            policy(
+                "None",
+                "self.ewma = blend(self.ewma, load); self.range.clamp(load)",
+            )
+        );
+        let findings = run_on(&src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "hint-coalescing");
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //!    them, with per-job wall-clock from the manifest.
 //! 2. **Coalescing A/B** — each reference policy on the camcorder
 //!    scenario with the chunk-coalescing fast path on and off, timing
-//!    both and checking the physics agree.
+//!    both and checking the physics agree. Two acceptance gates ride on
+//!    this section: every shipped policy must integrate in closed form
+//!    (`chunks_stepped == 0` on the fast path — no policy may fall back
+//!    to per-chunk consultation), and no policy may consult more than
+//!    twice as often as the Conv baseline.
 //! 3. **Fault sweep** — the quick canonical fault-injection sweep
 //!    (starvation and combined schedules under plain, resilient and
 //!    Conv policies), so payload diffs also catch drift in the
@@ -260,6 +264,36 @@ pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
         "\nConv camcorder speedup: {conv_speedup:.2}x (acceptance floor: 3x)\n"
     ));
 
+    // Acceptance gates on the A/B section. A stepped chunk on the fast
+    // path means a policy fell back to per-chunk consultation — every
+    // shipped policy plans its segments in closed form now, so that is
+    // a regression, not a legitimate slow path.
+    for entry in &coalescing {
+        if entry.chunks_stepped != 0 {
+            return Err(format!(
+                "{}: {} chunks stepped on the coalesced path; every shipped \
+                 policy must plan in closed form",
+                entry.policy, entry.chunks_stepped
+            ));
+        }
+    }
+    // Piecewise planners re-consult at their SoC crossings, which is
+    // bounded work; anything beyond twice the Conv baseline means a
+    // plan is splitting far more than its trigger state justifies.
+    let conv_consultations = coalescing
+        .iter()
+        .find(|e| e.policy == ReferencePolicy::Conv.label())
+        .map(|e| e.policy_consultations)
+        .ok_or_else(|| "coalescing section lost the Conv baseline".to_owned())?;
+    for entry in &coalescing {
+        if entry.policy_consultations > 2 * conv_consultations {
+            return Err(format!(
+                "{}: {} policy consultations exceed twice the Conv baseline ({})",
+                entry.policy, entry.policy_consultations, conv_consultations
+            ));
+        }
+    }
+
     // 3. Quick fault-injection sweep through the runner. Always the
     // quick catalogue, so quick and full harness runs produce the same
     // payload bytes.
@@ -496,6 +530,29 @@ mod tests {
         // Pre-schema-bump payloads don't parse: comparison is skipped.
         assert!(drift_against("{\"schema\": \"fcdpm-bench/1\"}", &report.json).is_none());
         assert!(drift_against("not json", &report.json).is_none());
+    }
+
+    #[test]
+    fn every_shipped_policy_coalesces_fully() {
+        let report = run(&BenchOptions { quick: true }).expect("harness runs");
+        let payload: BenchPayload = serde_json::from_str(&report.json).expect("payload parses");
+        assert_eq!(payload.coalescing.len(), ReferencePolicy::ALL.len());
+        let conv = payload
+            .coalescing
+            .iter()
+            .find(|e| e.policy == ReferencePolicy::Conv.label())
+            .expect("Conv baseline entry");
+        for entry in &payload.coalescing {
+            assert_eq!(entry.chunks_stepped, 0, "{}", entry.policy);
+            assert!(entry.chunks_coalesced > 0, "{}", entry.policy);
+            assert!(
+                entry.policy_consultations <= 2 * conv.policy_consultations,
+                "{}: {} consultations vs Conv's {}",
+                entry.policy,
+                entry.policy_consultations,
+                conv.policy_consultations
+            );
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! ASAP load-following baseline.
 
-use fcdpm_units::{Amps, Charge, CurrentRange};
+use fcdpm_units::{Amps, Charge, CurrentRange, Seconds};
 
-use super::{FcOutputPolicy, PolicyPhase};
+use super::{FcOutputPolicy, PolicyPhase, SegmentPlan};
 
 /// ASAP-DPM (Section 5): the FC system output follows the load current as
 /// closely as the load-following range allows. When the load exceeds the
@@ -93,10 +93,42 @@ impl FcOutputPolicy for AsapDpm {
     }
 
     fn steady_current(&self, _phase: PolicyPhase, _load: Amps, _soc: Charge) -> Option<Amps> {
-        // Never coalesce: the hysteretic recharge trigger watches the
-        // state of charge *during* a segment, so skipping the per-chunk
-        // consultation would delay the mode flip by up to a whole segment.
+        // No *segment-long* steady promise: the hysteretic recharge
+        // trigger watches the state of charge during the segment. The
+        // piecewise plan below carries the trigger analytically instead.
         None
+    }
+
+    fn begin_segment(
+        &mut self,
+        _phase: PolicyPhase,
+        load: Amps,
+        soc: Charge,
+        _remaining: Seconds,
+    ) -> SegmentPlan {
+        // Same hysteresis as `segment_current`, evaluated at the plan
+        // boundary. The returned crossing threshold is exactly the level
+        // at which the *next* evaluation flips the mode, so the
+        // simulator's analytic crossing split reproduces the per-chunk
+        // trigger without polling.
+        if soc < self.capacity * 0.5 {
+            self.recharging = true;
+        } else if self.capacity - soc <= self.full_tolerance {
+            self.recharging = false;
+        }
+        if self.recharging {
+            SegmentPlan::UntilSocCrossing {
+                current: self.range.max(),
+                threshold: self.capacity - self.full_tolerance,
+                falling: false,
+            }
+        } else {
+            SegmentPlan::UntilSocCrossing {
+                current: self.range.clamp(load),
+                threshold: self.capacity * 0.5,
+                falling: true,
+            }
+        }
     }
 }
 

@@ -15,8 +15,10 @@
 //! The simulator drives the [`FcOutputPolicy`] lifecycle: `begin_slot` at
 //! each idle-period start (with the DPM layer's sleep decision and idle
 //! prediction), `begin_active` when the task arrives and the actual active
-//! demand becomes known, `segment_current` for every constant-current
-//! stretch, and `end_slot` with the observed values.
+//! demand becomes known, `begin_segment` for every constant-load stretch
+//! (returning a [`SegmentPlan`] the simulator integrates in closed form),
+//! `segment_current` chunk by chunk only when the plan is
+//! [`SegmentPlan::PerChunk`], and `end_slot` with the observed values.
 
 mod asap;
 mod conv;
@@ -123,6 +125,39 @@ impl OperatingConditions {
     }
 }
 
+/// A segment-scoped integration plan, returned by
+/// [`FcOutputPolicy::begin_segment`].
+///
+/// A plan describes the policy's output over (a prefix of) the segment
+/// about to play, in a form the simulator can integrate in closed form
+/// instead of consulting the policy once per control chunk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SegmentPlan {
+    /// No closed form: the simulator consults
+    /// [`segment_current`](FcOutputPolicy::segment_current) chunk by
+    /// chunk, exactly as before plans existed. A policy returning
+    /// `PerChunk` must not have mutated any state in `begin_segment`.
+    PerChunk,
+    /// One constant setpoint for the remainder of the segment.
+    Steady(Amps),
+    /// A constant setpoint that holds until the storage state of charge
+    /// crosses `threshold`, at which point the simulator calls
+    /// `begin_segment` again (with the segment's remaining duration) so
+    /// the policy can re-plan from its advanced state machine.
+    UntilSocCrossing {
+        /// The setpoint to hold until the crossing.
+        current: Amps,
+        /// The state-of-charge level whose crossing ends this plan.
+        threshold: Charge,
+        /// `true` if the plan ends when the SoC falls *to* `threshold`
+        /// from above, `false` if it ends when the SoC rises to it from
+        /// below. If the net current moves the SoC away from the
+        /// threshold (or holds it), the plan simply runs to the end of
+        /// the segment.
+        falling: bool,
+    },
+}
+
 /// A degradation-aware policy's self-report, polled by the simulator to
 /// attribute wall-clock time to fallback operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +199,40 @@ pub trait FcOutputPolicy: core::fmt::Debug {
     /// [`segment_current`]: FcOutputPolicy::segment_current
     fn steady_current(&self, _phase: PolicyPhase, _load: Amps, _soc: Charge) -> Option<Amps> {
         None
+    }
+
+    /// Opens a constant-load segment and returns its integration plan.
+    ///
+    /// The simulator calls this once at the start of every constant-load
+    /// stretch (merging equal-load neighbors first), again at the start
+    /// of every fault-boundary span inside it, and again whenever a
+    /// [`SegmentPlan::UntilSocCrossing`] plan's threshold is reached —
+    /// each time with the stretch's *remaining* duration. Between two
+    /// `begin_segment` calls the simulator integrates the returned plan
+    /// in closed form, so a plan-returning policy is never consulted per
+    /// chunk.
+    ///
+    /// Unlike [`steady_current`](Self::steady_current), a plan-returning
+    /// `begin_segment` is a lifecycle point: the policy may advance
+    /// per-segment state (an EWMA update, a hysteresis flip) before
+    /// returning. A [`SegmentPlan::PerChunk`] return, by contrast, must
+    /// leave the policy untouched — the per-chunk path will drive
+    /// [`segment_current`](Self::segment_current) as before.
+    ///
+    /// The default derives the plan from the steady hint: `Some(i)`
+    /// becomes [`SegmentPlan::Steady`], `None` becomes
+    /// [`SegmentPlan::PerChunk`].
+    fn begin_segment(
+        &mut self,
+        phase: PolicyPhase,
+        load: Amps,
+        soc: Charge,
+        _remaining: Seconds,
+    ) -> SegmentPlan {
+        match self.steady_current(phase, load, soc) {
+            Some(i) => SegmentPlan::Steady(i),
+            None => SegmentPlan::PerChunk,
+        }
     }
 
     /// Called at each slot end with the observed values.
@@ -221,5 +290,44 @@ mod trait_tests {
             asap.steady_current(PolicyPhase::Idle, Amps::new(0.2), Charge::new(1.0)),
             None
         );
+    }
+
+    #[test]
+    fn default_plan_derives_from_the_steady_hint() {
+        // A hinted policy plans Steady(hint) without an override.
+        let mut conv = ConvDpm::dac07();
+        assert_eq!(
+            conv.begin_segment(
+                PolicyPhase::Idle,
+                Amps::new(0.2),
+                Charge::new(3.0),
+                Seconds::new(10.0)
+            ),
+            SegmentPlan::Steady(Amps::new(1.2))
+        );
+    }
+
+    #[test]
+    fn asap_plans_a_soc_crossing() {
+        // ASAP-DPM's hint stays None, but its plan carries the recharge
+        // trigger as an analytic crossing instead of per-chunk polling.
+        let mut asap = AsapDpm::dac07(Charge::new(6.0));
+        match asap.begin_segment(
+            PolicyPhase::Active,
+            Amps::new(0.8),
+            Charge::new(5.0),
+            Seconds::new(10.0),
+        ) {
+            SegmentPlan::UntilSocCrossing {
+                current,
+                threshold,
+                falling,
+            } => {
+                assert_eq!(current, Amps::new(0.8));
+                assert_eq!(threshold, Charge::new(3.0));
+                assert!(falling);
+            }
+            other => panic!("expected a crossing plan, got {other:?}"),
+        }
     }
 }

@@ -9,9 +9,9 @@
 //! neighbor steered by the storage state so the quantization error does
 //! not drift the buffer away from its reference level.
 
-use fcdpm_units::{Amps, Charge, CurrentRange};
+use fcdpm_units::{Amps, Charge, CurrentRange, Seconds};
 
-use super::{ActiveStart, FcOutputPolicy, PolicyPhase, SlotEnd, SlotStart};
+use super::{ActiveStart, FcOutputPolicy, PolicyPhase, SegmentPlan, SlotEnd, SlotStart};
 
 /// A sorted set of supported FC output levels.
 ///
@@ -209,10 +209,46 @@ impl<P: FcOutputPolicy> FcOutputPolicy for Quantized<P> {
     }
 
     fn steady_current(&self, _phase: PolicyPhase, _load: Amps, _soc: Charge) -> Option<Amps> {
-        // Never coalesce: the level choice is steered chunk by chunk by
-        // the state of charge relative to the latched reference (and the
-        // inner policy may be stateful per consultation too).
+        // No chunk-invariant steady value: the per-chunk level choice is
+        // steered by the live state of charge. The segment plan below
+        // resolves the delegation to one snapped level per segment.
         None
+    }
+
+    fn begin_segment(
+        &mut self,
+        phase: PolicyPhase,
+        load: Amps,
+        soc: Charge,
+        remaining: Seconds,
+    ) -> SegmentPlan {
+        // Plan through the inner policy, then snap the planned current to
+        // one level for the whole segment, steered by the segment-entry
+        // state of charge. Inner crossing plans keep their threshold, so
+        // the wrapper re-plans (and re-snaps) exactly when the inner
+        // policy's state machine advances.
+        let plan = self.inner.begin_segment(phase, load, soc, remaining);
+        let snap = |demanded: Amps| {
+            let (lo, hi) = self.levels.bracket(demanded);
+            match self.c_ref {
+                Some(c_ref) if soc < c_ref => hi,
+                Some(_) => lo,
+                None => self.levels.nearest(demanded),
+            }
+        };
+        match plan {
+            SegmentPlan::PerChunk => SegmentPlan::PerChunk,
+            SegmentPlan::Steady(i) => SegmentPlan::Steady(snap(i)),
+            SegmentPlan::UntilSocCrossing {
+                current,
+                threshold,
+                falling,
+            } => SegmentPlan::UntilSocCrossing {
+                current: snap(current),
+                threshold,
+                falling,
+            },
+        }
     }
 
     fn end_slot(&mut self, end: &SlotEnd) {
@@ -284,6 +320,48 @@ mod tests {
         let mut q = Quantized::new(ConvDpm::dac07(), levels());
         let i = q.segment_current(PolicyPhase::Active, Amps::new(1.0), Charge::ZERO);
         assert_eq!(i, Amps::new(1.2));
+    }
+
+    #[test]
+    fn segment_plan_snaps_once_and_keeps_inner_crossings() {
+        let mut q = Quantized::new(AsapDpm::dac07(Charge::new(4.0)), levels());
+        q.begin_slot(&SlotStart {
+            index: 0,
+            directive: fcdpm_device::SleepDirective::Standby,
+            predicted_idle: None,
+            soc: Charge::new(5.0),
+        });
+        // Inner ASAP follows the 0.5 A load and plans a crossing at half
+        // capacity; the wrapper snaps the current (below reference → up)
+        // and keeps the threshold.
+        match q.begin_segment(
+            PolicyPhase::Idle,
+            Amps::new(0.5),
+            Charge::new(3.0),
+            Seconds::new(10.0),
+        ) {
+            SegmentPlan::UntilSocCrossing {
+                current,
+                threshold,
+                falling,
+            } => {
+                assert_eq!(current, Amps::new(0.8));
+                assert_eq!(threshold, Charge::new(2.0));
+                assert!(falling);
+            }
+            other => panic!("expected a crossing plan, got {other:?}"),
+        }
+        // A steady inner plan snaps to a steady level.
+        let mut q = Quantized::new(ConvDpm::dac07(), levels());
+        assert_eq!(
+            q.begin_segment(
+                PolicyPhase::Active,
+                Amps::new(1.0),
+                Charge::ZERO,
+                Seconds::new(10.0)
+            ),
+            SegmentPlan::Steady(Amps::new(1.2))
+        );
     }
 
     #[test]

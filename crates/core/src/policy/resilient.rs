@@ -1,10 +1,10 @@
 //! Graceful degradation: a health-aware wrapper around any FC policy.
 
-use fcdpm_units::{Amps, Charge, CurrentRange};
+use fcdpm_units::{Amps, Charge, CurrentRange, Seconds};
 
 use super::{
-    ActiveStart, FcOutputPolicy, OperatingConditions, PolicyPhase, ResilienceStatus, SlotEnd,
-    SlotStart,
+    ActiveStart, FcOutputPolicy, OperatingConditions, PolicyPhase, ResilienceStatus, SegmentPlan,
+    SlotEnd, SlotStart,
 };
 
 /// Storage fraction treated as the depletion rail: below it the wrapper
@@ -210,6 +210,35 @@ impl FcOutputPolicy for ResilientPolicy {
                 .map(|i| self.effective().clamp(i)),
             ResilienceMode::MaxCurrent => Some(self.effective().max()),
             ResilienceMode::LoadFollow => Some(self.effective().clamp(load)),
+        }
+    }
+
+    fn begin_segment(
+        &mut self,
+        phase: PolicyPhase,
+        load: Amps,
+        soc: Charge,
+        remaining: Seconds,
+    ) -> SegmentPlan {
+        match self.mode {
+            // Delegate the plan, re-clamping its currents to the
+            // effective range (thresholds are SoC levels; they pass
+            // through unchanged).
+            ResilienceMode::Inner => match self.inner.begin_segment(phase, load, soc, remaining) {
+                SegmentPlan::PerChunk => SegmentPlan::PerChunk,
+                SegmentPlan::Steady(i) => SegmentPlan::Steady(self.effective().clamp(i)),
+                SegmentPlan::UntilSocCrossing {
+                    current,
+                    threshold,
+                    falling,
+                } => SegmentPlan::UntilSocCrossing {
+                    current: self.effective().clamp(current),
+                    threshold,
+                    falling,
+                },
+            },
+            ResilienceMode::MaxCurrent => SegmentPlan::Steady(self.effective().max()),
+            ResilienceMode::LoadFollow => SegmentPlan::Steady(self.effective().clamp(load)),
         }
     }
 

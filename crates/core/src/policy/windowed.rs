@@ -1,8 +1,14 @@
 //! Slot-free averaging policy for unstructured load profiles.
 
-use fcdpm_units::{Amps, Charge, CurrentRange};
+use fcdpm_units::{Amps, Charge, CurrentRange, Seconds};
 
-use super::{FcOutputPolicy, PolicyPhase, SlotStart};
+use super::{FcOutputPolicy, PolicyPhase, SegmentPlan, SlotStart};
+
+/// The EWMA time base in seconds: `alpha` is the smoothing weight per
+/// this much wall-clock time, so segment-scoped updates decay by
+/// `(1 − alpha)^(duration / EWMA_CHUNK_S)` regardless of the simulator's
+/// control step.
+const EWMA_CHUNK_S: f64 = 0.5;
 
 /// FC-DPM's averaging idea without the slot structure: an exponentially
 /// weighted moving average tracks the load, and a proportional feedback
@@ -19,8 +25,15 @@ use super::{FcOutputPolicy, PolicyPhase, SlotStart};
 /// averaged optimum; the feedback keeps the quantization between supply
 /// and demand from walking the buffer into a rail.
 ///
-/// The EWMA updates once per control chunk, so `alpha` is a per-chunk
-/// smoothing weight (the simulator's default chunk is 0.5 s).
+/// `alpha` is the smoothing weight per 0.5 s of wall-clock time (the
+/// reference control chunk). On the slot-structured path the policy
+/// plans whole segments at once: `begin_segment` advances the EWMA a
+/// single duration-weighted step — decaying the old estimate by
+/// `(1 − alpha)^(duration / 0.5 s)` — and holds the resulting setpoint
+/// (with the feedback term frozen at the segment-entry state of charge)
+/// for the whole segment, so the output is independent of the
+/// simulator's control step. The per-chunk `segment_current` path keeps
+/// the chunk-wise update for unstructured profile playback.
 ///
 /// # Examples
 ///
@@ -99,9 +112,34 @@ impl FcOutputPolicy for WindowedAverage {
     }
 
     fn steady_current(&self, _phase: PolicyPhase, _load: Amps, _soc: Charge) -> Option<Amps> {
-        // Never coalesce: every consultation advances the EWMA and reads
-        // the live state of charge through the feedback term.
+        // No chunk-invariant steady value: every per-chunk consultation
+        // advances the EWMA. The segment plan below carries the same
+        // smoothing as one closed-form update instead.
         None
+    }
+
+    fn begin_segment(
+        &mut self,
+        _phase: PolicyPhase,
+        load: Amps,
+        soc: Charge,
+        remaining: Seconds,
+    ) -> SegmentPlan {
+        let c_ref = *self.c_ref.get_or_insert(soc);
+        // One duration-weighted EWMA step: the closed form of
+        // `duration / EWMA_CHUNK_S` successive per-chunk updates against
+        // the segment's constant load. Exact under cross-segment merging:
+        // decaying by d1 then d2 equals decaying by d1 + d2.
+        let ewma = match self.ewma {
+            Some(prev) => {
+                let decay = (1.0 - self.alpha).powf(remaining.seconds() / EWMA_CHUNK_S);
+                load.amps() + (prev - load.amps()) * decay
+            }
+            None => load.amps(),
+        };
+        self.ewma = Some(ewma);
+        let feedback = self.gain * (c_ref - soc).amp_seconds();
+        SegmentPlan::Steady(self.range.clamp(Amps::new((ewma + feedback).max(0.0))))
     }
 }
 
@@ -159,5 +197,61 @@ mod tests {
     #[should_panic(expected = "alpha must be")]
     fn invalid_alpha_rejected() {
         let _ = WindowedAverage::new(CurrentRange::dac07(), 0.0, 0.1);
+    }
+
+    fn plan_current(plan: SegmentPlan) -> Amps {
+        match plan {
+            SegmentPlan::Steady(i) => i,
+            other => panic!("expected a steady plan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn segment_plan_matches_per_chunk_convergence() {
+        // A segment-long plan must land the EWMA where the equivalent
+        // number of per-chunk updates would.
+        let mut planned = policy();
+        let mut chunked = policy();
+        planned.begin_segment(
+            PolicyPhase::Active,
+            Amps::new(0.2),
+            Charge::new(3.0),
+            Seconds::new(0.5),
+        );
+        chunked.segment_current(PolicyPhase::Active, Amps::new(0.2), Charge::new(3.0));
+        planned.begin_segment(
+            PolicyPhase::Active,
+            Amps::new(1.2),
+            Charge::new(3.0),
+            Seconds::new(50.0),
+        );
+        for _ in 0..100 {
+            chunked.segment_current(PolicyPhase::Active, Amps::new(1.2), Charge::new(3.0));
+        }
+        let p = planned.load_estimate().unwrap().amps();
+        let c = chunked.load_estimate().unwrap().amps();
+        assert!((p - c).abs() < 1e-9, "planned {p} vs chunked {c}");
+    }
+
+    #[test]
+    fn segment_plans_are_merge_invariant() {
+        // Planning one merged 30 s stretch equals planning 10 s + 20 s
+        // back to back at the same load and state of charge.
+        let mut merged = policy();
+        let mut split = policy();
+        let load = Amps::new(0.7);
+        let soc = Charge::new(3.0);
+        for p in [&mut merged, &mut split] {
+            p.begin_segment(PolicyPhase::Active, Amps::new(0.2), soc, Seconds::new(5.0));
+        }
+        let one =
+            plan_current(merged.begin_segment(PolicyPhase::Active, load, soc, Seconds::new(30.0)));
+        split.begin_segment(PolicyPhase::Active, load, soc, Seconds::new(10.0));
+        let two =
+            plan_current(split.begin_segment(PolicyPhase::Active, load, soc, Seconds::new(20.0)));
+        let m = merged.load_estimate().unwrap().amps();
+        let s = split.load_estimate().unwrap().amps();
+        assert!((m - s).abs() < 1e-12, "merged {m} vs split {s}");
+        assert!((one.amps() - two.amps()).abs() < 1e-12);
     }
 }

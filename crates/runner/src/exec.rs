@@ -30,7 +30,10 @@ pub struct JobMetrics {
     pub fuel_as: f64,
     /// Mean stack current (the fuel rate) in A.
     pub mean_stack_current_a: f64,
-    /// Charge-level conversion efficiency: delivered / stack charge.
+    /// Energy conversion efficiency of the run, Equation 1:
+    /// `P_out/P_in = (V_F/ζ) · delivered/fuel` — the delivered-to-fuel
+    /// charge ratio mapped back from the stack's charge plane by the
+    /// efficiency model's lumped coefficient. Bounded by α (0.45).
     pub conversion_efficiency: f64,
     /// Projected lifetime on the reference 10 A·h tank, in hours.
     pub lifetime_h: f64,
@@ -65,7 +68,7 @@ pub struct JobMetrics {
 }
 
 impl JobMetrics {
-    fn from_sim(m: &SimMetrics) -> Self {
+    fn from_sim(m: &SimMetrics, energy_coefficient: f64) -> Self {
         let rate = m.mean_stack_current();
         let tank = HydrogenTank::from_stack_charge(Charge::from_amp_hours(10.0));
         let lifetime_h = if rate.amps() > 0.0 {
@@ -74,10 +77,14 @@ impl JobMetrics {
             f64::INFINITY
         };
         let fuel = m.fuel.total();
+        // Delivered and stack charge live on different voltage planes
+        // (Eq. 4 divides by η_s·ζ/V_F), so the raw charge ratio exceeds
+        // 1 at low currents; scaling by V_F/ζ recovers the physical
+        // energy efficiency η_s of Equation 1.
         let conversion_efficiency = if fuel.is_zero() {
             0.0
         } else {
-            m.delivered_charge / fuel
+            energy_coefficient * (m.delivered_charge / fuel)
         };
         Self {
             fuel_as: fuel.amp_seconds(),
@@ -245,9 +252,13 @@ fn build_policy(
 fn build_sim<'d>(
     spec: &JobSpec,
     device: &'d fcdpm_device::DeviceSpec,
-) -> Result<(HybridSimulator<'d>, FuelOptimizer), String> {
-    let (sim, optimizer) = match spec.beta {
-        None => (HybridSimulator::dac07(device), FuelOptimizer::dac07()),
+) -> Result<(HybridSimulator<'d>, FuelOptimizer, f64), String> {
+    let (sim, optimizer, coefficient) = match spec.beta {
+        None => (
+            HybridSimulator::dac07(device),
+            FuelOptimizer::dac07(),
+            LinearEfficiency::dac07().coefficient(),
+        ),
         Some(beta) => {
             let eff =
                 LinearEfficiency::new(0.45, beta, Volts::new(12.0), GibbsCoefficient::dac07())
@@ -259,7 +270,11 @@ fn build_sim<'d>(
                 Seconds::new(0.5),
             )
             .map_err(|e| format!("simulator config: {e}"))?;
-            (sim, FuelOptimizer::new(eff, CurrentRange::dac07()))
+            (
+                sim,
+                FuelOptimizer::new(eff, CurrentRange::dac07()),
+                eff.coefficient(),
+            )
         }
     };
     let sim = match spec.buffer_path_efficiency {
@@ -272,7 +287,7 @@ fn build_sim<'d>(
         None => sim,
         Some(schedule) => sim.with_faults(schedule.clone()),
     };
-    Ok((sim, optimizer))
+    Ok((sim, optimizer, coefficient))
 }
 
 /// Rejects structurally invalid fault schedules before any simulation
@@ -369,7 +384,7 @@ fn execute_multi_device(spec: &JobSpec, seed: u64) -> Result<JobMetrics, String>
     }
     let capacity = Charge::from_milliamp_minutes(spec.capacity_mamin_or_default());
     let device = fcdpm_device::presets::dvd_camcorder(); // spec unused on profiles
-    let (sim, _optimizer) = build_sim(spec, &device)?;
+    let (sim, _optimizer, coefficient) = build_sim(spec, &device)?;
     let profile = multi_device_profile(seed);
     let policy: Box<dyn FcOutputPolicy + Send> = match spec.policy {
         PolicySpec::Conv => Box::new(ConvDpm::dac07()),
@@ -383,7 +398,7 @@ fn execute_multi_device(spec: &JobSpec, seed: u64) -> Result<JobMetrics, String>
         .run_profile(&profile, policy.as_mut(), storage.as_mut())
         .map_err(|e| format!("profile simulation: {e}"))?
         .metrics;
-    Ok(JobMetrics::from_sim(&metrics))
+    Ok(JobMetrics::from_sim(&metrics, coefficient))
 }
 
 /// Executes one job.
@@ -415,7 +430,7 @@ pub fn execute(spec: &JobSpec) -> Result<JobMetrics, String> {
     }
     let scenario = build_scenario(spec)?;
     let capacity = Charge::from_milliamp_minutes(spec.capacity_mamin_or_default());
-    let (sim, optimizer) = build_sim(spec, &scenario.device)?;
+    let (sim, optimizer, coefficient) = build_sim(spec, &scenario.device)?;
     let mut sleep = build_sleep(spec, &scenario);
     let mut policy = wrap_resilient(spec, build_policy(spec, &scenario, capacity, optimizer));
     let mut storage = build_storage(spec, capacity);
@@ -428,7 +443,7 @@ pub fn execute(spec: &JobSpec) -> Result<JobMetrics, String> {
         )
         .map_err(|e| format!("simulation: {e}"))?
         .metrics;
-    Ok(JobMetrics::from_sim(&metrics))
+    Ok(JobMetrics::from_sim(&metrics, coefficient))
 }
 
 #[cfg(test)]
@@ -458,6 +473,38 @@ mod tests {
         assert!(fc.mean_stack_current_a < asap.mean_stack_current_a);
         assert!(asap.mean_stack_current_a < conv.mean_stack_current_a);
         assert!(fc.lifetime_h > asap.lifetime_h);
+    }
+
+    #[test]
+    fn conversion_efficiency_is_physical_for_every_policy() {
+        // Regression: the raw delivered/fuel charge ratio once leaked
+        // into reports as an "efficiency" of 1.021 for ASAP. The
+        // Equation-1 energy efficiency can never exceed the model's
+        // intercept α = 0.45, let alone 1.
+        let policies = [
+            PolicySpec::Conv,
+            PolicySpec::Asap,
+            PolicySpec::FcDpm,
+            PolicySpec::WindowedAverage,
+            PolicySpec::Quantized(12),
+            PolicySpec::Constant(0.6),
+        ];
+        for policy in policies {
+            let spec = JobSpec::new(policy.clone(), WorkloadSpec::Experiment1(SEED));
+            let m = execute(&spec).expect("runs");
+            assert!(
+                m.conversion_efficiency > 0.0 && m.conversion_efficiency <= 1.0 + 1e-9,
+                "{}: unphysical conversion efficiency {}",
+                policy.label(),
+                m.conversion_efficiency
+            );
+            assert!(
+                m.conversion_efficiency <= 0.45 + 1e-9,
+                "{}: efficiency {} exceeds the model intercept",
+                policy.label(),
+                m.conversion_efficiency
+            );
+        }
     }
 
     #[test]

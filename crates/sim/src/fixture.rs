@@ -10,10 +10,12 @@
 //! through here.
 
 use fcdpm_core::dpm::PredictiveSleep;
-use fcdpm_core::policy::{AsapDpm, ConvDpm, FcDpm, FcOutputPolicy};
+use fcdpm_core::policy::{
+    AsapDpm, ConvDpm, FcDpm, FcOutputPolicy, OutputLevels, Quantized, WindowedAverage,
+};
 use fcdpm_core::FuelOptimizer;
 use fcdpm_storage::IdealStorage;
-use fcdpm_units::Charge;
+use fcdpm_units::{Charge, CurrentRange};
 use fcdpm_workload::Scenario;
 
 use crate::{HybridSimulator, SimError, SimMetrics};
@@ -38,7 +40,10 @@ pub fn reference_storage() -> IdealStorage {
     IdealStorage::new(capacity, capacity * 0.5)
 }
 
-/// The three FC output policies of the paper's Section-5 comparison.
+/// The shipped FC output policies: the paper's Section-5 comparison
+/// (Conv, ASAP, FC-DPM) plus the two repo extensions (the slot-free
+/// windowed average and the quantized FC-DPM wrapper), wired as the
+/// batch runner's defaults wire them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReferencePolicy {
     /// The Conv-DPM baseline (no fuel-flow control).
@@ -47,11 +52,21 @@ pub enum ReferencePolicy {
     Asap,
     /// The paper's FC-DPM.
     FcDpm,
+    /// The slot-free windowed-average policy.
+    Windowed,
+    /// FC-DPM snapped to 12 uniform output levels.
+    Quantized,
 }
 
 impl ReferencePolicy {
-    /// All three policies, in the paper's table order.
-    pub const ALL: [Self; 3] = [Self::Conv, Self::Asap, Self::FcDpm];
+    /// Every shipped policy, paper table order first.
+    pub const ALL: [Self; 5] = [
+        Self::Conv,
+        Self::Asap,
+        Self::FcDpm,
+        Self::Windowed,
+        Self::Quantized,
+    ];
 
     /// Short label for reports.
     #[must_use]
@@ -60,6 +75,8 @@ impl ReferencePolicy {
             Self::Conv => "Conv-DPM",
             Self::Asap => "ASAP-DPM",
             Self::FcDpm => "FC-DPM",
+            Self::Windowed => "Windowed",
+            Self::Quantized => "Quantized-12",
         }
     }
 
@@ -68,15 +85,23 @@ impl ReferencePolicy {
     #[must_use]
     pub fn build(self, scenario: &Scenario) -> Box<dyn FcOutputPolicy + Send> {
         let capacity = reference_capacity();
-        match self {
-            Self::Conv => Box::new(ConvDpm::dac07()),
-            Self::Asap => Box::new(AsapDpm::dac07(capacity)),
-            Self::FcDpm => Box::new(FcDpm::new(
+        let fcdpm = || {
+            FcDpm::new(
                 FuelOptimizer::dac07(),
                 &scenario.device,
                 capacity,
                 scenario.sigma,
                 scenario.active_current_estimate,
+            )
+        };
+        match self {
+            Self::Conv => Box::new(ConvDpm::dac07()),
+            Self::Asap => Box::new(AsapDpm::dac07(capacity)),
+            Self::FcDpm => Box::new(fcdpm()),
+            Self::Windowed => Box::new(WindowedAverage::dac07()),
+            Self::Quantized => Box::new(Quantized::new(
+                fcdpm(),
+                OutputLevels::uniform(CurrentRange::dac07(), 12),
             )),
         }
     }

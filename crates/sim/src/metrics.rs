@@ -5,11 +5,6 @@ use core::fmt;
 use fcdpm_fuelcell::FuelGauge;
 use fcdpm_units::{Amps, Charge, Seconds};
 
-/// The reference control-step length at which legacy manifests counted
-/// the retired `deficit_chunks` field; used to recover
-/// [`SimMetrics::deficit_time`] when reading them.
-const REFERENCE_CONTROL_STEP_S: f64 = 0.5;
-
 /// Aggregate results of one simulation run.
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct SimMetrics {
@@ -160,10 +155,11 @@ impl SimMetrics {
 }
 
 // Serde is hand-written (the vendored derive has no attribute support)
-// so old manifests that only carry the retired `deficit_chunks` count
-// still deserialize (the writer-side alias was dropped after its one
-// deprecation release), and so manifests predating the fault-injection
-// counters read back with those counters zeroed.
+// so manifests predating the fault-injection counters read back with
+// those counters zeroed. Manifests carrying only the retired
+// `deficit_chunks` count are rejected outright: the chunk count scaled
+// with the control step, so no faithful `deficit_time` can be recovered
+// from it, and its two-release migration window has closed.
 impl serde::Serialize for SimMetrics {
     fn to_value(&self) -> serde::Value {
         serde::Value::Map(vec![
@@ -201,12 +197,14 @@ impl serde::Deserialize for SimMetrics {
             .ok_or_else(|| serde::Error::custom("SimMetrics: expected a map"))?;
         let deficit_time = match serde::field::<Option<Seconds>>(map, "deficit_time")? {
             Some(t) => t,
-            // Legacy manifests carry only the chunk count; recover the
-            // time at the 0.5 s reference step it was counted with.
-            None => match serde::field::<Option<u64>>(map, "deficit_chunks")? {
-                Some(chunks) => Seconds::new(chunks as f64 * REFERENCE_CONTROL_STEP_S),
-                None => Seconds::ZERO,
-            },
+            None if serde::field::<Option<u64>>(map, "deficit_chunks")?.is_some() => {
+                return Err(serde::Error::custom(
+                    "SimMetrics: the `deficit_chunks` schema was retired — the chunk \
+                     count scaled with the control step and cannot be converted to \
+                     `deficit_time`; regenerate the manifest with a current build",
+                ));
+            }
+            None => Seconds::ZERO,
         };
         Ok(Self {
             fuel: serde::field(map, "fuel")?,
@@ -358,8 +356,7 @@ mod tests {
 
     #[test]
     fn serde_no_longer_emits_deficit_chunks_alias() {
-        // The deprecated writer-side alias lived for one release; writers
-        // emit only `deficit_time` now (readers still accept the alias).
+        // The retired field must never reappear on the writer side.
         use serde::{Serialize, Value};
         let mut m = SimMetrics::new();
         m.deficit_time = Seconds::new(1.25);
@@ -371,18 +368,38 @@ mod tests {
     }
 
     #[test]
-    fn serde_reads_legacy_deficit_chunks() {
+    fn serde_rejects_retired_deficit_chunks_manifests() {
         use serde::{Deserialize, Serialize, Value};
-        // A pre-deficit_time manifest: strip the new fields, carry only
-        // the retired chunk count.
+        // A pre-deficit_time manifest carrying only the retired chunk
+        // count: the count scaled with the control step, so rather than
+        // guess a conversion the reader refuses with a clear error.
         let mut m = SimMetrics::new();
         m.fuel.consume(Amps::new(1.0), Seconds::new(10.0));
         let Value::Map(mut map) = m.to_value() else {
             panic!("expected a map");
         };
+        map.retain(|(k, _)| k != "deficit_time");
+        map.push(("deficit_chunks".into(), Value::UInt(4)));
+        let err = SimMetrics::from_value(&Value::Map(map)).expect_err("legacy schema");
+        let msg = err.to_string();
+        assert!(msg.contains("deficit_chunks"), "{msg}");
+        assert!(msg.contains("regenerate"), "{msg}");
+    }
+
+    #[test]
+    fn serde_defaults_optional_counters_when_absent() {
+        use serde::{Deserialize, Serialize, Value};
+        // Manifests predating the work/fault counters (but written after
+        // `deficit_time` replaced the chunk count) still read back, with
+        // the missing counters zeroed.
+        let mut m = SimMetrics::new();
+        m.fuel.consume(Amps::new(1.0), Seconds::new(10.0));
+        m.deficit_time = Seconds::new(2.0);
+        let Value::Map(mut map) = m.to_value() else {
+            panic!("expected a map");
+        };
         map.retain(|(k, _)| {
-            k != "deficit_time"
-                && k != "chunks_stepped"
+            k != "chunks_stepped"
                 && k != "chunks_coalesced"
                 && k != "policy_consultations"
                 && k != "faults_applied"
@@ -390,9 +407,7 @@ mod tests {
                 && k != "time_in_fallback"
                 && k != "fault_deficit_time"
         });
-        map.push(("deficit_chunks".into(), Value::UInt(4)));
-        let back = SimMetrics::from_value(&Value::Map(map)).expect("legacy manifest");
-        // Recovered at the 0.5 s reference step the count was taken with.
+        let back = SimMetrics::from_value(&Value::Map(map)).expect("pre-counter manifest");
         assert_eq!(back.deficit_time, Seconds::new(2.0));
         assert_eq!(back.chunks_stepped, 0);
         assert_eq!(back.chunks_coalesced, 0);

@@ -2,7 +2,7 @@
 
 use fcdpm_core::dpm::SleepPolicy;
 use fcdpm_core::policy::{
-    ActiveStart, FcOutputPolicy, OperatingConditions, PolicyPhase, SlotEnd, SlotStart,
+    ActiveStart, FcOutputPolicy, OperatingConditions, PolicyPhase, SegmentPlan, SlotEnd, SlotStart,
 };
 use fcdpm_device::{DeviceSpec, SlotTimeline};
 use fcdpm_faults::{FaultSchedule, FaultState};
@@ -51,17 +51,21 @@ pub struct SimResult {
 /// wiring diagram).
 ///
 /// The simulator integrates exactly: every segment of the device timeline
-/// is piecewise-constant, and segments are subdivided into *control
-/// chunks* (default 0.5 s) at whose boundaries the FC policy is
-/// re-consulted — this is what lets ASAP-DPM's recharge trigger fire "as
-/// soon as possible" mid-segment.
+/// is piecewise-constant, and immediately following segments with the
+/// same phase and load merge into one constant-load *stretch*. The FC
+/// policy plans each stretch through [`FcOutputPolicy::begin_segment`]:
+/// a [`SegmentPlan::Steady`] phase integrates to the stretch (or fault
+/// span) end in closed form, a [`SegmentPlan::UntilSocCrossing`] phase is
+/// split analytically at the projected state-of-charge crossing
+/// ([`ChargeStorage::time_to_soc`]) and re-planned — this is what lets
+/// ASAP-DPM's recharge trigger fire "as soon as possible" mid-segment
+/// without stepping — and only a [`SegmentPlan::PerChunk`] plan falls
+/// back to consulting [`FcOutputPolicy::segment_current`] every *control
+/// chunk* (default 0.5 s).
 ///
-/// Policies that hold a constant setpoint across a segment can say so via
-/// [`FcOutputPolicy::steady_current`]; such segments are integrated in
-/// closed form (the *chunk-coalescing fast path*) instead of chunk by
-/// chunk, with identical physics up to floating-point accumulation order.
-/// [`Self::without_coalescing`] forces per-chunk stepping for A/B
-/// comparison.
+/// [`Self::without_coalescing`] integrates the identical plan sequence
+/// chunk by chunk for A/B comparison: the physics agree up to
+/// floating-point accumulation order, only the work counters differ.
 #[derive(Debug)]
 pub struct HybridSimulator<'a> {
     device: &'a DeviceSpec,
@@ -106,11 +110,12 @@ impl<'a> HybridSimulator<'a> {
     }
 
     /// Disables the chunk-coalescing fast path, forcing per-chunk
-    /// integration even through segments for which the policy offers a
-    /// steady-setpoint hint. Intended for A/B comparison against the
-    /// fast path (the cross-path determinism suite and the bench
-    /// harness); the physics results agree either way, only the work
-    /// counters differ.
+    /// integration of every plan phase. The plan sequence — merge scan,
+    /// `begin_segment` consultations, crossing splits — is identical to
+    /// the fast path; only the integration inside each phase is chunked.
+    /// Intended for A/B comparison (the cross-path determinism suite and
+    /// the bench harness); the physics results agree either way, only
+    /// the work counters differ.
     #[must_use]
     pub fn without_coalescing(mut self) -> Self {
         self.coalescing = false;
@@ -355,6 +360,163 @@ impl<'a> HybridSimulator<'a> {
         Ok((i_f, i_fc))
     }
 
+    /// The storage-side net current a plan setpoint produces under the
+    /// current fault state — the same clamp/loss/leak pipeline the
+    /// integrators apply — used to project SoC-threshold crossings.
+    fn plan_net(&self, demanded: Amps, load: Amps, faults: Option<&FaultState>) -> Amps {
+        let range = match faults {
+            Some(fs) => fs.effective_range(self.range),
+            None => self.range,
+        };
+        let i_f = range.clamp(demanded);
+        let mut net = self.buffer_net(i_f - load);
+        if let Some(fs) = faults {
+            if !fs.leak().is_zero() {
+                net -= fs.leak();
+            }
+        }
+        net
+    }
+
+    /// Integrates one fault-free span of a constant-load stretch under
+    /// the policy's segment plans. [`FcOutputPolicy::begin_segment`] is
+    /// consulted once per plan phase: steady plans run to the span end,
+    /// crossing plans split analytically at the projected SoC threshold
+    /// and re-plan from the policy's advanced trigger state, and a
+    /// [`SegmentPlan::PerChunk`] plan falls back to consulting
+    /// [`FcOutputPolicy::segment_current`] every control chunk.
+    #[allow(clippy::too_many_arguments)]
+    fn integrate_span(
+        &self,
+        phase: PolicyPhase,
+        load: Amps,
+        span: Seconds,
+        time: &mut Seconds,
+        policy: &mut dyn FcOutputPolicy,
+        storage: &mut dyn ChargeStorage,
+        metrics: &mut SimMetrics,
+        faults: Option<&FaultState>,
+        recorder: &mut Option<&mut ProfileRecorder>,
+    ) -> Result<(), SimError> {
+        let residual_floor = self.control_step * RESIDUAL_FLOOR_FRACTION;
+        let mut left = span;
+        while left > Seconds::ZERO {
+            let plan = policy.begin_segment(phase, load, storage.soc(), left);
+            metrics.policy_consultations += 1;
+            let (demanded, mut phase_len) = match plan {
+                SegmentPlan::PerChunk => {
+                    self.integrate_unplanned(
+                        phase, load, left, time, policy, storage, metrics, faults, recorder,
+                    )?;
+                    return Ok(());
+                }
+                SegmentPlan::Steady(i) => (i, left),
+                SegmentPlan::UntilSocCrossing {
+                    current, threshold, ..
+                } => {
+                    let net = self.plan_net(current, load, faults);
+                    match storage.time_to_soc(net, threshold, left) {
+                        // Already on the threshold (within residual):
+                        // advance one control chunk at the planned
+                        // setpoint so the next re-plan sees the strict
+                        // side and the loop cannot stall.
+                        Some(t) if t <= residual_floor => (current, self.control_step.min(left)),
+                        // Overshoot the crossing by the residual floor
+                        // so the landing side of the threshold is the
+                        // same whichever integration mode accumulated
+                        // the rounding error.
+                        Some(t) => (current, (t + residual_floor).min(left)),
+                        None => (current, left),
+                    }
+                }
+            };
+            if left - phase_len <= residual_floor {
+                phase_len = left;
+            }
+            self.integrate_phase(
+                load, demanded, phase_len, time, storage, metrics, faults, recorder,
+            )?;
+            left -= phase_len;
+        }
+        Ok(())
+    }
+
+    /// Integrates one plan phase: in closed form on the fast path, chunk
+    /// by chunk (feeding the recorder) when coalescing is off or the
+    /// recorder is still inside its horizon. Both shapes drive the same
+    /// setpoint over the same duration, so they agree to float residual.
+    #[allow(clippy::too_many_arguments)]
+    fn integrate_phase(
+        &self,
+        load: Amps,
+        demanded: Amps,
+        duration: Seconds,
+        time: &mut Seconds,
+        storage: &mut dyn ChargeStorage,
+        metrics: &mut SimMetrics,
+        faults: Option<&FaultState>,
+        recorder: &mut Option<&mut ProfileRecorder>,
+    ) -> Result<(), SimError> {
+        let recording = recorder.as_deref().is_some_and(ProfileRecorder::active);
+        if self.coalescing && !recording {
+            self.integrate_coalesced(load, demanded, duration, storage, metrics, faults)?;
+            *time += duration;
+            return Ok(());
+        }
+        let residual_floor = self.control_step * RESIDUAL_FLOOR_FRACTION;
+        let mut chunk_remaining = duration;
+        while chunk_remaining > Seconds::ZERO {
+            let mut dt = chunk_remaining.min(self.control_step);
+            if chunk_remaining - dt <= residual_floor {
+                // Widen the final chunk to absorb the floating-point
+                // residual of `chunk_remaining -= dt`.
+                dt = chunk_remaining;
+            }
+            let (i_f, i_fc) = self.integrate_chunk(load, demanded, dt, storage, metrics, faults)?;
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record_chunk(*time, dt, load, i_f, i_fc, storage.soc());
+            }
+            *time += dt;
+            chunk_remaining -= dt;
+        }
+        Ok(())
+    }
+
+    /// Per-chunk fallback for policies that cannot close a plan over the
+    /// span: [`FcOutputPolicy::segment_current`] is consulted every
+    /// control chunk for the rest of the span.
+    #[allow(clippy::too_many_arguments)]
+    fn integrate_unplanned(
+        &self,
+        phase: PolicyPhase,
+        load: Amps,
+        span: Seconds,
+        time: &mut Seconds,
+        policy: &mut dyn FcOutputPolicy,
+        storage: &mut dyn ChargeStorage,
+        metrics: &mut SimMetrics,
+        faults: Option<&FaultState>,
+        recorder: &mut Option<&mut ProfileRecorder>,
+    ) -> Result<(), SimError> {
+        let residual_floor = self.control_step * RESIDUAL_FLOOR_FRACTION;
+        let mut chunk_remaining = span;
+        while chunk_remaining > Seconds::ZERO {
+            let mut dt = chunk_remaining.min(self.control_step);
+            if chunk_remaining - dt <= residual_floor {
+                dt = chunk_remaining;
+            }
+            let demanded = policy.segment_current(phase, load, storage.soc());
+            metrics.policy_consultations += 1;
+            let (i_f, i_fc) = self.integrate_chunk(load, demanded, dt, storage, metrics, faults)?;
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record_chunk(*time, dt, load, i_f, i_fc, storage.soc());
+            }
+            *time += dt;
+            chunk_remaining -= dt;
+        }
+        Ok(())
+    }
+
     /// Runs `trace` and returns the aggregate metrics.
     ///
     /// # Errors
@@ -466,36 +628,25 @@ impl<'a> HybridSimulator<'a> {
                     policy.observe_conditions(&self.conditions(fs, storage));
                 }
 
-                // Fast path: with a steady-setpoint hint a whole segment
-                // integrates in closed form — one fuel-model evaluation,
-                // one (analytically rail-split) storage update. The hint
-                // contract (the setpoint is state-independent for the
-                // whole segment) also licenses absorbing immediately
-                // following segments with the same phase and load into
-                // one coalesced stretch. Skipped while the recorder
-                // still wants samples so figure outputs keep their
-                // per-chunk resolution.
+                // Immediately following segments in the same phase at
+                // the same load are indistinguishable to the policy, so
+                // they merge into one constant-load stretch and the
+                // policy plans the whole stretch at once. Skipped while
+                // the recorder still wants samples so figure outputs
+                // keep their original segment boundaries.
                 let record_pending = recorder.as_deref().is_some_and(ProfileRecorder::active);
                 let mut duration = seg.duration;
-                // `None`: not consulted (per-chunk path decides alone).
-                // `Some(hint)`: the consulted hint for the first span.
-                let mut pending_hint: Option<Option<Amps>> = None;
-                if self.coalescing && !record_pending {
-                    let hint = policy.steady_current(phase, seg.load, storage.soc());
-                    metrics.policy_consultations += 1;
-                    if hint.is_some() {
-                        while let Some(nxt) = segments.get(si + 1) {
-                            if nxt.kind.is_idle_phase() == seg.kind.is_idle_phase()
-                                && nxt.load == seg.load
-                            {
-                                duration += nxt.duration;
-                                si += 1;
-                            } else {
-                                break;
-                            }
+                if !record_pending {
+                    while let Some(nxt) = segments.get(si + 1) {
+                        if nxt.kind.is_idle_phase() == seg.kind.is_idle_phase()
+                            && nxt.load == seg.load
+                        {
+                            duration += nxt.duration;
+                            si += 1;
+                        } else {
+                            break;
                         }
                     }
-                    pending_hint = Some(hint);
                 }
 
                 // Integrate the stretch span by span: a span ends at the
@@ -513,6 +664,21 @@ impl<'a> HybridSimulator<'a> {
                             policy.observe_conditions(&self.conditions(fs, storage));
                         }
                     }
+                    // The two integration modes accumulate `time` through
+                    // different float additions, so a fault boundary can
+                    // land a few ulps after one mode's clock and dead-on
+                    // the other's. A boundary within the residual floor is
+                    // "now": apply it before planning the span instead of
+                    // integrating a degenerate sliver in one mode only.
+                    if let Some(fs) = faults.as_mut() {
+                        while let Some(b) = fs.next_boundary(time) {
+                            if b - time > residual_floor {
+                                break;
+                            }
+                            metrics.faults_applied += fs.advance_to(b);
+                            policy.observe_conditions(&self.conditions(fs, storage));
+                        }
+                    }
                     let mut span = match faults.as_ref().and_then(|fs| fs.next_boundary(time)) {
                         Some(b) if b - time < remaining => b - time,
                         _ => remaining,
@@ -523,53 +689,17 @@ impl<'a> HybridSimulator<'a> {
                         span = remaining;
                     }
                     let deficit_before = metrics.deficit_time;
-                    let hint = if first_span {
-                        pending_hint
-                    } else if self.coalescing
-                        && !recorder.as_deref().is_some_and(ProfileRecorder::active)
-                    {
-                        metrics.policy_consultations += 1;
-                        Some(policy.steady_current(phase, seg.load, storage.soc()))
-                    } else {
-                        None
-                    };
-                    if let Some(Some(demanded)) = hint {
-                        self.integrate_coalesced(
-                            seg.load,
-                            demanded,
-                            span,
-                            storage,
-                            &mut metrics,
-                            faults.as_ref(),
-                        )?;
-                        time += span;
-                    } else {
-                        let mut chunk_remaining = span;
-                        while chunk_remaining > Seconds::ZERO {
-                            let mut dt = chunk_remaining.min(self.control_step);
-                            if chunk_remaining - dt <= residual_floor {
-                                // Widen the final chunk to absorb the
-                                // floating-point residual of
-                                // `chunk_remaining -= dt`.
-                                dt = chunk_remaining;
-                            }
-                            let demanded = policy.segment_current(phase, seg.load, storage.soc());
-                            metrics.policy_consultations += 1;
-                            let (i_f, i_fc) = self.integrate_chunk(
-                                seg.load,
-                                demanded,
-                                dt,
-                                storage,
-                                &mut metrics,
-                                faults.as_ref(),
-                            )?;
-                            if let Some(rec) = recorder.as_deref_mut() {
-                                rec.record_chunk(time, dt, seg.load, i_f, i_fc, storage.soc());
-                            }
-                            time += dt;
-                            chunk_remaining -= dt;
-                        }
-                    }
+                    self.integrate_span(
+                        phase,
+                        seg.load,
+                        span,
+                        &mut time,
+                        policy,
+                        storage,
+                        &mut metrics,
+                        faults.as_ref(),
+                        &mut recorder,
+                    )?;
                     if let Some(fs) = faults.as_ref() {
                         if fs.any_active() {
                             metrics.fault_deficit_time += metrics.deficit_time - deficit_before;
@@ -831,7 +961,7 @@ mod tests {
 
     #[test]
     fn fast_path_coalesces_steady_policies() {
-        // Conv-DPM hints a steady setpoint for every segment, so the
+        // Conv-DPM plans a steady setpoint for every segment, so the
         // whole run integrates without a single per-chunk step.
         let scenario = Scenario::experiment1();
         let cap = Charge::from_milliamp_minutes(100.0);
@@ -839,10 +969,11 @@ mod tests {
         assert_eq!(m.chunks_stepped, 0);
         assert!(m.chunks_coalesced > 0);
         assert!(m.policy_consultations > 0);
-        // ASAP-DPM never hints: everything steps chunk by chunk.
+        // ASAP-DPM plans piecewise (follow-load / recharge phases split
+        // at the analytic SoC crossing): still no per-chunk stepping.
         let m = run_policy(&scenario, &mut AsapDpm::dac07(cap), cap);
-        assert_eq!(m.chunks_coalesced, 0);
-        assert!(m.chunks_stepped > 0);
+        assert_eq!(m.chunks_stepped, 0);
+        assert!(m.chunks_coalesced > 0);
     }
 
     #[test]
@@ -958,9 +1089,11 @@ mod tests {
         };
         let fast = run_with(true);
         let slow = run_with(false);
-        // Merging coalesces whole multi-segment stretches: strictly
-        // fewer consultations than per-chunk stepping would take.
-        assert!(fast.policy_consultations < slow.policy_consultations);
+        // Both modes drive the identical plan sequence — the merge scan
+        // and per-stretch `begin_segment` consultations are shared; only
+        // the integration inside each plan phase differs.
+        assert_eq!(fast.policy_consultations, slow.policy_consultations);
+        assert!(slow.chunks_stepped > 0 && fast.chunks_stepped == 0);
         assert!(fast.fuel.total().approx_eq(slow.fuel.total(), 1e-6));
         assert!(fast.final_soc.approx_eq(slow.final_soc, 1e-6));
     }

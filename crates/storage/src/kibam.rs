@@ -114,23 +114,112 @@ impl KineticBattery {
         self.y2 = y2;
     }
 
-    /// Finds, by bisection, the largest prefix of `dt` for which the
-    /// available well stays non-negative (discharge) or the total stays
-    /// within capacity (charge).
+    /// Whether a probe state has left the feasible region: available
+    /// well negative, or total charge beyond capacity (both with the
+    /// rail tolerance the stepper's guards absorb).
+    fn violated(&self, probe: &Self) -> bool {
+        probe.y1 < -1e-12 || probe.y1 + probe.y2 > self.capacity.amp_seconds() + 1e-12
+    }
+
+    /// The largest prefix of `dt` for which the available well stays
+    /// non-negative (discharge) or the total stays within capacity
+    /// (charge).
+    ///
+    /// Both rails have closed forms: the wells conserve total charge, so
+    /// the capacity rail is hit at the exact *linear* crossing, and the
+    /// available-well rail solves the Manwell–McGowan transcendental via
+    /// Lambert W ([`Self::depletion_time`]). Each analytic candidate is
+    /// validated by one probe advance; bisection remains only as the
+    /// fallback for the degenerate cases where the closed form yields no
+    /// usable root (zero effective discharge, a W argument outside the
+    /// real domain, or a candidate the rail tolerance rejects).
     fn feasible_prefix(&self, i: f64, dt: f64) -> f64 {
-        let violated =
-            |b: &Self| b.y1 < -1e-12 || b.y1 + b.y2 > self.capacity.amp_seconds() + 1e-12;
         let mut probe = self.clone();
         probe.advance(i, dt);
-        if !violated(&probe) {
+        if !self.violated(&probe) {
             return dt;
         }
+        let candidate = if i > 0.0 {
+            // Charging: d(y1+y2)/dt = i exactly, and the available well
+            // cannot go negative under a non-negative current (at y1 = 0
+            // both the current and the valve push it up), so the only
+            // reachable rail is capacity — a linear crossing.
+            Some(((self.capacity.amp_seconds() - (self.y1 + self.y2)) / i).clamp(0.0, dt))
+        } else {
+            self.depletion_time(-i, dt)
+        };
+        if let Some(t) = candidate {
+            let mut probe = self.clone();
+            probe.advance(i, t);
+            if !self.violated(&probe) {
+                return t;
+            }
+        }
+        self.bisect_prefix(i, dt)
+    }
+
+    /// Analytic time at which the available well empties under constant
+    /// discharge, if it does within `dt`.
+    ///
+    /// With `k' = k/(c(1−c))`, `y0 = y1 + y2` and discharge `I > 0`, the
+    /// closed-form available well is
+    ///
+    /// ```text
+    /// y1(t) = α·e^(−k'·t) + β − γ·t
+    /// α = y1(0) − y0·c + I(1−c)/k'
+    /// β = y0·c − I(1−c)/k'
+    /// γ = I·c
+    /// ```
+    ///
+    /// Substituting `u = k'(t − β/γ)` turns `y1(t) = 0` into
+    /// `u·e^u = (α·k'/γ)·e^(−k'·β/γ)` — a Lambert-W equation with roots
+    /// `t = β/γ + W(z)/k'`. The sign of `α` fixes the geometry: `α ≥ 0`
+    /// makes `y1` convex and strictly decreasing (one root, principal
+    /// branch, `z ≥ 0`); `α < 0` makes it concave with `z ∈ [−1/e, 0)`,
+    /// where both real branches yield candidates and the *largest* root
+    /// inside `[0, dt]` is the descending crossing (the smaller one, if
+    /// non-negative at all, is the well touching zero before the valve
+    /// refills it — still feasible).
+    fn depletion_time(&self, discharge: f64, dt: f64) -> Option<f64> {
+        let kp = self.k / (self.c * (1.0 - self.c));
+        let y0 = self.y1 + self.y2;
+        let alpha = self.y1 - y0 * self.c + discharge * (1.0 - self.c) / kp;
+        let beta = y0 * self.c - discharge * (1.0 - self.c) / kp;
+        let gamma = discharge * self.c;
+        if gamma <= 0.0 || !gamma.is_finite() {
+            return None;
+        }
+        let z = alpha * kp / gamma * (-kp * beta / gamma).exp();
+        if !z.is_finite() {
+            return None;
+        }
+        let mut crossing: Option<f64> = None;
+        let mut consider = |w: f64| {
+            let t = beta / gamma + w / kp;
+            if t.is_finite() && (0.0..=dt).contains(&t) {
+                crossing = Some(crossing.map_or(t, |best: f64| best.max(t)));
+            }
+        };
+        if let Some(w) = lambert_w(z, true) {
+            consider(w);
+        }
+        if z < 0.0 {
+            if let Some(w) = lambert_w(z, false) {
+                consider(w);
+            }
+        }
+        crossing
+    }
+
+    /// Bisection fallback for [`Self::feasible_prefix`] (the pre-analytic
+    /// implementation): 60 probe halvings on the violation predicate.
+    fn bisect_prefix(&self, i: f64, dt: f64) -> f64 {
         let (mut lo, mut hi) = (0.0f64, dt);
         for _ in 0..60 {
             let mid = 0.5 * (lo + hi);
             let mut probe = self.clone();
             probe.advance(i, mid);
-            if violated(&probe) {
+            if self.violated(&probe) {
                 hi = mid;
             } else {
                 lo = mid;
@@ -138,6 +227,59 @@ impl KineticBattery {
         }
         lo
     }
+}
+
+/// `1/e`, the lower edge of the real Lambert-W domain.
+const INV_E: f64 = 1.0 / core::f64::consts::E;
+
+/// Real Lambert W by Halley iteration: solves `w·e^w = z` on the
+/// principal branch `W₀` (`w ≥ −1`, `z ≥ −1/e`) or the lower branch
+/// `W₋₁` (`w ≤ −1`, `−1/e ≤ z < 0`). Returns `None` outside the branch
+/// domain or if the iteration fails to meet a small residual — callers
+/// fall back to bisection, so refusal is always safe.
+fn lambert_w(z: f64, principal: bool) -> Option<f64> {
+    if !z.is_finite() || z < -INV_E {
+        return None;
+    }
+    if !principal && z >= 0.0 {
+        return None;
+    }
+    // Initial guesses: branch-point series in p = √(2(e·z + 1)) near
+    // z = −1/e, ln(1+z) on the principal branch elsewhere, and the
+    // z → 0⁻ asymptotic ln(−z) − ln(−ln(−z)) deep on the lower branch.
+    let p = (2.0 * (core::f64::consts::E * z + 1.0)).max(0.0).sqrt();
+    let mut w = if principal {
+        if z < 0.0 {
+            -1.0 + p - p * p / 3.0
+        } else {
+            z.ln_1p()
+        }
+    } else if z > -0.25 {
+        let l = (-z).ln();
+        l - (-l).ln()
+    } else {
+        -1.0 - p - p * p / 3.0
+    };
+    for _ in 0..64 {
+        let ew = w.exp();
+        let f = w * ew - z;
+        let w1 = w + 1.0;
+        let denom = ew * w1 - (w + 2.0) * f / (2.0 * w1);
+        if !denom.is_finite() || denom == 0.0 {
+            break;
+        }
+        let next = w - f / denom;
+        if !next.is_finite() {
+            break;
+        }
+        let done = (next - w).abs() <= 1e-14 * (1.0 + next.abs());
+        w = next;
+        if done {
+            break;
+        }
+    }
+    let residual = w * w.exp() - z;
+    (residual.abs() <= 1e-9 * (1.0 + z.abs())).then_some(w)
 }
 
 impl ChargeStorage for KineticBattery {
@@ -297,5 +439,82 @@ mod tests {
     #[should_panic(expected = "well split")]
     fn invalid_split_rejected() {
         let _ = KineticBattery::new(Charge::new(10.0), 0.5, 1.0, 0.1);
+    }
+
+    #[test]
+    fn lambert_w_solves_both_branches() {
+        // W₀(1) is the omega constant; W₀/W₋₁ straddle −1 on (−1/e, 0).
+        let w = lambert_w(1.0, true).unwrap();
+        assert!((w - 0.567_143_290_409_783_8).abs() < 1e-12);
+        for z in [-0.35, -0.2, -0.05, -0.001] {
+            let w0 = lambert_w(z, true).unwrap();
+            let wm1 = lambert_w(z, false).unwrap();
+            assert!(w0 >= -1.0 && wm1 <= -1.0, "branch order at z = {z}");
+            assert!((w0 * w0.exp() - z).abs() < 1e-9, "W0 residual at {z}");
+            assert!((wm1 * wm1.exp() - z).abs() < 1e-9, "W-1 residual at {z}");
+        }
+        assert!(lambert_w(-0.5, true).is_none(), "below −1/e has no real W");
+        assert!(lambert_w(0.5, false).is_none(), "W₋₁ needs z < 0");
+    }
+
+    /// The analytic-vs-bisection crossing fixture pair of PR 9: the
+    /// Lambert-W depletion time and the exact linear capacity crossing
+    /// must land where the retired 60-iteration bisection landed.
+    #[test]
+    fn analytic_crossings_match_bisection() {
+        // Discharge rail, both geometries: convex (α ≥ 0: hard drain
+        // from equilibrium) and concave (α < 0: a drained available well
+        // under a light load, where the valve refill bows y1 upward
+        // before the linear term wins).
+        let convex = KineticBattery::new(Charge::new(100.0), 1.0, 0.3, 0.005);
+        let mut drained = KineticBattery::new(Charge::new(100.0), 0.0, 0.3, 0.005);
+        drained.y1 = 5.0;
+        drained.y2 = 45.0;
+        let cases = [
+            (&convex, -2.0, 60.0),
+            (&convex, -0.9, 200.0),
+            (&drained, -0.1, 2000.0),
+            (&drained, -0.25, 400.0),
+        ];
+        for (batt, i, dt) in cases {
+            let analytic = batt.feasible_prefix(i, dt);
+            let bisected = batt.bisect_prefix(i, dt);
+            assert!(
+                analytic < dt,
+                "fixture must actually hit the rail (i = {i})"
+            );
+            assert!(
+                (analytic - bisected).abs() < 1e-6,
+                "i = {i}: analytic {analytic} vs bisection {bisected}"
+            );
+            // The closed form really fired: the depletion time exists.
+            assert!(batt.depletion_time(-i, dt).is_some());
+        }
+        // Charge rail: linear crossing vs bisection.
+        let nearly_full = KineticBattery::new(Charge::new(100.0), 0.95, 0.3, 0.005);
+        let analytic = nearly_full.feasible_prefix(2.0, 60.0);
+        let bisected = nearly_full.bisect_prefix(2.0, 60.0);
+        assert!(analytic < 60.0);
+        assert!((analytic - bisected).abs() < 1e-6);
+        assert!((analytic - 2.5).abs() < 1e-9, "5 A·s of headroom at 2 A");
+    }
+
+    #[test]
+    fn touching_well_keeps_the_descending_crossing() {
+        // A drained available well under a light load: the valve refill
+        // outpaces the discharge at first (y1 rises from zero), so the
+        // feasible prefix must be the *descending* crossing, not t = 0.
+        let mut b = KineticBattery::new(Charge::new(100.0), 0.0, 0.3, 0.05);
+        b.y1 = 0.0;
+        b.y2 = 60.0;
+        let i = -0.1;
+        let dt = 2000.0;
+        let analytic = b.feasible_prefix(i, dt);
+        let bisected = b.bisect_prefix(i, dt);
+        assert!(
+            analytic > 1.0,
+            "prefix collapsed to the touching root: {analytic}"
+        );
+        assert!((analytic - bisected).abs() < 1e-6);
     }
 }

@@ -139,6 +139,35 @@ pub trait ChargeStorage: core::fmt::Debug {
         flow.absorb(&self.step(net, duration - crossing));
         flow
     }
+
+    /// The time at which the state of charge would reach `target` under
+    /// constant net current `net`, if that happens within `horizon`.
+    ///
+    /// Returns `Some(t)` with `0 ≤ t ≤ horizon` when the projection
+    /// crosses `target` (a zero `t` means the state of charge already
+    /// sits on the target), and `None` when it never does within the
+    /// horizon — wrong direction, zero net, or too far away. Callers
+    /// (the simulator's plan-crossing split) treat `None` as "run the
+    /// plan to the end of the segment".
+    ///
+    /// The default projects linearly, `t = (target − soc) / net`, which
+    /// is exact for every model whose state of charge obeys
+    /// `d soc/dt = net` between the rails — including [`KineticBattery`],
+    /// whose two wells conserve total charge while the available well is
+    /// non-empty. A rail hit before `t` stalls the state of charge short
+    /// of the target; the caller re-plans from the stalled state, so the
+    /// projection needs no rail awareness here.
+    fn time_to_soc(&self, net: Amps, target: Charge, horizon: Seconds) -> Option<Seconds> {
+        if net.is_zero() {
+            return None;
+        }
+        let t = (target - self.soc()) / net;
+        if t >= Seconds::ZERO && t <= horizon {
+            Some(t)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +258,44 @@ mod trait_tests {
         assert!(fast.charged.approx_eq(slow.charged, 1e-9));
         assert!(fast.bled.approx_eq(slow.bled, 1e-9));
         assert!(coalesced.soc().approx_eq(chunked.soc(), 1e-9));
+    }
+
+    #[test]
+    fn time_to_soc_projects_linearly() {
+        let s = IdealStorage::new(Charge::new(10.0), Charge::new(4.0));
+        // 2 A·s away at 0.5 A → 4 s.
+        let t = s
+            .time_to_soc(Amps::new(0.5), Charge::new(6.0), Seconds::new(100.0))
+            .unwrap();
+        assert!((t.seconds() - 4.0).abs() < 1e-12);
+        // Wrong direction, zero net, or beyond the horizon → None.
+        assert!(s
+            .time_to_soc(Amps::new(-0.5), Charge::new(6.0), Seconds::new(100.0))
+            .is_none());
+        assert!(s
+            .time_to_soc(Amps::ZERO, Charge::new(6.0), Seconds::new(100.0))
+            .is_none());
+        assert!(s
+            .time_to_soc(Amps::new(0.5), Charge::new(6.0), Seconds::new(1.0))
+            .is_none());
+        // Already at the target → Some(0).
+        let t = s
+            .time_to_soc(Amps::new(-0.5), Charge::new(4.0), Seconds::new(10.0))
+            .unwrap();
+        assert!(t.is_zero());
+    }
+
+    #[test]
+    fn kibam_soc_moves_at_the_net_rate_while_feasible() {
+        // The linear projection is exact for KiBaM while the available
+        // well is non-empty: total charge is conserved.
+        let mut b = KineticBattery::new(Charge::new(100.0), 0.5, 0.3, 0.01);
+        let target = Charge::new(45.0);
+        let t = b
+            .time_to_soc(Amps::new(-1.0), target, Seconds::new(100.0))
+            .unwrap();
+        b.step(Amps::new(-1.0), t);
+        assert!(b.soc().approx_eq(target, 1e-9));
     }
 
     #[test]
