@@ -34,6 +34,10 @@
 //!   (`GridSpec`, `JobSpec`) must account for every serde field in an
 //!   explicit folded/masked manifest pair, so a new field can never
 //!   silently alias or orphan resume caches ([`digest`]).
+//! * [`AnalyzeRule::AtomicArtifact`] — every write into a grid run
+//!   directory must go through the tmp+rename publishers or the
+//!   checksummed-append checkpoint writer ([`artifacts`]), so a crash
+//!   can never leave a half-written artifact a resume would parse.
 //!
 //! The fourth layer makes the engine interprocedural and incremental:
 //!
@@ -62,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod cache;
 pub mod callgraph;
 pub mod constants;
@@ -109,10 +114,12 @@ pub enum AnalyzeRule {
     HintSoundness,
     /// Coalescing opportunities the hint leaves on the table.
     HintCoalescing,
+    /// Run-directory writes must use the atomic/checksummed helpers.
+    AtomicArtifact,
 }
 
 /// Every rule, in catalogue order.
-pub const ALL_RULES: [AnalyzeRule; 9] = [
+pub const ALL_RULES: [AnalyzeRule; 10] = [
     AnalyzeRule::UnitDataflow,
     AnalyzeRule::Layering,
     AnalyzeRule::PaperConstants,
@@ -122,6 +129,7 @@ pub const ALL_RULES: [AnalyzeRule; 9] = [
     AnalyzeRule::DigestStability,
     AnalyzeRule::HintSoundness,
     AnalyzeRule::HintCoalescing,
+    AnalyzeRule::AtomicArtifact,
 ];
 
 /// Finding severity: what `--fail-on` thresholds and SARIF levels key
@@ -148,6 +156,7 @@ impl AnalyzeRule {
             AnalyzeRule::DigestStability => "digest-stability",
             AnalyzeRule::HintSoundness => "hint-soundness",
             AnalyzeRule::HintCoalescing => "hint-coalescing",
+            AnalyzeRule::AtomicArtifact => "atomic-artifact",
         }
     }
 
@@ -193,6 +202,10 @@ impl AnalyzeRule {
             AnalyzeRule::HintCoalescing => {
                 "a None steady_current hint over an invariant or plannable decide path \
                  leaves chunk coalescing on the table"
+            }
+            AnalyzeRule::AtomicArtifact => {
+                "run-directory writes must go through the tmp+rename or \
+                 checksummed-append helpers"
             }
         }
     }
@@ -329,6 +342,7 @@ struct FileData {
     /// Intra-file pass results (pre-suppression).
     dataflow: Vec<Finding>,
     digest_pass: Vec<Finding>,
+    artifacts_pass: Vec<Finding>,
     /// Content digest matched the loaded cache (intra results replayed).
     intra_hit: bool,
     /// The loaded cache entry, for the interprocedural deps compare.
@@ -352,11 +366,12 @@ fn scan_one(rel: &str, path: &Path, cached: Option<cache::CachedFile>) -> io::Re
     let scan = Scan::new(&source);
     let symbols = symbols::file_symbols(rel, &scan);
     let defs = callgraph::function_defs(rel, &scan);
-    let (intra_hit, dataflow, digest_pass) = match &cached {
+    let (intra_hit, dataflow, digest_pass, artifacts_pass) = match &cached {
         Some(entry) if entry.digest == digest => (
             true,
             replay(entry, "dataflow", rel),
             replay(entry, "digest", rel),
+            replay(entry, "artifacts", rel),
         ),
         _ => {
             let df = if is_physics_file(rel) {
@@ -364,7 +379,12 @@ fn scan_one(rel: &str, path: &Path, cached: Option<cache::CachedFile>) -> io::Re
             } else {
                 Vec::new()
             };
-            (false, df, digest::check_file(rel, &source, &scan))
+            (
+                false,
+                df,
+                digest::check_file(rel, &source, &scan),
+                artifacts::check_file(rel, &scan),
+            )
         }
     };
     Ok(FileData {
@@ -375,6 +395,7 @@ fn scan_one(rel: &str, path: &Path, cached: Option<cache::CachedFile>) -> io::Re
         defs,
         dataflow,
         digest_pass,
+        artifacts_pass,
         intra_hit,
         cached,
     })
@@ -494,17 +515,17 @@ pub fn run_with(root: &Path, baseline: &Baseline, options: &EngineOptions) -> io
                 hints::check_file(&file_data.rel, &file_data.scan, Some(&ctx)),
             ),
         };
-        // Two intra buckets + two interprocedural buckets per file.
+        // Three intra buckets + two interprocedural buckets per file.
         let hits = if inter_hit {
-            4
+            5
         } else if file_data.intra_hit {
-            2
+            3
         } else {
             0
         };
         stats.pass_hits += hits;
-        stats.pass_misses += 4 - hits;
-        if hits == 4 {
+        stats.pass_misses += 5 - hits;
+        if hits == 5 {
             stats.files_reused += 1;
         }
 
@@ -512,6 +533,7 @@ pub fn run_with(root: &Path, baseline: &Baseline, options: &EngineOptions) -> io
             .dataflow
             .iter()
             .chain(file_data.digest_pass.iter())
+            .chain(file_data.artifacts_pass.iter())
             .chain(taint_findings.iter())
             .chain(hint_findings.iter())
         {
@@ -533,6 +555,7 @@ pub fn run_with(root: &Path, baseline: &Baseline, options: &EngineOptions) -> io
                 passes: BTreeMap::from([
                     ("dataflow".to_owned(), bucket(&file_data.dataflow)),
                     ("digest".to_owned(), bucket(&file_data.digest_pass)),
+                    ("artifacts".to_owned(), bucket(&file_data.artifacts_pass)),
                     ("taint".to_owned(), bucket(&taint_findings)),
                     ("hints".to_owned(), bucket(&hint_findings)),
                 ]),
@@ -639,7 +662,8 @@ mod tests {
                 "lock-discipline",
                 "digest-stability",
                 "hint-soundness",
-                "hint-coalescing"
+                "hint-coalescing",
+                "atomic-artifact"
             ]
         );
         for rule in fcdpm_lint::Rule::ALL {

@@ -257,7 +257,7 @@ const ALLOWED_DEPS: [(&str, &[&str]); 18] = [
     (
         "runner",
         &[
-            "core", "device", "faults", "fuelcell", "predict", "sim", "storage", "units",
+            "core", "device", "dvs", "faults", "fuelcell", "predict", "sim", "storage", "units",
             "workload",
         ],
     ),

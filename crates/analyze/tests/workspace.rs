@@ -412,7 +412,7 @@ fn warm_cache_reuses_every_file_and_replays_byte_identical_artifacts() {
     assert!(!b.stats.cold);
     assert_eq!(b.stats.files_total, 3);
     assert_eq!(b.stats.files_reused, 3);
-    assert_eq!(b.stats.pass_hits, 12);
+    assert_eq!(b.stats.pass_hits, 15);
     assert_eq!(b.stats.pass_misses, 0);
     assert!(b.changed.is_empty(), "{:?}", b.changed);
     assert!(
@@ -446,8 +446,8 @@ fn editing_one_file_invalidates_only_its_own_passes() {
         fcdpm_analyze::run_with(&scratch.root, &Baseline::default(), &options).expect("warm");
     assert_eq!(warm.stats.files_total, 3);
     assert_eq!(warm.stats.files_reused, 2);
-    assert_eq!(warm.stats.pass_hits, 8);
-    assert_eq!(warm.stats.pass_misses, 4);
+    assert_eq!(warm.stats.pass_hits, 10);
+    assert_eq!(warm.stats.pass_misses, 5);
     let changed: Vec<&str> = warm.changed.iter().map(String::as_str).collect();
     assert_eq!(changed, ["crates/sim/src/lib.rs"]);
 }
@@ -479,8 +479,8 @@ fn editing_a_helper_reruns_the_callers_interprocedural_passes() {
         fcdpm_analyze::run_with(&scratch.root, &Baseline::default(), &options).expect("warm");
     assert_eq!(warm.stats.files_total, 2);
     assert_eq!(warm.stats.files_reused, 0);
-    assert_eq!(warm.stats.pass_hits, 2);
-    assert_eq!(warm.stats.pass_misses, 6);
+    assert_eq!(warm.stats.pass_hits, 3);
+    assert_eq!(warm.stats.pass_misses, 7);
     let changed: Vec<&str> = warm.changed.iter().map(String::as_str).collect();
     assert_eq!(changed, ["crates/grid/src/util.rs"]);
 

@@ -17,11 +17,17 @@
 //!    (starvation and combined schedules under plain, resilient and
 //!    Conv policies), so payload diffs also catch drift in the
 //!    degradation ladder.
-//! 4. **Grid throughput** — a small fixture `GridSpec` through the
-//!    sharded fleet engine, reporting jobs/sec as a first-class metric:
-//!    *nominal* jobs/sec (from the simulators' own work counters under
-//!    the engine's fixed cost model — deterministic, in the payload)
-//!    and *wall* jobs/sec (in the human report only).
+//! 4. **Grid throughput & crash safety** — a small fixture `GridSpec`
+//!    through the sharded fleet engine, reporting jobs/sec as a
+//!    first-class metric: *nominal* jobs/sec (from the simulators' own
+//!    work counters under the engine's fixed cost model —
+//!    deterministic, in the payload) and *wall* jobs/sec (in the human
+//!    report only). The same section exercises the crash-safety path
+//!    deterministically — one promoted shard is demoted to a partial
+//!    checkpoint and the resume must replay it without recomputing —
+//!    and times the engine with checkpointing on and off; checkpointing
+//!    must cost at most 5% (plus a small absolute floor for timer
+//!    noise), or the harness fails.
 //!
 //! The machine-readable payload ([`BenchReport::json`]) carries only
 //! deterministic content — metrics and work counters, never timings —
@@ -97,6 +103,9 @@ struct ThroughputEntry {
     chunks_coalesced: u64,
     policy_consultations: u64,
     jobs_per_sec_nominal: f64,
+    /// Jobs replayed from a partial checkpoint by the deterministic
+    /// demote-and-resume exercise (one full shard's worth).
+    recovered_jobs: u64,
 }
 
 /// The deterministic machine-readable payload (`BENCH_4.json`).
@@ -359,6 +368,90 @@ pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
         grid_run.peak_resident_jobs,
         grid_run.wall_s * 1e3,
     ));
+
+    // Crash-safety exercise: demote the first promoted shard back to a
+    // partial checkpoint (exactly what a kill mid-promote leaves
+    // behind), then resume. Every demoted record must replay from the
+    // checkpoint — zero recomputation — and the aggregate must come out
+    // byte-identical.
+    let aggregate_path = grid_run.dir.join("aggregate.json");
+    let aggregate_before = std::fs::read_to_string(&aggregate_path)
+        .map_err(|e| format!("cannot read {}: {e}", aggregate_path.display()))?;
+    let shard0 = grid_run.dir.join(fcdpm_grid::shard_file_name(0));
+    let demoted = fcdpm_grid::read_shard(&shard0).map_err(|e| format!("demoting shard 0: {e}"))?;
+    std::fs::remove_file(&shard0).map_err(|e| format!("demoting shard 0: {e}"))?;
+    let mut writer = fcdpm_grid::PartialShardWriter::create(&grid_run.dir, 0)
+        .map_err(|e| format!("demoting shard 0: {e}"))?;
+    writer
+        .append(&demoted)
+        .map_err(|e| format!("demoting shard 0: {e}"))?;
+    let resume_config = fcdpm_grid::GridConfig {
+        resume: true,
+        ..grid_config.clone()
+    };
+    let resumed = fcdpm_grid::run(&grid_spec, &resume_config)
+        .map_err(|e| format!("checkpoint resume failed: {e}"))?;
+    let recovered_jobs = resumed.recovered_jobs;
+    if recovered_jobs != to_u64(demoted.len()) || resumed.recomputed != 0 {
+        return Err(format!(
+            "checkpoint resume recovered {recovered_jobs} of {} demoted jobs and recomputed {}; \
+             a clean checkpoint must replay fully",
+            demoted.len(),
+            resumed.recomputed
+        ));
+    }
+    let aggregate_after = std::fs::read_to_string(&aggregate_path)
+        .map_err(|e| format!("cannot read {}: {e}", aggregate_path.display()))?;
+    if aggregate_before != aggregate_after {
+        return Err("checkpoint resume changed aggregate.json bytes".to_owned());
+    }
+    text.push_str(&format!(
+        "  checkpoint resume: {recovered_jobs} jobs replayed, 0 recomputed, aggregate identical\n"
+    ));
+
+    // Checkpoint-overhead A/B: the same grid, fresh each repetition,
+    // with mid-shard checkpointing on (default batch) and off. The
+    // fsync'd batches may cost at most 5% wall-clock plus a 5 ms
+    // absolute floor that keeps timer noise on a near-instant fixture
+    // from tripping the gate.
+    let mut overhead = [f64::INFINITY; 2];
+    for (slot, batch) in [(0usize, 32u64), (1, 0)] {
+        let config = fcdpm_grid::GridConfig {
+            out_dir: std::env::temp_dir().join(if batch == 0 {
+                "fcdpm-bench-grid-nockpt"
+            } else {
+                "fcdpm-bench-grid-ckpt"
+            }),
+            checkpoint_batch: batch,
+            ..fcdpm_grid::GridConfig::default()
+        };
+        for _ in 0..reps {
+            let start = Instant::now();
+            fcdpm_grid::run(&grid_spec, &config)
+                .map_err(|e| format!("overhead grid failed: {e}"))?;
+            overhead[slot] = overhead[slot].min(start.elapsed().as_secs_f64());
+        }
+    }
+    let (ckpt_s, nockpt_s) = (overhead[0], overhead[1]);
+    let overhead_pct = if nockpt_s > 0.0 {
+        (ckpt_s / nockpt_s - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    text.push_str(&format!(
+        "  checkpoint overhead: {:.1} ms on vs {:.1} ms off ({overhead_pct:+.1}%, gate 5% + 5 ms)\n",
+        ckpt_s * 1e3,
+        nockpt_s * 1e3,
+    ));
+    if ckpt_s > nockpt_s * 1.05 + 0.005 {
+        return Err(format!(
+            "checkpointing costs {:.1} ms over the uncheckpointed {:.1} ms — past the \
+             5% + 5 ms acceptance gate",
+            (ckpt_s - nockpt_s) * 1e3,
+            nockpt_s * 1e3
+        ));
+    }
+
     let throughput = ThroughputEntry {
         spec_digest: agg.spec_digest.clone(),
         jobs: agg.jobs,
@@ -370,10 +463,11 @@ pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
         chunks_coalesced: agg.chunks_coalesced,
         policy_consultations: agg.policy_consultations,
         jobs_per_sec_nominal: agg.jobs_per_sec_nominal,
+        recovered_jobs,
     };
 
     let payload = BenchPayload {
-        schema: "fcdpm-bench/3".to_owned(),
+        schema: "fcdpm-bench/4".to_owned(),
         seed: BENCH_SEED,
         grid_digest: manifest.grid_digest.clone(),
         jobs,
@@ -490,6 +584,12 @@ fn to_f64(v: u64) -> f64 {
     v as f64
 }
 
+/// `usize` → `u64` for record counts (lossless on every supported
+/// target).
+fn to_u64(v: usize) -> u64 {
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,7 +600,7 @@ mod tests {
         let first = run(&options).expect("harness runs");
         let second = run(&options).expect("harness runs");
         assert_eq!(first.json, second.json, "payload must be deterministic");
-        assert!(first.json.contains("\"schema\": \"fcdpm-bench/3\""));
+        assert!(first.json.contains("\"schema\": \"fcdpm-bench/4\""));
         assert!(!first.json.contains("wall_ms"), "no timings in payload");
         assert!(first.text.contains("speedup"));
         assert!(first.text.contains("fault sweep"));
@@ -511,6 +611,13 @@ mod tests {
         assert!(!first.json.contains("jobs_per_sec_wall"));
         assert!(first.text.contains("grid throughput"));
         assert!(first.jobs_per_sec > 0.0);
+        // Crash safety is first-class: the demote-and-resume exercise
+        // replays exactly one shard (3 jobs at shard size 3), and the
+        // overhead A/B reports in the human text only.
+        assert!(first.json.contains("\"recovered_jobs\": 3"));
+        assert!(first.text.contains("checkpoint resume: 3 jobs replayed"));
+        assert!(first.text.contains("checkpoint overhead"));
+        assert!(!first.json.contains("checkpoint overhead"));
     }
 
     #[test]

@@ -74,6 +74,9 @@ pub enum GridAction {
     Resume,
     /// Inspect a run directory without executing anything.
     Status,
+    /// Sweep a grid root: compact torn checkpoints, drop orphaned
+    /// temporaries and stale shards, delete abandoned run directories.
+    Gc,
 }
 
 /// A parsed CLI invocation.
@@ -150,6 +153,16 @@ pub enum Command {
         out: Option<String>,
         /// Run directory name (default `grid-<spec-digest>`).
         run_id: Option<String>,
+        /// Attempts per job before it is quarantined (default 1).
+        max_attempts: Option<u32>,
+        /// Base backoff between attempts, in ms (default 0).
+        retry_backoff_ms: Option<u64>,
+        /// Jobs per fsync'd checkpoint batch; 0 disables mid-shard
+        /// checkpointing (default 32).
+        checkpoint_batch: Option<u64>,
+        /// For `gc`: report what would be repaired without touching
+        /// anything.
+        dry_run: bool,
     },
     /// Run the seeded fault-injection sweep (canonical schedules under
     /// plain, resilient and Conv-DPM policies) and write the
@@ -460,12 +473,14 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, ParseCliError> {
                 Some("run") => GridAction::Run,
                 Some("resume") => GridAction::Resume,
                 Some("status") => GridAction::Status,
+                Some("gc") => GridAction::Gc,
                 Some(other) => return Err(err(format!("unknown grid action `{other}`"))),
-                None => return Err(err("grid needs `run`, `resume` or `status`")),
+                None => return Err(err("grid needs `run`, `resume`, `status` or `gc`")),
             };
             let Some(path) = iter.next().filter(|p| !p.starts_with('-')) else {
                 return Err(err(match action {
                     GridAction::Status => "grid status needs a run directory",
+                    GridAction::Gc => "grid gc needs a grid root directory",
                     _ => "grid needs a JSON GridSpec file path",
                 }));
             };
@@ -473,6 +488,10 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, ParseCliError> {
             let mut shard_size = None;
             let mut out = None;
             let mut run_id = None;
+            let mut max_attempts = None;
+            let mut retry_backoff_ms = None;
+            let mut checkpoint_batch = None;
+            let mut dry_run = false;
             while let Some(flag) = iter.next() {
                 match flag {
                     "--jobs" => {
@@ -499,6 +518,32 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, ParseCliError> {
                     "--run-id" => {
                         run_id = Some(take_value(flag, &mut iter)?.to_owned());
                     }
+                    "--max-attempts" => {
+                        let v = take_value(flag, &mut iter)?;
+                        max_attempts = Some(
+                            v.parse::<u32>()
+                                .ok()
+                                .filter(|n| *n > 0)
+                                .ok_or_else(|| err(format!("bad attempt count `{v}`")))?,
+                        );
+                    }
+                    "--retry-backoff-ms" => {
+                        let v = take_value(flag, &mut iter)?;
+                        retry_backoff_ms = Some(
+                            v.parse::<u64>()
+                                .map_err(|_| err(format!("bad backoff `{v}`")))?,
+                        );
+                    }
+                    "--checkpoint-batch" => {
+                        let v = take_value(flag, &mut iter)?;
+                        checkpoint_batch = Some(
+                            v.parse::<u64>()
+                                .map_err(|_| err(format!("bad checkpoint batch `{v}`")))?,
+                        );
+                    }
+                    "--dry-run" => {
+                        dry_run = true;
+                    }
                     other => return Err(err(format!("unknown flag `{other}`"))),
                 }
             }
@@ -509,6 +554,10 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, ParseCliError> {
                 shard_size,
                 out,
                 run_id,
+                max_attempts,
+                retry_backoff_ms,
+                checkpoint_batch,
+                dry_run,
             })
         }
         "faults" => {
@@ -792,18 +841,27 @@ mod tests {
         assert!(parse(&["batch", "g.json", "--frob"]).is_err());
     }
 
+    /// A `Command::Grid` with every optional knob unset.
+    fn bare_grid(action: GridAction, path: &str) -> Command {
+        Command::Grid {
+            action,
+            path: path.into(),
+            jobs: None,
+            shard_size: None,
+            out: None,
+            run_id: None,
+            max_attempts: None,
+            retry_backoff_ms: None,
+            checkpoint_batch: None,
+            dry_run: false,
+        }
+    }
+
     #[test]
     fn grid_parse() {
         assert_eq!(
             parse(&["grid", "run", "fleet.json"]).unwrap(),
-            Command::Grid {
-                action: GridAction::Run,
-                path: "fleet.json".into(),
-                jobs: None,
-                shard_size: None,
-                out: None,
-                run_id: None,
-            }
+            bare_grid(GridAction::Run, "fleet.json")
         );
         assert_eq!(
             parse(&[
@@ -817,7 +875,13 @@ mod tests {
                 "--out",
                 "runs",
                 "--run-id",
-                "campaign-a"
+                "campaign-a",
+                "--max-attempts",
+                "3",
+                "--retry-backoff-ms",
+                "250",
+                "--checkpoint-batch",
+                "64"
             ])
             .unwrap(),
             Command::Grid {
@@ -827,18 +891,15 @@ mod tests {
                 shard_size: Some(512),
                 out: Some("runs".into()),
                 run_id: Some("campaign-a".into()),
+                max_attempts: Some(3),
+                retry_backoff_ms: Some(250),
+                checkpoint_batch: Some(64),
+                dry_run: false,
             }
         );
         assert_eq!(
             parse(&["grid", "status", "results/grid/grid-abc"]).unwrap(),
-            Command::Grid {
-                action: GridAction::Status,
-                path: "results/grid/grid-abc".into(),
-                jobs: None,
-                shard_size: None,
-                out: None,
-                run_id: None,
-            }
+            bare_grid(GridAction::Status, "results/grid/grid-abc")
         );
         assert!(parse(&["grid"]).is_err());
         assert!(parse(&["grid", "frob"]).is_err());
@@ -851,6 +912,29 @@ mod tests {
             .message
             .contains("run directory"));
         assert!(parse(&["grid", "run", "g.json", "--frob"]).is_err());
+        assert!(parse(&["grid", "run", "g.json", "--max-attempts", "0"]).is_err());
+        assert!(parse(&["grid", "run", "g.json", "--retry-backoff-ms", "x"]).is_err());
+        assert!(parse(&["grid", "run", "g.json", "--checkpoint-batch", "x"]).is_err());
+    }
+
+    #[test]
+    fn grid_gc_parse() {
+        assert_eq!(
+            parse(&["grid", "gc", "results/grid"]).unwrap(),
+            bare_grid(GridAction::Gc, "results/grid")
+        );
+        let Command::Grid {
+            action, dry_run, ..
+        } = parse(&["grid", "gc", "results/grid", "--dry-run"]).unwrap()
+        else {
+            panic!("not a grid command");
+        };
+        assert_eq!(action, GridAction::Gc);
+        assert!(dry_run);
+        assert!(parse(&["grid", "gc"])
+            .unwrap_err()
+            .message
+            .contains("grid root"));
     }
 
     #[test]

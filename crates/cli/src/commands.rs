@@ -77,14 +77,22 @@ pub fn execute(command: &Command) -> Result<CmdOutput, String> {
             shard_size,
             out,
             run_id,
-        } => run_grid_cmd(
-            *action,
+            max_attempts,
+            retry_backoff_ms,
+            checkpoint_batch,
+            dry_run,
+        } => run_grid_cmd(GridCmd {
+            action: *action,
             path,
-            *jobs,
-            *shard_size,
-            out.as_deref(),
-            run_id.as_deref(),
-        )
+            jobs: *jobs,
+            shard_size: *shard_size,
+            out_dir: out.as_deref(),
+            run_id: run_id.as_deref(),
+            max_attempts: *max_attempts,
+            retry_backoff_ms: *retry_backoff_ms,
+            checkpoint_batch: *checkpoint_batch,
+            dry_run: *dry_run,
+        })
         .map(CmdOutput::success),
         Command::Faults {
             quick,
@@ -386,16 +394,29 @@ fn run_batch(
     Ok(out)
 }
 
-fn run_grid_cmd(
+/// Everything one `fcdpm grid` invocation carries.
+struct GridCmd<'a> {
     action: GridAction,
-    path: &str,
+    path: &'a str,
     jobs: Option<usize>,
     shard_size: Option<u64>,
-    out_dir: Option<&str>,
-    run_id: Option<&str>,
-) -> Result<String, String> {
+    out_dir: Option<&'a str>,
+    run_id: Option<&'a str>,
+    max_attempts: Option<u32>,
+    retry_backoff_ms: Option<u64>,
+    checkpoint_batch: Option<u64>,
+    dry_run: bool,
+}
+
+fn run_grid_cmd(cmd: GridCmd<'_>) -> Result<String, String> {
     let mut out = String::new();
-    if action == GridAction::Status {
+    let path = cmd.path;
+    if cmd.action == GridAction::Gc {
+        let report = fcdpm_grid::gc(std::path::Path::new(path), cmd.dry_run)?;
+        out.push_str(&report.to_text());
+        return Ok(out);
+    }
+    if cmd.action == GridAction::Status {
         let state = fcdpm_grid::status(std::path::Path::new(path))?;
         let _ = writeln!(
             out,
@@ -407,6 +428,13 @@ fn run_grid_cmd(
             "completed {} | failed {} | timed out {}",
             state.completed, state.failed, state.timed_out
         );
+        if state.partial_shards > 0 {
+            let _ = writeln!(
+                out,
+                "partial checkpoints: {} file(s), {} recoverable record(s), {} torn line(s)",
+                state.partial_shards, state.checkpointed, state.torn_lines
+            );
+        }
         let _ = writeln!(
             out,
             "aggregate.json: {}",
@@ -432,12 +460,23 @@ fn run_grid_cmd(
     let spec: fcdpm_grid::GridSpec =
         serde_json::from_str(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))?;
     let config = fcdpm_grid::GridConfig {
-        workers: jobs.unwrap_or(0),
-        shard_size: shard_size.unwrap_or(1024),
-        out_dir: std::path::PathBuf::from(out_dir.unwrap_or("results/grid")),
-        run_id: run_id.map(ToOwned::to_owned),
-        resume: action == GridAction::Resume,
+        workers: cmd.jobs.unwrap_or(0),
+        shard_size: cmd.shard_size.unwrap_or(1024),
+        out_dir: std::path::PathBuf::from(cmd.out_dir.unwrap_or("results/grid")),
+        run_id: cmd.run_id.map(ToOwned::to_owned),
+        resume: cmd.action == GridAction::Resume,
         timeout: None,
+        retry: fcdpm_runner::pool::RetryPolicy {
+            max_attempts: cmd.max_attempts.unwrap_or(1),
+            backoff: std::time::Duration::from_millis(cmd.retry_backoff_ms.unwrap_or(0)),
+        },
+        checkpoint_batch: cmd.checkpoint_batch.unwrap_or(32),
+        // Test-only: lets the CI kill-resume gate abort the process at a
+        // deterministic point instead of racing a timed `kill -9`.
+        crash_point: match std::env::var("FCDPM_GRID_CRASH_POINT") {
+            Ok(text) => Some(text.parse()?),
+            Err(_) => None,
+        },
     };
     let run = fcdpm_grid::run(&spec, &config)?;
     let agg = &run.aggregate;
@@ -451,6 +490,13 @@ fn run_grid_cmd(
         "completed {} | failed {} | timed out {}",
         agg.completed, agg.failed, agg.timed_out
     );
+    if agg.retried > 0 || agg.quarantined > 0 {
+        let _ = writeln!(
+            out,
+            "retried {} | quarantined {}",
+            agg.retried, agg.quarantined
+        );
+    }
     let _ = writeln!(
         out,
         "cache hits: {}/{} ({:.1}%)",
@@ -459,6 +505,9 @@ fn run_grid_cmd(
         run.cache_hit_pct()
     );
     let _ = writeln!(out, "recomputed: {}", run.recomputed);
+    if run.recovered_jobs > 0 {
+        let _ = writeln!(out, "recovered from checkpoints: {}", run.recovered_jobs);
+    }
     let _ = writeln!(
         out,
         "fuel: {:.1} A*s total (p50 {:.1}, p99 {:.1})",

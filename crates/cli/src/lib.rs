@@ -31,7 +31,9 @@ USAGE:
     fcdpm sizing [--tolerance-as <N>]
     fcdpm batch <grid.json> [--jobs <N>] [--out <DIR>]
     fcdpm grid <run|resume> <spec.json> [--jobs <N>] [--shard-size <N>] [--out <DIR>] [--run-id <ID>]
+                            [--max-attempts <N>] [--retry-backoff-ms <N>] [--checkpoint-batch <N>]
     fcdpm grid status <run-dir>
+    fcdpm grid gc <grid-root> [--dry-run]
     fcdpm faults [--quick] [--seed <N>] [--jobs <N>] [--out <DIR>]
     fcdpm bench [--quick] [--out <FILE>]
     fcdpm lint [--format <human|json|sarif>] [--baseline <FILE>] [--root <DIR>] [--write-baseline]
@@ -48,7 +50,8 @@ COMMANDS:
     sizing       smallest storage capacity for unconstrained FC-DPM (Exp. 1)
     batch        run a JSON job grid on the worker pool, write a run manifest
     grid         fleet-scale engine: lazy cross-product GridSpec, sharded
-                 streaming spill to shard-*.jsonl, digest-keyed resume
+                 streaming spill to shard-*.jsonl, digest-keyed resume,
+                 mid-shard checkpointing, bounded retry, crash-artifact gc
     faults       seeded fault-injection sweep: canonical schedules under plain,
                  resilient and Conv-DPM policies, deterministic manifest
     bench        wall-clock harness: fixture grid + chunk-coalescing A/B,

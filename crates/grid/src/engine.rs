@@ -20,16 +20,72 @@
 //! cached resume of the same grid produce byte-identical aggregates —
 //! CI diffs them directly. Timings live only on the returned
 //! [`GridRun`].
+//!
+//! # Crash safety
+//!
+//! While a shard is in flight its completed records stream into
+//! `shard-NNNNN.partial.jsonl` in fsync'd, checksummed batches of
+//! [`GridConfig::checkpoint_batch`] jobs. A `kill -9` therefore loses
+//! at most the jobs of the batch being written: `resume` replays the
+//! checkpoint's maximal valid prefix as cache hits (surfaced as
+//! [`GridRun::recovered_jobs`]) and recomputes only the rest. Shard
+//! promotion (partial → `shard-NNNNN.jsonl`) and every whole-file
+//! artifact (`grid.json`, `aggregate.json`) go through atomic
+//! tmp+rename, so no reader ever observes a torn committed artifact.
+//! The [`CrashPoint`] hooks exist solely so the integration harness can
+//! kill the process at each of these moments deterministically.
 
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-use fcdpm_runner::pool::{run_to_completion, Execution};
+use fcdpm_runner::pool::{run_with_retry, Execution, RetryPolicy};
 use fcdpm_runner::{execute, JobOutcome};
 use serde::{Deserialize, Serialize};
 
 use crate::gen::{spec_digest, GridSpec};
-use crate::manifest::{digest_hex, read_shard, shard_file_name, write_shard, GridJobRecord};
+use crate::manifest::{
+    digest_hex, partial_file_name, read_partial, read_shard, shard_file_name, write_atomic,
+    write_shard, GridJobRecord, PartialShardWriter,
+};
+
+/// Deterministic crash-injection hooks. Setting one on [`GridConfig`]
+/// makes [`run`] abort the *process* (the moral equivalent of `kill
+/// -9`: no unwinding, no destructors) at the named point. Test-only —
+/// production configs leave this `None`; the integration harness sets
+/// it in a child process and asserts that resume repairs the damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Abort once this many jobs (1-based, counted across the
+    /// invocation) have been checkpointed to partial files.
+    AfterJob(u64),
+    /// Abort immediately before this shard is promoted partial → final.
+    BeforeShardPromote(u64),
+    /// Abort mid-write while checkpointing this shard: a torn
+    /// half-record is left on disk, exactly as a kill inside a batch
+    /// write would.
+    MidPartialWrite(u64),
+}
+
+impl std::str::FromStr for CrashPoint {
+    type Err = String;
+
+    /// Parses `after-job:N`, `before-promote:N` or `mid-write:N` — the
+    /// spelling the crash harness and the CI kill-resume gate use.
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let (kind, operand) = text
+            .split_once(':')
+            .ok_or_else(|| format!("crash point `{text}` is not `kind:n`"))?;
+        let n: u64 = operand
+            .parse()
+            .map_err(|_| format!("crash point operand `{operand}` is not a number"))?;
+        match kind {
+            "after-job" => Ok(Self::AfterJob(n)),
+            "before-promote" => Ok(Self::BeforeShardPromote(n)),
+            "mid-write" => Ok(Self::MidPartialWrite(n)),
+            other => Err(format!("unknown crash point kind `{other}`")),
+        }
+    }
+}
 
 /// How a grid run is scheduled and where it spills.
 #[derive(Debug, Clone)]
@@ -43,10 +99,20 @@ pub struct GridConfig {
     /// Run directory name; `None` derives `grid-<spec-digest>` so the
     /// same grid always lands (and resumes) in the same place.
     pub run_id: Option<String>,
-    /// Reuse digest-matching records from a previous run's spill.
+    /// Reuse digest-matching records from a previous run's spill —
+    /// promoted shards *and* partial checkpoints.
     pub resume: bool,
     /// Per-job wall-clock budget (`None` = unbounded).
     pub timeout: Option<Duration>,
+    /// Retry policy for panicked/timed-out jobs.
+    pub retry: RetryPolicy,
+    /// Jobs per fsync'd checkpoint batch (0 disables mid-shard
+    /// checkpointing: a kill then loses the whole in-flight shard,
+    /// exactly the pre-checkpointing behavior).
+    pub checkpoint_batch: u64,
+    /// Crash-injection hook for the test harness (`None` in
+    /// production).
+    pub crash_point: Option<CrashPoint>,
 }
 
 impl Default for GridConfig {
@@ -58,6 +124,9 @@ impl Default for GridConfig {
             run_id: None,
             resume: false,
             timeout: None,
+            retry: RetryPolicy::default(),
+            checkpoint_batch: 32,
+            crash_point: None,
         }
     }
 }
@@ -118,6 +187,10 @@ pub struct GridAggregate {
     pub failed: u64,
     /// Jobs that timed out.
     pub timed_out: u64,
+    /// Jobs that completed after more than one attempt.
+    pub retried: u64,
+    /// Jobs that exhausted their retry budget without completing.
+    pub quarantined: u64,
     /// Total fuel consumed across completed jobs (A·s).
     pub total_fuel_as: f64,
     /// Median per-job fuel (A·s, nearest-rank over completed jobs).
@@ -174,6 +247,10 @@ pub struct GridRun {
     pub dir: PathBuf,
     /// Records reused from spill because their digest matched.
     pub cache_hits: u64,
+    /// Of those, records recovered from partial (mid-shard) checkpoint
+    /// files rather than promoted shards — the jobs a crash-interrupted
+    /// run did *not* lose.
+    pub recovered_jobs: u64,
     /// Jobs actually executed this invocation.
     pub recomputed: u64,
     /// Largest number of jobs resident at once (≤ shard size).
@@ -221,6 +298,8 @@ struct Rollup {
     completed: u64,
     failed: u64,
     timed_out: u64,
+    retried: u64,
+    quarantined: u64,
     total_fuel_as: f64,
     total_deficit_time_s: f64,
     total_sim_time_s: f64,
@@ -245,6 +324,16 @@ impl Rollup {
             deficit_time_s: 0.0,
         };
         for record in records {
+            if record.attempts > 1 {
+                // Attempt counts fold deterministically: retries are
+                // driven by the spec (the inject-panic fixture), never
+                // by scheduling, so resumes reproduce them.
+                if matches!(record.outcome, JobOutcome::Completed(_)) {
+                    self.retried += 1;
+                } else {
+                    self.quarantined += 1;
+                }
+            }
             match &record.outcome {
                 JobOutcome::Completed(m) => {
                     summary.completed += 1;
@@ -277,7 +366,7 @@ impl Rollup {
             self.policy_consultations,
         );
         GridAggregate {
-            schema: "fcdpm-grid/1".to_owned(),
+            schema: "fcdpm-grid/2".to_owned(),
             spec_digest: digest_hex(spec.digest()),
             jobs,
             shards: self.per_shard.len() as u64,
@@ -285,6 +374,8 @@ impl Rollup {
             completed: self.completed,
             failed: self.failed,
             timed_out: self.timed_out,
+            retried: self.retried,
+            quarantined: self.quarantined,
             total_fuel_as: self.total_fuel_as,
             fuel_p50_as: quantile(&self.fuel_column, 0.50),
             fuel_p99_as: quantile(&self.fuel_column, 0.99),
@@ -310,27 +401,98 @@ impl Rollup {
     }
 }
 
+/// Parses the shard index out of a spill file name, final
+/// (`shard-NNNNN.jsonl`) or partial (`shard-NNNNN.partial.jsonl`).
+fn shard_index_of(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    name.strip_prefix("shard-")?
+        .strip_suffix(".jsonl")?
+        .trim_end_matches(".partial")
+        .parse::<u64>()
+        .ok()
+}
+
 /// Removes spill that must not leak into this run: on a fresh run every
-/// old shard, on a resume only stale shards past the current count.
+/// old shard and checkpoint, on a resume only those past the current
+/// shard count.
 fn clean_stale(dir: &Path, shards: u64, resume: bool) -> Result<(), String> {
-    for path in crate::manifest::shard_files(dir)? {
-        let keep = resume
-            && path
-                .file_name()
-                .and_then(|n| n.to_str())
-                .and_then(|n| {
-                    n.strip_prefix("shard-")?
-                        .strip_suffix(".jsonl")?
-                        .parse::<u64>()
-                        .ok()
-                })
-                .is_some_and(|n| n < shards);
+    let mut spill = crate::manifest::shard_files(dir)?;
+    spill.extend(crate::manifest::partial_files(dir)?);
+    for path in spill {
+        let keep = resume && shard_index_of(&path).is_some_and(|n| n < shards);
         if !keep {
             std::fs::remove_file(&path)
                 .map_err(|e| format!("cannot remove stale `{}`: {e}", path.display()))?;
         }
     }
     Ok(())
+}
+
+/// The checkpoint stream for one invocation: owns the per-shard partial
+/// writer, the invocation-wide checkpointed-job counter, and the
+/// crash-injection hooks (which fire *inside* the append path, so the
+/// on-disk state at the abort instant is exactly what a kill would
+/// leave).
+struct Checkpointer {
+    writer: Option<PartialShardWriter>,
+    crash: Option<CrashPoint>,
+    appended: u64,
+}
+
+impl Checkpointer {
+    fn open(&mut self, dir: &Path, shard: u64, batch: u64) -> Result<(), String> {
+        self.writer = if batch > 0 {
+            Some(PartialShardWriter::create(dir, shard)?)
+        } else {
+            None
+        };
+        Ok(())
+    }
+
+    fn append(&mut self, shard: u64, records: &[GridJobRecord]) -> Result<(), String> {
+        let Some(writer) = self.writer.as_mut() else {
+            return Ok(());
+        };
+        if records.is_empty() {
+            return Ok(());
+        }
+        if self.crash == Some(CrashPoint::MidPartialWrite(shard)) {
+            // Leave every record but the last intact, then die with the
+            // last one half-written — the torn tail a kill mid-batch
+            // produces.
+            let (head, torn) = records.split_at(records.len() - 1);
+            writer.append(head)?;
+            writer.append_torn(&torn[0])?;
+            std::process::abort();
+        }
+        if let Some(CrashPoint::AfterJob(n)) = self.crash {
+            if self.appended < n && n <= self.appended + records.len() as u64 {
+                let cut = usize::try_from(n - self.appended).unwrap_or(records.len());
+                writer.append(&records[..cut])?;
+                std::process::abort();
+            }
+        }
+        writer.append(records)?;
+        self.appended += records.len() as u64;
+        Ok(())
+    }
+
+    fn before_promote(&self, shard: u64) {
+        if self.crash == Some(CrashPoint::BeforeShardPromote(shard)) {
+            std::process::abort();
+        }
+    }
+
+    /// Drops the writer and removes the checkpoint file — the shard has
+    /// been promoted, so the partial is now redundant.
+    fn retire(&mut self, dir: &Path, shard: u64) -> Result<(), String> {
+        if self.writer.take().is_some() {
+            let path = dir.join(partial_file_name(shard));
+            std::fs::remove_file(&path)
+                .map_err(|e| format!("cannot remove `{}`: {e}", path.display()))?;
+        }
+        Ok(())
+    }
 }
 
 /// Executes `spec` under `config`: shard by shard, spilling records,
@@ -352,14 +514,20 @@ pub fn run(spec: &GridSpec, config: &GridConfig) -> Result<GridRun, String> {
     std::fs::create_dir_all(&dir)
         .map_err(|e| format!("cannot create run directory `{}`: {e}", dir.display()))?;
     let spec_json = serde_json::to_string_pretty(spec).unwrap_or_default();
-    std::fs::write(dir.join("grid.json"), spec_json)
+    write_atomic(&dir.join("grid.json"), &spec_json)
         .map_err(|e| format!("cannot write grid.json in `{}`: {e}", dir.display()))?;
     clean_stale(&dir, shards, config.resume)?;
 
     let mut rollup = Rollup::default();
     let mut cache_hits = 0u64;
+    let mut recovered_jobs = 0u64;
     let mut recomputed = 0u64;
     let mut peak_resident_jobs = 0u64;
+    let mut checkpointer = Checkpointer {
+        writer: None,
+        crash: config.crash_point,
+        appended: 0,
+    };
 
     for shard in 0..shards {
         let lo = shard * shard_size;
@@ -378,67 +546,134 @@ pub fn run(spec: &GridSpec, config: &GridConfig) -> Result<GridRun, String> {
         }
         peak_resident_jobs = peak_resident_jobs.max(specs.len() as u64);
 
-        // Digest-keyed reuse from a previous run's spill of this shard.
-        let mut outcomes: Vec<Option<JobOutcome>> = vec![None; specs.len()];
+        // Digest-keyed reuse: first from a promoted shard of a previous
+        // run, then from a crash-interrupted run's partial checkpoint
+        // (its maximal checksum-valid prefix — torn tails never replay).
+        // Attempt counts replay with the outcome, so a resumed run folds
+        // the same retry statistics as the run that computed them.
+        let mut outcomes: Vec<Option<(JobOutcome, u32)>> = vec![None; specs.len()];
+        let replay =
+            |record: GridJobRecord, outcomes: &mut Vec<Option<(JobOutcome, u32)>>| -> bool {
+                let Some(slot) = record.index.checked_sub(lo) else {
+                    return false;
+                };
+                let Ok(slot) = usize::try_from(slot) else {
+                    return false;
+                };
+                if slot < outcomes.len()
+                    && outcomes[slot].is_none()
+                    && record.digest == digest_hex(digests[slot])
+                {
+                    outcomes[slot] = Some((record.outcome, record.attempts));
+                    return true;
+                }
+                false
+            };
         if config.resume {
             let shard_path = dir.join(shard_file_name(shard));
             if shard_path.is_file() {
                 for record in read_shard(&shard_path)? {
-                    let Some(slot) = record.index.checked_sub(lo) else {
-                        continue;
-                    };
-                    let Ok(slot) = usize::try_from(slot) else {
-                        continue;
-                    };
-                    if slot < specs.len() && record.digest == digest_hex(digests[slot]) {
-                        outcomes[slot] = Some(record.outcome);
+                    replay(record, &mut outcomes);
+                }
+            }
+            let partial_path = dir.join(partial_file_name(shard));
+            if partial_path.is_file() {
+                for record in read_partial(&partial_path)?.records {
+                    if replay(record, &mut outcomes) {
+                        recovered_jobs += 1;
                     }
                 }
             }
         }
 
-        // Execute the misses on the work-stealing pool.
         let misses: Vec<usize> = (0..specs.len())
             .filter(|&s| outcomes[s].is_none())
             .collect();
         cache_hits += (specs.len() - misses.len()) as u64;
         recomputed += misses.len() as u64;
-        let jobs: Vec<_> = misses
-            .iter()
-            .map(|&slot| {
-                let job = specs[slot].clone();
-                move || execute(&job)
-            })
-            .collect();
-        for result in run_to_completion(jobs, config.workers, config.timeout) {
-            let outcome = match result.execution {
-                Execution::Completed(Ok(metrics)) => JobOutcome::Completed(metrics),
-                Execution::Completed(Err(message)) => JobOutcome::Failed(message),
-                Execution::Panicked(message) => JobOutcome::Failed(format!("panic: {message}")),
-                Execution::TimedOut => JobOutcome::TimedOut,
-            };
-            outcomes[misses[result.index]] = Some(outcome);
-        }
 
-        // Spill the shard in index order, fold it, drop it.
-        let mut records = Vec::with_capacity(specs.len());
-        for (slot, outcome) in outcomes.into_iter().enumerate() {
+        let record_at = |slot: usize, outcome: JobOutcome, attempts: u32| {
             let index = lo + slot as u64;
-            let outcome =
-                outcome.ok_or_else(|| format!("job {index} produced no outcome (pool bug)"))?;
-            records.push(GridJobRecord {
+            GridJobRecord {
                 index,
                 id: specs[slot].id(usize::try_from(index).unwrap_or(usize::MAX)),
                 digest: digest_hex(digests[slot]),
                 outcome,
-            });
+                attempts,
+            }
+        };
+
+        // Open the shard's checkpoint and persist the replayed records
+        // first, so a crash during the fresh work below never loses
+        // what was already known.
+        checkpointer.open(&dir, shard, config.checkpoint_batch)?;
+        let replayed: Vec<GridJobRecord> = (0..specs.len())
+            .filter_map(|slot| {
+                outcomes[slot]
+                    .as_ref()
+                    .map(|(outcome, attempts)| record_at(slot, outcome.clone(), *attempts))
+            })
+            .collect();
+        checkpointer.append(shard, &replayed)?;
+        drop(replayed);
+
+        // Execute the misses one fsync'd batch at a time on the
+        // work-stealing pool, under the retry policy. Jobs see their
+        // 1-based attempt number; the injected-panic fixture arms only
+        // the first attempt, modelling a transient fault.
+        let batch_size = if config.checkpoint_batch == 0 {
+            misses.len().max(1)
+        } else {
+            usize::try_from(config.checkpoint_batch)
+                .unwrap_or(usize::MAX)
+                .max(1)
+        };
+        for batch in misses.chunks(batch_size) {
+            let jobs: Vec<_> = batch
+                .iter()
+                .map(|&slot| {
+                    let job = specs[slot].clone();
+                    move |attempt: u32| {
+                        let mut job = job.clone();
+                        if attempt > 1 {
+                            job.inject_panic = None;
+                        }
+                        execute(&job)
+                    }
+                })
+                .collect();
+            let mut fresh = Vec::with_capacity(batch.len());
+            for result in run_with_retry(jobs, config.workers, config.timeout, &config.retry) {
+                let outcome = match result.execution {
+                    Execution::Completed(Ok(metrics)) => JobOutcome::Completed(metrics),
+                    Execution::Completed(Err(message)) => JobOutcome::Failed(message),
+                    Execution::Panicked(message) => JobOutcome::Failed(format!("panic: {message}")),
+                    Execution::TimedOut => JobOutcome::TimedOut,
+                };
+                let slot = batch[result.index];
+                outcomes[slot] = Some((outcome.clone(), result.attempts));
+                fresh.push(record_at(slot, outcome, result.attempts));
+            }
+            checkpointer.append(shard, &fresh)?;
         }
+
+        // Promote the shard in index order (atomic tmp+rename), retire
+        // its checkpoint, fold it, drop it.
+        let mut records = Vec::with_capacity(specs.len());
+        for (slot, outcome) in outcomes.into_iter().enumerate() {
+            let index = lo + slot as u64;
+            let (outcome, attempts) =
+                outcome.ok_or_else(|| format!("job {index} produced no outcome (pool bug)"))?;
+            records.push(record_at(slot, outcome, attempts));
+        }
+        checkpointer.before_promote(shard);
         write_shard(&dir, shard, &records)?;
+        checkpointer.retire(&dir, shard)?;
         rollup.fold_shard(shard, &records);
     }
 
     let aggregate = rollup.finish(spec, total, shard_size);
-    std::fs::write(dir.join("aggregate.json"), aggregate.to_pretty_json())
+    write_atomic(&dir.join("aggregate.json"), &aggregate.to_pretty_json())
         .map_err(|e| format!("cannot write aggregate.json in `{}`: {e}", dir.display()))?;
 
     let wall_s = start.elapsed().as_secs_f64();
@@ -446,6 +681,7 @@ pub fn run(spec: &GridSpec, config: &GridConfig) -> Result<GridRun, String> {
         run_id,
         dir,
         cache_hits,
+        recovered_jobs,
         recomputed,
         peak_resident_jobs,
         wall_s,
@@ -475,6 +711,13 @@ pub struct GridStatus {
     pub timed_out: u64,
     /// Shard files present.
     pub shards: u64,
+    /// In-flight partial checkpoints present (`shard-*.partial.jsonl`).
+    pub partial_shards: u64,
+    /// Checksum-valid records recoverable from partial checkpoints.
+    pub checkpointed: u64,
+    /// Torn line fragments past the valid prefix of partial checkpoints
+    /// — work a crashed run lost mid-write and will recompute.
+    pub torn_lines: u64,
     /// Whether `aggregate.json` has been written.
     pub has_aggregate: bool,
 }
@@ -516,6 +759,9 @@ pub fn status(dir: &Path) -> Result<GridStatus, String> {
         failed: 0,
         timed_out: 0,
         shards: 0,
+        partial_shards: 0,
+        checkpointed: 0,
+        torn_lines: 0,
         has_aggregate: dir.join("aggregate.json").is_file(),
     };
     for path in crate::manifest::shard_files(dir)? {
@@ -528,6 +774,14 @@ pub fn status(dir: &Path) -> Result<GridStatus, String> {
                 JobOutcome::TimedOut => state.timed_out += 1,
             }
         }
+    }
+    // An in-flight shard's checkpoint is progress, not absence: count
+    // what a resume would replay and what a tear lost.
+    for path in crate::manifest::partial_files(dir)? {
+        let partial = read_partial(&path)?;
+        state.partial_shards += 1;
+        state.checkpointed += partial.records.len() as u64;
+        state.torn_lines += partial.torn_lines;
     }
     Ok(state)
 }
@@ -559,6 +813,7 @@ mod tests {
             run_id: None,
             resume,
             timeout: None,
+            ..GridConfig::default()
         }
     }
 
@@ -678,5 +933,130 @@ mod tests {
         assert!((nominal_seconds(100, 0, 0) - 1e-3).abs() < 1e-12);
         assert!((nominal_seconds(0, 500, 500) - 1e-3).abs() < 1e-12);
         assert_eq!(nominal_seconds(0, 0, 0), 0.0);
+    }
+
+    /// Replaces a promoted shard with a partial checkpoint holding the
+    /// same records — the on-disk state a `kill -9` leaves when the
+    /// shard finished checkpointing but was never promoted. With
+    /// `torn`, the last record is half-written.
+    fn demote_shard_to_partial(dir: &Path, shard: u64, torn: bool) {
+        let records = read_shard(&dir.join(shard_file_name(shard))).expect("shard reads");
+        std::fs::remove_file(dir.join(shard_file_name(shard))).expect("shard removed");
+        let mut writer = crate::manifest::PartialShardWriter::create(dir, shard).expect("creates");
+        if torn {
+            let (head, tail) = records.split_at(records.len() - 1);
+            writer.append(head).expect("appends");
+            writer.append_torn(&tail[0]).expect("tears");
+        } else {
+            writer.append(&records).expect("appends");
+        }
+    }
+
+    #[test]
+    fn partial_checkpoint_resumes_as_cache_hits_with_identical_aggregate() {
+        let spec = tiny_spec();
+        let cfg = config("partial-resume", 3, false);
+        wipe(&cfg);
+        let first = run(&spec, &cfg).expect("runs");
+        let bytes = std::fs::read(first.dir.join("aggregate.json")).expect("reads");
+        demote_shard_to_partial(&first.dir, 1, false);
+
+        let state = status(&first.dir).expect("status reads");
+        assert_eq!(state.partial_shards, 1, "in-flight shard is visible");
+        assert_eq!(state.checkpointed, 3, "all three records recoverable");
+        assert_eq!(state.torn_lines, 0);
+
+        let resumed = run(&spec, &config("partial-resume", 3, true)).expect("resumes");
+        assert_eq!(resumed.recovered_jobs, 3, "partial replayed, not rerun");
+        assert_eq!(resumed.recomputed, 0);
+        assert_eq!(resumed.cache_hits, 8);
+        let after = std::fs::read(resumed.dir.join("aggregate.json")).expect("reads");
+        assert_eq!(bytes, after, "aggregate.json is byte-identical");
+        assert!(
+            !resumed.dir.join(partial_file_name(1)).exists(),
+            "promoted shard retires its checkpoint"
+        );
+        wipe(&cfg);
+    }
+
+    #[test]
+    fn torn_partial_tail_recomputes_only_the_lost_job() {
+        let spec = tiny_spec();
+        let cfg = config("torn-resume", 4, false);
+        wipe(&cfg);
+        let first = run(&spec, &cfg).expect("runs");
+        let bytes = std::fs::read(first.dir.join("aggregate.json")).expect("reads");
+        demote_shard_to_partial(&first.dir, 0, true);
+
+        let state = status(&first.dir).expect("status reads");
+        assert_eq!(state.checkpointed, 3, "valid prefix survives the tear");
+        assert_eq!(state.torn_lines, 1, "the torn record is counted as lost");
+
+        let resumed = run(&spec, &config("torn-resume", 4, true)).expect("resumes");
+        assert_eq!(resumed.recovered_jobs, 3);
+        assert_eq!(resumed.recomputed, 1, "only the torn record reruns");
+        assert_eq!(resumed.cache_hits, 7);
+        let after = std::fs::read(resumed.dir.join("aggregate.json")).expect("reads");
+        assert_eq!(bytes, after, "aggregate.json is byte-identical");
+        wipe(&cfg);
+    }
+
+    #[test]
+    fn injected_panic_recovers_under_retry_and_aggregate_records_it() {
+        let mut spec = tiny_spec();
+        spec.inject_panic = Some(true);
+        let mut cfg = config("retry", 8, false);
+        cfg.retry = RetryPolicy {
+            max_attempts: 3,
+            backoff: std::time::Duration::ZERO,
+        };
+        wipe(&cfg);
+        let run_result = run(&spec, &cfg).expect("runs");
+        assert_eq!(run_result.aggregate.completed, 8, "transient faults clear");
+        assert_eq!(run_result.aggregate.retried, 8, "every job needed a retry");
+        assert_eq!(run_result.aggregate.quarantined, 0);
+        wipe(&cfg);
+    }
+
+    #[test]
+    fn rollup_quarantines_jobs_that_exhaust_their_attempts() {
+        let mut rollup = Rollup::default();
+        let record = |index: u64, outcome: JobOutcome, attempts: u32| GridJobRecord {
+            index,
+            id: format!("job-{index:04}"),
+            digest: digest_hex(index),
+            outcome,
+            attempts,
+        };
+        rollup.fold_shard(
+            0,
+            &[
+                record(0, JobOutcome::Failed("always broken".into()), 3),
+                record(1, JobOutcome::TimedOut, 3),
+                record(2, JobOutcome::Failed("first try".into()), 1),
+            ],
+        );
+        assert_eq!(rollup.retried, 0, "no retried success here");
+        assert_eq!(
+            rollup.quarantined, 2,
+            "multi-attempt non-completions quarantine; single-attempt failures do not"
+        );
+    }
+
+    #[test]
+    fn checkpointing_does_not_change_results() {
+        let spec = tiny_spec();
+        let with_ckpt = config("ckpt-on", 4, false);
+        let mut without = config("ckpt-off", 4, false);
+        without.checkpoint_batch = 0;
+        wipe(&with_ckpt);
+        wipe(&without);
+        let a = run(&spec, &with_ckpt).expect("runs");
+        let b = run(&spec, &without).expect("runs");
+        let a_bytes = std::fs::read(a.dir.join("aggregate.json")).expect("reads");
+        let b_bytes = std::fs::read(b.dir.join("aggregate.json")).expect("reads");
+        assert_eq!(a_bytes, b_bytes, "checkpointing is invisible in results");
+        wipe(&with_ckpt);
+        wipe(&without);
     }
 }

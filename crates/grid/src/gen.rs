@@ -74,6 +74,8 @@ pub enum WorkloadKind {
     Experiment2,
     /// The merged three-device aggregate profile.
     MultiDevice,
+    /// The DVS platform at its fuel-averaged optimal level.
+    Dvs,
 }
 
 impl WorkloadKind {
@@ -82,6 +84,7 @@ impl WorkloadKind {
             WorkloadKind::Experiment1 => WorkloadSpec::Experiment1(seed),
             WorkloadKind::Experiment2 => WorkloadSpec::Experiment2(seed),
             WorkloadKind::MultiDevice => WorkloadSpec::MultiDevice(seed),
+            WorkloadKind::Dvs => WorkloadSpec::Dvs(seed),
         }
     }
 }
@@ -130,6 +133,7 @@ pub const GRIDSPEC_DIGEST_FIELDS: &[&str] = &[
     "faults",
     "capacities_mamin",
     "resilient",
+    "inject_panic",
 ];
 
 /// [`GridSpec`] fields deliberately *excluded* from the digest (each
@@ -158,6 +162,11 @@ pub struct GridSpec {
     pub capacities_mamin: Option<Vec<f64>>,
     /// Resilient-wrapper settings (`None` = unwrapped only).
     pub resilient: Option<Vec<bool>>,
+    /// Make every job's *first* execution panic inside the executor
+    /// (`Some(true)`), modelling a transient fault the engine's retry
+    /// policy recovers from. Absent in normal campaigns — this is the
+    /// crash-injection fixture axis.
+    pub inject_panic: Option<bool>,
 }
 
 /// One axis resolved to its effective length, with `None` collapsing to
@@ -190,6 +199,7 @@ impl GridSpec {
             faults: None,
             capacities_mamin: None,
             resilient: None,
+            inject_panic: None,
         }
     }
 
@@ -287,6 +297,7 @@ impl GridSpec {
         job.resilient = axis_get(&self.resilient, resilient_i)
             .filter(|r| *r)
             .map(|_| true);
+        job.inject_panic = self.inject_panic.filter(|p| *p);
         Some(job)
     }
 
@@ -339,6 +350,7 @@ impl GridSpec {
                                 job.faults = fault.and_then(|preset| preset.schedule(seed));
                                 job.capacity_mamin = *capacity;
                                 job.resilient = resilient.filter(|r| *r).map(|_| true);
+                                job.inject_panic = self.inject_panic.filter(|p| *p);
                                 jobs.push(job);
                             }
                         }
@@ -445,7 +457,7 @@ mod tests {
             WorkloadSpec::Experiment1(seed) | WorkloadSpec::Experiment2(seed) => {
                 assert_eq!(schedule.seed, *seed);
             }
-            WorkloadSpec::MultiDevice(_) => panic!("no multi-device in this grid"),
+            other => panic!("unexpected workload {other:?} in this grid"),
         }
     }
 
@@ -492,6 +504,34 @@ mod tests {
         let b = spec.job_at(1).expect("in range");
         assert_ne!(spec_digest(&a), spec_digest(&b));
         assert_eq!(spec_digest(&a), spec_digest(&a.clone()));
+    }
+
+    #[test]
+    fn inject_panic_axis_reaches_every_job_and_is_digest_keyed() {
+        let mut spec = small_spec();
+        spec.inject_panic = Some(true);
+        assert!(spec.iter().all(|(_, job)| job.inject_panic == Some(true)));
+        assert!(spec
+            .expand_eager()
+            .iter()
+            .all(|job| job.inject_panic == Some(true)));
+        assert_ne!(spec.digest(), small_spec().digest());
+        let mut off = small_spec();
+        off.inject_panic = Some(false);
+        assert!(off.iter().all(|(_, job)| job.inject_panic.is_none()));
+    }
+
+    #[test]
+    fn dvs_workload_kind_decodes_with_seed() {
+        let spec = GridSpec::new(
+            SeedAxis::List(vec![9]),
+            vec![WorkloadKind::Dvs],
+            vec![PolicySpec::Conv],
+        );
+        assert_eq!(
+            spec.job_at(0).expect("in range").workload,
+            WorkloadSpec::Dvs(9)
+        );
     }
 
     #[test]

@@ -43,14 +43,18 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod gc;
 pub mod gen;
 pub mod manifest;
 
 pub use engine::{
-    nominal_seconds, run, status, GridAggregate, GridConfig, GridRun, GridStatus, ShardSummary,
+    nominal_seconds, run, status, CrashPoint, GridAggregate, GridConfig, GridRun, GridStatus,
+    ShardSummary,
 };
+pub use gc::{gc, GcAction, GcKind, GcReport};
 pub use gen::{spec_digest, FaultPreset, GridIter, GridSpec, SeedAxis, SeedRange, WorkloadKind};
 pub use manifest::{
-    digest_hex, for_each_record, read_records, read_shard, shard_file_name, shard_files,
-    write_shard, GridJobRecord,
+    digest_hex, for_each_record, partial_file_name, partial_files, read_partial, read_records,
+    read_shard, shard_file_name, shard_files, write_atomic, write_shard, GridJobRecord,
+    PartialRead, PartialShardWriter,
 };

@@ -11,6 +11,15 @@
 //! identical across runs and worker counts — resume diffs them
 //! directly.
 //!
+//! While a shard is in flight, completed records stream into an
+//! append-only `shard-NNNNN.partial.jsonl` checkpoint: each line is
+//! `<16-hex FNV-1a of the JSON>\t<JSON>\n`, written in fsync'd batches
+//! by [`PartialShardWriter`]. A `kill -9` mid-shard can therefore tear
+//! at most the last batch's tail; [`read_partial`] recovers the maximal
+//! checksum-valid prefix and resume replays it as cache hits. When the
+//! shard completes it is promoted to the plain `shard-NNNNN.jsonl` form
+//! via the usual atomic tmp+rename and the partial file is removed.
+//!
 //! [`for_each_record`] is the one reader. It also migrates the legacy
 //! single-file [`RunManifest`](fcdpm_runner::RunManifest) format that
 //! `fcdpm batch` writes: pointing it at a `*.json` manifest yields the
@@ -27,7 +36,7 @@ use crate::gen::spec_digest;
 
 /// One job's record in a shard file: identity, cache key and outcome —
 /// nothing scheduling-dependent, nothing reconstructable from the spec.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct GridJobRecord {
     /// Global index in the expanded grid.
     pub index: u64,
@@ -38,6 +47,26 @@ pub struct GridJobRecord {
     pub digest: String,
     /// How the job ended.
     pub outcome: JobOutcome,
+    /// Executions the job took under the retry policy (1 = first try).
+    pub attempts: u32,
+}
+
+// Hand-written so shard lines written before retry accounting existed
+// (no `attempts` key) still parse: a missing count means the job ran
+// exactly once.
+impl Deserialize for GridJobRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom(format!("expected object, got {}", v.kind())))?;
+        Ok(Self {
+            index: serde::field(m, "index")?,
+            id: serde::field(m, "id")?,
+            digest: serde::field(m, "digest")?,
+            outcome: serde::field(m, "outcome")?,
+            attempts: serde::field::<Option<u32>>(m, "attempts")?.unwrap_or(1),
+        })
+    }
 }
 
 /// Renders a 64-bit digest as the 16-hex-digit on-disk form.
@@ -51,6 +80,202 @@ pub fn digest_hex(digest: u64) -> String {
 #[must_use]
 pub fn shard_file_name(shard: u64) -> String {
     format!("shard-{shard:05}.jsonl")
+}
+
+/// The in-flight checkpoint file name for shard `shard`.
+#[must_use]
+pub fn partial_file_name(shard: u64) -> String {
+    format!("shard-{shard:05}.partial.jsonl")
+}
+
+/// Writes `contents` to `path` atomically: a sibling `.tmp` file is
+/// written, flushed, and renamed into place, so readers never observe a
+/// half-written artifact. This is the one sanctioned way to produce a
+/// whole-file artifact inside a run directory — the `atomic-artifact`
+/// analyze rule flags raw `fs::write` calls there.
+///
+/// # Errors
+///
+/// Returns a message for I/O failures.
+pub fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, contents).map_err(|e| format!("cannot write `{}`: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("cannot move `{}` into place: {e}", path.display()))
+}
+
+/// Renders one checkpoint line: `<16-hex FNV-1a of the JSON>\t<JSON>\n`.
+/// The checksum covers exactly the JSON bytes, so a torn tail (or a bit
+/// flip) fails validation and [`read_partial`] stops there.
+fn checkpoint_line(record: &GridJobRecord) -> Result<String, String> {
+    let json = serde_json::to_string(record)
+        .map_err(|e| format!("record {} does not serialize: {e}", record.index))?;
+    Ok(format!(
+        "{}\t{json}\n",
+        digest_hex(fcdpm_runner::spec::fnv1a(json.as_bytes()))
+    ))
+}
+
+/// Append-only writer for a shard's in-flight checkpoint file.
+///
+/// Each [`append`](Self::append) writes a batch of checksummed record
+/// lines and fsyncs, so after a `kill -9` the file holds every
+/// previously appended batch intact plus at most one torn tail.
+#[derive(Debug)]
+pub struct PartialShardWriter {
+    path: PathBuf,
+    file: File,
+}
+
+impl PartialShardWriter {
+    /// Creates (truncating) the checkpoint file for `shard` under `dir`.
+    ///
+    /// Call [`read_partial`] *before* this: creation truncates whatever
+    /// a previous invocation left behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for I/O failures.
+    pub fn create(dir: &Path, shard: u64) -> Result<Self, String> {
+        let path = dir.join(partial_file_name(shard));
+        let file =
+            File::create(&path).map_err(|e| format!("cannot create `{}`: {e}", path.display()))?;
+        Ok(Self { path, file })
+    }
+
+    /// The checkpoint file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one fsync'd batch of checksummed record lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for I/O or serialization failures.
+    pub fn append(&mut self, records: &[GridJobRecord]) -> Result<(), String> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut batch = String::new();
+        for record in records {
+            batch.push_str(&checkpoint_line(record)?);
+        }
+        self.file
+            .write_all(batch.as_bytes())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| format!("cannot checkpoint `{}`: {e}", self.path.display()))
+    }
+
+    /// Appends the *front half* of one record's line — no newline, no
+    /// complete checksum payload — then fsyncs. Crash-injection only:
+    /// this simulates the torn tail a `kill -9` mid-batch leaves behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for I/O or serialization failures.
+    #[doc(hidden)]
+    pub fn append_torn(&mut self, record: &GridJobRecord) -> Result<(), String> {
+        let line = checkpoint_line(record)?;
+        let torn = &line.as_bytes()[..line.len() / 2];
+        self.file
+            .write_all(torn)
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| format!("cannot checkpoint `{}`: {e}", self.path.display()))
+    }
+}
+
+/// What [`read_partial`] recovered from a checkpoint file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialRead {
+    /// Records in the maximal checksum-valid prefix, file order.
+    pub records: Vec<GridJobRecord>,
+    /// Bytes making up that valid prefix.
+    pub valid_bytes: u64,
+    /// Bytes past the valid prefix (0 = the file is clean).
+    pub torn_bytes: u64,
+    /// Line fragments past the valid prefix (≥ 1 whenever torn).
+    pub torn_lines: u64,
+}
+
+/// Validating reader for a `shard-NNNNN.partial.jsonl` checkpoint:
+/// returns the maximal prefix of lines whose per-line checksum matches
+/// their JSON payload, and accounts for whatever torn tail follows.
+/// Never yields a torn record — a line is either checksum-valid and
+/// parsed whole, or it (and everything after it) is counted as torn.
+///
+/// # Errors
+///
+/// Returns a message when the file cannot be read (a *torn* file is not
+/// an error — that is the case this reader exists for).
+pub fn read_partial(path: &Path) -> Result<PartialRead, String> {
+    let bytes =
+        std::fs::read(path).map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+    let mut read = PartialRead {
+        records: Vec::new(),
+        valid_bytes: 0,
+        torn_bytes: 0,
+        torn_lines: 0,
+    };
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        let line_end = rest.iter().position(|&b| b == b'\n');
+        let line = &rest[..line_end.unwrap_or(rest.len())];
+        let consumed = line.len() + usize::from(line_end.is_some());
+        let record = validate_line(line);
+        let Some(record) = record else { break };
+        read.records.push(record);
+        offset += consumed;
+    }
+    read.valid_bytes = offset as u64;
+    read.torn_bytes = (bytes.len() - offset) as u64;
+    read.torn_lines = bytes[offset..]
+        .split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .count() as u64;
+    Ok(read)
+}
+
+/// Parses one checkpoint line if (and only if) its checksum matches.
+fn validate_line(line: &[u8]) -> Option<GridJobRecord> {
+    let text = std::str::from_utf8(line).ok()?;
+    let (sum, json) = text.split_once('\t')?;
+    if sum.len() != 16 || sum != digest_hex(fcdpm_runner::spec::fnv1a(json.as_bytes())) {
+        return None;
+    }
+    serde_json::from_str(json).ok()
+}
+
+/// Checkpoint files under `dir`, in shard order.
+///
+/// # Errors
+///
+/// Returns a message when the directory cannot be listed.
+pub fn partial_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    list_matching(dir, |name| {
+        name.starts_with("shard-") && name.ends_with(".partial.jsonl")
+    })
+}
+
+/// Directory entries whose file name satisfies `keep`, sorted.
+fn list_matching(dir: &Path, keep: impl Fn(&str) -> bool) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list `{}`: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list `{}`: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if keep(name) {
+            files.push(entry.path());
+        }
+    }
+    files.sort();
+    Ok(files)
 }
 
 /// Writes one shard's records as JSON lines (atomically: temp file then
@@ -100,25 +325,17 @@ pub fn read_shard(path: &Path) -> Result<Vec<GridJobRecord>, String> {
     Ok(records)
 }
 
-/// Shard files under `dir`, in shard order.
+/// Promoted (final) shard files under `dir`, in shard order. In-flight
+/// `*.partial.jsonl` checkpoints are deliberately excluded — they are
+/// not part of the committed record stream.
 ///
 /// # Errors
 ///
 /// Returns a message when the directory cannot be listed.
 pub fn shard_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
-    let mut files = Vec::new();
-    let entries =
-        std::fs::read_dir(dir).map_err(|e| format!("cannot list `{}`: {e}", dir.display()))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| format!("cannot list `{}`: {e}", dir.display()))?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
-        if name.starts_with("shard-") && name.ends_with(".jsonl") {
-            files.push(entry.path());
-        }
-    }
-    files.sort();
-    Ok(files)
+    list_matching(dir, |name| {
+        name.starts_with("shard-") && name.ends_with(".jsonl") && !name.contains(".partial.")
+    })
 }
 
 /// Converts one legacy [`RunManifest`] job record into the chunked
@@ -129,6 +346,7 @@ fn migrate_record(record: &fcdpm_runner::JobRecord) -> GridJobRecord {
         id: record.id.clone(),
         digest: digest_hex(spec_digest(&record.spec)),
         outcome: record.outcome.clone(),
+        attempts: 1,
     }
 }
 
@@ -202,6 +420,7 @@ mod tests {
             id: spec.id(usize::try_from(index).expect("small")),
             digest: digest_hex(spec_digest(&spec)),
             outcome: JobOutcome::Failed("not run".to_owned()),
+            attempts: 1,
         }
     }
 
@@ -247,6 +466,87 @@ mod tests {
         write_shard(&dir, 0, &migrated).expect("writes");
         let back = read_shard(&dir.join(shard_file_name(0))).expect("reads");
         assert_eq!(back, migrated);
+    }
+
+    #[test]
+    fn legacy_records_without_attempts_parse_as_one_attempt() {
+        let line =
+            r#"{"index":0,"id":"job-0000","digest":"0000000000000000","outcome":{"Failed":"x"}}"#;
+        let back: GridJobRecord = serde_json::from_str(line).expect("parses");
+        assert_eq!(back.attempts, 1, "pre-retry records default to 1 attempt");
+    }
+
+    #[test]
+    fn partial_checkpoint_round_trips_in_batches() {
+        let dir = temp_dir("partial");
+        let mut writer = PartialShardWriter::create(&dir, 7).expect("creates");
+        writer.append(&[record(0), record(1)]).expect("appends");
+        writer.append(&[record(2)]).expect("appends");
+        writer.append(&[]).expect("empty batch is a no-op");
+        drop(writer);
+        let back = read_partial(&dir.join(partial_file_name(7))).expect("reads");
+        assert_eq!(back.records, vec![record(0), record(1), record(2)]);
+        assert_eq!(back.torn_bytes, 0);
+        assert_eq!(back.torn_lines, 0);
+        assert!(back.valid_bytes > 0);
+    }
+
+    #[test]
+    fn torn_tail_recovers_maximal_valid_prefix() {
+        let dir = temp_dir("torn");
+        let mut writer = PartialShardWriter::create(&dir, 0).expect("creates");
+        writer.append(&[record(0), record(1)]).expect("appends");
+        writer.append_torn(&record(2)).expect("tears");
+        drop(writer);
+        let back = read_partial(&dir.join(partial_file_name(0))).expect("reads");
+        assert_eq!(back.records, vec![record(0), record(1)]);
+        assert!(back.torn_bytes > 0, "the torn half-line is accounted for");
+        assert_eq!(back.torn_lines, 1);
+    }
+
+    #[test]
+    fn corrupted_line_invalidates_itself_and_everything_after() {
+        let dir = temp_dir("corrupt");
+        let mut writer = PartialShardWriter::create(&dir, 0).expect("creates");
+        writer
+            .append(&[record(0), record(1), record(2)])
+            .expect("appends");
+        drop(writer);
+        let path = dir.join(partial_file_name(0));
+        let mut bytes = std::fs::read(&path).expect("reads");
+        // Flip one byte inside the second line's JSON payload.
+        let first_nl = bytes.iter().position(|&b| b == b'\n').expect("line") + 1;
+        bytes[first_nl + 30] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("writes");
+        let back = read_partial(&path).expect("reads");
+        assert_eq!(back.records, vec![record(0)], "stops at the bad checksum");
+        assert_eq!(back.torn_lines, 2, "the flipped line and the one after");
+    }
+
+    #[test]
+    fn partials_stay_out_of_the_committed_record_stream() {
+        let dir = temp_dir("exclude");
+        write_shard(&dir, 0, &[record(0)]).expect("writes");
+        let mut writer = PartialShardWriter::create(&dir, 1).expect("creates");
+        writer.append(&[record(1)]).expect("appends");
+        drop(writer);
+        assert_eq!(shard_files(&dir).expect("lists").len(), 1);
+        assert_eq!(partial_files(&dir).expect("lists").len(), 1);
+        let back = read_records(&dir).expect("reads");
+        assert_eq!(back, vec![record(0)], "only promoted shards stream");
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_files() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("aggregate.json");
+        write_atomic(&path, "first").expect("writes");
+        write_atomic(&path, "second").expect("rewrites");
+        assert_eq!(std::fs::read_to_string(&path).expect("reads"), "second");
+        assert!(
+            !dir.join("aggregate.json.tmp").exists(),
+            "no tmp file survives"
+        );
     }
 
     #[test]

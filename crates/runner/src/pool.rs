@@ -47,6 +47,100 @@ pub struct PoolResult<T> {
     pub worker: usize,
 }
 
+/// How [`run_with_retry`] treats `Panicked`/`TimedOut` executions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total executions allowed per job (1 = no retries).
+    pub max_attempts: u32,
+    /// Sleep before the second attempt; doubles each further round
+    /// (exponential backoff), shared by the whole retry round.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// One job's final execution under a [`RetryPolicy`].
+#[derive(Debug)]
+pub struct RetryResult<T> {
+    /// Index of the job in the submitted vector.
+    pub index: usize,
+    /// How the last attempt ended.
+    pub execution: Execution<T>,
+    /// Executions the job took (1 = succeeded or gave up first try).
+    pub attempts: u32,
+    /// Wall-clock time summed over every attempt.
+    pub wall: Duration,
+}
+
+/// Runs `jobs` like [`run_to_completion`], then re-runs any job whose
+/// execution ended `Panicked` or `TimedOut`, up to
+/// `retry.max_attempts` total executions per job, sleeping
+/// `retry.backoff * 2^(round-1)` between rounds. Each attempt invokes
+/// the job closure with the 1-based attempt number, so a job can model
+/// transient faults (fail on attempt 1, recover on attempt 2).
+///
+/// Results come back ordered by job index regardless of scheduling or
+/// retry history, so downstream artifacts stay deterministic.
+#[must_use]
+pub fn run_with_retry<T, F>(
+    jobs: Vec<F>,
+    workers: usize,
+    timeout: Option<Duration>,
+    retry: &RetryPolicy,
+) -> Vec<RetryResult<T>>
+where
+    F: Fn(u32) -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
+    let jobs: Vec<Arc<F>> = jobs.into_iter().map(Arc::new).collect();
+    let mut results: Vec<Option<RetryResult<T>>> = jobs.iter().map(|_| None).collect();
+    let mut pending: Vec<usize> = (0..jobs.len()).collect();
+    let max_attempts = retry.max_attempts.max(1);
+    for attempt in 1..=max_attempts {
+        if pending.is_empty() {
+            break;
+        }
+        if attempt > 1 && !retry.backoff.is_zero() {
+            let doublings = (attempt - 2).min(16);
+            thread::sleep(retry.backoff.saturating_mul(1u32 << doublings));
+        }
+        let round: Vec<_> = pending
+            .iter()
+            .map(|&index| {
+                let job = Arc::clone(&jobs[index]);
+                move || job(attempt)
+            })
+            .collect();
+        let mut still_failing = Vec::new();
+        for result in run_to_completion(round, workers, timeout) {
+            let index = pending[result.index];
+            let spent = results[index].as_ref().map_or(Duration::ZERO, |r| r.wall);
+            let retryable = matches!(
+                result.execution,
+                Execution::Panicked(_) | Execution::TimedOut
+            );
+            results[index] = Some(RetryResult {
+                index,
+                execution: result.execution,
+                attempts: attempt,
+                wall: spent + result.wall,
+            });
+            if retryable && attempt < max_attempts {
+                still_failing.push(index);
+            }
+        }
+        pending = still_failing;
+    }
+    results.into_iter().flatten().collect()
+}
+
 /// Locks a deque, tolerating poison: job panics are caught inside
 /// [`run_guarded`], never while a deque lock is held, so a poisoned
 /// lock still guards a structurally sound queue and the run can keep
@@ -279,5 +373,65 @@ mod tests {
         let results: Vec<PoolResult<u32>> =
             run_to_completion(Vec::<Box<dyn FnOnce() -> u32 + Send>>::new(), 4, None);
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn transient_panic_succeeds_within_max_attempts() {
+        // Job 1 models a transient fault: it panics on attempt 1 and
+        // recovers on attempt 2, driven purely by the attempt number.
+        let jobs: Vec<Box<dyn Fn(u32) -> u32 + Send + Sync>> = vec![
+            Box::new(|_| 10),
+            Box::new(|attempt| {
+                assert!(attempt > 1, "transient fault");
+                20
+            }),
+            Box::new(|_| 30),
+        ];
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::ZERO,
+        };
+        let results = run_with_retry(jobs, 2, None, &retry);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].attempts, 1);
+        assert_eq!(results[1].attempts, 2, "retried exactly once");
+        assert_eq!(results[2].attempts, 1);
+        for (i, want) in [(0usize, 10u32), (1, 20), (2, 30)] {
+            match &results[i].execution {
+                Execution::Completed(v) => assert_eq!(*v, want),
+                other => panic!("job {i} did not complete: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_failure_exhausts_attempts_and_keeps_order() {
+        let jobs: Vec<Box<dyn Fn(u32) -> u32 + Send + Sync>> = vec![
+            Box::new(|_| 1),
+            Box::new(|_| panic!("always broken")),
+            Box::new(|_| 3),
+        ];
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::ZERO,
+        };
+        let results = run_with_retry(jobs, 2, None, &retry);
+        assert_eq!(results[1].attempts, 3, "gave up after max_attempts");
+        match &results[1].execution {
+            Execution::Panicked(msg) => assert!(msg.contains("always broken")),
+            other => panic!("expected panic, got {other:?}"),
+        }
+        assert!(matches!(results[0].execution, Execution::Completed(1)));
+        assert!(matches!(results[2].execution, Execution::Completed(3)));
+        assert!(results.iter().enumerate().all(|(i, r)| r.index == i));
+    }
+
+    #[test]
+    fn default_retry_policy_is_a_single_attempt() {
+        let jobs: Vec<Box<dyn Fn(u32) -> u32 + Send + Sync>> =
+            vec![Box::new(|_| panic!("no second chance"))];
+        let results = run_with_retry(jobs, 1, None, &RetryPolicy::default());
+        assert_eq!(results[0].attempts, 1);
+        assert!(matches!(results[0].execution, Execution::Panicked(_)));
     }
 }

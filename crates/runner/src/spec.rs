@@ -54,6 +54,10 @@ pub enum WorkloadSpec {
     /// Three DPM devices (camcorder, radio, sensor) merged into one
     /// aggregate load profile; only slot-free policies apply.
     MultiDevice(u64),
+    /// A DVS platform: the quadratic-example voltage-scalable device
+    /// running at its fuel-averaged optimal level, replayed as a
+    /// slot-structured periodic trace (so fault schedules apply).
+    Dvs(u64),
 }
 
 impl WorkloadSpec {
@@ -64,6 +68,7 @@ impl WorkloadSpec {
             WorkloadSpec::Experiment1(seed) => format!("exp1-{seed:x}"),
             WorkloadSpec::Experiment2(seed) => format!("exp2-{seed:x}"),
             WorkloadSpec::MultiDevice(seed) => format!("multi-{seed:x}"),
+            WorkloadSpec::Dvs(seed) => format!("dvs-{seed:x}"),
         }
     }
 }
